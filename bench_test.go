@@ -1,0 +1,493 @@
+package tde
+
+// Benchmarks regenerating the paper's evaluation (one benchmark family
+// per table/figure; see DESIGN.md's experiment index). Sizes are scaled
+// to finish under `go test -bench=.` on a laptop; cmd/tdebench runs the
+// same drivers at larger scales with the paper-shaped renderings.
+
+import (
+	"sync"
+	"testing"
+
+	"tde/internal/enc"
+	"tde/internal/exec"
+	"tde/internal/expr"
+	"tde/internal/harness"
+	"tde/internal/plan"
+	"tde/internal/rlegen"
+	"tde/internal/storage"
+	"tde/internal/textscan"
+	"tde/internal/types"
+)
+
+var (
+	dsOnce sync.Once
+	dsVal  *harness.Datasets
+	dsErr  error
+)
+
+// benchDatasets generates the shared text corpora once.
+func benchDatasets(b *testing.B) *harness.Datasets {
+	b.Helper()
+	dsOnce.Do(func() {
+		dsVal, dsErr = harness.GenerateDatasets(0.01, 50000, 42)
+	})
+	if dsErr != nil {
+		b.Fatal(dsErr)
+	}
+	return dsVal
+}
+
+var (
+	rlOnce  sync.Once
+	rlSmall *storage.Table
+	rlLarge *storage.Table
+)
+
+func benchRLTables(b *testing.B) (*storage.Table, *storage.Table) {
+	b.Helper()
+	rlOnce.Do(func() {
+		rlSmall = rlegen.Build(200000, 42)
+		rlLarge = rlegen.Build(4000000, 43)
+	})
+	return rlSmall, rlLarge
+}
+
+// --- Figure 4: parsing performance ---
+
+func benchImport(b *testing.B, data []byte, cfg harness.ImportConfig) {
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Import(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_Bandwidth(b *testing.B) {
+	ds := benchDatasets(b)
+	b.SetBytes(int64(len(ds.Lineitem)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		textscan.SumBytes(ds.Lineitem)
+	}
+}
+
+func BenchmarkFig4_Tokenize(b *testing.B) {
+	ds := benchDatasets(b)
+	b.SetBytes(int64(len(ds.Lineitem)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		textscan.CountFields(ds.Lineitem, '|')
+	}
+}
+
+func BenchmarkFig4_Split(b *testing.B) {
+	ds := benchDatasets(b)
+	b.SetBytes(int64(len(ds.Lineitem)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		textscan.SplitColumns(ds.Lineitem, '|', 16)
+	}
+}
+
+func BenchmarkFig4_ScalarsEncoded(b *testing.B) {
+	benchImport(b, benchDatasets(b).Lineitem,
+		harness.ImportConfig{Encode: true, ScalarsOnly: true})
+}
+
+func BenchmarkFig4_ScalarsUnencoded(b *testing.B) {
+	benchImport(b, benchDatasets(b).Lineitem,
+		harness.ImportConfig{Encode: false, ScalarsOnly: true})
+}
+
+func BenchmarkFig4_AllEncodedAccelerated(b *testing.B) {
+	benchImport(b, benchDatasets(b).Lineitem,
+		harness.ImportConfig{Encode: true, Accelerate: true})
+}
+
+func BenchmarkFig4_AllUnencoded(b *testing.B) {
+	benchImport(b, benchDatasets(b).Lineitem,
+		harness.ImportConfig{Encode: false, Accelerate: false})
+}
+
+func BenchmarkFig4_FlightsAllEncodedAccelerated(b *testing.B) {
+	benchImport(b, benchDatasets(b).Flights,
+		harness.ImportConfig{Encode: true, Accelerate: true})
+}
+
+// --- Figure 5: compression savings (reported as metrics) ---
+
+func BenchmarkFig5_CompressionSavings(b *testing.B) {
+	ds := benchDatasets(b)
+	b.ResetTimer()
+	var rows []harness.Fig5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Fig5(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Encoded && r.Accelerated {
+			prefix := r.Dataset
+			b.ReportMetric(float64(r.PhysicalBytes), prefix+"_physical_bytes")
+			b.ReportMetric(float64(r.LogicalBytes), prefix+"_logical_bytes")
+			b.ReportMetric(float64(r.TextBytes), prefix+"_text_bytes")
+		}
+	}
+}
+
+// --- Figure 6: heap sorting ---
+
+func BenchmarkFig6_HeapSorting(b *testing.B) {
+	ds := benchDatasets(b)
+	b.ResetTimer()
+	var rows []harness.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Fig6(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Encoded {
+			b.ReportMetric(float64(r.SortedHeaps), "sorted_"+groupKey(r.Group))
+			b.ReportMetric(float64(r.StringHeaps), "heaps_"+groupKey(r.Group))
+		}
+	}
+}
+
+func groupKey(g string) string {
+	if g == "Large Tables" {
+		return "large"
+	}
+	return "sf1"
+}
+
+// --- Figure 7: metadata extraction ---
+
+func BenchmarkFig7_MetadataDetected(b *testing.B) {
+	ds := benchDatasets(b)
+	b.ResetTimer()
+	var rows []harness.Fig7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Fig7(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Properties), "props_"+groupKey(r.Group)+"_enc_"+onoff(r.Encoded))
+	}
+}
+
+func onoff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}
+
+// --- Figures 8 and 9: width reduction ---
+
+func BenchmarkFig8And9_WidthReduction(b *testing.B) {
+	ds := benchDatasets(b)
+	b.ResetTimer()
+	var strs, ints harness.WidthHistogram
+	for i := 0; i < b.N; i++ {
+		var err error
+		strs, ints, err = harness.Fig8And9(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(strs.Total-strs.Counts[8]), "fig8_strings_narrowed")
+	b.ReportMetric(float64(strs.Total), "fig8_strings_total")
+	b.ReportMetric(float64(ints.Total-ints.Counts[8]), "fig9_ints_narrowed")
+	b.ReportMetric(float64(ints.Total), "fig9_ints_total")
+}
+
+// --- Figure 10: filter/aggregate plans ---
+
+func benchFig10(b *testing.B, tab *storage.Table, index string, planNo, sel int) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunFig10Point(tab, index, planNo, sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_Small_Primary_Plan1(b *testing.B) {
+	s, _ := benchRLTables(b)
+	benchFig10(b, s, "primary", 1, 50)
+}
+
+func BenchmarkFig10_Small_Primary_Plan2(b *testing.B) {
+	s, _ := benchRLTables(b)
+	benchFig10(b, s, "primary", 2, 50)
+}
+
+func BenchmarkFig10_Small_Primary_Plan3(b *testing.B) {
+	s, _ := benchRLTables(b)
+	benchFig10(b, s, "primary", 3, 50)
+}
+
+func BenchmarkFig10_Small_Secondary_Plan1(b *testing.B) {
+	s, _ := benchRLTables(b)
+	benchFig10(b, s, "secondary", 1, 50)
+}
+
+func BenchmarkFig10_Small_Secondary_Plan2(b *testing.B) {
+	s, _ := benchRLTables(b)
+	benchFig10(b, s, "secondary", 2, 50)
+}
+
+func BenchmarkFig10_Small_Secondary_Plan3(b *testing.B) {
+	s, _ := benchRLTables(b)
+	benchFig10(b, s, "secondary", 3, 50)
+}
+
+func BenchmarkFig10_Large_Primary_Plan1(b *testing.B) {
+	_, l := benchRLTables(b)
+	benchFig10(b, l, "primary", 1, 50)
+}
+
+func BenchmarkFig10_Large_Primary_Plan2(b *testing.B) {
+	_, l := benchRLTables(b)
+	benchFig10(b, l, "primary", 2, 50)
+}
+
+func BenchmarkFig10_Large_Primary_Plan3(b *testing.B) {
+	_, l := benchRLTables(b)
+	benchFig10(b, l, "primary", 3, 50)
+}
+
+func BenchmarkFig10_Large_Secondary_Plan1(b *testing.B) {
+	_, l := benchRLTables(b)
+	benchFig10(b, l, "secondary", 1, 50)
+}
+
+func BenchmarkFig10_Large_Secondary_Plan2(b *testing.B) {
+	_, l := benchRLTables(b)
+	benchFig10(b, l, "secondary", 2, 50)
+}
+
+func BenchmarkFig10_Large_Secondary_Plan3(b *testing.B) {
+	_, l := benchRLTables(b)
+	benchFig10(b, l, "secondary", 3, 50)
+}
+
+// --- Sect. 4.3: exchange routing overhead ---
+
+func BenchmarkExchangeOrdering_Preserve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.ExchangeOrdering(500000, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.PreserveOrder {
+				b.ReportMetric(float64(r.PhysicalBytes), "ordered_bytes")
+			} else {
+				b.ReportMetric(float64(r.PhysicalBytes), "free_bytes")
+			}
+		}
+	}
+}
+
+// --- Sect. 5.1.2: locale-lock ablation ---
+
+func BenchmarkLocaleLock_BufferParsers(b *testing.B) {
+	benchImport(b, benchDatasets(b).Lineitem,
+		harness.ImportConfig{Encode: true, Accelerate: true, Parallel: true})
+}
+
+func BenchmarkLocaleLock_LockedParsers(b *testing.B) {
+	benchImport(b, benchDatasets(b).Lineitem,
+		harness.ImportConfig{Encode: true, Accelerate: true, Parallel: true, LocaleLocked: true})
+}
+
+// --- Sect. 3.2: dynamic encoding stability ---
+
+func BenchmarkDynamicEncoding(b *testing.B) {
+	ds := benchDatasets(b)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, total, err = harness.DynamicEncoding(ds.Lineitem)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(total), "reencodings")
+}
+
+// --- Ablations: design choices called out in DESIGN.md ---
+
+// Tactical join algorithm choice (Sect. 2.3.5/4.1.2): fetch vs direct vs
+// hash on the same dense inner key.
+func benchJoin(b *testing.B, algo exec.JoinAlgo) {
+	s, _ := benchRLTables(b)
+	// Join the table's own primary values against a dense 0..99 dimension.
+	dimW := enc.NewWriter(enc.WriterConfig{Signed: true, ConvertOptimal: true})
+	valW := enc.NewWriter(enc.WriterConfig{Signed: true, ConvertOptimal: true})
+	for i := 0; i < 100; i++ {
+		dimW.AppendOne(uint64(i))
+		valW.AppendOne(uint64(i * 3))
+	}
+	dimStream := dimW.Finish() // Finish flushes; stats are complete after
+	valStream := valW.Finish()
+	dimMeta := enc.MetadataFromStats(dimW.Stats(), true)
+	inner := &exec.Built{Rows: 100, Cols: []exec.BuiltColumn{
+		{Info: exec.ColInfo{Name: "pk", Type: types.Integer, Meta: dimMeta}, Data: dimStream},
+		{Info: exec.ColInfo{Name: "val", Type: types.Integer}, Data: valStream},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, err := exec.NewScan(s, "primary")
+		if err != nil {
+			b.Fatal(err)
+		}
+		j := exec.NewHashJoin(scan, exec.NewBuiltScan(inner), 0, 0, algo)
+		if _, err := exec.Run(j); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinAlgo_Fetch(b *testing.B)  { benchJoin(b, exec.JoinFetch) }
+func BenchmarkJoinAlgo_Direct(b *testing.B) { benchJoin(b, exec.JoinDirect) }
+func BenchmarkJoinAlgo_Hash(b *testing.B)   { benchJoin(b, exec.JoinHash) }
+
+// Aggregation algorithm choice (Sect. 2.3.4): ordered vs direct vs hash
+// over the sorted primary column.
+func benchAgg(b *testing.B, mode exec.AggMode) {
+	s, _ := benchRLTables(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, err := exec.NewScan(s, "primary", "secondary")
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg := exec.NewAggregate(scan, []int{0},
+			[]exec.AggSpec{{Func: exec.Max, Col: 1}}, mode)
+		if _, err := exec.Run(agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggMode_Ordered(b *testing.B) { benchAgg(b, exec.AggOrdered) }
+func BenchmarkAggMode_Direct(b *testing.B)  { benchAgg(b, exec.AggDirect) }
+func BenchmarkAggMode_Hash(b *testing.B)    { benchAgg(b, exec.AggHash) }
+
+// --- Sect. 8 future-work implementations ---
+
+// Index roll-up: converting a daily index to a monthly one on the index
+// alone, versus recomputing the truncation per row.
+func BenchmarkRollUpIndex(b *testing.B) {
+	tab := rollupTable(b)
+	idx, err := plan.IndexTable(tab.Columns[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	roll := expr.NewDatePart(expr.TruncMonth, expr.NewColRef(0, "d", types.Date))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.RollUpIndex(idx, roll); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionedOrderedAggregate_1Worker(b *testing.B) {
+	benchPartitioned(b, 1)
+}
+
+func BenchmarkPartitionedOrderedAggregate_4Workers(b *testing.B) {
+	benchPartitioned(b, 4)
+}
+
+func benchPartitioned(b *testing.B, workers int) {
+	tab := rollupTable(b)
+	idx, err := plan.IndexTable(tab.Columns[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.PartitionedOrderedAggregate(idx, tab, "v", exec.Sum, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var (
+	ruOnce sync.Once
+	ruTab  *storage.Table
+)
+
+func rollupTable(b *testing.B) *storage.Table {
+	b.Helper()
+	ruOnce.Do(func() {
+		const perDay = 2000
+		base := types.DaysFromCivil(2013, 1, 1)
+		dw := enc.NewWriter(enc.WriterConfig{Signed: true, ConvertOptimal: true})
+		vw := enc.NewWriter(enc.WriterConfig{Signed: true, ConvertOptimal: true})
+		for d := 0; d < 365; d++ {
+			for k := 0; k < perDay; k++ {
+				dw.AppendOne(uint64(base + int64(d)))
+				vw.AppendOne(uint64((d*perDay + k) % 977))
+			}
+		}
+		dcol := &storage.Column{Name: "d", Type: types.Date, Data: dw.Finish()}
+		dcol.Meta = enc.MetadataFromStats(dw.Stats(), true)
+		vcol := &storage.Column{Name: "v", Type: types.Integer, Data: vw.Finish()}
+		vcol.Meta = enc.MetadataFromStats(vw.Stats(), true)
+		ruTab = &storage.Table{Name: "facts", Columns: []*storage.Column{dcol, vcol}}
+	})
+	return ruTab
+}
+
+// --- Sect. 2.3.3: the single-file copy ---
+//
+// A database must be written as one file; compression "helps reduce the
+// total size and, thus, the cost of making this unavoidable copy".
+
+func benchSave(b *testing.B, encode bool) {
+	ds := benchDatasets(b)
+	bt, err := harness.Import(ds.Lineitem, harness.ImportConfig{Encode: encode, Accelerate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := bt.ToTable("lineitem")
+	var sink countingWriter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.n = 0
+		if err := storage.Write(&sink, []*storage.Table{tab}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(sink.n)
+	b.ReportMetric(float64(sink.n), "file_bytes")
+}
+
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func BenchmarkSingleFileCopy_Encoded(b *testing.B)   { benchSave(b, true) }
+func BenchmarkSingleFileCopy_Unencoded(b *testing.B) { benchSave(b, false) }

@@ -1,0 +1,139 @@
+// Command tdebench regenerates the paper's evaluation figures (Sect. 6)
+// and in-text measurements, printing the same rows/series the paper
+// reports. Scale knobs default to sizes that finish on a laptop; raise
+// them to approach the paper's SF-30 / 67 M row / 1 B row corpora.
+//
+// Usage:
+//
+//	tdebench -fig all
+//	tdebench -fig 10 -small 1000000 -large 64000000
+//	tdebench -fig 4 -sf 0.1 -flight-rows 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tde/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: 4,5,6,7,8,9,10,exchange,locale,dynamic,all")
+	sf := flag.Float64("sf", 0.05, "TPC-H scale factor for import figures")
+	flightRows := flag.Int("flight-rows", 200000, "flights rows for import figures")
+	small := flag.Int("small", 1000000, "Fig. 10 small table rows")
+	large := flag.Int("large", 16000000, "Fig. 10 large table rows")
+	repeats := flag.Int("repeats", 3, "Fig. 10 repetitions (best-of)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[f] = true
+	}
+	all := want["all"]
+
+	needsImports := all || want["4"] || want["5"] || want["6"] || want["7"] ||
+		want["8"] || want["9"] || want["locale"] || want["dynamic"]
+	var ds *harness.Datasets
+	if needsImports {
+		fmt.Fprintf(os.Stderr, "generating datasets (TPC-H SF %g, %d flight rows)...\n", *sf, *flightRows)
+		var err error
+		ds, err = harness.GenerateDatasets(*sf, *flightRows, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if all || want["4"] {
+		rows, err := harness.Fig4(ds)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderFig4(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || want["5"] {
+		rows, err := harness.Fig5(ds)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderFig5(os.Stdout, rows)
+		v1, err := harness.Fig5V1(ds)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderFig5V1(os.Stdout, v1)
+		fmt.Println()
+	}
+	if all || want["6"] {
+		rows, err := harness.Fig6(ds)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderFig6(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || want["7"] {
+		rows, err := harness.Fig7(ds)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderFig7(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || want["8"] || want["9"] {
+		strs, ints, err := harness.Fig8And9(ds)
+		if err != nil {
+			fatal(err)
+		}
+		if all || want["8"] {
+			harness.RenderWidths(os.Stdout, "Figure 8", strs)
+		}
+		if all || want["9"] {
+			harness.RenderWidths(os.Stdout, "Figure 9", ints)
+		}
+		fmt.Println()
+	}
+	if all || want["10"] {
+		cfg := harness.DefaultFig10Config()
+		cfg.SmallRows, cfg.LargeRows, cfg.Repeats, cfg.Seed = *small, *large, *repeats, *seed
+		fmt.Fprintf(os.Stderr, "building run-length tables (%d and %d rows)...\n", *small, *large)
+		points, err := harness.Fig10(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderFig10(os.Stdout, points)
+		fmt.Println()
+	}
+	if all || want["exchange"] {
+		rows, err := harness.ExchangeOrdering(2000000, 4)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderExchange(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || want["locale"] {
+		rows, err := harness.LocaleLock(ds.Lineitem)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderLocaleLock(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || want["dynamic"] {
+		rows, total, err := harness.DynamicEncoding(ds.Lineitem)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderDynamic(os.Stdout, rows, total)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tdebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command tdegen generates the evaluation data sets: TPC-H .tbl files
+// (dbgen-style), the synthetic FAA Flights CSV, or a run-length table
+// saved directly as a .tde database.
+//
+// Usage:
+//
+//	tdegen -kind tpch -sf 0.1 -out ./data
+//	tdegen -kind flights -rows 1000000 -out ./data
+//	tdegen -kind rle -rows 1000000 -out ./data/rl.tde
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tde/internal/flights"
+	"tde/internal/rlegen"
+	"tde/internal/storage"
+	"tde/internal/tpch"
+)
+
+func main() {
+	kind := flag.String("kind", "tpch", "data set: tpch | flights | rle")
+	sf := flag.Float64("sf", 0.1, "TPC-H scale factor")
+	rows := flag.Int("rows", 1000000, "row count (flights, rle)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", ".", "output directory (tpch, flights) or file (rle)")
+	flag.Parse()
+
+	if err := run(*kind, *sf, *rows, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tdegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, sf float64, rows int, seed int64, out string) error {
+	switch kind {
+	case "tpch":
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		g := tpch.New(sf, seed)
+		if err := g.WriteAll(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d TPC-H tables (SF %g) to %s\n", len(tpch.TableNames), sf, out)
+	case "flights":
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(out, "flights.csv")
+		if err := flights.New(rows, seed).WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d flights rows to %s\n", rows, path)
+	case "rle":
+		tab := rlegen.Build(rows, seed)
+		if err := storage.WriteFile(out, []*storage.Table{tab}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d-row run-length table to %s\n", rows, out)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	return nil
+}

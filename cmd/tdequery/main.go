@@ -1,0 +1,163 @@
+// Command tdequery runs SQL against a single-file TDE database.
+//
+// Usage:
+//
+//	tdequery -db extract.tde "SELECT status, COUNT(*) FROM orders GROUP BY status"
+//	tdequery -db extract.tde -explain "SELECT ... "
+//	tdequery -db extract.tde -csv "SELECT ... " > out.csv
+//	tdequery -db extract.tde -i        # interactive shell
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tde"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file")
+	explain := flag.Bool("explain", false, "print the plan instead of running")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	interactive := flag.Bool("i", false, "interactive shell (reads statements from stdin)")
+	flag.Parse()
+
+	if *dbPath == "" || (flag.NArg() == 0 && !*interactive) {
+		fmt.Fprintln(os.Stderr, "usage: tdequery -db file.tde [-explain|-csv|-i] \"SELECT ...\"")
+		os.Exit(2)
+	}
+	db, err := tde.Open(*dbPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdequery:", err)
+		os.Exit(1)
+	}
+	if *interactive {
+		repl(db, *csv)
+		return
+	}
+	sql := strings.Join(flag.Args(), " ")
+	if *explain {
+		p, err := db.Explain(sql)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tdequery:", err)
+			os.Exit(1)
+		}
+		fmt.Println(p)
+		return
+	}
+	res, err := db.Query(sql)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdequery:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		printCSV(res)
+	} else {
+		printResult(res)
+	}
+}
+
+// repl reads statements (one per line; "\t" lists tables, "\d table"
+// describes one, "\q" quits) and prints results.
+func repl(db *tde.Database, csv bool) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(os.Stderr, "tde> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q`:
+			return
+		case line == `\t`:
+			for _, n := range db.TableNames() {
+				fmt.Printf("%s (%d rows)\n", n, db.Rows(n))
+			}
+		case strings.HasPrefix(line, `\d `):
+			describe(db, strings.TrimSpace(line[3:]))
+		default:
+			res, err := db.Query(line)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				break
+			}
+			if csv {
+				printCSV(res)
+			} else {
+				printResult(res)
+			}
+		}
+		fmt.Fprint(os.Stderr, "tde> ")
+	}
+}
+
+func describe(db *tde.Database, table string) {
+	cols, err := db.Columns(table)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	for _, c := range cols {
+		fmt.Printf("%-20s %-9s %s w%d\n", c.Name, c.Type, c.Encoding, c.WidthBytes)
+	}
+}
+
+func printCSV(res *tde.Result) {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	writeCSVRow(w, res.Columns)
+	for _, r := range res.Rows {
+		writeCSVRow(w, r)
+	}
+}
+
+func writeCSVRow(w *bufio.Writer, vals []string) {
+	for i, v := range vals {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		if strings.ContainsAny(v, ",\"\n") {
+			w.WriteByte('"')
+			w.WriteString(strings.ReplaceAll(v, `"`, `""`))
+			w.WriteByte('"')
+		} else {
+			w.WriteString(v)
+		}
+	}
+	w.WriteByte('\n')
+}
+
+func printResult(res *tde.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range res.Rows {
+		for i, v := range r {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	printRow(res.Columns, widths)
+	seps := make([]string, len(widths))
+	for i, w := range widths {
+		seps[i] = strings.Repeat("-", w)
+	}
+	printRow(seps, widths)
+	for _, r := range res.Rows {
+		printRow(r, widths)
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func printRow(vals []string, widths []int) {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%-*s", widths[i], v)
+	}
+	fmt.Println(strings.Join(parts, "  "))
+}

@@ -1,0 +1,69 @@
+// Star join: a fact table joined to dimension tables through SQL, with
+// Tableau's NULL-join semantics and the tactical fetch-join upgrade on
+// the dense dimension key.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"tde"
+	"tde/internal/tpch"
+)
+
+func main() {
+	g := tpch.New(0.01, 2)
+	db := tde.New()
+
+	var orders bytes.Buffer
+	if err := g.WriteOrders(&orders); err != nil {
+		log.Fatal(err)
+	}
+	opt := tde.DefaultImportOptions()
+	opt.Schema = []string{"o_orderkey:int", "o_custkey:int", "o_orderstatus:str",
+		"o_totalprice:real", "o_orderdate:date", "o_orderpriority:str",
+		"o_clerk:str", "o_shippriority:int", "o_comment:str"}
+	opt.HeaderSet, opt.HasHeader = true, false
+	if err := db.ImportCSV("orders", orders.Bytes(), opt); err != nil {
+		log.Fatal(err)
+	}
+
+	var customers bytes.Buffer
+	if err := g.WriteCustomer(&customers); err != nil {
+		log.Fatal(err)
+	}
+	copt := tde.DefaultImportOptions()
+	copt.Schema = []string{"c_custkey:int", "c_name:str", "c_address:str",
+		"c_nationkey:int", "c_phone:str", "c_acctbal:real",
+		"c_mktsegment:str", "c_comment:str"}
+	copt.HeaderSet, copt.HasHeader = true, false
+	if err := db.ImportCSV("customer", customers.Bytes(), copt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("orders: %d rows, customer: %d rows\n\n",
+		db.Rows("orders"), db.Rows("customer"))
+
+	// Revenue per market segment: the join key c_custkey is dense and
+	// unique (1..N), so the tactical optimizer runs this as a fetch join.
+	res, err := db.Query(`SELECT c_mktsegment, COUNT(*), SUM(o_totalprice)
+	                      FROM orders JOIN customer ON orders.o_custkey = customer.c_custkey
+	                      GROUP BY c_mktsegment ORDER BY c_mktsegment`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:", res.Plan)
+	fmt.Println("\norders and revenue by market segment:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-12s %8s orders  revenue %s\n", row[0], row[1], row[2])
+	}
+
+	// Filter the dimension side, aggregate the fact side.
+	res, err = db.Query(`SELECT COUNT(*) FROM orders
+	                     JOIN customer ON orders.o_custkey = customer.c_custkey
+	                     WHERE c_mktsegment = 'BUILDING'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBUILDING-segment orders: %s\n", res.Rows[0][0])
+}

@@ -1,0 +1,3 @@
+module tde
+
+go 1.22

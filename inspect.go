@@ -1,0 +1,96 @@
+package tde
+
+import (
+	"fmt"
+
+	"tde/internal/types"
+)
+
+// ColumnInfo is the public view of a stored column: its physical design
+// (encoding, width, dictionaries) and the metadata extracted during load
+// (Sect. 3.4.2) that drives both tactical optimization and UI choices.
+type ColumnInfo struct {
+	Name      string
+	Type      string
+	Collation string
+
+	// Physical design.
+	Encoding      string
+	WidthBytes    int
+	PhysicalBytes int
+	LogicalBytes  int
+	// DictionarySize is the scalar compression dictionary entry count
+	// (0 = not dictionary compressed).
+	DictionarySize int
+	// HeapBytes / HeapSorted describe a string column's heap.
+	HeapBytes  int
+	HeapSorted bool
+
+	// Extracted metadata.
+	Rows     int
+	HasRange bool
+	Min, Max int64
+	// MinDisplay/MaxDisplay render the range in the column's type (dates
+	// as dates, reals as numbers); Min/Max hold the raw ordering values.
+	MinDisplay, MaxDisplay string
+	Cardinality            int
+	CardinalityExact       bool
+	HasNulls               bool
+	NullsKnown             bool
+	Sorted                 bool
+	SortedKnown            bool
+	Dense                  bool
+	Unique                 bool
+}
+
+// Columns describes every column of a table.
+func (db *Database) Columns(table string) ([]ColumnInfo, error) {
+	t := db.lookup(table)
+	if t == nil {
+		return nil, fmt.Errorf("tde: unknown table %q", table)
+	}
+	out := make([]ColumnInfo, 0, len(t.Columns))
+	for _, c := range t.Columns {
+		ci := ColumnInfo{
+			Name:           c.Name,
+			Type:           c.Type.String(),
+			Encoding:       c.Data.Kind().String(),
+			WidthBytes:     c.Data.Width(),
+			PhysicalBytes:  c.Data.PhysicalSize(),
+			LogicalBytes:   c.Data.LogicalSize(),
+			DictionarySize: len(c.Dict),
+			Rows:           c.Rows(),
+		}
+		if c.Type == types.String {
+			ci.Collation = c.Collation.String()
+		}
+		if c.Heap != nil {
+			ci.HeapBytes = c.Heap.Size()
+			ci.HeapSorted = c.Heap.Sorted()
+		}
+		md := c.Meta
+		ci.HasRange = md.HasRange
+		ci.Min, ci.Max = md.Min, md.Max
+		if md.HasRange && c.Type != types.String {
+			ci.MinDisplay = types.Format(c.Type, uint64(md.Min))
+			ci.MaxDisplay = types.Format(c.Type, uint64(md.Max))
+		}
+		ci.Cardinality = md.Cardinality
+		ci.CardinalityExact = md.CardinalityExact
+		ci.HasNulls, ci.NullsKnown = md.HasNulls, md.NullsKnown
+		ci.Sorted, ci.SortedKnown = md.SortedAsc, md.SortedKnown
+		ci.Dense, ci.Unique = md.Dense, md.Unique
+		out = append(out, ci)
+	}
+	return out, nil
+}
+
+// Sizes reports a table's logical and physical byte sizes — the two axes
+// of the paper's Figure 5.
+func (db *Database) Sizes(table string) (logical, physical int, err error) {
+	t := db.lookup(table)
+	if t == nil {
+		return 0, 0, fmt.Errorf("tde: unknown table %q", table)
+	}
+	return t.LogicalSize(), t.PhysicalSize(), nil
+}

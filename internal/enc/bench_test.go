@@ -1,0 +1,199 @@
+package enc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Per-encoding encode/decode throughput: the "lightweight" property of
+// Sect. 2.1 — compression must be cheaper than memory/disk traffic.
+
+func shapeFor(kind Kind, n int) []uint64 {
+	rng := rand.New(rand.NewSource(int64(kind)))
+	vals := make([]uint64, n)
+	switch kind {
+	case Affine:
+		for i := range vals {
+			vals[i] = uint64(100 + 7*i)
+		}
+	case FrameOfReference:
+		for i := range vals {
+			vals[i] = uint64(1<<20) + uint64(rng.Intn(4096))
+		}
+	case Delta:
+		acc := uint64(0)
+		for i := range vals {
+			acc += uint64(rng.Intn(1000))
+			vals[i] = acc
+		}
+	case Dictionary:
+		domain := make([]uint64, 200)
+		for i := range domain {
+			domain[i] = rng.Uint64()
+		}
+		for i := range vals {
+			vals[i] = domain[rng.Intn(len(domain))]
+		}
+	case RunLength:
+		v := rng.Uint64()
+		for i := range vals {
+			if i%700 == 0 {
+				v = rng.Uint64()
+			}
+			vals[i] = v
+		}
+	default:
+		for i := range vals {
+			vals[i] = rng.Uint64()
+		}
+	}
+	return vals
+}
+
+func benchEncode(b *testing.B, kind Kind) {
+	vals := shapeFor(kind, 1<<18)
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(WriterConfig{Signed: true, ConvertOptimal: true})
+		w.Append(vals)
+		s := w.Finish()
+		if i == 0 && s.Kind() != kind {
+			b.Fatalf("shape encoded as %v, want %v", s.Kind(), kind)
+		}
+	}
+}
+
+func BenchmarkEncode_Affine(b *testing.B) { benchEncode(b, Affine) }
+func BenchmarkEncode_FOR(b *testing.B)    { benchEncode(b, FrameOfReference) }
+func BenchmarkEncode_Delta(b *testing.B)  { benchEncode(b, Delta) }
+func BenchmarkEncode_Dict(b *testing.B)   { benchEncode(b, Dictionary) }
+func BenchmarkEncode_RLE(b *testing.B)    { benchEncode(b, RunLength) }
+func BenchmarkEncode_Raw(b *testing.B)    { benchEncode(b, None) }
+
+func benchDecode(b *testing.B, kind Kind) {
+	vals := shapeFor(kind, 1<<18)
+	w := NewWriter(WriterConfig{Signed: true, ConvertOptimal: true})
+	w.Append(vals)
+	s := w.Finish()
+	out := make([]uint64, s.BlockSize())
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Kind() == RunLength {
+			r := NewReader(s)
+			for at := 0; at < s.Len(); {
+				at += r.Read(at, len(out), out)
+			}
+			continue
+		}
+		for blk := 0; blk*s.BlockSize() < s.Len(); blk++ {
+			s.DecodeBlock(blk, out)
+		}
+	}
+}
+
+func BenchmarkDecode_Affine(b *testing.B) { benchDecode(b, Affine) }
+func BenchmarkDecode_FOR(b *testing.B)    { benchDecode(b, FrameOfReference) }
+func BenchmarkDecode_Delta(b *testing.B)  { benchDecode(b, Delta) }
+func BenchmarkDecode_Dict(b *testing.B)   { benchDecode(b, Dictionary) }
+func BenchmarkDecode_RLE(b *testing.B)    { benchDecode(b, RunLength) }
+func BenchmarkDecode_Raw(b *testing.B)    { benchDecode(b, None) }
+
+func BenchmarkBitPack(b *testing.B) {
+	for _, bits := range []int{1, 4, 12, 20, 32} {
+		b.Run(itoa(bits), func(b *testing.B) {
+			vals := make([]uint64, 1024)
+			mask := (uint64(1) << bits) - 1
+			rng := rand.New(rand.NewSource(1))
+			for i := range vals {
+				vals[i] = rng.Uint64() & mask
+			}
+			dst := make([]byte, packedBytes(len(vals), bits))
+			b.SetBytes(int64(len(vals) * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				packBits(dst, vals, bits)
+			}
+		})
+	}
+}
+
+func BenchmarkBitUnpack(b *testing.B) {
+	for _, bits := range []int{1, 4, 12, 20, 32} {
+		b.Run(itoa(bits), func(b *testing.B) {
+			vals := make([]uint64, 1024)
+			mask := (uint64(1) << bits) - 1
+			rng := rand.New(rand.NewSource(1))
+			for i := range vals {
+				vals[i] = rng.Uint64() & mask
+			}
+			src := make([]byte, packedBytes(len(vals), bits))
+			packBits(src, vals, bits)
+			out := make([]uint64, len(vals))
+			b.SetBytes(int64(len(vals) * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				unpackBits(src, len(vals), bits, out)
+			}
+		})
+	}
+}
+
+func BenchmarkCuckooInsertLookup(b *testing.B) {
+	keys := make([]uint64, 1<<14)
+	rng := rand.New(rand.NewSource(2))
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := newCuckoo(len(keys))
+		for j, k := range keys {
+			if c.lookup(k) < 0 {
+				c.insert(k, j)
+			}
+		}
+	}
+}
+
+// Type narrowing must be O(1)/O(entries) regardless of row count; compare
+// against a full re-encode of the same column.
+func BenchmarkNarrowHeaderEdit(b *testing.B) {
+	vals := shapeFor(FrameOfReference, 1<<20)
+	w := NewWriter(WriterConfig{Signed: true, ConvertOptimal: true})
+	w.Append(vals)
+	s := w.Finish()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := append([]byte(nil), s.Bytes()...)
+		s2, _ := FromBytes(buf)
+		if err := Narrow(s2, 4, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNarrowByReencode(b *testing.B) {
+	vals := shapeFor(FrameOfReference, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(WriterConfig{Width: 4, Signed: true, ConvertOptimal: true})
+		w.Append(vals)
+		w.Finish()
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

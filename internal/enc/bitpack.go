@@ -1,0 +1,280 @@
+// Package enc implements the TDE encoding layer of Sect. 3: lightweight,
+// semantically-neutral compression formats ("encodings") that present a
+// paged array of fixed-width values while storing the data bit-packed.
+//
+// The package provides:
+//
+//   - the Figure-1 bit-packed header format and its five encodings
+//     (frame-of-reference, delta, dictionary, affine, run-length) plus an
+//     unencoded raw format;
+//   - the dynamic encoder of Sect. 3.2, which tracks statistics while
+//     values are inserted and re-encodes when a value falls outside the
+//     current representation;
+//   - the header manipulations of Sect. 3.4: O(1) type narrowing,
+//     run-length decomposition, metadata extraction, and the
+//     encoding-becomes-compression conversions.
+//
+// Encodings are semantically neutral: they know the width of the elements
+// but not their type (Sect. 2.3.2). All element values travel as uint64,
+// zero-extended from their width; interpreting them (sign extension,
+// NULL sentinels, heap tokens) is the column layer's concern.
+package enc
+
+// bitsFor returns the number of bits needed to represent x as an unsigned
+// value; bitsFor(0) is 0, which is what lets affine streams pack to nothing.
+func bitsFor(x uint64) int {
+	n := 0
+	for x != 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// WidthMask returns the value mask for a w-byte element width. The column
+// layer uses it to translate full-width sentinels into narrow streams.
+func WidthMask(w int) uint64 { return widthMask(w) }
+
+// widthMask returns the value mask for a w-byte element width.
+func widthMask(w int) uint64 {
+	if w >= 8 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (8 * w)) - 1
+}
+
+// TokenWidth returns the narrowest element width that holds tokens for a
+// dictionary of n entries, reserving the all-ones NULL pattern.
+func TokenWidth(n int) int {
+	w := widthFor(bitsFor(uint64(n)))
+	for w < 8 && uint64(n) >= widthMask(w) {
+		w *= 2
+	}
+	return w
+}
+
+// widthFor returns the narrowest supported element width (1, 2, 4 or 8
+// bytes) that can hold bits bits.
+func widthFor(bits int) int {
+	switch {
+	case bits <= 8:
+		return 1
+	case bits <= 16:
+		return 2
+	case bits <= 32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// packBits packs n := len(vals) values of the given bit width into dst,
+// LSB first. dst must have room for packedBytes(n, bits) bytes. Values must
+// already fit in bits bits; higher bits are masked off defensively.
+func packBits(dst []byte, vals []uint64, bits int) {
+	if bits == 0 {
+		return
+	}
+	if bits == 64 {
+		for i, v := range vals {
+			putUint64(dst[i*8:], v)
+		}
+		return
+	}
+	mask := (uint64(1) << bits) - 1
+	if bits > 56 {
+		// Wide fields can overflow the 64-bit accumulator (up to 7 carry
+		// bits + 64 value bits); fall back to a byte-chunked path.
+		packBitsWide(dst, vals, bits, mask)
+		return
+	}
+	var acc uint64
+	accBits := 0
+	di := 0
+	for _, v := range vals {
+		acc |= (v & mask) << accBits
+		accBits += bits
+		for accBits >= 8 {
+			dst[di] = byte(acc)
+			di++
+			acc >>= 8
+			accBits -= 8
+		}
+	}
+	if accBits > 0 {
+		dst[di] = byte(acc)
+	}
+}
+
+func packBitsWide(dst []byte, vals []uint64, bits int, mask uint64) {
+	di := 0
+	var cur byte
+	curBits := 0
+	for _, v := range vals {
+		v &= mask
+		left := bits
+		for left > 0 {
+			cur |= byte(v << curBits)
+			take := 8 - curBits
+			if take > left {
+				take = left
+			}
+			curBits += take
+			v >>= uint(take)
+			left -= take
+			if curBits == 8 {
+				dst[di] = cur
+				di++
+				cur, curBits = 0, 0
+			}
+		}
+	}
+	if curBits > 0 {
+		dst[di] = cur
+	}
+}
+
+// unpackBits unpacks n values of the given bit width from src into out.
+func unpackBits(src []byte, n, bits int, out []uint64) {
+	if bits == 0 {
+		for i := 0; i < n; i++ {
+			out[i] = 0
+		}
+		return
+	}
+	if bits == 64 {
+		for i := 0; i < n; i++ {
+			out[i] = getUint64(src[i*8:])
+		}
+		return
+	}
+	mask := (uint64(1) << bits) - 1
+	if bits > 56 {
+		unpackBitsWide(src, n, bits, mask, out)
+		return
+	}
+	var acc uint64
+	accBits := 0
+	si := 0
+	for i := 0; i < n; i++ {
+		for accBits < bits {
+			acc |= uint64(src[si]) << accBits
+			si++
+			accBits += 8
+		}
+		out[i] = acc & mask
+		acc >>= bits
+		accBits -= bits
+	}
+}
+
+func unpackBitsWide(src []byte, n, bits int, mask uint64, out []uint64) {
+	si := 0
+	bitOff := 0
+	for i := 0; i < n; i++ {
+		var v uint64
+		got := 0
+		for got < bits {
+			take := 8 - bitOff
+			if take > bits-got {
+				take = bits - got
+			}
+			chunk := (uint64(src[si]) >> uint(bitOff)) & ((1 << uint(take)) - 1)
+			v |= chunk << uint(got)
+			got += take
+			bitOff += take
+			if bitOff == 8 {
+				si++
+				bitOff = 0
+			}
+		}
+		out[i] = v & mask
+	}
+}
+
+// unpackOne extracts the value at index i from a packed run of values.
+// It is the random-access path; block decoding should use unpackBits.
+func unpackOne(src []byte, i, bits int) uint64 {
+	if bits == 0 {
+		return 0
+	}
+	bitPos := i * bits
+	byteIdx := bitPos >> 3
+	shift := uint(bitPos & 7)
+	// Gather up to 9 bytes to cover any 64-bit field at any shift.
+	var acc uint64
+	avail := len(src) - byteIdx
+	if avail > 8 {
+		avail = 8
+	}
+	for j := 0; j < avail; j++ {
+		acc |= uint64(src[byteIdx+j]) << (8 * uint(j))
+	}
+	v := acc >> shift
+	got := uint(avail*8) - shift
+	if got < uint(bits) && byteIdx+8 < len(src) {
+		v |= uint64(src[byteIdx+8]) << got
+	}
+	if bits < 64 {
+		v &= (uint64(1) << bits) - 1
+	}
+	return v
+}
+
+// packedBytes returns the number of bytes occupied by n values packed at
+// the given bit width. Decompression blocks hold a multiple of 32 values,
+// so complete blocks always end on a byte boundary; this helper still
+// rounds up for safety on partial runs.
+func packedBytes(n, bits int) int {
+	return (n*bits + 7) / 8
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// putWidth writes v at the given element width (1, 2, 4 or 8 bytes).
+func putWidth(b []byte, v uint64, w int) {
+	switch w {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+	case 4:
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+	default:
+		putUint64(b, v)
+	}
+}
+
+// getWidth reads a zero-extended value at the given element width.
+func getWidth(b []byte, w int) uint64 {
+	switch w {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(b[0]) | uint64(b[1])<<8
+	case 4:
+		return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+	default:
+		return getUint64(b)
+	}
+}

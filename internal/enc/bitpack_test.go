@@ -1,0 +1,132 @@
+package enc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9, 1<<63 - 1: 63, 1 << 63: 64}
+	for x, want := range cases {
+		if got := bitsFor(x); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 8: 1, 9: 2, 16: 2, 17: 4, 32: 4, 33: 8, 64: 8}
+	for bits, want := range cases {
+		if got := widthFor(bits); got != want {
+			t.Errorf("widthFor(%d) = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+func TestWidthMask(t *testing.T) {
+	if widthMask(1) != 0xFF || widthMask(2) != 0xFFFF || widthMask(4) != 0xFFFFFFFF || widthMask(8) != ^uint64(0) {
+		t.Error("widthMask wrong")
+	}
+}
+
+func TestPackUnpackAllBitWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for bits := 0; bits <= 64; bits++ {
+		n := 96 // multiple of 32
+		vals := make([]uint64, n)
+		var mask uint64
+		if bits == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << bits) - 1
+		}
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		buf := make([]byte, packedBytes(n, bits))
+		packBits(buf, vals, bits)
+		out := make([]uint64, n)
+		unpackBits(buf, n, bits, out)
+		for i := range vals {
+			if out[i] != vals[i] {
+				t.Fatalf("bits=%d: unpack[%d] = %d, want %d", bits, i, out[i], vals[i])
+			}
+		}
+		// Random access must agree with bulk unpack.
+		for trial := 0; trial < 16; trial++ {
+			i := rng.Intn(n)
+			if got := unpackOne(buf, i, bits); got != vals[i] {
+				t.Fatalf("bits=%d: unpackOne(%d) = %d, want %d", bits, i, got, vals[i])
+			}
+		}
+	}
+}
+
+func TestPackMasksHighBits(t *testing.T) {
+	vals := []uint64{0xFFFF, 0xFFFF, 0xFFFF, 0xFFFF}
+	buf := make([]byte, packedBytes(4, 4))
+	packBits(buf, vals, 4)
+	out := make([]uint64, 4)
+	unpackBits(buf, 4, 4, out)
+	for _, v := range out {
+		if v != 0xF {
+			t.Fatalf("expected masked 0xF, got %#x", v)
+		}
+	}
+}
+
+func TestPutGetWidth(t *testing.T) {
+	buf := make([]byte, 8)
+	for _, w := range []int{1, 2, 4, 8} {
+		v := uint64(0x1122334455667788) & widthMask(w)
+		putWidth(buf, v, w)
+		if got := getWidth(buf, w); got != v {
+			t.Errorf("width %d: got %#x want %#x", w, got, v)
+		}
+	}
+}
+
+func TestPackedBytes(t *testing.T) {
+	if packedBytes(32, 3) != 12 {
+		t.Errorf("packedBytes(32,3) = %d", packedBytes(32, 3))
+	}
+	if packedBytes(1024, 0) != 0 {
+		t.Error("zero bits should occupy zero bytes")
+	}
+	if packedBytes(7, 3) != 3 { // 21 bits -> 3 bytes
+		t.Errorf("packedBytes(7,3) = %d", packedBytes(7, 3))
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	err := quick.Check(func(raw []uint64, b uint8) bool {
+		bits := int(b % 65)
+		if len(raw) == 0 {
+			return true
+		}
+		var mask uint64
+		if bits == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << bits) - 1
+		}
+		vals := make([]uint64, len(raw))
+		for i, v := range raw {
+			vals[i] = v & mask
+		}
+		buf := make([]byte, packedBytes(len(vals), bits))
+		packBits(buf, vals, bits)
+		out := make([]uint64, len(vals))
+		unpackBits(buf, len(vals), bits, out)
+		for i := range vals {
+			if out[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package enc
+
+// cuckoo is the small value→index hash table used to build dictionary
+// encodings (Sect. 3.1.3: the 2^15 entry cap "keeps the dictionary in
+// cache and makes the compression cuckoo hash table implementation simple
+// and fast"). Two hash functions, bucketed displacement, and a full rebuild
+// with fresh seeds on an insertion cycle.
+type cuckoo struct {
+	slots []cuckooSlot
+	mask  uint64
+	seed1 uint64
+	seed2 uint64
+	n     int
+}
+
+type cuckooSlot struct {
+	key uint64
+	idx int32 // dictionary index; -1 = empty
+}
+
+const cuckooMaxKicks = 64
+
+func newCuckoo(capacity int) *cuckoo {
+	// Size to 2x capacity (next power of two) to keep displacement chains
+	// short; with <=2^15 entries the table stays well inside L2.
+	size := 64
+	for size < capacity*2 {
+		size *= 2
+	}
+	c := &cuckoo{seed1: 0x9e3779b97f4a7c15, seed2: 0xc2b2ae3d27d4eb4f}
+	c.alloc(size)
+	return c
+}
+
+func (c *cuckoo) alloc(size int) {
+	c.slots = make([]cuckooSlot, size)
+	for i := range c.slots {
+		c.slots[i].idx = -1
+	}
+	c.mask = uint64(size - 1)
+}
+
+// mix64 is the splitmix64 finalizer: full avalanche, so degenerate keys
+// (zero, single high bit) spread across the table regardless of seed.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (c *cuckoo) h1(key uint64) uint64 {
+	return mix64(key+c.seed1) & c.mask
+}
+
+func (c *cuckoo) h2(key uint64) uint64 {
+	return mix64(key^c.seed2) & c.mask
+}
+
+// lookup returns the dictionary index for key, or -1.
+func (c *cuckoo) lookup(key uint64) int {
+	if s := &c.slots[c.h1(key)]; s.idx >= 0 && s.key == key {
+		return int(s.idx)
+	}
+	if s := &c.slots[c.h2(key)]; s.idx >= 0 && s.key == key {
+		return int(s.idx)
+	}
+	return -1
+}
+
+// insert adds key→idx. The caller must have checked that key is absent.
+func (c *cuckoo) insert(key uint64, idx int) {
+	for {
+		k, v := key, int32(idx)
+		pos := c.h1(k)
+		for kick := 0; kick < cuckooMaxKicks; kick++ {
+			s := &c.slots[pos]
+			if s.idx < 0 {
+				s.key, s.idx = k, v
+				c.n++
+				return
+			}
+			// Displace the occupant to its alternate position.
+			k, s.key = s.key, k
+			v, s.idx = s.idx, v
+			if alt := c.h1(k); alt != pos {
+				pos = alt
+			} else {
+				pos = c.h2(k)
+			}
+		}
+		// Cycle: grow and rehash with perturbed seeds, then retry (k, v)
+		// which is still homeless.
+		c.rehash()
+		key, idx = k, int(v)
+	}
+}
+
+func (c *cuckoo) rehash() {
+	old := c.slots
+	c.seed1 = c.seed1*6364136223846793005 + 1442695040888963407
+	c.seed2 = c.seed2*6364136223846793005 + 1442695040888963407
+	c.alloc(len(old) * 2)
+	c.n = 0
+	for _, s := range old {
+		if s.idx >= 0 {
+			c.insert(s.key, int(s.idx))
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package enc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the encoding manipulations of Sect. 3.4: fast
+// header edits that change the semantics of an entire column independent
+// of its row count. They work because the Figure-1 header stores the data
+// offset explicitly, so header fields can be rewritten without disturbing
+// the bit-packed data.
+
+// fitsWidth reports whether the value (sign-extended from fromWidth when
+// signed) is representable in toWidth bytes.
+func fitsWidth(v uint64, fromWidth, toWidth int, signed bool) bool {
+	if toWidth >= 8 {
+		return true
+	}
+	if signed {
+		s := SignExtend(v, fromWidth)
+		limit := int64(1) << (8*toWidth - 1)
+		return s >= -limit && s < limit
+	}
+	return v&widthMask(fromWidth) <= widthMask(toWidth)
+}
+
+// SignExtend interprets the low width bytes of v as a signed two's
+// complement value. The encodings themselves are sign-agnostic; the column
+// layer applies this when the logical type is signed.
+func SignExtend(v uint64, width int) int64 {
+	if width >= 8 {
+		return int64(v)
+	}
+	shift := uint(64 - 8*width)
+	return int64(v<<shift) >> shift
+}
+
+// fitsInt64 reports whether the signed value fits in w bytes.
+func fitsInt64(v int64, w int) bool {
+	if w >= 8 {
+		return true
+	}
+	limit := int64(1) << (8*w - 1)
+	return v >= -limit && v < limit
+}
+
+// MinWidth returns the narrowest element width (1, 2, 4 or 8) that the
+// stream's values are known to fit, determined from the header alone —
+// O(1) for frame-of-reference and affine, O(2^bits) for dictionary,
+// O(runs) for run-length. Encodings not amenable to cheap inspection
+// (raw, delta; Sect. 3.4.1) report their current width.
+func MinWidth(s *Stream, signed bool) int {
+	switch s.Kind() {
+	case FrameOfReference:
+		// The frame and bit count bound the value envelope.
+		lo := s.Frame()
+		hi := lo
+		if b := s.Bits(); b > 0 && b < 64 {
+			hi = lo + int64((uint64(1)<<b)-1)
+		} else if b >= 64 {
+			return s.Width()
+		}
+		return minWidthForRange(lo, hi, uint64(lo), uint64(hi), signed, s.Width())
+	case Affine:
+		lo := s.AffineBase()
+		hi := lo + s.AffineDelta()*int64(s.Len()-1)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		return minWidthForRange(lo, hi, uint64(lo), uint64(hi), signed, s.Width())
+	case Dictionary:
+		w := 1
+		for i, n := 0, s.DictLen(); i < n; i++ {
+			for !fitsWidth(s.DictEntry(i), s.Width(), w, signed) {
+				w *= 2
+			}
+		}
+		if w > s.Width() {
+			w = s.Width()
+		}
+		return w
+	case RunLength:
+		w := 1
+		for r, nr := 0, s.NumRuns(); r < nr; r++ {
+			_, v := s.Run(r)
+			for !fitsWidth(v, s.Width(), w, signed) {
+				w *= 2
+			}
+		}
+		if w > s.Width() {
+			w = s.Width()
+		}
+		return w
+	default:
+		return s.Width()
+	}
+}
+
+func minWidthForRange(lo, hi int64, ulo, uhi uint64, signed bool, cur int) int {
+	for _, w := range []int{1, 2, 4} {
+		if w >= cur {
+			break
+		}
+		if signed {
+			if fitsInt64(lo, w) && fitsInt64(hi, w) {
+				return w
+			}
+		} else {
+			if uhi <= widthMask(w) {
+				return w
+			}
+		}
+	}
+	return cur
+}
+
+// Narrow performs the type narrowing of Sect. 3.4.1 in place: the header's
+// width field is updated (and, for dictionary encoding, the entries are
+// rewritten at the new width) without touching the bit-packed data. The
+// operation is O(1) for frame-of-reference and affine and O(2^bits) for
+// dictionary — independent of the column's row count. Raw, delta and
+// run-length streams are not amenable (delta embeds running totals in each
+// block; run-length embeds values in each pair); use DecomposeRLE +
+// RebuildRLE for run-length.
+func Narrow(s *Stream, newWidth int, signed bool) error {
+	switch newWidth {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("enc: invalid narrow width %d", newWidth)
+	}
+	if newWidth >= s.Width() {
+		if newWidth == s.Width() {
+			return nil
+		}
+		return fmt.Errorf("enc: cannot widen %d -> %d via Narrow", s.Width(), newWidth)
+	}
+	if mw := MinWidth(s, signed); newWidth < mw {
+		return fmt.Errorf("enc: %v stream values do not fit width %d (min %d)", s.Kind(), newWidth, mw)
+	}
+	switch s.Kind() {
+	case FrameOfReference, Affine:
+		s.buf[offWidth] = byte(newWidth)
+		return nil
+	case Dictionary:
+		oldW := s.Width()
+		n := s.DictLen()
+		// Rewrite the entries at the new width, packed at the front of the
+		// entry region; the data offset is unchanged, leaving slack.
+		for i := 0; i < n; i++ {
+			v := getWidth(s.buf[offDictEntry0+i*oldW:], oldW)
+			putWidth(s.buf[offDictEntry0+i*newWidth:], v, newWidth)
+		}
+		s.buf[offWidth] = byte(newWidth)
+		return nil
+	default:
+		return fmt.Errorf("enc: %v encoding is not amenable to header narrowing", s.Kind())
+	}
+}
+
+// DecomposeRLE splits a run-length stream into a raw value stream and a
+// raw count stream, each one element per run (Sect. 3.4.1: narrowing a
+// run-length column goes through its decomposed value stream; Sect. 3.4.3:
+// AlterColumn dictionary-compresses the value stream directly, "greatly
+// reducing the optimization cost").
+func DecomposeRLE(s *Stream) (values, counts *Stream, err error) {
+	if s.Kind() != RunLength {
+		return nil, nil, fmt.Errorf("enc: DecomposeRLE on %v stream", s.Kind())
+	}
+	cw, vw := s.RunWidths()
+	nr := s.NumRuns()
+	vals := NewWriter(WriterConfig{Width: vw, BlockSize: s.BlockSize()})
+	cnts := NewWriter(WriterConfig{Width: cw, BlockSize: s.BlockSize()})
+	for r := 0; r < nr; r++ {
+		c, v := s.Run(r)
+		vals.AppendOne(v)
+		cnts.AppendOne(c)
+	}
+	return vals.Finish(), cnts.Finish(), nil
+}
+
+// RebuildRLE reassembles a run-length stream from parallel value and count
+// streams (the values may have been narrowed or token-remapped in
+// between). The result's value width is the value stream's width.
+func RebuildRLE(values, counts *Stream, logical int) (*Stream, error) {
+	if values.Len() != counts.Len() {
+		return nil, fmt.Errorf("enc: RebuildRLE length mismatch %d vs %d", values.Len(), counts.Len())
+	}
+	vw := values.Width()
+	cw := counts.Width()
+	a := newRLEAppender(vw, values.BlockSize(), cw, vw)
+	nr := values.Len()
+	vr, cr := NewReader(values), NewReader(counts)
+	vbuf := make([]uint64, 256)
+	cbuf := make([]uint64, 256)
+	total := 0
+	for at := 0; at < nr; {
+		k := vr.Read(at, len(vbuf), vbuf)
+		cr.Read(at, k, cbuf)
+		for i := 0; i < k; i++ {
+			a.curValue, a.curCount, a.started = vbuf[i], cbuf[i], true
+			a.emit()
+			a.started = false
+			total += int(cbuf[i])
+		}
+		at += k
+	}
+	if logical < 0 {
+		logical = total
+	}
+	return FromBytes(a.finish(logical))
+}
+
+// RemapDictEntries rewrites each dictionary entry through f without
+// touching the packed index data. This is the Sect. 3.4.3 trick: when a
+// string heap is sorted, the new tokens are written back over the old ones
+// in the dictionary-encoding header, giving the column comparable and
+// distinct tokens in time proportional to the domain size.
+func RemapDictEntries(s *Stream, f func(uint64) uint64) error {
+	if s.Kind() != Dictionary {
+		return fmt.Errorf("enc: RemapDictEntries on %v stream", s.Kind())
+	}
+	for i, n := 0, s.DictLen(); i < n; i++ {
+		s.setDictEntry(i, f(s.DictEntry(i)))
+	}
+	return nil
+}
+
+// DictEncodingToCompression converts a dictionary-encoded scalar stream
+// into a dictionary-compressed column (Sect. 3.4.3): it returns the
+// compression dictionary (the distinct values in sorted order) and
+// replaces the encoding-dictionary entries with the sorted ranks, so the
+// stream's values become minimal-width tokens into the returned
+// dictionary. The packed row data is untouched; cost is O(2^bits log
+// 2^bits) regardless of row count.
+func DictEncodingToCompression(s *Stream, signed bool) ([]uint64, error) {
+	if s.Kind() != Dictionary {
+		return nil, fmt.Errorf("enc: DictEncodingToCompression on %v stream", s.Kind())
+	}
+	n := s.DictLen()
+	w := s.Width()
+	entries := make([]uint64, n)
+	for i := range entries {
+		entries[i] = s.DictEntry(i)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if signed {
+			return SignExtend(entries[order[a]], w) < SignExtend(entries[order[b]], w)
+		}
+		return entries[order[a]] < entries[order[b]]
+	})
+	dict := make([]uint64, n)
+	rank := make([]uint64, n)
+	for r, idx := range order {
+		dict[r] = entries[idx]
+		rank[idx] = uint64(r)
+	}
+	for i := 0; i < n; i++ {
+		s.setDictEntry(i, rank[i])
+	}
+	return dict, nil
+}
+
+// FORToScalarDictionary converts a frame-of-reference stream into a
+// dictionary-compressed column (the future-work conversion of
+// Sect. 3.4.3): the frame and bit count define the outer envelope of
+// values, which becomes a sorted scalar dictionary; zeroing the frame
+// turns the packed offsets into tokens. Not every dictionary value need
+// appear in the column. Cost is O(2^bits); the bit count is capped at
+// DictMaxBits to bound the dictionary.
+func FORToScalarDictionary(s *Stream) ([]uint64, error) {
+	if s.Kind() != FrameOfReference {
+		return nil, fmt.Errorf("enc: FORToScalarDictionary on %v stream", s.Kind())
+	}
+	if s.Bits() > DictMaxBits {
+		return nil, fmt.Errorf("enc: FOR envelope 2^%d too large for a dictionary", s.Bits())
+	}
+	frame := s.Frame()
+	n := 1 << s.Bits()
+	mask := widthMask(s.Width())
+	dict := make([]uint64, n)
+	for i := range dict {
+		dict[i] = uint64(frame+int64(i)) & mask
+	}
+	putUint64(s.buf[offFrame:], 0)
+	return dict, nil
+}

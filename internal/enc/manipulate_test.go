@@ -1,0 +1,460 @@
+package enc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func buildStream(t *testing.T, cfg WriterConfig, vals []uint64) *Stream {
+	t.Helper()
+	w := NewWriter(cfg)
+	w.Append(vals)
+	return w.Finish()
+}
+
+func TestSignExtend(t *testing.T) {
+	if SignExtend(0xFF, 1) != -1 || SignExtend(0x7F, 1) != 127 {
+		t.Error("1-byte sign extension wrong")
+	}
+	if SignExtend(0xFFFF, 2) != -1 || SignExtend(0x8000, 2) != -32768 {
+		t.Error("2-byte sign extension wrong")
+	}
+	if SignExtend(0xFFFFFFFF, 4) != -1 {
+		t.Error("4-byte sign extension wrong")
+	}
+	if SignExtend(0x123456789, 8) != 0x123456789 {
+		t.Error("8-byte sign extension must be identity")
+	}
+}
+
+func TestNarrowFORIsO1HeaderEdit(t *testing.T) {
+	vals := make([]uint64, 10000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = uint64(int64(1000 + rng.Intn(200)))
+	}
+	s := buildStream(t, WriterConfig{Signed: true, ConvertOptimal: true}, vals)
+	if s.Kind() != FrameOfReference {
+		t.Fatalf("got %v", s.Kind())
+	}
+	physBefore := s.PhysicalSize()
+	if mw := MinWidth(s, true); mw != 2 {
+		t.Fatalf("MinWidth = %d, want 2 (values near 1000-1200)", mw)
+	}
+	if err := Narrow(s, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if s.Width() != 2 {
+		t.Fatalf("width after narrow: %d", s.Width())
+	}
+	if s.PhysicalSize() != physBefore {
+		t.Error("narrowing moved data; must be a header-only edit")
+	}
+	// Values must survive, reinterpreted at the new width.
+	for i := 0; i < 100; i++ {
+		if got := SignExtend(s.Get(i), 2); got != int64(vals[i]) {
+			t.Fatalf("value %d corrupted: %d != %d", i, got, int64(vals[i]))
+		}
+	}
+	// Logical size shrank with the width: that is the point of narrowing.
+	if s.LogicalSize() != len(vals)*2 {
+		t.Errorf("logical size %d", s.LogicalSize())
+	}
+}
+
+func TestNarrowNegativeFOR(t *testing.T) {
+	vals := make([]uint64, 5000)
+	for i := range vals {
+		vals[i] = uint64(int64(-100 + i%50))
+	}
+	s := buildStream(t, WriterConfig{Signed: true, ConvertOptimal: true}, vals)
+	if mw := MinWidth(s, true); mw != 1 {
+		t.Fatalf("MinWidth = %d for values in [-100,-51]", mw)
+	}
+	if err := Narrow(s, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if got := SignExtend(s.Get(i), 1); got != int64(vals[i]) {
+			t.Fatalf("value %d corrupted: %d", i, got)
+		}
+	}
+}
+
+func TestNarrowAffine(t *testing.T) {
+	vals := make([]uint64, 300)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	s := buildStream(t, WriterConfig{Signed: true, ConvertOptimal: true}, vals)
+	if s.Kind() != Affine {
+		t.Fatalf("got %v", s.Kind())
+	}
+	if mw := MinWidth(s, true); mw != 2 {
+		t.Fatalf("MinWidth = %d, want 2 (max 299)", mw)
+	}
+	if err := Narrow(s, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if s.Get(i) != vals[i] {
+			t.Fatalf("affine value %d corrupted", i)
+		}
+	}
+}
+
+func TestNarrowDictionaryRewritesEntries(t *testing.T) {
+	vals := make([]uint64, 8000)
+	rng := rand.New(rand.NewSource(2))
+	domain := []uint64{5, 17, 99, 250}
+	for i := range vals {
+		vals[i] = domain[rng.Intn(len(domain))]
+	}
+	s := buildStream(t, WriterConfig{ConvertOptimal: true}, vals)
+	if s.Kind() != Dictionary {
+		t.Fatalf("got %v", s.Kind())
+	}
+	if err := Narrow(s, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Width() != 1 {
+		t.Fatal("width unchanged")
+	}
+	for i := 0; i < 500; i++ {
+		if s.Get(i) != vals[i] {
+			t.Fatalf("dict value %d corrupted: %d != %d", i, s.Get(i), vals[i])
+		}
+	}
+}
+
+func TestNarrowRejectsUnrepresentable(t *testing.T) {
+	vals := make([]uint64, 2000)
+	for i := range vals {
+		vals[i] = uint64(100000 + i%100)
+	}
+	s := buildStream(t, WriterConfig{Signed: true, ConvertOptimal: true}, vals)
+	if err := Narrow(s, 1, true); err == nil {
+		t.Fatal("narrowed 100000+ values to one byte")
+	}
+	if err := Narrow(s, 3, true); err == nil {
+		t.Fatal("accepted invalid width 3")
+	}
+}
+
+func TestNarrowRejectsDeltaAndRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sorted := make([]uint64, 10000)
+	acc := uint64(0)
+	for i := range sorted {
+		acc += uint64(rng.Intn(1000))
+		sorted[i] = acc
+	}
+	s := buildStream(t, WriterConfig{Signed: true, ConvertOptimal: true}, sorted)
+	if s.Kind() != Delta {
+		t.Skipf("expected delta, got %v", s.Kind())
+	}
+	if err := Narrow(s, 4, true); err == nil {
+		t.Error("delta encoding must reject header narrowing (running totals in blocks)")
+	}
+}
+
+func TestDecomposeAndRebuildRLE(t *testing.T) {
+	vals := make([]uint64, 0, 50000)
+	rng := rand.New(rand.NewSource(4))
+	for len(vals) < 50000 {
+		v := rng.Uint64() >> 20
+		n := 200 + rng.Intn(800)
+		for j := 0; j < n && len(vals) < cap(vals); j++ {
+			vals = append(vals, v)
+		}
+	}
+	s := buildStream(t, WriterConfig{ConvertOptimal: true}, vals)
+	if s.Kind() != RunLength {
+		t.Fatalf("got %v", s.Kind())
+	}
+	values, counts, err := DecomposeRLE(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if values.Len() != s.NumRuns() || counts.Len() != s.NumRuns() {
+		t.Fatalf("decomposed lengths %d/%d vs %d runs", values.Len(), counts.Len(), s.NumRuns())
+	}
+	rebuilt, err := RebuildRLE(values, counts, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Len() != len(vals) {
+		t.Fatalf("rebuilt length %d", rebuilt.Len())
+	}
+	got := rebuilt.DecodeAll()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("rebuilt value %d corrupted", i)
+		}
+	}
+}
+
+func TestRemapDictEntries(t *testing.T) {
+	vals := []uint64{10, 20, 10, 30, 20, 10}
+	w := NewWriter(WriterConfig{BlockSize: 32})
+	w.Append(vals)
+	s := w.Finish()
+	if s.Kind() != Dictionary {
+		// Force dictionary via a writer that sees a tiny domain.
+		t.Skipf("got %v", s.Kind())
+	}
+	if err := RemapDictEntries(s, func(v uint64) uint64 { return v * 7 }); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{70, 140, 70, 210, 140, 70}
+	got := s.DecodeAll()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("remap[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDictEncodingToCompression(t *testing.T) {
+	// Scalar dimension (like a date column): few distinct, scattered values.
+	domain := []uint64{50000, 10, 7777, 300}
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]uint64, 20000)
+	for i := range vals {
+		vals[i] = domain[rng.Intn(len(domain))]
+	}
+	s := buildStream(t, WriterConfig{ConvertOptimal: true}, vals)
+	if s.Kind() != Dictionary {
+		t.Fatalf("got %v", s.Kind())
+	}
+	dict, err := DictEncodingToCompression(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(dict, func(a, b int) bool { return dict[a] < dict[b] }) {
+		t.Fatal("compression dictionary not sorted")
+	}
+	// The stream now yields tokens; dict[token] must reproduce the data.
+	for i := 0; i < 1000; i++ {
+		tok := s.Get(i)
+		if dict[tok] != vals[i] {
+			t.Fatalf("token %d -> %d, want %d", tok, dict[tok], vals[i])
+		}
+	}
+	// Tokens are ranks, so comparing tokens is equivalent to comparing the
+	// original values — the "comparable tokens" property of Sect. 3.4.3.
+	for i := 1; i < 1000; i++ {
+		ta, tb := s.Get(i-1), s.Get(i)
+		va, vb := vals[i-1], vals[i]
+		if (ta < tb) != (va < vb) || (ta == tb) != (va == vb) {
+			t.Fatalf("token order does not mirror value order at %d", i)
+		}
+	}
+}
+
+func TestDictEncodingToCompressionSigned(t *testing.T) {
+	minus5, minus100 := int64(-5), int64(-100)
+	domain := []uint64{uint64(minus5), 3, uint64(minus100), 42}
+	vals := make([]uint64, 5000)
+	rng := rand.New(rand.NewSource(6))
+	for i := range vals {
+		vals[i] = domain[rng.Intn(len(domain))]
+	}
+	s := buildStream(t, WriterConfig{Signed: true, ConvertOptimal: true}, vals)
+	if s.Kind() != Dictionary {
+		t.Fatalf("got %v", s.Kind())
+	}
+	dict, err := DictEncodingToCompression(s, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1 << 63)
+	for _, v := range dict {
+		if int64(v) < prev {
+			t.Fatal("signed dictionary not sorted")
+		}
+		prev = int64(v)
+	}
+	for i := 0; i < 500; i++ {
+		if dict[s.Get(i)] != vals[i] {
+			t.Fatal("signed conversion corrupted values")
+		}
+	}
+}
+
+func TestFORToScalarDictionary(t *testing.T) {
+	// Dense-ish small range, e.g. a date column spanning a few years.
+	base := int64(15000)
+	vals := make([]uint64, 30000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vals {
+		vals[i] = uint64(base + int64(rng.Intn(3650)))
+	}
+	s := buildStream(t, WriterConfig{Signed: true, ConvertOptimal: true}, vals)
+	if s.Kind() != FrameOfReference {
+		t.Fatalf("got %v", s.Kind())
+	}
+	dict, err := FORToScalarDictionary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The envelope dictionary may contain values absent from the column
+	// (Sect. 3.4.3 caveat), but it must be sorted and cover everything.
+	if len(dict) != 1<<s.Bits() {
+		t.Fatalf("dictionary size %d != 2^%d", len(dict), s.Bits())
+	}
+	for i := 1; i < len(dict); i++ {
+		if int64(dict[i]) != int64(dict[i-1])+1 {
+			t.Fatal("envelope dictionary not dense ascending")
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		tok := s.Get(i)
+		if dict[tok] != vals[i] {
+			t.Fatalf("token %d -> %d, want %d", tok, dict[tok], vals[i])
+		}
+	}
+}
+
+func TestMetadataAffine(t *testing.T) {
+	vals := make([]uint64, 1000)
+	for i := range vals {
+		vals[i] = uint64(500 + i)
+	}
+	s := buildStream(t, WriterConfig{Signed: true, ConvertOptimal: true}, vals)
+	md := MetadataFromStream(s, true, 0, false)
+	if !md.IsAffine || !md.Dense || !md.Unique {
+		t.Fatalf("metadata %+v missed dense+unique", md)
+	}
+	if md.Min != 500 || md.Max != 1499 {
+		t.Errorf("range %d..%d", md.Min, md.Max)
+	}
+	if !md.SortedKnown || !md.SortedAsc {
+		t.Error("affine delta=1 must be sorted")
+	}
+	if md.Cardinality != 1000 || !md.CardinalityExact {
+		t.Errorf("cardinality %d", md.Cardinality)
+	}
+}
+
+func TestMetadataFORBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vals := make([]uint64, 20000)
+	for i := range vals {
+		vals[i] = uint64(1000 + rng.Intn(1024))
+	}
+	s := buildStream(t, WriterConfig{Signed: true, ConvertOptimal: true}, vals)
+	if s.Kind() != FrameOfReference {
+		t.Fatalf("got %v", s.Kind())
+	}
+	md := MetadataFromStream(s, true, 0, false)
+	if !md.HasRange || md.RangeExact {
+		t.Fatal("FOR should provide an inexact envelope")
+	}
+	if md.Min > 1000 || md.Max < 2023 {
+		t.Errorf("envelope %d..%d does not cover data", md.Min, md.Max)
+	}
+	if md.CardinalityUpper == 0 || md.CardinalityUpper < 1024 {
+		t.Errorf("cardinality bound %d", md.CardinalityUpper)
+	}
+}
+
+func TestMetadataRLE(t *testing.T) {
+	var vals []uint64
+	for v := 0; v < 50; v++ {
+		for j := 0; j < 400; j++ {
+			vals = append(vals, uint64(v*3))
+		}
+	}
+	s := buildStream(t, WriterConfig{ConvertOptimal: true}, vals)
+	if s.Kind() != RunLength {
+		t.Fatalf("got %v", s.Kind())
+	}
+	md := MetadataFromStream(s, false, 0, false)
+	if !md.SortedKnown || !md.SortedAsc {
+		t.Error("sorted run values not detected")
+	}
+	if md.Min != 0 || md.Max != 147 {
+		t.Errorf("range %d..%d", md.Min, md.Max)
+	}
+	if md.CardinalityUpper != 50 {
+		t.Errorf("cardinality bound %d", md.CardinalityUpper)
+	}
+}
+
+func TestMetadataPropertiesCount(t *testing.T) {
+	empty := Metadata{}
+	if empty.CountProperties() != 0 {
+		t.Error("empty metadata has properties")
+	}
+	full := Metadata{HasRange: true, CardinalityExact: true, Cardinality: 5,
+		NullsKnown: true, SortedKnown: true, SortedAsc: true,
+		Dense: true, Unique: true, EntriesSorted: true}
+	if full.CountProperties() != 8 {
+		t.Errorf("full metadata counts %d", full.CountProperties())
+	}
+}
+
+func TestMetadataNullDetectionDict(t *testing.T) {
+	sentinel := ^uint64(0)
+	vals := []uint64{1, 2, sentinel, 1, 2, 2, 1, sentinel}
+	w := NewWriter(WriterConfig{BlockSize: 32, Sentinel: sentinel, HasSentinel: true, ConvertOptimal: true})
+	w.Append(vals)
+	s := w.Finish()
+	if s.Kind() != Dictionary {
+		t.Skipf("got %v", s.Kind())
+	}
+	md := MetadataFromStream(s, false, sentinel, true)
+	if !md.NullsKnown || !md.HasNulls {
+		t.Error("dictionary null scan failed")
+	}
+}
+
+func TestNarrowRoundTripProperty(t *testing.T) {
+	// Any FOR-encodable data narrowed to its MinWidth must read back
+	// identically after sign extension.
+	err := quickCheckNarrow(t, true)
+	if err != nil {
+		t.Error(err)
+	}
+	if err := quickCheckNarrow(t, false); err != nil {
+		t.Error(err)
+	}
+}
+
+func quickCheckNarrow(t *testing.T, signed bool) error {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n := 64 + rng.Intn(5000)
+		base := int64(rng.Intn(1 << 12))
+		if signed && rng.Intn(2) == 0 {
+			base = -base
+		}
+		span := 1 + rng.Intn(1<<10)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(base + int64(rng.Intn(span)))
+		}
+		w := NewWriter(WriterConfig{Signed: signed, ConvertOptimal: true})
+		w.Append(vals)
+		s := w.Finish()
+		mw := MinWidth(s, signed)
+		if mw < s.Width() {
+			if err := Narrow(s, mw, signed); err != nil {
+				continue // kind not amenable (delta/rle/raw): fine
+			}
+		}
+		for i := 0; i < n; i += 1 + n/50 {
+			got := s.Get(i)
+			if signed {
+				if SignExtend(got, s.Width()) != int64(vals[i]) {
+					t.Fatalf("trial %d signed=%v: value %d corrupted", trial, signed, i)
+				}
+			} else if got != vals[i]&widthMask(s.Width()) {
+				t.Fatalf("trial %d signed=%v: value %d corrupted", trial, signed, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package enc
+
+// Metadata are the column properties that the encoding layer can derive
+// cheaply (Sect. 3.4.2) for the tactical optimizer and for the client:
+// value range, domain cardinality, nullability (via the sentinel), whether
+// the column is sorted, and whether it is dense and unique — the last two
+// being the precondition for fetch joins.
+type Metadata struct {
+	// RowCount is the logical value count.
+	RowCount int
+
+	// Min and Max bound the non-NULL values in the signed (or raw token)
+	// domain. RangeExact distinguishes exact extrema from envelope bounds
+	// (a frame-of-reference header only bounds the envelope).
+	HasRange   bool
+	RangeExact bool
+	Min, Max   int64
+
+	// Cardinality is the number of distinct values; CardinalityUpper is a
+	// bound when the exact count is unknown (0 = no bound either).
+	Cardinality      int
+	CardinalityExact bool
+	CardinalityUpper int
+
+	// Nullability, when NullsKnown.
+	NullsKnown bool
+	HasNulls   bool
+
+	// SortedAsc, when SortedKnown, says values are nondecreasing.
+	SortedKnown bool
+	SortedAsc   bool
+
+	// Dense+Unique (consecutive integers) enables fetch joins. IsAffine
+	// generalizes: value = AffineBase + row*AffineDelta exactly, which is
+	// the affine-transformation condition of Sect. 2.3.5.
+	Dense, Unique bool
+	IsAffine      bool
+	AffineBase    int64
+	AffineDelta   int64
+
+	// EntriesSorted reports a dictionary stream whose entries are in
+	// ascending order, i.e. tokens are directly comparable.
+	EntriesSorted bool
+}
+
+// MetadataFromStats derives exact metadata from dynamic-encoder statistics.
+// FlowTable uses this: the statistics were gathered for encoding choices
+// anyway, so the metadata is free (Sect. 6.4 shows it costs no latency).
+func MetadataFromStats(st *Stats, signed bool) Metadata {
+	md := Metadata{RowCount: st.N}
+	if st.hasData {
+		md.HasRange, md.RangeExact = true, true
+		if signed {
+			md.Min, md.Max = st.DataMinS, st.DataMaxS
+		} else {
+			md.Min, md.Max = int64(st.DataMinU), int64(st.DataMaxU)
+		}
+	}
+	if d, exact := st.Distinct(); exact {
+		md.Cardinality, md.CardinalityExact = d, true
+		md.CardinalityUpper = d
+	}
+	if st.hasSentinel {
+		md.NullsKnown = true
+		md.HasNulls = st.NullCount > 0
+	}
+	md.SortedKnown = true
+	if signed {
+		md.SortedAsc = st.SortedAsc
+	} else {
+		md.SortedAsc = st.SortedAscU
+	}
+	if delta, ok := st.ConstantDelta(); ok && st.N >= 1 {
+		md.IsAffine = true
+		md.AffineBase = int64(st.First())
+		md.AffineDelta = delta
+		md.Unique = delta != 0
+		md.Dense = delta == 1
+	}
+	return md
+}
+
+// MetadataFromStream derives metadata by header inspection of a stored
+// stream, without touching the row data: O(1) for affine, frame-of-
+// reference and delta headers, O(entries) for dictionaries, O(runs) for
+// run-length. signed selects the value interpretation; sentinel (when
+// hasSentinel) enables null detection.
+func MetadataFromStream(s *Stream, signed bool, sentinel uint64, hasSentinel bool) Metadata {
+	md := Metadata{RowCount: s.Len()}
+	n := s.Len()
+	if n == 0 {
+		return md
+	}
+	w := s.Width()
+	ext := func(v uint64) int64 {
+		if signed {
+			return SignExtend(v, w)
+		}
+		return int64(v & widthMask(w))
+	}
+	switch s.Kind() {
+	case Affine:
+		base, delta := s.AffineBase(), s.AffineDelta()
+		lo := base
+		hi := base + delta*int64(n-1)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		md.HasRange, md.RangeExact = true, true
+		md.Min, md.Max = lo, hi
+		md.IsAffine = true
+		md.AffineBase, md.AffineDelta = base, delta
+		md.Unique = delta != 0
+		md.Dense = delta == 1
+		md.SortedKnown = true
+		md.SortedAsc = delta >= 0
+		if delta != 0 {
+			md.Cardinality, md.CardinalityExact = n, true
+			md.CardinalityUpper = n
+		} else {
+			md.Cardinality, md.CardinalityExact = 1, true
+			md.CardinalityUpper = 1
+		}
+		if hasSentinel {
+			md.NullsKnown = true
+			sv := ext(sentinel)
+			if delta == 0 {
+				md.HasNulls = sv == base
+			} else {
+				off := sv - base
+				md.HasNulls = off%delta == 0 && off/delta >= 0 && off/delta < int64(n)
+			}
+		}
+	case Delta:
+		// A nonnegative minimum delta proves the column sorted, and then
+		// the extrema are the first and last values (Sect. 3.4.2:
+		// "Delta-encoding ... can indicate whether a column is sorted").
+		if s.MinDelta() >= 0 {
+			md.SortedKnown, md.SortedAsc = true, true
+			md.HasRange, md.RangeExact = true, true
+			md.Min, md.Max = ext(s.Get(0)), ext(s.Get(n-1))
+		}
+	case FrameOfReference:
+		lo := s.Frame()
+		hi := lo
+		if b := s.Bits(); b > 0 && b < 64 {
+			hi = lo + int64((uint64(1)<<b)-1)
+		}
+		md.HasRange = true
+		md.Min, md.Max = lo, hi
+		if b := s.Bits(); b < 30 {
+			md.CardinalityUpper = 1 << b
+		}
+		if hasSentinel {
+			sv := ext(sentinel)
+			if sv < lo || sv > hi {
+				md.NullsKnown = true // sentinel outside the envelope
+			}
+		}
+		if s.Bits() == 0 {
+			md.RangeExact = true
+			md.Cardinality, md.CardinalityExact, md.CardinalityUpper = 1, true, 1
+			md.SortedKnown, md.SortedAsc = true, true
+		}
+	case Dictionary:
+		dn := s.DictLen()
+		md.Cardinality, md.CardinalityExact = dn, true
+		md.CardinalityUpper = dn
+		if dn > 0 {
+			lo, hi := ext(s.DictEntry(0)), ext(s.DictEntry(0))
+			sorted := true
+			nulls := false
+			prev := ext(s.DictEntry(0))
+			for i := 0; i < dn; i++ {
+				v := ext(s.DictEntry(i))
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+				if v < prev {
+					sorted = false
+				}
+				prev = v
+				if hasSentinel && s.DictEntry(i) == sentinel&widthMask(w) {
+					nulls = true
+				}
+			}
+			md.HasRange, md.RangeExact = true, true
+			md.Min, md.Max = lo, hi
+			md.EntriesSorted = sorted
+			if hasSentinel {
+				md.NullsKnown = true
+				md.HasNulls = nulls
+			}
+		}
+	case RunLength:
+		nr := s.NumRuns()
+		md.CardinalityUpper = nr
+		if nr > 0 {
+			_, v0 := s.Run(0)
+			lo, hi := ext(v0), ext(v0)
+			sorted := true
+			nulls := false
+			prev := ext(v0)
+			for r := 0; r < nr; r++ {
+				_, rv := s.Run(r)
+				v := ext(rv)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+				if v < prev {
+					sorted = false
+				}
+				prev = v
+				if hasSentinel && rv == sentinel&widthMask(w) {
+					nulls = true
+				}
+			}
+			md.HasRange, md.RangeExact = true, true
+			md.Min, md.Max = lo, hi
+			md.SortedKnown = true
+			md.SortedAsc = sorted
+			if hasSentinel {
+				md.NullsKnown = true
+				md.HasNulls = nulls
+			}
+		}
+	}
+	return md
+}
+
+// CountProperties returns how many distinct metadata properties md
+// carries; Figure 7 reports this count per table with and without
+// encodings enabled.
+func (md Metadata) CountProperties() int {
+	n := 0
+	if md.HasRange {
+		n += 2 // min and max
+	}
+	if md.CardinalityExact || md.CardinalityUpper > 0 {
+		n++
+	}
+	if md.NullsKnown {
+		n++
+	}
+	if md.SortedKnown && md.SortedAsc {
+		n++
+	}
+	if md.Dense {
+		n++
+	}
+	if md.Unique {
+		n++
+	}
+	if md.EntriesSorted {
+		n++
+	}
+	return n
+}

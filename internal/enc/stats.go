@@ -1,0 +1,205 @@
+package enc
+
+// Stats are the per-column statistics the dynamic encoder maintains as
+// values are inserted (Sect. 3.2: "These statistics are simple to gather,
+// consisting mostly of the value range and delta range"). They serve three
+// masters: choosing the best encoding at any point, deciding whether the
+// final stream should be rewritten to the optimal format, and the metadata
+// extraction of Sect. 3.4.2 (min/max, cardinality, sortedness, density,
+// nullability).
+type Stats struct {
+	// N is the number of values observed, including NULL sentinels.
+	N int
+	// NullCount counts NULL sentinel occurrences, when a sentinel is known.
+	NullCount int
+
+	// Value range in both interpretations; the encoder picks per the
+	// column's signedness. Ranges include sentinel values, because the
+	// encoding must represent them too.
+	MinS, MaxS int64
+	MinU, MaxU uint64
+
+	// Data range excluding NULL sentinels, for metadata extraction.
+	DataMinS, DataMaxS int64
+	DataMinU, DataMaxU uint64
+	hasData            bool
+
+	// Delta range over consecutive values, in the signed (wraparound)
+	// interpretation used by the delta encoding.
+	MinDelta, MaxDelta int64
+
+	// Run structure: number of maximal equal-value runs and longest run.
+	Runs   int
+	MaxRun int
+	curRun int
+
+	// SortedAsc reports values nondecreasing in the signed interpretation;
+	// SortedAscU in the unsigned one (tokens).
+	SortedAsc  bool
+	SortedAscU bool
+
+	// Distinct tracking, abandoned past the dictionary limit.
+	distinct    map[uint64]struct{}
+	DistinctCap int  // tracking limit, 2^DictMaxBits by default
+	Overflowed  bool // true once tracking gave up
+
+	first, prev uint64
+	signed      bool
+	sentinel    uint64
+	hasSentinel bool
+}
+
+// NewStats returns statistics for a column whose values are interpreted as
+// signed when signed is true. If hasSentinel, values equal to sentinel are
+// counted as NULLs and excluded from the data range.
+func NewStats(signed bool, sentinel uint64, hasSentinel bool) *Stats {
+	return &Stats{
+		SortedAsc:   true,
+		SortedAscU:  true,
+		distinct:    make(map[uint64]struct{}),
+		DistinctCap: 1 << DictMaxBits,
+		signed:      signed,
+		sentinel:    sentinel,
+		hasSentinel: hasSentinel,
+	}
+}
+
+// Update folds a block of values into the statistics. The paper's dynamic
+// encoder updates statistics before attempting the block insert, so a
+// failed insert can immediately consult them for the re-encoding choice.
+func (st *Stats) Update(vals []uint64) {
+	for _, v := range vals {
+		if st.N == 0 {
+			st.first, st.prev = v, v
+			st.MinS, st.MaxS = int64(v), int64(v)
+			st.MinU, st.MaxU = v, v
+			st.MinDelta, st.MaxDelta = 0, 0
+			st.Runs, st.curRun, st.MaxRun = 1, 1, 1
+		} else {
+			if int64(v) < st.MinS {
+				st.MinS = int64(v)
+			}
+			if int64(v) > st.MaxS {
+				st.MaxS = int64(v)
+			}
+			if v < st.MinU {
+				st.MinU = v
+			}
+			if v > st.MaxU {
+				st.MaxU = v
+			}
+			d := int64(v - st.prev)
+			if st.N == 1 {
+				st.MinDelta, st.MaxDelta = d, d
+			} else {
+				if d < st.MinDelta {
+					st.MinDelta = d
+				}
+				if d > st.MaxDelta {
+					st.MaxDelta = d
+				}
+			}
+			if int64(v) < int64(st.prev) {
+				st.SortedAsc = false
+			}
+			if v < st.prev {
+				st.SortedAscU = false
+			}
+			if v == st.prev {
+				st.curRun++
+				if st.curRun > st.MaxRun {
+					st.MaxRun = st.curRun
+				}
+			} else {
+				st.Runs++
+				st.curRun = 1
+			}
+			st.prev = v
+		}
+		if st.hasSentinel && v == st.sentinel {
+			st.NullCount++
+		} else {
+			if !st.hasData {
+				st.DataMinS, st.DataMaxS = int64(v), int64(v)
+				st.DataMinU, st.DataMaxU = v, v
+				st.hasData = true
+			} else {
+				if int64(v) < st.DataMinS {
+					st.DataMinS = int64(v)
+				}
+				if int64(v) > st.DataMaxS {
+					st.DataMaxS = int64(v)
+				}
+				if v < st.DataMinU {
+					st.DataMinU = v
+				}
+				if v > st.DataMaxU {
+					st.DataMaxU = v
+				}
+			}
+		}
+		if !st.Overflowed {
+			if _, ok := st.distinct[v]; !ok {
+				if len(st.distinct) >= st.DistinctCap {
+					st.Overflowed = true
+					st.distinct = nil
+				} else {
+					st.distinct[v] = struct{}{}
+				}
+			}
+		}
+		st.N++
+	}
+}
+
+// First returns the first value observed.
+func (st *Stats) First() uint64 { return st.first }
+
+// Last returns the most recent value observed.
+func (st *Stats) Last() uint64 { return st.prev }
+
+// Distinct returns the tracked distinct value count and whether it is
+// exact (false once tracking overflowed).
+func (st *Stats) Distinct() (int, bool) {
+	if st.Overflowed {
+		return 0, false
+	}
+	return len(st.distinct), true
+}
+
+// ConstantDelta reports whether all consecutive deltas are equal, the
+// applicability condition for affine encoding, along with that delta.
+func (st *Stats) ConstantDelta() (int64, bool) {
+	if st.N < 2 {
+		return 0, false
+	}
+	return st.MinDelta, st.MinDelta == st.MaxDelta
+}
+
+// rangeBits returns the packing bits needed for the observed value range
+// under the column's signedness.
+func (st *Stats) rangeBits() int {
+	if st.N == 0 {
+		return 0
+	}
+	if st.signed {
+		return bitsFor(uint64(st.MaxS - st.MinS))
+	}
+	return bitsFor(st.MaxU - st.MinU)
+}
+
+// deltaBits returns the packing bits needed for the observed delta range.
+func (st *Stats) deltaBits() int {
+	if st.N < 2 {
+		return 0
+	}
+	return bitsFor(uint64(st.MaxDelta - st.MinDelta))
+}
+
+// frame returns the frame-of-reference base for the observed values.
+func (st *Stats) frame() int64 {
+	if st.signed {
+		return st.MinS
+	}
+	return int64(st.MinU)
+}

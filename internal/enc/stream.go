@@ -1,0 +1,228 @@
+package enc
+
+import "fmt"
+
+// Kind identifies an encoding algorithm (the "algo" header field).
+type Kind uint8
+
+const (
+	// None is unencoded data: full-width values, bit-packed at width*8 bits.
+	None Kind = iota
+	// FrameOfReference stores a base ("frame") value in the header and
+	// bit-packs each value's non-negative offset from it (Sect. 3.1.1).
+	FrameOfReference
+	// Delta stores the minimum delta in the header, a running total at the
+	// start of each decompression block, and bit-packs each delta's offset
+	// from the minimum (Sect. 3.1.2).
+	Delta
+	// Dictionary stores up to 2^15 distinct values in a header-resident
+	// dictionary and bit-packs indexes into it (Sect. 3.1.3).
+	Dictionary
+	// Affine stores base and delta in the header and no packed data at all:
+	// value = base + row*delta (Sect. 3.1.4).
+	Affine
+	// RunLength stores length/value pairs at fixed widths (Sect. 3.1.5).
+	RunLength
+	numKinds = iota
+)
+
+// String returns the encoding name used in tooling and metadata reports.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "raw"
+	case FrameOfReference:
+		return "for"
+	case Delta:
+		return "delta"
+	case Dictionary:
+		return "dict"
+	case Affine:
+		return "affine"
+	case RunLength:
+		return "rle"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// DictMaxBits caps dictionary encoding at 2^15 entries to keep the
+// dictionary in cache and the cuckoo hash simple and fast (Sect. 3.1.3).
+const DictMaxBits = 15
+
+// Header layout (Figure 1). The first 8 bytes cache the logical size so
+// stream length queries are O(1) and so the stream can hold only complete
+// decompression blocks. The second 8 bytes hold the offset to the packed
+// data, so the header can be resized (or its contents rewritten) without
+// disturbing the bit packing — that property is what makes the O(1) type
+// narrowing of Sect. 3.4.1 possible. The third 8 bytes pack the
+// decompression block size, the algorithm, the element width and the
+// number of packing bits.
+const (
+	offLogicalSize = 0
+	offDataOffset  = 8
+	offBlockSize   = 16 // uint32
+	offAlgo        = 20 // uint8
+	offWidth       = 21 // uint8
+	offBits        = 22 // uint8
+	offFlags       = 23 // uint8, reserved
+	headerFixed    = 24 // start of encoding-specific header data
+
+	// Encoding-specific offsets.
+	offFrame      = 24 // FrameOfReference: int64 frame value
+	offMinDelta   = 24 // Delta: int64 minimum delta
+	offDictCount  = 24 // Dictionary: uint64 entry count
+	offDictEntry0 = 32 // Dictionary: first entry slot
+	offBase       = 24 // Affine: int64 base
+	offDelta      = 32 // Affine: int64 delta
+	offCountWidth = 24 // RunLength: uint8 count field width
+	offValueWidth = 25 // RunLength: uint8 value field width
+)
+
+// DefaultBlockSize is the number of values per decompression block. It is
+// a multiple of 32 so bit packing ends on a byte boundary, and it matches
+// the execution engine's block iteration size so one decompression call is
+// needed per iteration block (Sect. 3.1).
+const DefaultBlockSize = 1024
+
+// Stream is an encoded column data stream: the externally-visible
+// abstraction is a paged array of fixed-width values (Sect. 2.3.2); the
+// bytes are the Figure-1 header followed by complete decompression blocks.
+//
+// A Stream is immutable except through the explicit header-manipulation
+// functions in manipulate.go.
+type Stream struct {
+	buf []byte
+}
+
+// FromBytes wraps a serialized stream. The buffer is retained, not copied.
+func FromBytes(buf []byte) (*Stream, error) {
+	if len(buf) < headerFixed {
+		return nil, fmt.Errorf("enc: stream too short (%d bytes)", len(buf))
+	}
+	s := &Stream{buf: buf}
+	if Kind(buf[offAlgo]) >= numKinds {
+		return nil, fmt.Errorf("enc: unknown encoding algorithm %d", buf[offAlgo])
+	}
+	if off := s.dataOffset(); off > len(buf) {
+		return nil, fmt.Errorf("enc: data offset %d beyond stream end %d", off, len(buf))
+	}
+	switch w := s.Width(); w {
+	case 1, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("enc: unsupported element width %d", w)
+	}
+	return s, nil
+}
+
+// Bytes returns the serialized stream. The slice aliases internal state.
+func (s *Stream) Bytes() []byte { return s.buf }
+
+// Kind returns the encoding algorithm.
+func (s *Stream) Kind() Kind { return Kind(s.buf[offAlgo]) }
+
+// Len returns the logical number of values in the stream.
+func (s *Stream) Len() int { return int(getUint64(s.buf[offLogicalSize:])) }
+
+// Width returns the element width in bytes (1, 2, 4 or 8).
+func (s *Stream) Width() int { return int(s.buf[offWidth]) }
+
+// Bits returns the number of packing bits per value.
+func (s *Stream) Bits() int { return int(s.buf[offBits]) }
+
+// BlockSize returns the number of values per decompression block.
+func (s *Stream) BlockSize() int {
+	return int(uint32(s.buf[offBlockSize]) | uint32(s.buf[offBlockSize+1])<<8 |
+		uint32(s.buf[offBlockSize+2])<<16 | uint32(s.buf[offBlockSize+3])<<24)
+}
+
+// PhysicalSize returns the stream's size in bytes as stored.
+func (s *Stream) PhysicalSize() int { return len(s.buf) }
+
+// LogicalSize returns the unencoded size in bytes: Len()*Width(). Figure 5
+// reports compression savings as physical vs. logical size.
+func (s *Stream) LogicalSize() int { return s.Len() * s.Width() }
+
+func (s *Stream) dataOffset() int { return int(getUint64(s.buf[offDataOffset:])) }
+
+func (s *Stream) setLogicalSize(n int) { putUint64(s.buf[offLogicalSize:], uint64(n)) }
+
+// header field readers for the encoding-specific region
+
+// Frame returns the frame-of-reference base value.
+func (s *Stream) Frame() int64 { return int64(getUint64(s.buf[offFrame:])) }
+
+// MinDelta returns the delta encoding's minimum delta.
+func (s *Stream) MinDelta() int64 { return int64(getUint64(s.buf[offMinDelta:])) }
+
+// AffineBase returns the affine encoding's base value.
+func (s *Stream) AffineBase() int64 { return int64(getUint64(s.buf[offBase:])) }
+
+// AffineDelta returns the affine encoding's per-row delta.
+func (s *Stream) AffineDelta() int64 { return int64(getUint64(s.buf[offDelta:])) }
+
+// DictLen returns the number of dictionary entries in use.
+func (s *Stream) DictLen() int { return int(getUint64(s.buf[offDictCount:])) }
+
+// DictEntry returns dictionary entry i, zero-extended from the element width.
+func (s *Stream) DictEntry(i int) uint64 {
+	w := s.Width()
+	return getWidth(s.buf[offDictEntry0+i*w:], w)
+}
+
+// setDictEntry overwrites dictionary entry i; used by the manipulation and
+// conversion paths (Sect. 3.4.3 replaces encoding-dictionary entries with
+// compression tokens in place).
+func (s *Stream) setDictEntry(i int, v uint64) {
+	w := s.Width()
+	putWidth(s.buf[offDictEntry0+i*w:], v, w)
+}
+
+// RunWidths returns the count and value field widths of a run-length stream.
+func (s *Stream) RunWidths() (countWidth, valueWidth int) {
+	return int(s.buf[offCountWidth]), int(s.buf[offValueWidth])
+}
+
+// NumRuns returns the number of length/value pairs in a run-length stream.
+func (s *Stream) NumRuns() int {
+	cw, vw := s.RunWidths()
+	return (len(s.buf) - s.dataOffset()) / (cw + vw)
+}
+
+// Run returns the i-th (count, value) pair of a run-length stream.
+func (s *Stream) Run(i int) (count, value uint64) {
+	cw, vw := s.RunWidths()
+	off := s.dataOffset() + i*(cw+vw)
+	return getWidth(s.buf[off:], cw), getWidth(s.buf[off+cw:], vw)
+}
+
+// numBlocks returns the number of complete decompression blocks stored.
+func (s *Stream) numBlocks() int {
+	n, bs := s.Len(), s.BlockSize()
+	if n == 0 {
+		return 0
+	}
+	return (n + bs - 1) / bs
+}
+
+// blockBytes returns the physical byte size of one decompression block.
+func (s *Stream) blockBytes() int {
+	b := packedBytes(s.BlockSize(), s.Bits())
+	if s.Kind() == Delta {
+		b += 8 // running total prefix
+	}
+	return b
+}
+
+func newHeader(kind Kind, width, bits, blockSize, extra int) []byte {
+	buf := make([]byte, headerFixed+extra)
+	putUint64(buf[offDataOffset:], uint64(headerFixed+extra))
+	buf[offBlockSize] = byte(blockSize)
+	buf[offBlockSize+1] = byte(blockSize >> 8)
+	buf[offBlockSize+2] = byte(blockSize >> 16)
+	buf[offBlockSize+3] = byte(blockSize >> 24)
+	buf[offAlgo] = byte(kind)
+	buf[offWidth] = byte(width)
+	buf[offBits] = byte(bits)
+	return buf
+}

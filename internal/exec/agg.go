@@ -1,0 +1,522 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"tde/internal/enc"
+	"tde/internal/heap"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// AggFunc is an aggregation function. The set matches the Tableau
+// aggregates the TDE exists to serve, including COUNTD and MEDIAN
+// (Sect. 2.2: extracts supplement "databases that either perform poorly or
+// lack useful functionality such as COUNTD or MEDIAN aggregation").
+type AggFunc uint8
+
+// Aggregation functions.
+const (
+	Sum AggFunc = iota
+	Count
+	CountD
+	Min
+	Max
+	Avg
+	Median
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"SUM", "COUNT", "COUNTD", "MIN", "MAX", "AVG", "MEDIAN"}[f]
+}
+
+// AggSpec pairs a function with an input column (-1 = COUNT(*)).
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+	Name string
+}
+
+// AggMode selects the grouping algorithm; the tactical optimizer picks it
+// from the key columns' runtime metadata (Sect. 2.3.1: "an aggregation
+// operator can choose a hash algorithm based on the sizes and other
+// attributes of the aggregation keys").
+type AggMode uint8
+
+// Aggregation modes.
+const (
+	// AggAuto defers the choice to Open.
+	AggAuto AggMode = iota
+	// AggHash uses a chained hash table keyed on the group tuple.
+	AggHash
+	// AggDirect indexes groups directly in an array over the key's
+	// [min,max] envelope — the perfect/direct hashing of Sect. 2.3.4,
+	// available when the key is narrow or its range is known small.
+	AggDirect
+	// AggOrdered exploits grouped (sorted) input: one running group at a
+	// time, flushed on key change — the ordered ("sandwiched")
+	// aggregation of Sect. 4.2.2.
+	AggOrdered
+)
+
+func (m AggMode) String() string {
+	return [...]string{"auto", "hash", "direct", "ordered"}[m]
+}
+
+// directLimit caps the envelope size for AggDirect: the 64K-element direct
+// lookup table of Sect. 2.3.4.
+const directLimit = 1 << 16
+
+// Aggregate is the stop-and-go grouping operator.
+type Aggregate struct {
+	child   Operator
+	keyCols []int
+	specs   []AggSpec
+	mode    AggMode
+	chosen  AggMode
+	schema  []ColInfo
+
+	groups []*group
+	lookup map[uint64][]int // hash -> candidate group indexes (AggHash)
+	direct []int            // envelope -> group index +1 (AggDirect)
+	dmin   int64
+
+	// ordered mode state
+	cur     *group
+	curSet  bool
+	curKeys []uint64
+
+	// String columns that participate in grouping or MIN/MAX/COUNTD are
+	// re-interned into one heap per column so tokens stay comparable
+	// across blocks (computed string columns carry per-block heaps).
+	strHeaps []*heap.Heap
+	strAccs  []*heap.Accelerator
+
+	emitAt int
+	buf    *vec.Block
+}
+
+type group struct {
+	keys []uint64
+	accs []acc
+}
+
+type acc struct {
+	sumI     int64
+	sumF     float64
+	count    int64
+	minB     uint64
+	maxB     uint64
+	seen     bool
+	distinct map[uint64]struct{}
+	all      []uint64
+}
+
+// NewAggregate groups child by keyCols computing specs. mode AggAuto lets
+// the tactical optimizer decide from runtime metadata.
+func NewAggregate(child Operator, keyCols []int, specs []AggSpec, mode AggMode) *Aggregate {
+	a := &Aggregate{child: child, keyCols: keyCols, specs: specs, mode: mode}
+	in := child.Schema()
+	for _, k := range keyCols {
+		a.schema = append(a.schema, in[k])
+	}
+	for _, s := range specs {
+		name := s.Name
+		if name == "" {
+			if s.Col >= 0 {
+				name = fmt.Sprintf("%s(%s)", s.Func, in[s.Col].Name)
+			} else {
+				name = "COUNT(*)"
+			}
+		}
+		a.schema = append(a.schema, ColInfo{Name: name, Type: aggType(s, in)})
+	}
+	return a
+}
+
+func aggType(s AggSpec, in []ColInfo) types.Type {
+	switch s.Func {
+	case Count, CountD:
+		return types.Integer
+	case Avg, Median:
+		return types.Real
+	case Sum:
+		if s.Col >= 0 && in[s.Col].Type == types.Real {
+			return types.Real
+		}
+		return types.Integer
+	default: // Min, Max
+		return in[s.Col].Type
+	}
+}
+
+// Schema implements Operator.
+func (a *Aggregate) Schema() []ColInfo { return a.schema }
+
+// Mode returns the algorithm actually chosen (valid after Open).
+func (a *Aggregate) Mode() AggMode { return a.chosen }
+
+// chooseMode is the tactical decision: ordered beats direct beats hash
+// when applicable.
+func (a *Aggregate) chooseMode() AggMode {
+	if a.mode != AggAuto {
+		return a.mode
+	}
+	in := a.child.Schema()
+	if len(a.keyCols) == 1 {
+		md := in[a.keyCols[0]].Meta
+		if md.SortedKnown && md.SortedAsc {
+			return AggOrdered
+		}
+		if md.HasRange && !md.HasNulls {
+			if span := md.Max - md.Min; span >= 0 && span < directLimit {
+				return AggDirect
+			}
+		}
+	}
+	return AggHash
+}
+
+// Open implements Operator: stop-and-go, so all grouping happens here.
+func (a *Aggregate) Open() error {
+	if err := a.child.Open(); err != nil {
+		return err
+	}
+	defer a.child.Close()
+	a.chosen = a.chooseMode()
+	a.groups = a.groups[:0]
+	a.emitAt = 0
+	switch a.chosen {
+	case AggHash:
+		a.lookup = make(map[uint64][]int)
+	case AggDirect:
+		md := a.child.Schema()[a.keyCols[0]].Meta
+		a.dmin = md.Min
+		a.direct = make([]int, md.Max-md.Min+1)
+	case AggOrdered:
+		a.curSet = false
+		a.curKeys = make([]uint64, len(a.keyCols))
+	}
+	in := a.child.Schema()
+	a.strHeaps = make([]*heap.Heap, len(in))
+	a.strAccs = make([]*heap.Accelerator, len(in))
+	needsHeap := map[int]bool{}
+	for _, kc := range a.keyCols {
+		if in[kc].Type == types.String {
+			needsHeap[kc] = true
+		}
+	}
+	for _, s := range a.specs {
+		if s.Col >= 0 && in[s.Col].Type == types.String {
+			needsHeap[s.Col] = true
+		}
+	}
+	for c := range needsHeap {
+		coll := in[c].Collation
+		if in[c].Heap != nil {
+			coll = in[c].Heap.Collation()
+		}
+		a.strHeaps[c] = heap.New(coll)
+		a.strAccs[c] = heap.NewAccelerator(a.strHeaps[c], 0)
+	}
+	b := vec.NewBlock(len(a.child.Schema()))
+	for {
+		ok, err := a.child.Next(b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		a.internStrings(b)
+		a.consume(b)
+	}
+	if a.chosen == AggOrdered && a.curSet {
+		a.groups = append(a.groups, a.cur)
+	}
+	a.buf = vec.NewBlock(len(a.schema))
+	return nil
+}
+
+// internStrings rewrites string tokens in place (the block is owned by
+// Open's read loop) into the per-column aggregation heaps, making tokens
+// comparable across blocks and collation-aware.
+func (a *Aggregate) internStrings(b *vec.Block) {
+	for c, acc := range a.strAccs {
+		if acc == nil {
+			continue
+		}
+		v := &b.Vecs[c]
+		for i := 0; i < b.N; i++ {
+			tok := v.Data[i]
+			if tok == types.NullToken {
+				continue
+			}
+			v.Data[i] = acc.Intern(v.Heap.Get(tok))
+		}
+		v.Heap = a.strHeaps[c]
+	}
+}
+
+func (a *Aggregate) consume(b *vec.Block) {
+	for i := 0; i < b.N; i++ {
+		g := a.findGroup(b, i)
+		a.update(g, b, i)
+	}
+}
+
+func (a *Aggregate) findGroup(b *vec.Block, i int) *group {
+	switch a.chosen {
+	case AggDirect:
+		k := int64(b.Vecs[a.keyCols[0]].Data[i]) - a.dmin
+		if k < 0 || k >= int64(len(a.direct)) {
+			// Metadata promised this cannot happen; fall back defensively.
+			panic("exec: direct aggregation key outside envelope")
+		}
+		if a.direct[k] == 0 {
+			g := a.newGroup(b, i)
+			a.groups = append(a.groups, g)
+			a.direct[k] = len(a.groups)
+		}
+		return a.groups[a.direct[k]-1]
+	case AggOrdered:
+		same := a.curSet
+		if same {
+			for j, kc := range a.keyCols {
+				if b.Vecs[kc].Data[i] != a.curKeys[j] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			if a.curSet {
+				a.groups = append(a.groups, a.cur)
+			}
+			a.cur = a.newGroup(b, i)
+			a.curSet = true
+			for j, kc := range a.keyCols {
+				a.curKeys[j] = b.Vecs[kc].Data[i]
+			}
+		}
+		return a.cur
+	default: // AggHash
+		h := uint64(1469598103934665603)
+		for _, kc := range a.keyCols {
+			h ^= b.Vecs[kc].Data[i]
+			h *= 1099511628211
+		}
+		for _, gi := range a.lookup[h] {
+			g := a.groups[gi]
+			match := true
+			for j, kc := range a.keyCols {
+				if g.keys[j] != b.Vecs[kc].Data[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return g
+			}
+		}
+		g := a.newGroup(b, i)
+		a.groups = append(a.groups, g)
+		a.lookup[h] = append(a.lookup[h], len(a.groups)-1)
+		return g
+	}
+}
+
+func (a *Aggregate) newGroup(b *vec.Block, i int) *group {
+	g := &group{keys: make([]uint64, len(a.keyCols)), accs: make([]acc, len(a.specs))}
+	for j, kc := range a.keyCols {
+		g.keys[j] = b.Vecs[kc].Data[i]
+	}
+	for j, s := range a.specs {
+		if s.Func == CountD {
+			g.accs[j].distinct = make(map[uint64]struct{})
+		}
+	}
+	return g
+}
+
+func (a *Aggregate) update(g *group, b *vec.Block, i int) {
+	in := a.child.Schema()
+	for j, s := range a.specs {
+		ac := &g.accs[j]
+		if s.Col < 0 { // COUNT(*)
+			ac.count++
+			continue
+		}
+		v := &b.Vecs[s.Col]
+		bits := v.Value(i)
+		t := in[s.Col].Type
+		if v.IsNull(i) {
+			continue // aggregates skip NULLs
+		}
+		switch s.Func {
+		case Count:
+			ac.count++
+		case CountD:
+			ac.distinct[v.Data[i]] = struct{}{}
+		case Sum, Avg:
+			ac.count++
+			if t == types.Real {
+				ac.sumF += types.ToReal(bits)
+			} else {
+				ac.sumI += int64(bits)
+			}
+		case Min, Max:
+			if !ac.seen {
+				ac.minB, ac.maxB, ac.seen = bits, bits, true
+				break
+			}
+			var c int
+			if t == types.String {
+				c = v.Heap.Compare(v.Data[i], ac.minB)
+				if c < 0 {
+					ac.minB = v.Data[i]
+				}
+				if v.Heap.Compare(v.Data[i], ac.maxB) > 0 {
+					ac.maxB = v.Data[i]
+				}
+			} else {
+				c = types.Compare(t, bits, ac.minB)
+				if c < 0 {
+					ac.minB = bits
+				}
+				if types.Compare(t, bits, ac.maxB) > 0 {
+					ac.maxB = bits
+				}
+			}
+		case Median:
+			ac.count++
+			ac.all = append(ac.all, bits)
+		}
+	}
+}
+
+// Next implements Operator: emits one block of groups.
+func (a *Aggregate) Next(b *vec.Block) (bool, error) {
+	if a.emitAt >= len(a.groups) {
+		return false, nil
+	}
+	n := len(a.groups) - a.emitAt
+	if n > vec.BlockSize {
+		n = vec.BlockSize
+	}
+	ensureVecs(b, len(a.schema))
+	in := a.child.Schema()
+	for j, kc := range a.keyCols {
+		v := &b.Vecs[j]
+		v.Type = in[kc].Type
+		v.Heap = in[kc].Heap
+		if a.strHeaps[kc] != nil {
+			v.Heap = a.strHeaps[kc]
+		}
+		v.Dict = in[kc].Dict
+		for r := 0; r < n; r++ {
+			v.Data[r] = a.groups[a.emitAt+r].keys[j]
+		}
+	}
+	for j, s := range a.specs {
+		v := &b.Vecs[len(a.keyCols)+j]
+		v.Type = a.schema[len(a.keyCols)+j].Type
+		v.Heap = nil
+		v.Dict = nil
+		if s.Func == Min || s.Func == Max {
+			if s.Col >= 0 {
+				v.Heap = in[s.Col].Heap
+				if a.strHeaps[s.Col] != nil {
+					v.Heap = a.strHeaps[s.Col]
+				}
+				v.Dict = in[s.Col].Dict
+			}
+		}
+		srcType := types.Integer
+		if s.Col >= 0 {
+			srcType = in[s.Col].Type
+		}
+		for r := 0; r < n; r++ {
+			v.Data[r] = finishAcc(&a.groups[a.emitAt+r].accs[j], s, srcType)
+		}
+	}
+	b.N = n
+	a.emitAt += n
+	return true, nil
+}
+
+func finishAcc(ac *acc, s AggSpec, t types.Type) uint64 {
+	switch s.Func {
+	case Count:
+		return uint64(ac.count)
+	case CountD:
+		return uint64(int64(len(ac.distinct)))
+	case Sum:
+		if ac.count == 0 {
+			if t == types.Real {
+				return types.NullBits(types.Real)
+			}
+			return types.NullBits(types.Integer)
+		}
+		if t == types.Real {
+			return types.FromReal(ac.sumF)
+		}
+		return uint64(ac.sumI)
+	case Avg:
+		if ac.count == 0 {
+			return types.NullBits(types.Real)
+		}
+		if t == types.Real {
+			return types.FromReal(ac.sumF / float64(ac.count))
+		}
+		return types.FromReal(float64(ac.sumI) / float64(ac.count))
+	case Min:
+		if !ac.seen {
+			return types.NullBits(t)
+		}
+		return ac.minB
+	case Max:
+		if !ac.seen {
+			return types.NullBits(t)
+		}
+		return ac.maxB
+	case Median:
+		if len(ac.all) == 0 {
+			return types.NullBits(types.Real)
+		}
+		vals := make([]float64, len(ac.all))
+		for i, bits := range ac.all {
+			if t == types.Real {
+				vals[i] = types.ToReal(bits)
+			} else {
+				vals[i] = float64(int64(bits))
+			}
+		}
+		sort.Float64s(vals)
+		mid := len(vals) / 2
+		if len(vals)%2 == 1 {
+			return types.FromReal(vals[mid])
+		}
+		return types.FromReal((vals[mid-1] + vals[mid]) / 2)
+	}
+	return 0
+}
+
+// Close implements Operator.
+func (a *Aggregate) Close() error {
+	a.groups = nil
+	a.lookup = nil
+	a.direct = nil
+	return nil
+}
+
+// NumGroups returns the group count (valid after Open).
+func (a *Aggregate) NumGroups() int { return len(a.groups) }
+
+// KeyMetadataFromBuilt recomputes ColInfo metadata for a built column so
+// plans that aggregate over IndexedScan output can still make tactical
+// choices.
+func KeyMetadataFromBuilt(bc *BuiltColumn, signed bool) enc.Metadata {
+	return enc.MetadataFromStream(bc.Data, signed, sentinelFor(bc.Info), true)
+}

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"tde/internal/expr"
+	"tde/internal/storage"
+	"tde/internal/types"
+)
+
+func benchTable(b *testing.B, n int) *storage.Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	small := make([]int64, n)
+	wide := make([]int64, n)
+	seq := make([]int64, n)
+	for i := 0; i < n; i++ {
+		small[i] = int64(rng.Intn(100))
+		wide[i] = int64(rng.Uint64() >> 1)
+		seq[i] = int64(i)
+	}
+	return makeTable("bench",
+		makeIntColumn("small", types.Integer, small),
+		makeIntColumn("wide", types.Integer, wide),
+		makeIntColumn("seq", types.Integer, seq))
+}
+
+func BenchmarkScanThroughput(b *testing.B) {
+	tab := benchTable(b, 1<<18)
+	b.SetBytes(int64(tab.Rows() * 3 * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, err := NewScan(tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(scan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterThroughput(b *testing.B) {
+	tab := benchTable(b, 1<<18)
+	pred := expr.NewCmp(expr.LT, expr.NewColRef(0, "small", types.Integer), expr.NewIntConst(50))
+	b.SetBytes(int64(tab.Rows() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, _ := NewScan(tab)
+		if _, err := Run(NewSelect(scan, pred)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProjectArithmetic(b *testing.B) {
+	tab := benchTable(b, 1<<18)
+	e := expr.NewArith(expr.Add,
+		expr.NewArith(expr.Mul, expr.NewColRef(0, "small", types.Integer), expr.NewIntConst(3)),
+		expr.NewColRef(2, "seq", types.Integer))
+	b.SetBytes(int64(tab.Rows() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, _ := NewScan(tab)
+		if _, err := Run(NewProject(scan, []expr.Expr{e}, []string{"x"})); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowTableEncodeOn(b *testing.B) {
+	benchFlowTable(b, true)
+}
+
+func BenchmarkFlowTableEncodeOff(b *testing.B) {
+	benchFlowTable(b, false)
+}
+
+func benchFlowTable(b *testing.B, encode bool) {
+	tab := benchTable(b, 1<<17)
+	b.SetBytes(int64(tab.Rows() * 3 * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, _ := NewScan(tab)
+		cfg := DefaultFlowTableConfig()
+		cfg.Encode = encode
+		if _, err := NewFlowTable(scan, cfg).BuildTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortVsTopN(b *testing.B) {
+	tab := benchTable(b, 1<<17)
+	b.Run("full-sort-limit-10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scan, _ := NewScan(tab, "wide")
+			if _, err := Run(NewLimit(NewSort(scan, SortKey{Col: 0}), 10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("topn-10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scan, _ := NewScan(tab, "wide")
+			if _, err := Run(NewTopN(scan, 10, SortKey{Col: 0})); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

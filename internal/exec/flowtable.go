@@ -1,0 +1,303 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+
+	"tde/internal/enc"
+	"tde/internal/heap"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// FlowTableConfig controls the materialization behaviour; the toggles
+// correspond to the experimental arms of Sect. 6 (encoding on/off, heap
+// acceleration on/off) and the strategic restrictions of Sect. 4.3.
+type FlowTableConfig struct {
+	// Encode enables dynamic encoding (Sect. 3.2). Off, columns are
+	// stored raw — the baseline arm of Figures 4-9.
+	Encode bool
+	// Accelerate enables the heap accelerator for string columns
+	// (Sect. 5.1.4). Off, every string is appended to the heap and tokens
+	// are not distinct.
+	Accelerate bool
+	// AcceleratorLimit overrides the accelerator giveup threshold.
+	AcceleratorLimit int
+	// DisallowRLE restricts encoding choices for FlowTables on the inner
+	// side of hash joins, whose random access pattern run-length encoding
+	// serves poorly (Sect. 4.3).
+	DisallowRLE bool
+	// Parallel distributes per-column encoding across cores (Sect. 3.3:
+	// "encoding of each column is independent").
+	Parallel bool
+	// SortHeaps sorts small string heaps when the token column dictionary-
+	// encodes, giving comparable tokens (Sect. 3.4.3 / Fig. 6).
+	SortHeaps bool
+	// Narrow applies type narrowing to the built columns (Sect. 3.4.1).
+	Narrow bool
+	// KindMask restricts the dynamic encoder's choices (see
+	// enc.WriterConfig.KindMask); zero allows everything.
+	KindMask uint16
+	// PreserveTokens keeps string columns as raw token streams over their
+	// original heap instead of re-interning. The inner side of an
+	// invisible join must preserve tokens so the join keys still match the
+	// outer table's token data (Sect. 4.1).
+	PreserveTokens bool
+}
+
+// DefaultFlowTableConfig is the everything-on production configuration.
+func DefaultFlowTableConfig() FlowTableConfig {
+	return FlowTableConfig{Encode: true, Accelerate: true, SortHeaps: true, Narrow: true}
+}
+
+// FlowTable is the stop-and-go operator that turns a stream of row blocks
+// into a table (Sect. 3.3). While building it runs the dynamic encoder on
+// every column, gathers statistics, and applies the encoding manipulations
+// of Sect. 3.4 as a post-processing step: heap sorting, type narrowing and
+// metadata extraction. The extracted metadata is what the tactical
+// optimizer consumes to pick join and aggregation algorithms.
+type FlowTable struct {
+	child  Operator
+	cfg    FlowTableConfig
+	schema []ColInfo
+
+	built *Built
+	scan  *BuiltScan
+}
+
+// NewFlowTable materializes child with cfg.
+func NewFlowTable(child Operator, cfg FlowTableConfig) *FlowTable {
+	return &FlowTable{child: child, cfg: cfg, schema: child.Schema()}
+}
+
+// Schema implements Operator.
+func (f *FlowTable) Schema() []ColInfo { return f.schema }
+
+// columnBuilder accumulates one column.
+type columnBuilder struct {
+	info   ColInfo
+	writer *enc.Writer
+	// String re-interning: unify the (possibly per-block) input heaps into
+	// one output heap.
+	acc            *heap.Accelerator
+	outHeap        *heap.Heap
+	scratch        []uint64
+	preserveTokens bool
+}
+
+// BuildTable implements TableSource: it drains the child and returns the
+// materialized, post-processed table.
+func (f *FlowTable) BuildTable() (*Built, error) {
+	if f.built != nil {
+		return f.built, nil
+	}
+	if err := f.child.Open(); err != nil {
+		return nil, err
+	}
+	defer f.child.Close()
+
+	builders := make([]*columnBuilder, len(f.schema))
+	for i, info := range f.schema {
+		cb := &columnBuilder{info: info, scratch: make([]uint64, vec.BlockSize)}
+		wcfg := enc.WriterConfig{
+			Signed:          signedType(info.Type) && info.Dict == nil && info.Type != types.String,
+			Sentinel:        sentinelFor(info),
+			HasSentinel:     true,
+			DisableEncoding: !f.cfg.Encode,
+			DisallowRLE:     f.cfg.DisallowRLE,
+			KindMask:        f.cfg.KindMask,
+			ConvertOptimal:  f.cfg.Encode,
+		}
+		if info.Type == types.String && !f.cfg.PreserveTokens {
+			// Heap tokens dictionary-encode when the domain is small,
+			// enabling heap sorting and comparable tokens (Sect. 6.3).
+			wcfg.PreferDict = true
+			wcfg.DisallowRLE = true
+		}
+		cb.writer = enc.NewWriter(wcfg)
+		cb.preserveTokens = f.cfg.PreserveTokens
+		if info.Type == types.String && !cb.preserveTokens {
+			coll := info.Collation
+			if info.Heap != nil {
+				coll = info.Heap.Collation()
+			}
+			cb.outHeap = heap.New(coll)
+			if f.cfg.Accelerate {
+				cb.acc = heap.NewAccelerator(cb.outHeap, f.cfg.AcceleratorLimit)
+			}
+		}
+		builders[i] = cb
+	}
+
+	b := vec.NewBlock(len(f.schema))
+	workers := 1
+	if f.cfg.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for {
+		ok, err := f.child.Next(b)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if workers > 1 && len(builders) > 1 {
+			var wg sync.WaitGroup
+			work := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for c := range work {
+						builders[c].appendBlock(&b.Vecs[c], b.N)
+					}
+				}()
+			}
+			for c := range builders {
+				work <- c
+			}
+			close(work)
+			wg.Wait()
+		} else {
+			for c := range builders {
+				builders[c].appendBlock(&b.Vecs[c], b.N)
+			}
+		}
+	}
+
+	bt := &Built{}
+	for _, cb := range builders {
+		bt.Cols = append(bt.Cols, cb.finish(&f.cfg))
+	}
+	if len(bt.Cols) > 0 {
+		bt.Rows = bt.Cols[0].Data.Len()
+	}
+	f.built = bt
+	f.schema = bt.Schema()
+	return bt, nil
+}
+
+// appendBlock folds one block of one column into the builder.
+func (cb *columnBuilder) appendBlock(v *vec.Vector, n int) {
+	if cb.info.Type == types.String && !cb.preserveTokens {
+		// Re-intern strings: input tokens may come from a different (or
+		// per-block scratch) heap; the output column owns its heap.
+		for i := 0; i < n; i++ {
+			tok := v.Data[i]
+			if tok == types.NullToken {
+				cb.scratch[i] = types.NullToken
+				continue
+			}
+			s := v.Heap.Get(tok)
+			if cb.acc != nil {
+				cb.scratch[i] = cb.acc.Intern(s)
+			} else {
+				cb.scratch[i] = cb.outHeap.Append(s)
+			}
+		}
+		cb.writer.Append(cb.scratch[:n])
+		return
+	}
+	cb.writer.Append(v.Data[:n])
+}
+
+// finish runs the Sect. 3.4 post-processing for one column: heap sorting,
+// type narrowing and metadata extraction.
+func (cb *columnBuilder) finish(cfg *FlowTableConfig) BuiltColumn {
+	stream := cb.writer.Finish()
+	st := cb.writer.Stats()
+	signed := signedType(cb.info.Type) && cb.info.Dict == nil && cb.info.Type != types.String
+	md := enc.MetadataFromStats(st, signed)
+
+	info := cb.info
+	if info.Type == types.String && !cb.preserveTokens {
+		info.Heap = cb.outHeap
+		// Heap sorting (Sect. 3.4.3): when the token column is dictionary
+		// encoded, the domain is small; sort the heap and write the new
+		// tokens back over the dictionary entries — never touching rows.
+		if cfg.SortHeaps && stream.Kind() == enc.Dictionary && cb.distinct() {
+			sorted, remap := cb.outHeap.SortedRemap()
+			err := enc.RemapDictEntries(stream, func(old uint64) uint64 {
+				if old == types.NullToken&enc.WidthMask(stream.Width()) {
+					return old
+				}
+				return remap[old]
+			})
+			if err == nil {
+				info.Heap = sorted
+				md.EntriesSorted = true
+				// The token values changed under the rows: statistics
+				// gathered over the old tokens no longer apply.
+				md.HasRange = false
+				md.SortedKnown = false
+				md.IsAffine = false
+				md.Dense = false
+			}
+		} else if cb.distinct() && cb.outHeap.IsSortedOrder() {
+			// Fortuitously sorted insertion order (Sect. 6.4).
+			md.EntriesSorted = true
+		}
+		if cb.acc != nil && cb.acc.Distinct() {
+			md.Cardinality, md.CardinalityExact = cb.acc.DomainSize(), true
+			md.CardinalityUpper = md.Cardinality
+		}
+	}
+
+	// Type narrowing (Sect. 3.4.1): header-only width reduction, with the
+	// sentinel pattern reserved on token columns so NULL stays unambiguous.
+	if cfg.Narrow {
+		narrowColumn(stream, st, info, signed)
+	}
+
+	return BuiltColumn{Info: withMeta(info, md), Data: stream,
+		Reencodings: cb.writer.Reencodings()}
+}
+
+func (cb *columnBuilder) distinct() bool {
+	return cb.acc != nil && cb.acc.Distinct()
+}
+
+func withMeta(info ColInfo, md enc.Metadata) ColInfo {
+	info.Meta = md
+	return info
+}
+
+// narrowColumn narrows stream in place when the encoding is amenable.
+func narrowColumn(stream *enc.Stream, st *enc.Stats, info ColInfo, signed bool) {
+	target := enc.MinWidth(stream, signed)
+	tokens := info.Heap != nil || info.Dict != nil || info.Type == types.String
+	if tokens {
+		// Reserve the all-ones pattern for the NULL token at the target
+		// width. st.MaxU covers every stored token including sentinels.
+		for target < 8 && st.MaxU >= enc.WidthMask(target) {
+			target *= 2
+		}
+	}
+	if target < stream.Width() {
+		_ = enc.Narrow(stream, target, signed) // non-amenable kinds just keep their width
+	}
+}
+
+// Open implements Operator: building happens here (stop-and-go).
+func (f *FlowTable) Open() error {
+	bt, err := f.BuildTable()
+	if err != nil {
+		return err
+	}
+	f.scan = NewBuiltScan(bt)
+	return f.scan.Open()
+}
+
+// Next implements Operator.
+func (f *FlowTable) Next(b *vec.Block) (bool, error) {
+	return f.scan.Next(b)
+}
+
+// Close implements Operator.
+func (f *FlowTable) Close() error {
+	if f.scan != nil {
+		return f.scan.Close()
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package exec
+
+import (
+	"fmt"
+
+	"tde/internal/enc"
+	"tde/internal/storage"
+	"tde/internal/vec"
+)
+
+// IndexedScan is the rank-join operator of Sect. 4.2: its inner input is
+// an IndexTable (value/count/start rows derived from a run-length encoded
+// column, possibly filtered, computed over, or sorted), and it fetches the
+// outer table's rows for each surviving run by translating the range
+//
+//	Index.start <= Outer.rank < Index.start + Index.count
+//
+// directly into storage accesses, in the order given by the inner table.
+// Range skipping is therefore expressed simply as a join in the plan, and
+// sorting the inner on the value column yields ordered retrieval
+// (Sect. 4.2.2) that enables ordered aggregation downstream.
+// SchemaSource is a TableSource whose output schema is known before the
+// build (FlowTable, BuiltScan); IndexedScan needs it to describe its own
+// schema during strategic planning.
+type SchemaSource interface {
+	TableSource
+	Schema() []ColInfo
+}
+
+type IndexedScan struct {
+	inner    SchemaSource
+	countCol int
+	startCol int
+	// passCols are inner columns replicated across each run's rows
+	// (typically the value column, plus any computed roll-ups).
+	passCols []int
+
+	outer     *storage.Table
+	outerCols []int
+
+	schema []ColInfo
+	built  *Built
+
+	readers []*enc.Reader
+	runIdx  int // current inner row
+	runOff  int // rows of the current run already emitted
+}
+
+// NewIndexedScan builds an indexed scan. passCols/countCol/startCol index
+// the inner's columns; outerNames name the outer columns to fetch.
+func NewIndexedScan(inner SchemaSource, passCols []int, countCol, startCol int,
+	outer *storage.Table, outerNames ...string) (*IndexedScan, error) {
+	is := &IndexedScan{inner: inner, countCol: countCol, startCol: startCol,
+		passCols: passCols, outer: outer}
+	for _, n := range outerNames {
+		idx := outer.ColumnIndex(n)
+		if idx < 0 {
+			return nil, fmt.Errorf("exec: outer table has no column %q", n)
+		}
+		is.outerCols = append(is.outerCols, idx)
+	}
+	return is, nil
+}
+
+// Schema implements Operator: the pass-through inner columns followed by
+// the fetched outer columns. Metadata for pass-through columns is filled
+// at Open from the built inner (FlowTable's extraction feeds the tactical
+// optimizer through here, Sect. 4.2.1).
+func (is *IndexedScan) Schema() []ColInfo {
+	if is.schema != nil {
+		return is.schema
+	}
+	innerSchema := is.inner.Schema()
+	var out []ColInfo
+	for _, c := range is.passCols {
+		out = append(out, innerSchema[c])
+	}
+	for _, c := range is.outerCols {
+		col := is.outer.Columns[c]
+		out = append(out, ColInfo{Name: col.Name, Type: col.Type, Heap: col.Heap, Dict: col.Dict})
+	}
+	return out
+}
+
+// Open implements Operator.
+func (is *IndexedScan) Open() error {
+	bt, err := is.inner.BuildTable()
+	if err != nil {
+		return err
+	}
+	is.built = bt
+	is.schema = nil
+	var schema []ColInfo
+	for _, c := range is.passCols {
+		info := bt.Cols[c].Info
+		// Present the enhanced metadata to the client of the IndexedScan
+		// (Sect. 4.2.1): a sorted index means the replicated value column
+		// comes out sorted.
+		md := enc.MetadataFromStream(bt.Cols[c].Data, signedType(info.Type) && info.Dict == nil,
+			sentinelFor(info), true)
+		if info.Meta.SortedKnown {
+			md.SortedKnown, md.SortedAsc = true, info.Meta.SortedAsc
+		}
+		info.Meta = md
+		schema = append(schema, info)
+	}
+	for _, c := range is.outerCols {
+		col := is.outer.Columns[c]
+		schema = append(schema, ColInfo{Name: col.Name, Type: col.Type,
+			Heap: col.Heap, Dict: col.Dict, Meta: col.Meta})
+	}
+	is.schema = schema
+
+	is.readers = make([]*enc.Reader, len(is.outerCols))
+	for i, c := range is.outerCols {
+		is.readers[i] = enc.NewReader(is.outer.Columns[c].Data)
+	}
+	is.runIdx, is.runOff = 0, 0
+	return nil
+}
+
+// Next implements Operator: packs one or more (partial) runs into a block.
+func (is *IndexedScan) Next(b *vec.Block) (bool, error) {
+	if is.built == nil || is.runIdx >= is.built.Rows {
+		return false, nil
+	}
+	np := len(is.passCols)
+	ensureVecs(b, len(is.schema))
+	filled := 0
+	for filled < vec.BlockSize && is.runIdx < is.built.Rows {
+		count := int(int64(is.built.Value(is.countCol, is.runIdx)))
+		start := int(int64(is.built.Value(is.startCol, is.runIdx)))
+		remain := count - is.runOff
+		if remain <= 0 {
+			is.runIdx++
+			is.runOff = 0
+			continue
+		}
+		take := vec.BlockSize - filled
+		if take > remain {
+			take = remain
+		}
+		// Replicate the pass-through inner values.
+		for pi, c := range is.passCols {
+			v := is.built.Value(c, is.runIdx)
+			dst := b.Vecs[pi].Data[filled : filled+take]
+			for i := range dst {
+				dst[i] = v
+			}
+		}
+		// Translate the range directly into storage reads.
+		for oi, r := range is.readers {
+			col := is.outer.Columns[is.outerCols[oi]]
+			dst := b.Vecs[np+oi].Data[filled : filled+take]
+			got := r.Read(start+is.runOff, take, dst)
+			if got != take {
+				return false, fmt.Errorf("exec: indexed scan range [%d,%d) beyond outer table",
+					start+is.runOff, start+is.runOff+take)
+			}
+			widenInPlace(dst, col.Data.Width(), is.schema[np+oi])
+		}
+		filled += take
+		is.runOff += take
+		if is.runOff >= count {
+			is.runIdx++
+			is.runOff = 0
+		}
+	}
+	if filled == 0 {
+		return false, nil
+	}
+	for i, info := range is.schema {
+		b.Vecs[i].Type = info.Type
+		b.Vecs[i].Heap = info.Heap
+		b.Vecs[i].Dict = info.Dict
+	}
+	b.N = filled
+	return true, nil
+}
+
+// Close implements Operator.
+func (is *IndexedScan) Close() error {
+	is.readers = nil
+	return nil
+}

@@ -1,0 +1,376 @@
+package exec
+
+import (
+	"fmt"
+
+	"tde/internal/enc"
+	"tde/internal/heap"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// JoinAlgo identifies the lookup algorithm the tactical optimizer picked
+// for a join (Sect. 2.3.4): fetch joins need no lookup structure at all;
+// direct lookups index a table over the key envelope (the perfect/direct
+// hash cases); chained hashing is the expensive general fallback.
+type JoinAlgo uint8
+
+// Join algorithms.
+const (
+	// JoinAuto defers the choice to Open.
+	JoinAuto JoinAlgo = iota
+	// JoinFetch computes the inner row id as an affine transformation of
+	// the key value: row = (key - base) / delta (Sect. 2.3.5). Fastest.
+	JoinFetch
+	// JoinDirect indexes an array over the inner key's [min,max] envelope
+	// — the direct (<=2 byte) and perfect (3-4 byte) hash cases.
+	JoinDirect
+	// JoinHash uses a chained hash table with collision detection.
+	JoinHash
+)
+
+func (a JoinAlgo) String() string {
+	return [...]string{"auto", "fetch", "direct", "hash"}[a]
+}
+
+// directJoinLimit bounds the envelope array for direct lookups. 2-byte
+// keys always fit (64K); wider keys qualify when their envelope happens to
+// be small (the constructed perfect hash).
+const directJoinLimit = 1 << 24
+
+// HashJoin is a many-to-one (PK/FK) join: each outer row matches at most
+// one inner row by key equality. The inner relation is a stop-and-go
+// TableSource (Sect. 4.1.2: "The TDE Join operator takes a stop-and-go
+// operator as the inner relation"), typically a FlowTable whose extracted
+// metadata drives the algorithm choice.
+type HashJoin struct {
+	outer    Operator
+	inner    TableSource
+	outerKey int
+	innerKey int
+	// LeftOuter keeps unmatched outer rows with NULL inner columns;
+	// otherwise they are dropped.
+	LeftOuter bool
+	algo      JoinAlgo
+	chosen    JoinAlgo
+
+	built    *Built
+	schema   []ColInfo
+	innerCol []uint64 // decoded inner key values
+	// lookup structures
+	direct []int32
+	dmin   int64
+	table  map[uint64][]int32
+	// String keys join by content (tokens from different heaps are not
+	// comparable): collation-hashed candidates verified by collated
+	// equality, plus the NULL row for Tableau NULL-join semantics.
+	stringJoin bool
+	strTable   map[uint64][]int32
+	strNullRow int32
+	coll       types.Collation
+	innerHeap  *heap.Heap
+	// fetch parameters
+	base, delta int64
+
+	buf *vec.Block
+}
+
+// NewHashJoin joins outer to inner on outer column outerKey = inner column
+// innerKey. algo JoinAuto lets the tactical optimizer decide.
+func NewHashJoin(outer Operator, inner TableSource, outerKey, innerKey int, algo JoinAlgo) *HashJoin {
+	return &HashJoin{outer: outer, inner: inner, outerKey: outerKey, innerKey: innerKey, algo: algo}
+}
+
+// Schema implements Operator: outer columns followed by inner columns
+// (except the inner key, which duplicates the outer key). Before the
+// inner side is built, the schema comes from the TableSource's declared
+// schema when it has one (FlowTable, BuiltScan), so the strategic planner
+// can resolve names against the joined shape.
+func (j *HashJoin) Schema() []ColInfo {
+	if j.schema != nil {
+		return j.schema
+	}
+	out := append([]ColInfo{}, j.outer.Schema()...)
+	// Outer columns keep their order metadata (the join preserves outer
+	// order), but filtering by an inner join can break density — the very
+	// effect Sect. 3.4.2 describes for filtered dimensions.
+	if !j.LeftOuter {
+		for i := range out {
+			out[i].Meta.Dense = false
+			out[i].Meta.IsAffine = false
+		}
+	}
+	appendInner := func(info ColInfo) {
+		// Inner values are fetched in outer order: sortedness, density,
+		// uniqueness and affinity of the dimension column do not survive.
+		info.Meta.SortedKnown = false
+		info.Meta.IsAffine = false
+		info.Meta.Dense = false
+		info.Meta.Unique = false
+		if j.LeftOuter {
+			info.Meta.NullsKnown = false
+		}
+		out = append(out, info)
+	}
+	switch {
+	case j.built != nil:
+		for i := range j.built.Cols {
+			if i != j.innerKey {
+				appendInner(j.built.Cols[i].Info)
+			}
+		}
+	default:
+		if ss, ok := j.inner.(SchemaSource); ok {
+			for i, info := range ss.Schema() {
+				if i != j.innerKey {
+					appendInner(info)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Algo returns the algorithm actually chosen (valid after Open).
+func (j *HashJoin) Algo() JoinAlgo { return j.chosen }
+
+// Open implements Operator: materializes the inner side and builds the
+// lookup structure the metadata admits.
+func (j *HashJoin) Open() error {
+	bt, err := j.inner.BuildTable()
+	if err != nil {
+		return err
+	}
+	j.built = bt
+	j.schema = nil
+	j.schema = j.Schema()
+	j.buf = vec.NewBlock(len(j.outer.Schema()))
+
+	key := &bt.Cols[j.innerKey]
+	if key.Info.Type == types.String {
+		return j.openStringJoin(key)
+	}
+	md := key.Info.Meta
+	j.chosen = j.algo
+	if j.chosen == JoinAuto {
+		switch {
+		case md.IsAffine && md.AffineDelta != 0:
+			// Dense/unique (or any exact affine) inner key: fetch join.
+			j.chosen = JoinFetch
+		case md.HasRange && md.RangeExact && !md.HasNulls &&
+			md.Max-md.Min >= 0 && md.Max-md.Min < directJoinLimit:
+			j.chosen = JoinDirect
+		default:
+			j.chosen = JoinHash
+		}
+	}
+
+	switch j.chosen {
+	case JoinFetch:
+		j.base, j.delta = md.AffineBase, md.AffineDelta
+		if j.delta == 0 {
+			return fmt.Errorf("exec: fetch join requires nonzero affine delta")
+		}
+	case JoinDirect:
+		j.dmin = md.Min
+		j.direct = make([]int32, md.Max-md.Min+1)
+		for i := range j.direct {
+			j.direct[i] = -1
+		}
+		j.decodeInnerKey(key)
+		for r, v := range j.innerCol {
+			j.direct[int64(v)-j.dmin] = int32(r)
+		}
+	case JoinHash:
+		j.table = make(map[uint64][]int32)
+		j.decodeInnerKey(key)
+		for r, v := range j.innerCol {
+			j.table[v] = append(j.table[v], int32(r))
+		}
+	}
+	return j.outer.Open()
+}
+
+// openStringJoin builds the content-based lookup for string join keys.
+// Same-heap fast paths are possible when both sides share one heap, but
+// content hashing is always correct and collation-aware.
+func (j *HashJoin) openStringJoin(key *BuiltColumn) error {
+	j.stringJoin = true
+	j.chosen = JoinHash
+	j.coll = key.Info.Collation
+	if key.Info.Heap != nil {
+		j.coll = key.Info.Heap.Collation()
+	}
+	j.strTable = make(map[uint64][]int32)
+	j.table = make(map[uint64][]int32) // token-keyed fast path (same heap)
+	j.strNullRow = -1
+	j.innerHeap = key.Info.Heap
+	j.decodeInnerKey(key)
+	for r, tok := range j.innerCol {
+		if tok == types.NullToken {
+			// Tableau NULL join semantics: NULL matches NULL.
+			j.strNullRow = int32(r)
+			continue
+		}
+		j.table[tok] = append(j.table[tok], int32(r))
+		s := key.Info.Heap.Get(tok)
+		h := j.coll.Hash(s)
+		j.strTable[h] = append(j.strTable[h], int32(r))
+	}
+	return j.outer.Open()
+}
+
+// probeString resolves an outer token through its (block) heap and looks
+// up the matching inner row by content.
+func (j *HashJoin) probeString(tok uint64, h *heap.Heap) int {
+	if tok == types.NullToken {
+		return int(j.strNullRow)
+	}
+	if h != nil && h == j.innerHeap {
+		// Invisible-join fast path: both sides share a heap with distinct
+		// tokens, so token equality is string equality (Sect. 4.1).
+		for _, r := range j.table[tok] {
+			if j.innerCol[r] == tok {
+				return int(r)
+			}
+		}
+		return -1
+	}
+	s := h.Get(tok)
+	key := &j.built.Cols[j.innerKey]
+	for _, r := range j.strTable[j.coll.Hash(s)] {
+		if j.coll.Equal(key.Info.Heap.Get(j.innerCol[r]), s) {
+			return int(r)
+		}
+	}
+	return -1
+}
+
+func (j *HashJoin) decodeInnerKey(key *BuiltColumn) {
+	n := key.Data.Len()
+	j.innerCol = make([]uint64, n)
+	r := enc.NewReader(key.Data)
+	r.Read(0, n, j.innerCol)
+	w := key.Data.Width()
+	for i, v := range j.innerCol {
+		j.innerCol[i] = resolveRaw(v, w, key.Info)
+	}
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next(b *vec.Block) (bool, error) {
+	for {
+		ok, err := j.outer.Next(j.buf)
+		if err != nil || !ok {
+			return false, err
+		}
+		if n := j.joinBlock(j.buf, b); n > 0 {
+			return true, nil
+		}
+	}
+}
+
+func (j *HashJoin) joinBlock(in, out *vec.Block) int {
+	nOuter := len(in.Vecs)
+	ensureVecs(out, len(j.schema))
+	keyVec := &in.Vecs[j.outerKey]
+	keys := keyVec.Data
+	k := 0
+	for i := 0; i < in.N; i++ {
+		var row int
+		if j.stringJoin {
+			row = j.probeString(keys[i], keyVec.Heap)
+		} else {
+			row = j.probe(keys[i])
+		}
+		if row < 0 && !j.LeftOuter {
+			continue
+		}
+		for c := 0; c < nOuter; c++ {
+			out.Vecs[c].Data[k] = in.Vecs[c].Data[i]
+		}
+		oc := nOuter
+		for c := range j.built.Cols {
+			if c == j.innerKey {
+				continue
+			}
+			if row < 0 {
+				out.Vecs[oc].Data[k] = types.NullBits(j.built.Cols[c].Info.Type)
+			} else {
+				out.Vecs[oc].Data[k] = j.built.Value(c, row)
+			}
+			oc++
+		}
+		k++
+	}
+	for c := 0; c < nOuter; c++ {
+		out.Vecs[c].Type = in.Vecs[c].Type
+		out.Vecs[c].Heap = in.Vecs[c].Heap
+		out.Vecs[c].Dict = in.Vecs[c].Dict
+	}
+	oc := nOuter
+	for c := range j.built.Cols {
+		if c == j.innerKey {
+			continue
+		}
+		info := j.built.Cols[c].Info
+		out.Vecs[oc].Type = info.Type
+		out.Vecs[oc].Heap = info.Heap
+		out.Vecs[oc].Dict = info.Dict
+		oc++
+	}
+	out.N = k
+	return k
+}
+
+// probe returns the matching inner row, or -1.
+func (j *HashJoin) probe(key uint64) int {
+	switch j.chosen {
+	case JoinFetch:
+		// No intermediate lookup table at all (Sect. 2.3.5).
+		off := int64(key) - j.base
+		if off%j.delta != 0 {
+			return -1
+		}
+		row := off / j.delta
+		if row < 0 || row >= int64(j.built.Rows) {
+			return -1
+		}
+		return int(row)
+	case JoinDirect:
+		idx := int64(key) - j.dmin
+		if idx < 0 || idx >= int64(len(j.direct)) {
+			return -1
+		}
+		return int(j.direct[idx])
+	default:
+		for _, r := range j.table[key] {
+			if j.innerCol[r] == key {
+				return int(r)
+			}
+		}
+		return -1
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.direct = nil
+	j.table = nil
+	j.innerCol = nil
+	return j.outer.Close()
+}
+
+// InvisibleJoinResolve is a convenience used by tests: given a token block
+// column and a dictionary table, resolve tokens to values.
+func InvisibleJoinResolve(tokens []uint64, dict []uint64) []uint64 {
+	out := make([]uint64, len(tokens))
+	for i, t := range tokens {
+		if t == types.NullToken {
+			out[i] = types.NullToken
+			continue
+		}
+		out[i] = dict[t]
+	}
+	return out
+}

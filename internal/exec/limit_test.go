@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"tde/internal/types"
+)
+
+func TestLimitOperator(t *testing.T) {
+	tab := makeTable("t", makeIntColumn("a", types.Integer, seqInts(5000)))
+	scan, _ := NewScan(tab)
+	rows, err := Collect(NewLimit(scan, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("limit kept %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if int64(r[0]) != int64(i) {
+			t.Fatalf("row %d = %d", i, int64(r[0]))
+		}
+	}
+	// Limit larger than input passes everything.
+	scan2, _ := NewScan(tab)
+	rows, _ = Collect(NewLimit(scan2, 100000))
+	if len(rows) != 5000 {
+		t.Fatalf("oversized limit kept %d", len(rows))
+	}
+	// Limit crossing a block boundary.
+	scan3, _ := NewScan(tab)
+	rows, _ = Collect(NewLimit(scan3, 1500))
+	if len(rows) != 1500 {
+		t.Fatalf("cross-block limit kept %d", len(rows))
+	}
+}
+
+func TestTopNMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 20000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1000000))
+	}
+	tab := makeTable("t", makeIntColumn("a", types.Integer, vals))
+	for _, desc := range []bool{false, true} {
+		for _, n := range []int{1, 10, 100, 1500} {
+			scan, _ := NewScan(tab)
+			full, err := Collect(NewLimit(NewSort(scan, SortKey{Col: 0, Desc: desc}), n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan2, _ := NewScan(tab)
+			top, err := Collect(NewTopN(scan2, n, SortKey{Col: 0, Desc: desc}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(top) != len(full) {
+				t.Fatalf("desc=%v n=%d: %d vs %d rows", desc, n, len(top), len(full))
+			}
+			for i := range full {
+				if top[i][0] != full[i][0] {
+					t.Fatalf("desc=%v n=%d row %d: %d vs %d", desc, n, i,
+						int64(top[i][0]), int64(full[i][0]))
+				}
+			}
+		}
+	}
+}
+
+func TestTopNStrings(t *testing.T) {
+	words := []string{"pear", "apple", "zebra", "mango", "cherry", "fig"}
+	var vals []string
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, words[i%len(words)])
+	}
+	tab := makeTable("t", makeStringColumn("w", vals))
+	scan, _ := NewScan(tab)
+	rows, err := CollectStrings(NewTopN(scan, 3, SortKey{Col: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r[0] != "apple" {
+			t.Fatalf("top-3 of 5000 rows dominated by apples, got %q", r[0])
+		}
+	}
+}
+
+func TestTopNNullsFirst(t *testing.T) {
+	vals := []int64{5, types.NullInteger, 1, types.NullInteger, 3}
+	tab := makeTable("t", makeIntColumn("a", types.Integer, vals))
+	scan, _ := NewScan(tab)
+	rows, err := CollectStrings(NewTopN(scan, 3, SortKey{Col: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != "NULL" || rows[1][0] != "NULL" || rows[2][0] != "1" {
+		t.Fatalf("null ordering wrong: %v", rows)
+	}
+}

@@ -1,0 +1,221 @@
+// Package exec implements the TDE execution engine (Sect. 2.3.1): a
+// block-iterated Volcano-style operator tree with two operator styles —
+// flow operators, which process one block of rows at a time, and
+// stop-and-go operators, which must consume their whole input before
+// producing output (FlowTable, Sort, Aggregate, and the inner side of
+// joins).
+package exec
+
+import (
+	"tde/internal/enc"
+	"tde/internal/heap"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// ColInfo describes one output column of an operator, including the
+// runtime properties the tactical optimizer consumes (Sect. 2.3.1:
+// "property derivation happens on-the-go").
+type ColInfo struct {
+	Name string
+	Type types.Type
+	// Collation applies to string columns (Sect. 2.3.4); it governs the
+	// heaps that materialization operators build for this column.
+	Collation types.Collation
+	// Heap resolves string tokens; nil for scalars. May be nil for
+	// computed string columns whose heap is created per block.
+	Heap *heap.Heap
+	// Dict marks dictionary-compressed scalar columns.
+	Dict []uint64
+	// Meta carries derived properties (min/max, cardinality, sortedness,
+	// dense/unique) used for tactical decisions.
+	Meta enc.Metadata
+}
+
+// Operator is a Volcano block iterator.
+type Operator interface {
+	// Schema describes the output columns. Valid after construction.
+	Schema() []ColInfo
+	// Open prepares the operator (and its subtree) for iteration.
+	Open() error
+	// Next fills b with the next block, returning false at end of stream.
+	// b's vectors are valid until the following Next call.
+	Next(b *vec.Block) (bool, error)
+	// Close releases resources. Safe to call after a failed Open.
+	Close() error
+}
+
+// TableSource is implemented by stop-and-go operators that materialize a
+// table (FlowTable and the pseudo-table operators of Sect. 4); the Join
+// operator "takes a stop-and-go operator as the inner relation".
+type TableSource interface {
+	// BuildTable runs the subtree to completion and returns the result.
+	BuildTable() (*Built, error)
+}
+
+// Built is a materialized table plus the metadata FlowTable extracted
+// while building it — the hand-off from the encoding layer to the
+// tactical optimizer (Sect. 4.1.2).
+type Built struct {
+	Cols []BuiltColumn
+	Rows int
+}
+
+// BuiltColumn is one materialized column.
+type BuiltColumn struct {
+	Info ColInfo
+	// Data is the encoded stream of values (scalars or heap tokens).
+	Data *enc.Stream
+	// Reencodings counts the dynamic encoder's format rewrites while this
+	// column loaded (Sect. 3.2 reports two for lineitem at SF-1).
+	Reencodings int
+}
+
+// Schema returns the built table's column descriptions.
+func (bt *Built) Schema() []ColInfo {
+	out := make([]ColInfo, len(bt.Cols))
+	for i := range bt.Cols {
+		out[i] = bt.Cols[i].Info
+	}
+	return out
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (bt *Built) ColumnIndex(name string) int {
+	for i := range bt.Cols {
+		if bt.Cols[i].Info.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value resolves row r of column c to full-width value bits.
+func (bt *Built) Value(c, r int) uint64 {
+	col := &bt.Cols[c]
+	return resolveRaw(col.Data.Get(r), col.Data.Width(), col.Info)
+}
+
+// resolveRaw widens a raw stream value: sign-extending signed scalars and
+// restoring the full-width NULL sentinel for token columns. Token columns
+// are never narrowed onto their sentinel pattern (FlowTable reserves it),
+// so the mapping is unambiguous.
+func resolveRaw(v uint64, width int, info ColInfo) uint64 {
+	if width == 8 {
+		return v
+	}
+	tokens := info.Heap != nil || info.Dict != nil || info.Type == types.String
+	if tokens {
+		if v == types.NullToken&enc.WidthMask(width) {
+			return types.NullToken
+		}
+		return v
+	}
+	if signedType(info.Type) {
+		return uint64(enc.SignExtend(v, width))
+	}
+	return v
+}
+
+func signedType(t types.Type) bool {
+	switch t {
+	case types.Integer, types.Date, types.Timestamp:
+		return true
+	}
+	return false
+}
+
+// sentinelFor returns the NULL sentinel for a column as stored (token
+// columns use the token sentinel).
+func sentinelFor(info ColInfo) uint64 {
+	if info.Heap != nil || info.Dict != nil || info.Type == types.String {
+		return types.NullToken
+	}
+	return types.NullBits(info.Type)
+}
+
+// Run drains an operator, returning the total row count. Used by tests
+// and benches that only need the side effects.
+func Run(op Operator) (int, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	b := vec.NewBlock(len(op.Schema()))
+	total := 0
+	for {
+		ok, err := op.Next(b)
+		if err != nil {
+			return total, err
+		}
+		if !ok {
+			return total, nil
+		}
+		total += b.N
+	}
+}
+
+// Collect drains an operator into row-major [][]uint64 values (resolved
+// bits; string tokens are resolved to heap offsets of their block heap —
+// use CollectStrings for content). Intended for tests.
+func Collect(op Operator) ([][]uint64, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	b := vec.NewBlock(len(op.Schema()))
+	var rows [][]uint64
+	for {
+		ok, err := op.Next(b)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		for i := 0; i < b.N; i++ {
+			row := make([]uint64, len(b.Vecs))
+			for c := range b.Vecs {
+				row[c] = b.Vecs[c].Value(i)
+			}
+			rows = append(rows, row)
+		}
+	}
+}
+
+// CollectStrings drains an operator formatting every value, for tests on
+// string-bearing plans.
+func CollectStrings(op Operator) ([][]string, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	schema := op.Schema()
+	b := vec.NewBlock(len(schema))
+	var rows [][]string
+	for {
+		ok, err := op.Next(b)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		for i := 0; i < b.N; i++ {
+			row := make([]string, len(b.Vecs))
+			for c := range b.Vecs {
+				v := &b.Vecs[c]
+				if schema[c].Type == types.String {
+					if v.Data[i] == types.NullToken {
+						row[c] = "NULL"
+					} else {
+						row[c] = v.Heap.Get(v.Data[i])
+					}
+					continue
+				}
+				row[c] = types.Format(schema[c].Type, v.Value(i))
+			}
+			rows = append(rows, row)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package exec
+
+import (
+	"tde/internal/expr"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// Select is the filtering flow operator: it evaluates a boolean predicate
+// per block and compacts the surviving rows. NULL predicate results drop
+// the row (Tableau predicate semantics).
+type Select struct {
+	child Operator
+	pred  expr.Expr
+	buf   *vec.Block
+	out   vec.Vector
+}
+
+// NewSelect filters child by pred.
+func NewSelect(child Operator, pred expr.Expr) *Select {
+	return &Select{child: child, pred: pred}
+}
+
+// Schema implements Operator.
+func (s *Select) Schema() []ColInfo { return s.child.Schema() }
+
+// Open implements Operator.
+func (s *Select) Open() error {
+	s.buf = vec.NewBlock(len(s.child.Schema()))
+	s.out.Data = make([]uint64, vec.BlockSize)
+	return s.child.Open()
+}
+
+// Next implements Operator.
+func (s *Select) Next(b *vec.Block) (bool, error) {
+	for {
+		ok, err := s.child.Next(s.buf)
+		if err != nil || !ok {
+			return false, err
+		}
+		n := s.Transform(s.buf, b)
+		if n > 0 {
+			return true, nil
+		}
+	}
+}
+
+// Transform applies the filter to one block, writing survivors to out and
+// returning the surviving row count. Exposed so Exchange can parallelize
+// this flow stage per block (Sect. 4.3).
+func (s *Select) Transform(in, out *vec.Block) int {
+	if cap(s.out.Data) < vec.BlockSize {
+		s.out.Data = make([]uint64, vec.BlockSize)
+	}
+	s.out.Data = s.out.Data[:vec.BlockSize]
+	s.pred.Eval(in, &s.out)
+	ensureVecs(out, len(in.Vecs))
+	k := 0
+	for i := 0; i < in.N; i++ {
+		v := s.out.Data[i]
+		if v == types.NullBoolean || v == 0 {
+			continue
+		}
+		for c := range in.Vecs {
+			out.Vecs[c].Data[k] = in.Vecs[c].Data[i]
+		}
+		k++
+	}
+	for c := range in.Vecs {
+		out.Vecs[c].Type = in.Vecs[c].Type
+		out.Vecs[c].Heap = in.Vecs[c].Heap
+		out.Vecs[c].Dict = in.Vecs[c].Dict
+	}
+	out.N = k
+	return k
+}
+
+// Close implements Operator.
+func (s *Select) Close() error { return s.child.Close() }
+
+// Project is the computation flow operator: it evaluates expressions over
+// each block to produce its output columns.
+type Project struct {
+	child  Operator
+	exprs  []expr.Expr
+	names  []string
+	schema []ColInfo
+	buf    *vec.Block
+}
+
+// NewProject computes exprs (named names) over child.
+func NewProject(child Operator, exprs []expr.Expr, names []string) *Project {
+	p := &Project{child: child, exprs: exprs, names: names}
+	for i, e := range exprs {
+		p.schema = append(p.schema, ColInfo{Name: names[i], Type: e.Type()})
+	}
+	return p
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() []ColInfo { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error {
+	p.buf = vec.NewBlock(len(p.child.Schema()))
+	return p.child.Open()
+}
+
+// Next implements Operator.
+func (p *Project) Next(b *vec.Block) (bool, error) {
+	ok, err := p.child.Next(p.buf)
+	if err != nil || !ok {
+		return false, err
+	}
+	p.Transform(p.buf, b)
+	return true, nil
+}
+
+// Transform computes the projection for one block; exposed for Exchange.
+func (p *Project) Transform(in, out *vec.Block) int {
+	ensureVecs(out, len(p.exprs))
+	for c, e := range p.exprs {
+		e.Eval(in, &out.Vecs[c])
+	}
+	out.N = in.N
+	return in.N
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.child.Close() }

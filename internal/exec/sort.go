@@ -1,0 +1,200 @@
+package exec
+
+import (
+	"sort"
+
+	"tde/internal/heap"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// SortKey describes one sort column.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort is the stop-and-go sorting operator. It materializes its input,
+// sorts row indexes, and emits blocks in order. Note Sect. 4.3: operators
+// that disturb data order can degrade downstream encodings — Sort is also
+// what the Fig. 10 plan 3 uses to enable ordered aggregation.
+type Sort struct {
+	child  Operator
+	keys   []SortKey
+	schema []ColInfo
+
+	cols  [][]uint64
+	heaps []*heap.Heap // unified output heap per string column
+	order []int32
+	at    int
+}
+
+// NewSort sorts child by keys.
+func NewSort(child Operator, keys ...SortKey) *Sort {
+	return &Sort{child: child, keys: keys, schema: child.Schema()}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() []ColInfo {
+	out := make([]ColInfo, len(s.schema))
+	copy(out, s.schema)
+	for i := range out {
+		if s.heaps != nil && s.heaps[i] != nil {
+			out[i].Heap = s.heaps[i]
+		}
+	}
+	// The primary key column is sorted on output.
+	if len(s.keys) > 0 && !s.keys[0].Desc {
+		out[s.keys[0].Col].Meta.SortedKnown = true
+		out[s.keys[0].Col].Meta.SortedAsc = true
+	}
+	return out
+}
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	defer s.child.Close()
+	nc := len(s.schema)
+	s.cols = make([][]uint64, nc)
+	s.heaps = make([]*heap.Heap, nc)
+	var accs []*heap.Accelerator
+	for c, info := range s.schema {
+		if info.Type == types.String {
+			coll := info.Collation
+			if info.Heap != nil {
+				coll = info.Heap.Collation()
+			}
+			s.heaps[c] = heap.New(coll)
+			for len(accs) <= c {
+				accs = append(accs, nil)
+			}
+			accs[c] = heap.NewAccelerator(s.heaps[c], 0)
+		}
+	}
+	b := vec.NewBlock(nc)
+	for {
+		ok, err := s.child.Next(b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for c := 0; c < nc; c++ {
+			v := &b.Vecs[c]
+			if s.heaps[c] != nil {
+				for i := 0; i < b.N; i++ {
+					tok := v.Data[i]
+					if tok == types.NullToken {
+						s.cols[c] = append(s.cols[c], types.NullToken)
+					} else {
+						s.cols[c] = append(s.cols[c], accs[c].Intern(v.Heap.Get(tok)))
+					}
+				}
+			} else {
+				s.cols[c] = append(s.cols[c], v.Data[:b.N]...)
+			}
+		}
+	}
+	n := 0
+	if nc > 0 {
+		n = len(s.cols[0])
+	}
+	s.order = make([]int32, n)
+	for i := range s.order {
+		s.order[i] = int32(i)
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		ra, rb := s.order[a], s.order[b]
+		for _, k := range s.keys {
+			c := s.compare(k.Col, ra, rb)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.at = 0
+	return nil
+}
+
+// compare orders two materialized rows on column c; NULL sorts first.
+func (s *Sort) compare(c int, ra, rb int32) int {
+	va, vb := s.cols[c][ra], s.cols[c][rb]
+	info := s.schema[c]
+	if info.Type == types.String {
+		an, bn := va == types.NullToken, vb == types.NullToken
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		case bn:
+			return 1
+		}
+		return s.heaps[c].Compare(va, vb)
+	}
+	t := info.Type
+	resolve := func(v uint64) uint64 {
+		if info.Dict != nil && v != types.NullToken {
+			return info.Dict[v]
+		}
+		return v
+	}
+	xa, xb := resolve(va), resolve(vb)
+	an, bn := types.IsNull(t, xa), types.IsNull(t, xb)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	return types.Compare(t, xa, xb)
+}
+
+// Next implements Operator.
+func (s *Sort) Next(b *vec.Block) (bool, error) {
+	n := len(s.order) - s.at
+	if n <= 0 {
+		return false, nil
+	}
+	if n > vec.BlockSize {
+		n = vec.BlockSize
+	}
+	ensureVecs(b, len(s.schema))
+	for c := range s.schema {
+		v := &b.Vecs[c]
+		v.Type = s.schema[c].Type
+		v.Dict = s.schema[c].Dict
+		if s.heaps[c] != nil {
+			v.Heap = s.heaps[c]
+		} else {
+			v.Heap = s.schema[c].Heap
+			if s.schema[c].Type == types.String {
+				v.Heap = s.heaps[c]
+			}
+		}
+		for i := 0; i < n; i++ {
+			v.Data[i] = s.cols[c][s.order[s.at+i]]
+		}
+	}
+	b.N = n
+	s.at += n
+	return true, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.cols = nil
+	s.order = nil
+	return nil
+}

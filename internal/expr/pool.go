@@ -1,0 +1,44 @@
+package expr
+
+import (
+	"sync"
+
+	"tde/internal/heap"
+	"tde/internal/vec"
+)
+
+// Scratch vector pool for intermediate expression results. Expression
+// trees evaluate bottom-up one block at a time, so the pool stays tiny.
+var vecPool = sync.Pool{
+	New: func() any {
+		return &vec.Vector{Data: make([]uint64, vec.BlockSize)}
+	},
+}
+
+func borrow(n int) *vec.Vector {
+	v := vecPool.Get().(*vec.Vector)
+	if cap(v.Data) < n {
+		v.Data = make([]uint64, n)
+	}
+	v.Data = v.Data[:cap(v.Data)]
+	v.Heap = nil
+	v.Dict = nil
+	return v
+}
+
+func release(v *vec.Vector) {
+	v.Heap = nil
+	v.Dict = nil
+	vecPool.Put(v)
+}
+
+// newScratchHeap builds a heap for computed string results, inheriting the
+// input collation.
+func newScratchHeap(in *heap.Heap) *heap.Heap {
+	coll := 0
+	_ = coll
+	if in != nil {
+		return heap.New(in.Collation())
+	}
+	return heap.New(0)
+}

@@ -1,0 +1,96 @@
+package flights
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tde/internal/exec"
+	"tde/internal/textscan"
+	"tde/internal/types"
+)
+
+func TestGenerateAndImport(t *testing.T) {
+	g := New(20000, 1)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := textscan.New(buf.Bytes(), textscan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.HasHeader() {
+		t.Fatal("header not detected")
+	}
+	specs := ts.Specs()
+	byName := map[string]types.Type{}
+	for _, s := range specs {
+		byName[s.Name] = s.Type
+	}
+	if byName["FlightDate"] != types.Date {
+		t.Errorf("FlightDate inferred %v", byName["FlightDate"])
+	}
+	if byName["Carrier"] != types.String {
+		t.Errorf("Carrier inferred %v", byName["Carrier"])
+	}
+	if byName["DepDelay"] != types.Integer {
+		t.Errorf("DepDelay inferred %v", byName["DepDelay"])
+	}
+	if byName["Cancelled"] != types.Boolean {
+		t.Errorf("Cancelled inferred %v", byName["Cancelled"])
+	}
+	n, err := exec.Run(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20000 {
+		t.Fatalf("imported %d rows", n)
+	}
+}
+
+func TestSmallStringDomains(t *testing.T) {
+	// The defining property vs lineitem: every string column has a small
+	// domain (Sect. 5.2).
+	g := New(50000, 2)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")[1:]
+	carriersSeen := map[string]bool{}
+	origins := map[string]bool{}
+	tails := map[string]bool{}
+	for _, ln := range lines {
+		f := strings.Split(ln, ",")
+		carriersSeen[f[1]] = true
+		tails[f[3]] = true
+		origins[f[4]] = true
+	}
+	if len(carriersSeen) > 20 {
+		t.Errorf("%d carriers", len(carriersSeen))
+	}
+	if len(origins) > 60 {
+		t.Errorf("%d origins", len(origins))
+	}
+	if len(tails) > 4100 {
+		t.Errorf("%d tail numbers", len(tails))
+	}
+}
+
+func TestDatesChronological(t *testing.T) {
+	g := New(10000, 3)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")[1:]
+	prev := ""
+	for _, ln := range lines {
+		d := strings.SplitN(ln, ",", 2)[0]
+		if prev != "" && d < prev {
+			t.Fatal("dates not chronological")
+		}
+		prev = d
+	}
+}

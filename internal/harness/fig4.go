@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"tde/internal/exec"
+	"tde/internal/textscan"
+)
+
+// Fig4Row is one bar of Figure 4 (parsing performance).
+type Fig4Row struct {
+	Dataset     string
+	Stage       string // bandwidth | tokenize | split | scalars | all
+	Encoded     bool
+	Accelerated bool
+	Seconds     float64
+	Bytes       int
+}
+
+// Fig4 measures the import stages of Sect. 6.1 on the two large tables:
+// raw disk bandwidth, tokenizing, splitting into column files, parsing
+// scalars only, and parsing all columns — the last two with encodings and
+// heap acceleration on and off.
+func Fig4(ds *Datasets) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, d := range []struct {
+		name string
+		data []byte
+	}{{"lineitem", ds.Lineitem}, {"flights", ds.Flights}} {
+		data := d.data
+		sep := textscan.DetectSeparator(data, 100)
+
+		sec, err := timeIt(func() error { textscan.SumBytes(data); return nil })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig4Row{d.name, "bandwidth", false, false, sec, len(data)})
+
+		sec, _ = timeIt(func() error { textscan.CountFields(data, sep); return nil })
+		rows = append(rows, Fig4Row{d.name, "tokenize", false, false, sec, len(data)})
+
+		numCols := len(mustSpecs(data))
+		sec, _ = timeIt(func() error { textscan.SplitColumns(data, sep, numCols); return nil })
+		rows = append(rows, Fig4Row{d.name, "split", false, false, sec, len(data)})
+
+		for _, stage := range []string{"scalars", "all"} {
+			for _, encode := range []bool{false, true} {
+				for _, accel := range []bool{false, true} {
+					if stage == "scalars" && accel {
+						continue // no strings are heaped in this arm
+					}
+					cfg := ImportConfig{Encode: encode, Accelerate: accel,
+						ScalarsOnly: stage == "scalars"}
+					var built *exec.Built
+					sec, err := timeIt(func() error {
+						b, err := Import(data, cfg)
+						built = b
+						return err
+					})
+					if err != nil {
+						return nil, err
+					}
+					_ = built
+					rows = append(rows, Fig4Row{d.name, stage, encode, accel, sec, len(data)})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+func mustSpecs(data []byte) []textscan.ColumnSpec {
+	ts, err := textscan.New(data, textscan.Options{})
+	if err != nil {
+		return nil
+	}
+	return ts.Specs()
+}
+
+// RenderFig4 prints the figure as a text table.
+func RenderFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "Figure 4: Parsing Performance (seconds; MB/s in parens)")
+	fmt.Fprintf(w, "%-10s %-10s %-8s %-12s %10s\n", "dataset", "stage", "encoding", "acceleration", "time")
+	for _, r := range rows {
+		mbps := float64(r.Bytes) / 1e6 / r.Seconds
+		enc, acc := "-", "-"
+		if r.Stage == "scalars" || r.Stage == "all" {
+			enc, acc = onoff(r.Encoded), onoff(r.Accelerated)
+		}
+		fmt.Fprintf(w, "%-10s %-10s %-8s %-12s %9.3fs (%.0f MB/s)\n",
+			r.Dataset, r.Stage, enc, acc, r.Seconds, mbps)
+	}
+}

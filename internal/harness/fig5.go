@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"tde/internal/enc"
+	"tde/internal/exec"
+)
+
+// Fig5Row is one configuration of Figure 5 (compression savings).
+type Fig5Row struct {
+	Dataset     string
+	Encoded     bool
+	Accelerated bool
+	TextBytes   int
+	// LogicalBytes is the unencoded size (values at stream width + heaps).
+	LogicalBytes int
+	// PhysicalBytes is the stored size.
+	PhysicalBytes int
+	// ByKind breaks physical bytes down per encoding.
+	ByKind map[enc.Kind]int
+}
+
+// Fig5 measures the logical and physical sizes of the two large tables
+// under every encoding × acceleration combination (Sect. 6.2), with the
+// per-encoding contribution breakdown.
+func Fig5(ds *Datasets) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, d := range []struct {
+		name string
+		data []byte
+	}{{"lineitem", ds.Lineitem}, {"flights", ds.Flights}} {
+		for _, encode := range []bool{false, true} {
+			for _, accel := range []bool{false, true} {
+				bt, err := Import(d.data, ImportConfig{Encode: encode, Accelerate: accel})
+				if err != nil {
+					return nil, err
+				}
+				row := Fig5Row{Dataset: d.name, Encoded: encode, Accelerated: accel,
+					TextBytes: len(d.data), ByKind: map[enc.Kind]int{}}
+				accountSizes(bt, &row)
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// V1Comparison reproduces the Sect. 6.2 in-text number: the size of a
+// database restricted to the first TDE release's encodings (run-length
+// only) versus the new encoding set.
+type V1Comparison struct {
+	Dataset  string
+	V1Bytes  int
+	NewBytes int
+}
+
+// Fig5V1 measures the v1-vs-new storage comparison on both large tables.
+func Fig5V1(ds *Datasets) ([]V1Comparison, error) {
+	var out []V1Comparison
+	rleOnly := uint16(1 << enc.RunLength)
+	for _, d := range []struct {
+		name string
+		data []byte
+	}{{"lineitem", ds.Lineitem}, {"flights", ds.Flights}} {
+		v1, err := Import(d.data, ImportConfig{Encode: true, Accelerate: true, KindMask: rleOnly})
+		if err != nil {
+			return nil, err
+		}
+		nw, err := Import(d.data, ImportConfig{Encode: true, Accelerate: true})
+		if err != nil {
+			return nil, err
+		}
+		var v1row, nwrow Fig5Row
+		v1row.ByKind, nwrow.ByKind = map[enc.Kind]int{}, map[enc.Kind]int{}
+		accountSizes(v1, &v1row)
+		accountSizes(nw, &nwrow)
+		out = append(out, V1Comparison{Dataset: d.name,
+			V1Bytes: v1row.PhysicalBytes, NewBytes: nwrow.PhysicalBytes})
+	}
+	return out, nil
+}
+
+func accountSizes(bt *exec.Built, row *Fig5Row) {
+	for i := range bt.Cols {
+		c := &bt.Cols[i]
+		row.LogicalBytes += c.Data.LogicalSize()
+		phys := c.Data.PhysicalSize()
+		row.PhysicalBytes += phys
+		row.ByKind[c.Data.Kind()] += phys
+		if c.Info.Heap != nil {
+			row.LogicalBytes += c.Info.Heap.Size()
+			row.PhysicalBytes += c.Info.Heap.Size()
+		}
+	}
+}
+
+// RenderFig5 prints the compression savings table.
+func RenderFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "Figure 5: Compression Savings")
+	fmt.Fprintf(w, "%-10s %-8s %-12s %12s %12s %12s %18s\n",
+		"dataset", "encoding", "acceleration", "text", "logical", "physical", "savings(text/log)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-8s %-12s %11dK %11dK %11dK %8s / %s\n",
+			r.Dataset, onoff(r.Encoded), onoff(r.Accelerated),
+			r.TextBytes/1024, r.LogicalBytes/1024, r.PhysicalBytes/1024,
+			pct(r.TextBytes-r.PhysicalBytes, r.TextBytes),
+			pct(r.LogicalBytes-r.PhysicalBytes, r.LogicalBytes))
+		if r.Encoded {
+			fmt.Fprintf(w, "%26s", "by encoding:")
+			for k := enc.Kind(0); k <= enc.RunLength; k++ {
+				if b, ok := r.ByKind[k]; ok && b > 0 {
+					fmt.Fprintf(w, "  %s=%dK", k, b/1024)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RenderFig5V1 prints the Sect. 6.2 v1 comparison.
+func RenderFig5V1(w io.Writer, rows []V1Comparison) {
+	fmt.Fprintln(w, "Sect. 6.2: v1 (RLE-only) database vs new encodings")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s v1=%dK new=%dK saved=%s\n",
+			r.Dataset, r.V1Bytes/1024, r.NewBytes/1024, pct(r.V1Bytes-r.NewBytes, r.V1Bytes))
+	}
+}

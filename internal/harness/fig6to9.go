@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tde/internal/exec"
+	"tde/internal/types"
+)
+
+// tableSet imports every corpus (small tables + the two large ones) under
+// one configuration and returns the built tables by name.
+func tableSet(ds *Datasets, cfg ImportConfig) (map[string]*exec.Built, error) {
+	out := map[string]*exec.Built{}
+	for name, data := range ds.Small {
+		bt, err := Import(data, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = bt
+	}
+	li, err := Import(ds.Lineitem, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out["lineitem"] = li
+	fl, err := Import(ds.Flights, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out["flights"] = fl
+	return out, nil
+}
+
+// Fig6Row is one bar group of Figure 6 (heap sorting).
+type Fig6Row struct {
+	Group       string // "SF-1 Tables" | "Large Tables"
+	Encoded     bool
+	StringHeaps int
+	SortedHeaps int
+}
+
+// Fig6 counts sorted string heaps across the table sets with and without
+// encoding (Sect. 6.3): with encoding on, dictionary-encoded token columns
+// get their heaps sorted for free; with encoding off only fortuitous
+// insertion order sorts a heap.
+func Fig6(ds *Datasets) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, encode := range []bool{false, true} {
+		tables, err := tableSet(ds, ImportConfig{Encode: encode, Accelerate: true})
+		if err != nil {
+			return nil, err
+		}
+		counts := map[string]*Fig6Row{
+			"SF-1 Tables":  {Group: "SF-1 Tables", Encoded: encode},
+			"Large Tables": {Group: "Large Tables", Encoded: encode},
+		}
+		for name, bt := range tables {
+			group := "SF-1 Tables"
+			if name == "lineitem" || name == "flights" {
+				group = "Large Tables"
+			}
+			for i := range bt.Cols {
+				c := &bt.Cols[i]
+				if c.Info.Type != types.String || c.Info.Heap == nil {
+					continue
+				}
+				counts[group].StringHeaps++
+				if c.Info.Heap.Sorted() {
+					counts[group].SortedHeaps++
+				}
+			}
+		}
+		rows = append(rows, *counts["SF-1 Tables"], *counts["Large Tables"])
+	}
+	return rows, nil
+}
+
+// RenderFig6 prints the heap sorting counts.
+func RenderFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Figure 6: Sorted String Heaps")
+	fmt.Fprintf(w, "%-14s %-8s %8s %8s\n", "tables", "encoding", "heaps", "sorted")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-8s %8d %8d\n", r.Group, onoff(r.Encoded), r.StringHeaps, r.SortedHeaps)
+	}
+}
+
+// Fig7Row is one bar group of Figure 7 (metadata extraction).
+type Fig7Row struct {
+	Group      string
+	Encoded    bool
+	Columns    int
+	Properties int
+}
+
+// Fig7 counts the metadata properties extracted during import with and
+// without encoding (Sect. 6.4). Heap acceleration stays on, as in the
+// paper.
+func Fig7(ds *Datasets) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, encode := range []bool{false, true} {
+		tables, err := tableSet(ds, ImportConfig{Encode: encode, Accelerate: true})
+		if err != nil {
+			return nil, err
+		}
+		counts := map[string]*Fig7Row{
+			"SF-1 Tables":  {Group: "SF-1 Tables", Encoded: encode},
+			"Large Tables": {Group: "Large Tables", Encoded: encode},
+		}
+		for name, bt := range tables {
+			group := "SF-1 Tables"
+			if name == "lineitem" || name == "flights" {
+				group = "Large Tables"
+			}
+			for i := range bt.Cols {
+				c := &bt.Cols[i]
+				counts[group].Columns++
+				if encode {
+					counts[group].Properties += c.Info.Meta.CountProperties()
+				} else {
+					// Without encoding statistics, only fortuitous
+					// detections remain: accelerator cardinality and heap
+					// order checks.
+					counts[group].Properties += fortuitousProperties(c)
+				}
+			}
+		}
+		rows = append(rows, *counts["SF-1 Tables"], *counts["Large Tables"])
+	}
+	return rows, nil
+}
+
+// fortuitousProperties counts what survives with encoding statistics off:
+// properties owed to "fortuitous circumstances such as the string data
+// being inserted in order or as a side effect of the accelerator's
+// statistics (e.g. domain cardinality)" (Sect. 6.4).
+func fortuitousProperties(c *exec.BuiltColumn) int {
+	n := 0
+	if c.Info.Type == types.String {
+		if c.Info.Meta.CardinalityExact {
+			n++ // accelerator domain size
+		}
+		if c.Info.Heap != nil && c.Info.Heap.Sorted() {
+			n++
+		}
+	}
+	return n
+}
+
+// RenderFig7 prints the metadata counts.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "Figure 7: Metadata Properties Detected")
+	fmt.Fprintf(w, "%-14s %-8s %8s %10s\n", "tables", "encoding", "columns", "properties")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-8s %8d %10d\n", r.Group, onoff(r.Encoded), r.Columns, r.Properties)
+	}
+}
+
+// WidthHistogram maps final stream width (bytes) to column count; Figures
+// 8 and 9 report it for string tokens and integers respectively.
+type WidthHistogram struct {
+	Kind   string // "string tokens" | "integers"
+	Counts map[int]int
+	Total  int
+}
+
+// Fig8And9 imports everything with encodings on and histograms the final
+// widths of string token streams (Fig. 8) and integer streams (Fig. 9);
+// the paper finds about three quarters of both reduced below the default
+// 8 bytes, often to one.
+func Fig8And9(ds *Datasets) (strs, ints WidthHistogram, err error) {
+	strs = WidthHistogram{Kind: "string tokens", Counts: map[int]int{}}
+	ints = WidthHistogram{Kind: "integers", Counts: map[int]int{}}
+	tables, err := tableSet(ds, ImportConfig{Encode: true, Accelerate: true})
+	if err != nil {
+		return strs, ints, err
+	}
+	names := make([]string, 0, len(tables))
+	for n := range tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		bt := tables[n]
+		for i := range bt.Cols {
+			c := &bt.Cols[i]
+			switch c.Info.Type {
+			case types.String:
+				strs.Counts[c.Data.Width()]++
+				strs.Total++
+			case types.Integer:
+				ints.Counts[c.Data.Width()]++
+				ints.Total++
+			}
+		}
+	}
+	return strs, ints, nil
+}
+
+// RenderWidths prints a width histogram.
+func RenderWidths(w io.Writer, fig string, h WidthHistogram) {
+	fmt.Fprintf(w, "%s: %s width reduction (default 8 bytes)\n", fig, h.Kind)
+	for _, width := range []int{1, 2, 4, 8} {
+		fmt.Fprintf(w, "  %d byte: %3d columns (%s)\n", width, h.Counts[width], pct(h.Counts[width], h.Total))
+	}
+	reduced := h.Total - h.Counts[8]
+	fmt.Fprintf(w, "  reduced below 8 bytes: %s of %d columns\n", pct(reduced, h.Total), h.Total)
+}

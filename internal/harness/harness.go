@@ -1,0 +1,122 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Sect. 6), plus the in-text measurements: Fig. 4 parsing
+// performance, Fig. 5 compression savings, Fig. 6 heap sorting, Fig. 7
+// metadata extraction, Figs. 8/9 width reduction, Fig. 10 indexed-scan
+// filtering, the Sect. 4.3 exchange-ordering overhead, the Sect. 5.1.2
+// locale-lock ablation and the Sect. 3.2 dynamic-encoding stability count.
+//
+// Each driver returns structured results; the renderers print rows shaped
+// like the paper's. Absolute times differ from the paper's 2014 Windows
+// testbed; the comparisons of interest are the ratios within each figure.
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"tde/internal/exec"
+	"tde/internal/flights"
+	"tde/internal/textscan"
+	"tde/internal/tpch"
+)
+
+// Datasets bundles the text corpora the import experiments share.
+type Datasets struct {
+	// Lineitem is TPC-H lineitem .tbl text (the "large table" with the
+	// wide random l_comment column).
+	Lineitem []byte
+	// Flights is the synthetic FAA CSV (all-small string domains).
+	Flights []byte
+	// Small holds the TPC-H small tables ("SF-1 Tables" in the figures).
+	Small map[string][]byte
+}
+
+// GenerateDatasets builds the corpora. sf scales TPC-H; flightRows sizes
+// the flights table. The paper uses SF-30 and 67 M rows on a 4-core Xeon;
+// scale to taste for the host.
+func GenerateDatasets(sf float64, flightRows int, seed int64) (*Datasets, error) {
+	g := tpch.New(sf, seed)
+	var li bytes.Buffer
+	if err := g.WriteLineitem(&li); err != nil {
+		return nil, err
+	}
+	fg := flights.New(flightRows, seed+1)
+	var fl bytes.Buffer
+	if err := fg.Write(&fl); err != nil {
+		return nil, err
+	}
+	ds := &Datasets{Lineitem: li.Bytes(), Flights: fl.Bytes(), Small: map[string][]byte{}}
+	small := map[string]func(w *bytes.Buffer) error{
+		"region":   func(w *bytes.Buffer) error { return g.WriteRegion(w) },
+		"nation":   func(w *bytes.Buffer) error { return g.WriteNation(w) },
+		"supplier": func(w *bytes.Buffer) error { return g.WriteSupplier(w) },
+		"customer": func(w *bytes.Buffer) error { return g.WriteCustomer(w) },
+		"part":     func(w *bytes.Buffer) error { return g.WritePart(w) },
+		"orders":   func(w *bytes.Buffer) error { return g.WriteOrders(w) },
+	}
+	for name, fn := range small {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			return nil, err
+		}
+		ds.Small[name] = buf.Bytes()
+	}
+	return ds, nil
+}
+
+// ImportConfig selects the experimental arms shared by Figures 4-9.
+type ImportConfig struct {
+	Encode       bool
+	Accelerate   bool
+	Parallel     bool
+	ScalarsOnly  bool
+	LocaleLocked bool
+	KindMask     uint16
+	Schema       []textscan.ColumnSpec
+}
+
+// Import runs the TextScan => FlowTable pipeline over a text corpus.
+func Import(data []byte, cfg ImportConfig) (*exec.Built, error) {
+	ts, err := textscan.New(data, textscan.Options{
+		Parallel:     cfg.Parallel,
+		ScalarsOnly:  cfg.ScalarsOnly,
+		LocaleLocked: cfg.LocaleLocked,
+		Schema:       cfg.Schema,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ft := exec.NewFlowTable(ts, exec.FlowTableConfig{
+		Encode:     cfg.Encode,
+		Accelerate: cfg.Accelerate,
+		Parallel:   cfg.Parallel,
+		SortHeaps:  true,
+		Narrow:     true,
+		KindMask:   cfg.KindMask,
+	})
+	return ft.BuildTable()
+}
+
+// timeIt runs f and returns elapsed seconds.
+func timeIt(f func() error) (float64, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start).Seconds(), err
+}
+
+// onoff renders a boolean as the paper's figure labels do.
+func onoff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// pct renders a ratio as a percentage string.
+func pct(part, whole int) string {
+	if whole == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(whole))
+}

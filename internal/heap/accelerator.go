@@ -1,0 +1,81 @@
+package heap
+
+import "tde/internal/types"
+
+// DefaultAcceleratorLimit is the element count past which the accelerator
+// gives up hashing. The paper uses 2^31 (Sect. 5.1.4); we default far lower
+// because the accelerator is "designed to be small and fast for common
+// usage, but is not designed to scale" (Sect. 6.2), and the limit is
+// configurable.
+const DefaultAcceleratorLimit = 1 << 22
+
+// Accelerator maintains a hash table of all strings seen so far so string
+// columns with small domains get minimal heaps and distinct tokens
+// (Sect. 5.1.4). Hashing is collation-aware, matching the heap. Once the
+// element count passes the limit the accelerator gives up: subsequent
+// appends go straight to the heap, duplicated and non-distinct.
+type Accelerator struct {
+	heap     *Heap
+	index    map[uint64][]uint64 // collated hash → candidate tokens
+	limit    int
+	active   bool
+	distinct bool // tokens handed out so far are distinct
+}
+
+// NewAccelerator wraps h with a dedup index. limit <= 0 selects the
+// default.
+func NewAccelerator(h *Heap, limit int) *Accelerator {
+	if limit <= 0 {
+		limit = DefaultAcceleratorLimit
+	}
+	return &Accelerator{
+		heap:     h,
+		index:    make(map[uint64][]uint64),
+		limit:    limit,
+		active:   true,
+		distinct: true,
+	}
+}
+
+// Heap returns the underlying heap.
+func (a *Accelerator) Heap() *Heap { return a.heap }
+
+// Active reports whether the accelerator is still hashing.
+func (a *Accelerator) Active() bool { return a.active }
+
+// Distinct reports whether every token handed out maps to a unique string
+// — guaranteed while the accelerator never gave up.
+func (a *Accelerator) Distinct() bool { return a.distinct }
+
+// DomainSize returns the number of distinct strings interned while active.
+func (a *Accelerator) DomainSize() int { return a.heap.Len() }
+
+// Intern returns the token for s, appending it to the heap only if it has
+// not been seen. After giving up, Intern degenerates to a plain append.
+func (a *Accelerator) Intern(s string) uint64 {
+	if !a.active {
+		return a.heap.Append(s)
+	}
+	coll := a.heap.Collation()
+	hash := coll.Hash(s)
+	for _, tok := range a.index[hash] {
+		// Heap collision comparisons: the extra I/O the paper worries
+		// about when domains grow large (Sect. 6.2).
+		if candidate := a.heap.Get(tok); coll.Equal(candidate, s) {
+			return tok
+		}
+	}
+	tok := a.heap.Append(s)
+	a.index[hash] = append(a.index[hash], tok)
+	if a.heap.Len() >= a.limit {
+		// "The accelerator gives up on hashing once the number of heap
+		// elements passes the threshold."
+		a.active = false
+		a.index = nil
+		a.distinct = false
+	}
+	return tok
+}
+
+// Null returns the NULL string token.
+func (a *Accelerator) Null() uint64 { return types.NullToken }

@@ -1,0 +1,160 @@
+// Package heap implements the TDE string heap: the variable-width
+// secondary storage for string columns (Sect. 2.3.2). A string column's
+// main data is a fixed-width stream of tokens, which are byte offsets into
+// the heap; each heap element is a 4-byte length header followed by the
+// character data (Sect. 5.1.4).
+//
+// The package also provides the heap accelerator — the dedup hash that
+// keeps heaps small and tokens distinct during import — and heap sorting,
+// which rewrites the heap in collation order so tokens become directly
+// comparable (Sect. 2.3.4: sorted heaps turn collated string comparisons
+// into integer comparisons).
+package heap
+
+import (
+	"fmt"
+	"sort"
+
+	"tde/internal/types"
+)
+
+// elemHeader is the per-element length prefix size.
+const elemHeader = 4
+
+// Heap is an append-only string heap. Tokens are byte offsets of elements;
+// offset order is insertion order.
+type Heap struct {
+	buf       []byte
+	count     int
+	collation types.Collation
+	sorted    bool
+}
+
+// New returns an empty heap using the given collation for comparisons.
+func New(collation types.Collation) *Heap {
+	return &Heap{collation: collation}
+}
+
+// FromBytes reconstructs a heap from its serialized form.
+func FromBytes(buf []byte, count int, collation types.Collation, sorted bool) *Heap {
+	return &Heap{buf: buf, count: count, collation: collation, sorted: sorted}
+}
+
+// Bytes returns the heap's raw storage.
+func (h *Heap) Bytes() []byte { return h.buf }
+
+// Len returns the number of elements.
+func (h *Heap) Len() int { return h.count }
+
+// Size returns the heap's byte size.
+func (h *Heap) Size() int { return len(h.buf) }
+
+// Collation returns the heap's collation.
+func (h *Heap) Collation() types.Collation { return h.collation }
+
+// Sorted reports whether elements appear in ascending collation order, in
+// which case tokens are directly comparable (Sect. 2.3.4).
+func (h *Heap) Sorted() bool { return h.sorted }
+
+// setSorted is used by the builder paths that can prove order.
+func (h *Heap) setSorted(v bool) { h.sorted = v }
+
+// Append adds a string and returns its token (byte offset). No
+// deduplication is performed; use an Accelerator for that.
+func (h *Heap) Append(s string) uint64 {
+	if len(s) > 0xFFFFFFFF {
+		panic("heap: string exceeds 4-byte length header")
+	}
+	tok := uint64(len(h.buf))
+	n := uint32(len(s))
+	h.buf = append(h.buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	h.buf = append(h.buf, s...)
+	h.count++
+	h.sorted = false
+	return tok
+}
+
+// Get returns the string at token tok.
+func (h *Heap) Get(tok uint64) string {
+	if tok == types.NullToken {
+		return ""
+	}
+	off := int(tok)
+	if off+elemHeader > len(h.buf) {
+		panic(fmt.Sprintf("heap: token %d out of range", tok))
+	}
+	n := int(uint32(h.buf[off]) | uint32(h.buf[off+1])<<8 |
+		uint32(h.buf[off+2])<<16 | uint32(h.buf[off+3])<<24)
+	return string(h.buf[off+elemHeader : off+elemHeader+n])
+}
+
+// Tokens returns every element's token in offset (insertion) order.
+func (h *Heap) Tokens() []uint64 {
+	toks := make([]uint64, 0, h.count)
+	off := 0
+	for off < len(h.buf) {
+		toks = append(toks, uint64(off))
+		n := int(uint32(h.buf[off]) | uint32(h.buf[off+1])<<8 |
+			uint32(h.buf[off+2])<<16 | uint32(h.buf[off+3])<<24)
+		off += elemHeader + n
+	}
+	return toks
+}
+
+// Compare orders the strings behind two tokens. On a sorted heap this is a
+// token comparison; otherwise it is a (much more expensive) collated
+// content comparison — exactly the performance cliff sorted heaps avoid.
+func (h *Heap) Compare(a, b uint64) int {
+	if h.sorted {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return h.collation.Compare(h.Get(a), h.Get(b))
+}
+
+// SortedRemap builds a new heap containing the same elements in ascending
+// collation order and returns it with a token remapping (old token → new
+// token). Combined with enc.RemapDictEntries this sorts a dictionary-
+// encoded string column in time proportional to the domain size
+// (Sect. 3.4.3), never touching the row data.
+func (h *Heap) SortedRemap() (*Heap, map[uint64]uint64) {
+	toks := h.Tokens()
+	sort.Slice(toks, func(i, j int) bool {
+		return h.collation.Compare(h.Get(toks[i]), h.Get(toks[j])) < 0
+	})
+	nh := New(h.collation)
+	nh.buf = make([]byte, 0, len(h.buf))
+	remap := make(map[uint64]uint64, len(toks))
+	for _, old := range toks {
+		remap[old] = nh.Append(h.Get(old))
+	}
+	nh.sorted = true
+	return nh, remap
+}
+
+// IsSortedOrder verifies element order under the collation and caches the
+// result in the sorted flag. Used after bulk loads where insertion order
+// might happen to be sorted ("fortuitous circumstances", Sect. 6.4).
+func (h *Heap) IsSortedOrder() bool {
+	prev := ""
+	first := true
+	off := 0
+	for off < len(h.buf) {
+		n := int(uint32(h.buf[off]) | uint32(h.buf[off+1])<<8 |
+			uint32(h.buf[off+2])<<16 | uint32(h.buf[off+3])<<24)
+		s := string(h.buf[off+elemHeader : off+elemHeader+n])
+		if !first && h.collation.Compare(prev, s) > 0 {
+			return false
+		}
+		prev, first = s, false
+		off += elemHeader + n
+	}
+	h.sorted = true
+	return true
+}

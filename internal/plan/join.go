@@ -1,0 +1,149 @@
+package plan
+
+import (
+	"fmt"
+
+	"tde/internal/exec"
+	"tde/internal/expr"
+	"tde/internal/storage"
+)
+
+// JoinSpec describes one many-to-one join step against a dimension table.
+type JoinSpec struct {
+	Table *storage.Table
+	// Alias prefixes the joined table's column names ("alias.col"); empty
+	// keeps bare names.
+	Alias string
+	// OuterKey names a column of the accumulated outer schema; InnerKey a
+	// column of Table.
+	OuterKey, InnerKey string
+	// LeftOuter keeps unmatched outer rows with NULL inner columns.
+	LeftOuter bool
+}
+
+// JoinQuery is a star-shaped query: a fact table joined to dimension
+// tables, then filtered/aggregated like Query. Joins follow Tableau's
+// NULL join semantics (a reason the TDE exists, Sect. 2.3): NULL keys
+// match NULL keys, because the sentinel value compares equal to itself.
+type JoinQuery struct {
+	Fact      *storage.Table
+	FactAlias string
+	Joins     []JoinSpec
+
+	Where   expr.Expr
+	Compute []Computed
+	GroupBy []string
+	Aggs    []AggItem
+	Select  []string
+	OrderBy []OrderItem
+	Having  expr.Expr
+	Limit   int
+}
+
+// BuildJoin plans a JoinQuery: scan the fact table, hash-join each
+// dimension (inner sides materialized by FlowTables with the Sect. 4.3
+// RLE restriction), then apply the usual filter/compute/aggregate tail.
+// Tactical join-algorithm upgrades (fetch/direct) happen per join from
+// the dimensions' FlowTable metadata.
+func BuildJoin(q JoinQuery, opt Options) (exec.Operator, *Explain, error) {
+	ex := &Explain{}
+	scan, err := exec.NewScan(q.Fact)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex.add("Scan(%s)", q.Fact.Name)
+	var op exec.Operator = aliasOp{Operator: scan, prefix: q.FactAlias}
+
+	for _, j := range q.Joins {
+		innerScan, err := exec.NewScan(j.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := exec.DefaultFlowTableConfig()
+		cfg.DisallowRLE = true // hash-join inner restriction (Sect. 4.3)
+		ft := exec.NewFlowTable(aliasOp{Operator: innerScan, prefix: j.Alias}, cfg)
+		outerIdx := colIndex(op.Schema(), j.OuterKey)
+		if outerIdx < 0 {
+			return nil, nil, fmt.Errorf("plan: join key %q not in outer schema", j.OuterKey)
+		}
+		innerIdx := -1
+		for i, info := range ft.Schema() {
+			if info.Name == qualify(j.Alias, j.InnerKey) || info.Name == j.InnerKey {
+				innerIdx = i
+				break
+			}
+		}
+		if innerIdx < 0 {
+			return nil, nil, fmt.Errorf("plan: join key %q not in table %q", j.InnerKey, j.Table.Name)
+		}
+		join := exec.NewHashJoin(op, ft, outerIdx, innerIdx, exec.JoinAuto)
+		join.LeftOuter = j.LeftOuter
+		kind := "Join"
+		if j.LeftOuter {
+			kind = "LeftJoin"
+		}
+		ex.add("%s(%s.%s = %s.%s)", kind, q.Fact.Name, j.OuterKey, j.Table.Name, j.InnerKey)
+		op = join
+	}
+
+	// Reuse the single-table tail by lowering into a Query with the fact
+	// table ignored (the operators are already built).
+	tail := Query{
+		Compute: q.Compute,
+		GroupBy: q.GroupBy,
+		Aggs:    q.Aggs,
+		Select:  q.Select,
+		OrderBy: q.OrderBy,
+		Having:  q.Having,
+		Limit:   q.Limit,
+	}
+	if q.Where != nil {
+		pred, err := Rebind(expr.Simplify(q.Where), op.Schema())
+		if err != nil {
+			return nil, nil, err
+		}
+		op = exec.NewSelect(op, pred)
+		ex.add("Filter[%s]", pred)
+	}
+	op, err = finishPlan(op, tail, ex)
+	if err != nil {
+		return nil, nil, err
+	}
+	return op, ex, nil
+}
+
+func qualify(alias, name string) string {
+	if alias == "" {
+		return name
+	}
+	return alias + "." + name
+}
+
+// aliasOp renames an operator's output columns with a prefix so joined
+// schemas stay unambiguous.
+type aliasOp struct {
+	exec.Operator
+	prefix string
+}
+
+func (a aliasOp) Schema() []exec.ColInfo {
+	in := a.Operator.Schema()
+	if a.prefix == "" {
+		return in
+	}
+	out := make([]exec.ColInfo, len(in))
+	copy(out, in)
+	for i := range out {
+		out[i].Name = a.prefix + "." + out[i].Name
+	}
+	return out
+}
+
+// BuildTable lets aliased FlowTable children keep working; aliasOp wraps
+// flow operators only, so this is never reached for stop-and-go nodes.
+func (a aliasOp) BuildTable() (*exec.Built, error) {
+	if ts, ok := a.Operator.(exec.TableSource); ok {
+		return ts.BuildTable()
+	}
+	return nil, fmt.Errorf("plan: alias wraps a flow operator")
+}

@@ -1,0 +1,70 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"tde/internal/exec"
+	"tde/internal/expr"
+	"tde/internal/storage"
+	"tde/internal/types"
+)
+
+func TestParallelScanPlanMatchesSerial(t *testing.T) {
+	tab := buildRLTable(t, 80000)
+	q := fig10Query(tab, "primary", 60)
+	want := referenceFig10(tab, "primary", 60)
+
+	op, ex, err := Build(q, Options{NoIndexPlan: true, NoDictPlan: true, ParallelWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.String(), "Exchange") {
+		t.Fatalf("plan did not inject an exchange: %s", ex)
+	}
+	// Every scanned column of this table is sorted-marked (primary), so
+	// order-preserving routing must be forced.
+	if !strings.Contains(ex.String(), "order-preserving") {
+		t.Errorf("expected order-preserving routing: %s", ex)
+	}
+	checkFig10(t, op, want)
+}
+
+func TestParallelFreeRoutingForUnsortedScan(t *testing.T) {
+	// A table with no sorted metadata gets free routing.
+	vals := make([]int64, 50000)
+	for i := range vals {
+		vals[i] = int64((i * 2654435761) % 97)
+	}
+	tab := &storage.Table{Name: "u", Columns: []*storage.Column{
+		intColumn("a", types.Integer, vals),
+	}}
+	// Random data can still be marked sorted=false; ensure the metadata
+	// does not accidentally claim order.
+	tab.Columns[0].Meta.SortedKnown = false
+	q := Query{
+		Table: tab,
+		Where: expr.NewCmp(expr.GT, expr.NewColRef(0, "a", types.Integer), expr.NewIntConst(50)),
+		Aggs:  []AggItem{{Func: exec.Count, Col: ""}},
+	}
+	op, ex, err := Build(q, Options{NoIndexPlan: true, NoDictPlan: true, ParallelWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.String(), "free") {
+		t.Errorf("expected free routing: %s", ex)
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, v := range vals {
+		if v > 50 {
+			want++
+		}
+	}
+	if int64(rows[0][0]) != int64(want) {
+		t.Fatalf("parallel count %d, want %d", int64(rows[0][0]), want)
+	}
+}

@@ -1,0 +1,592 @@
+package plan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tde/internal/enc"
+	"tde/internal/exec"
+	"tde/internal/expr"
+	"tde/internal/heap"
+	"tde/internal/storage"
+	"tde/internal/types"
+)
+
+func intColumn(name string, t types.Type, vals []int64) *storage.Column {
+	w := enc.NewWriter(enc.WriterConfig{Signed: true, ConvertOptimal: true,
+		Sentinel: types.NullBits(t), HasSentinel: true})
+	for _, v := range vals {
+		w.AppendOne(uint64(v))
+	}
+	return &storage.Column{Name: name, Type: t, Data: w.Finish(),
+		Meta: enc.MetadataFromStats(w.Stats(), true)}
+}
+
+// dictDateColumn builds a dictionary-compressed date column: dense tokens
+// into a sorted scalar dictionary (the paper's canonical compressed date).
+func dictDateColumn(name string, days []int64) *storage.Column {
+	// Dictionary = sorted distinct days.
+	seen := map[int64]bool{}
+	var dict []uint64
+	for _, d := range days {
+		if !seen[d] {
+			seen[d] = true
+			dict = append(dict, uint64(d))
+		}
+	}
+	for i := 1; i < len(dict); i++ {
+		for j := i; j > 0 && int64(dict[j]) < int64(dict[j-1]); j-- {
+			dict[j], dict[j-1] = dict[j-1], dict[j]
+		}
+	}
+	rank := map[int64]uint64{}
+	for i, v := range dict {
+		rank[int64(v)] = uint64(i)
+	}
+	w := enc.NewWriter(enc.WriterConfig{ConvertOptimal: true})
+	for _, d := range days {
+		w.AppendOne(rank[d])
+	}
+	return &storage.Column{Name: name, Type: types.Date, Data: w.Finish(), Dict: dict}
+}
+
+func strColumn(name string, vals []string, sortHeap bool) *storage.Column {
+	h := heap.New(types.CollateBinary)
+	acc := heap.NewAccelerator(h, 0)
+	toks := make([]uint64, len(vals))
+	for i, v := range vals {
+		toks[i] = acc.Intern(v)
+	}
+	if sortHeap {
+		sorted, remap := h.SortedRemap()
+		for i := range toks {
+			toks[i] = remap[toks[i]]
+		}
+		h = sorted
+	}
+	w := enc.NewWriter(enc.WriterConfig{ConvertOptimal: true,
+		Sentinel: types.NullToken, HasSentinel: true})
+	for _, t := range toks {
+		w.AppendOne(t)
+	}
+	return &storage.Column{Name: name, Type: types.String,
+		Collation: types.CollateBinary, Data: w.Finish(), Heap: h,
+		Meta: enc.MetadataFromStats(w.Stats(), false)}
+}
+
+func TestDictionaryTableString(t *testing.T) {
+	col := strColumn("word", []string{"b", "a", "b", "c", "a"}, true)
+	bt, err := DictionaryTable(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Rows != 3 {
+		t.Fatalf("dictionary table has %d rows", bt.Rows)
+	}
+	rows, err := exec.CollectStrings(exec.NewBuiltScan(bt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{rows[0][0], rows[1][0], rows[2][0]}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("dictionary contents %v", got)
+	}
+}
+
+func TestDictionaryTableScalar(t *testing.T) {
+	col := dictDateColumn("d", []int64{100, 200, 100, 300})
+	bt, err := DictionaryTable(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Rows != 3 || len(bt.Cols) != 2 {
+		t.Fatalf("scalar dictionary table shape %d/%d", bt.Rows, len(bt.Cols))
+	}
+	// Token column 0..n-1, value column the dictionary.
+	if bt.Value(0, 0) != 0 || bt.Value(0, 2) != 2 {
+		t.Error("token column wrong")
+	}
+	if int64(bt.Value(1, 1)) != 200 {
+		t.Error("value column wrong")
+	}
+}
+
+func TestDictionaryTableRejectsPlain(t *testing.T) {
+	col := intColumn("x", types.Integer, []int64{1, 2, 3})
+	if _, err := DictionaryTable(col); err == nil {
+		t.Fatal("plain column accepted")
+	}
+}
+
+func TestIndexTable(t *testing.T) {
+	// 4 runs of 250.
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i / 250)
+	}
+	col := intColumn("idx", types.Integer, vals)
+	if col.Data.Kind() != enc.RunLength {
+		t.Skipf("encoded as %v", col.Data.Kind())
+	}
+	bt, err := IndexTable(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Rows != 4 {
+		t.Fatalf("index table has %d runs", bt.Rows)
+	}
+	for r := 0; r < 4; r++ {
+		if int64(bt.Value(0, r)) != int64(r) {
+			t.Errorf("run %d value %d", r, int64(bt.Value(0, r)))
+		}
+		if bt.Value(1, r) != 250 {
+			t.Errorf("run %d count %d", r, bt.Value(1, r))
+		}
+		if bt.Value(2, r) != uint64(r)*250 {
+			t.Errorf("run %d start %d", r, bt.Value(2, r))
+		}
+	}
+	// Sorted metadata must flow through for ordered aggregation.
+	if !bt.Cols[0].Info.Meta.SortedKnown || !bt.Cols[0].Info.Meta.SortedAsc {
+		t.Error("index value column not marked sorted")
+	}
+}
+
+// buildRLTable builds the Sect. 5.3 artificial table: primary and
+// secondary uniform [0,100), sorted ascending on both.
+func buildRLTable(t testing.TB, n int) *storage.Table {
+	rng := rand.New(rand.NewSource(42))
+	primary := make([]int64, n)
+	secondary := make([]int64, n)
+	other := make([]int64, n)
+	for i := range primary {
+		primary[i] = int64(rng.Intn(100))
+		secondary[i] = int64(rng.Intn(100))
+		other[i] = int64(rng.Intn(1000000))
+	}
+	// Sort ascending on (primary, secondary).
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion would be slow; use sort.Slice
+		_ = i
+	}
+	sortPairs(idx, primary, secondary)
+	p2 := make([]int64, n)
+	s2 := make([]int64, n)
+	o2 := make([]int64, n)
+	for i, j := range idx {
+		p2[i], s2[i], o2[i] = primary[j], secondary[j], other[j]
+	}
+	return &storage.Table{Name: "rl", Columns: []*storage.Column{
+		intColumn("primary", types.Integer, p2),
+		intColumn("secondary", types.Integer, s2),
+		intColumn("other", types.Integer, o2),
+	}}
+}
+
+func sortPairs(idx []int, primary, secondary []int64) {
+	lessFn := func(a, b int) bool {
+		if primary[a] != primary[b] {
+			return primary[a] < primary[b]
+		}
+		return secondary[a] < secondary[b]
+	}
+	// simple sort
+	quickSortIdx(idx, lessFn)
+}
+
+func quickSortIdx(idx []int, less func(a, b int) bool) {
+	if len(idx) < 2 {
+		return
+	}
+	pivot := idx[len(idx)/2]
+	var lo, eq, hi []int
+	for _, v := range idx {
+		switch {
+		case less(v, pivot):
+			lo = append(lo, v)
+		case less(pivot, v):
+			hi = append(hi, v)
+		default:
+			eq = append(eq, v)
+		}
+	}
+	quickSortIdx(lo, less)
+	quickSortIdx(hi, less)
+	copy(idx, lo)
+	copy(idx[len(lo):], eq)
+	copy(idx[len(lo)+len(eq):], hi)
+}
+
+// referenceFig10 computes the expected query answer directly.
+func referenceFig10(tab *storage.Table, filterCol string, cutoff int64) map[int64]int64 {
+	fc := tab.Column(filterCol)
+	oc := tab.Column("other")
+	out := map[int64]int64{}
+	for i := 0; i < tab.Rows(); i++ {
+		k := int64(fc.Value(i))
+		if k <= cutoff {
+			continue
+		}
+		v := int64(oc.Value(i))
+		if cur, ok := out[k]; !ok || v > cur {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func fig10Query(tab *storage.Table, filterCol string, cutoff int64) Query {
+	return Query{
+		Table: tab,
+		Where: expr.NewCmp(expr.GT,
+			expr.NewColRef(0, filterCol, types.Integer), expr.NewIntConst(cutoff)),
+		GroupBy: []string{filterCol},
+		Aggs:    []AggItem{{Func: exec.Max, Col: "other"}},
+	}
+}
+
+func checkFig10(t *testing.T, op exec.Operator, want map[int64]int64) {
+	t.Helper()
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if int64(r[1]) != want[int64(r[0])] {
+			t.Fatalf("group %d: got %d want %d", int64(r[0]), int64(r[1]), want[int64(r[0])])
+		}
+	}
+}
+
+func TestFig10PlansAgree(t *testing.T) {
+	tab := buildRLTable(t, 60000)
+	if tab.Column("primary").Data.Kind() != enc.RunLength {
+		t.Fatalf("primary encoded as %v, want rle", tab.Column("primary").Data.Kind())
+	}
+	for _, filterCol := range []string{"primary", "secondary"} {
+		want := referenceFig10(tab, filterCol, 50)
+		q := fig10Query(tab, filterCol, 50)
+
+		// Plan 1: control (Scan => Filter => Aggregate).
+		p1, ex1, err := Build(q, Options{NoIndexPlan: true, NoDictPlan: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(ex1.String(), "Scan") {
+			t.Errorf("plan 1 is %s", ex1)
+		}
+		checkFig10(t, p1, want)
+
+		// Plan 2: Index => Filter => IndexedScan => Aggregate.
+		p2, ex2, err := Build(q, Options{OrderedIndex: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(ex2.String(), "IndexTable") || !strings.Contains(ex2.String(), "IndexedScan") {
+			t.Errorf("plan 2 is %s", ex2)
+		}
+		checkFig10(t, p2, want)
+
+		// Plan 3: Index => Filter => Sort => IndexedScan => OrdAggr.
+		p3, ex3, err := Build(q, Options{OrderedIndex: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(ex3.String(), "Sort") {
+			t.Errorf("plan 3 is %s", ex3)
+		}
+		checkFig10(t, p3, want)
+	}
+}
+
+func TestFig10Plan3UsesOrderedAggregation(t *testing.T) {
+	tab := buildRLTable(t, 60000)
+	q := fig10Query(tab, "secondary", 60)
+	op, _, err := Build(q, Options{OrderedIndex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk: finishPlan wraps the IndexedScan in an Aggregate.
+	agg, ok := op.(*exec.Aggregate)
+	if !ok {
+		t.Fatalf("top operator is %T", op)
+	}
+	if _, err := exec.Collect(agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Mode() != exec.AggOrdered {
+		t.Errorf("plan 3 aggregation mode %v, want ordered", agg.Mode())
+	}
+}
+
+func TestInvisibleJoinStringFilter(t *testing.T) {
+	n := 30000
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	rng := rand.New(rand.NewSource(7))
+	svals := make([]string, n)
+	ovals := make([]int64, n)
+	for i := range svals {
+		svals[i] = words[rng.Intn(len(words))]
+		ovals[i] = int64(rng.Intn(1000))
+	}
+	tab := &storage.Table{Name: "t", Columns: []*storage.Column{
+		strColumn("word", svals, true),
+		intColumn("v", types.Integer, ovals),
+	}}
+	want := int64(0)
+	cnt := 0
+	for i := range svals {
+		if svals[i] == "beta" {
+			want += ovals[i]
+			cnt++
+		}
+	}
+	q := Query{
+		Table: tab,
+		Where: expr.NewCmp(expr.EQ, expr.NewColRef(0, "word", types.String),
+			expr.NewStringConst("beta")),
+		Aggs: []AggItem{{Func: exec.Sum, Col: "v"}, {Func: exec.Count, Col: ""}},
+	}
+	op, ex, err := Build(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.String(), "DictionaryTable") {
+		t.Fatalf("expected invisible join, got %s", ex)
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || int64(rows[0][0]) != want || int64(rows[0][1]) != int64(cnt) {
+		t.Fatalf("invisible join result %v, want sum %d count %d", rows, want, cnt)
+	}
+}
+
+func TestInvisibleJoinDateRangeUsesFetchJoin(t *testing.T) {
+	// The canonical Sect. 4.1.2 case: a dictionary-compressed date column
+	// with a sorted dictionary; a range predicate leaves a dense token
+	// range, so the tactical optimizer picks a fetch join.
+	n := 50000
+	rng := rand.New(rand.NewSource(8))
+	base := types.DaysFromCivil(2013, 1, 1)
+	days := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range days {
+		days[i] = base + int64(rng.Intn(365))
+		vals[i] = int64(rng.Intn(100))
+	}
+	tab := &storage.Table{Name: "t", Columns: []*storage.Column{
+		dictDateColumn("d", days),
+		intColumn("v", types.Integer, vals),
+	}}
+	lo := base + 100
+	hi := base + 200
+	var want int64
+	for i := range days {
+		if days[i] >= lo && days[i] < hi {
+			want += vals[i]
+		}
+	}
+	where := expr.NewAnd(
+		expr.NewCmp(expr.GE, expr.NewColRef(0, "d", types.Date), expr.NewDateConst(lo)),
+		expr.NewCmp(expr.LT, expr.NewColRef(0, "d", types.Date), expr.NewDateConst(hi)))
+
+	// Aggregating plan: verify the answer.
+	q := Query{Table: tab, Where: where, Aggs: []AggItem{{Func: exec.Sum, Col: "v"}}}
+	op, ex, err := Build(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.String(), "DictionaryTable") {
+		t.Fatalf("expected invisible join, got %s", ex)
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || int64(rows[0][0]) != want {
+		t.Fatalf("sum %d, want %d", int64(rows[0][0]), want)
+	}
+
+	// Bare plan (no aggregation): the top operator is the join itself, so
+	// the tactical upgrade is observable.
+	qb := Query{Table: tab, Where: where}
+	opb, _, err := Build(qb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, ok := opb.(*exec.HashJoin)
+	if !ok {
+		t.Fatalf("top operator is %T, want HashJoin", opb)
+	}
+	if _, err := exec.Run(join); err != nil {
+		t.Fatal(err)
+	}
+	if join.Algo() != exec.JoinFetch {
+		t.Errorf("join algorithm %v, want fetch (dense token range)", join.Algo())
+	}
+}
+
+func TestRebindAndColumns(t *testing.T) {
+	schema := []exec.ColInfo{
+		{Name: "a", Type: types.Integer},
+		{Name: "b", Type: types.Real},
+	}
+	e := expr.NewAnd(
+		expr.NewCmp(expr.GT, expr.NewColRef(99, "b", types.Real), expr.NewRealConst(1)),
+		expr.NewCmp(expr.LT, expr.NewColRef(42, "a", types.Integer), expr.NewIntConst(5)))
+	re, err := Rebind(e, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := Columns(re)
+	if len(cols) != 2 {
+		t.Fatalf("Columns = %v", cols)
+	}
+	if _, err := Rebind(expr.NewColRef(0, "zzz", types.Integer), schema); err == nil {
+		t.Fatal("unknown column rebound")
+	}
+}
+
+func TestBuildPlainSelect(t *testing.T) {
+	tab := &storage.Table{Name: "t", Columns: []*storage.Column{
+		intColumn("a", types.Integer, []int64{3, 1, 2}),
+	}}
+	q := Query{Table: tab, Select: []string{"a"}, OrderBy: []OrderItem{{Col: "a"}}}
+	op, _, err := Build(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || int64(rows[0][0]) != 1 || int64(rows[2][0]) != 3 {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestBuildComputedGroupBy(t *testing.T) {
+	// GROUP BY MONTH(d): compute then aggregate.
+	base := types.DaysFromCivil(2014, 1, 15)
+	days := []int64{base, base + 31, base + 31, base + 62}
+	tab := &storage.Table{Name: "t", Columns: []*storage.Column{
+		intColumn("d", types.Date, days),
+	}}
+	q := Query{
+		Table: tab,
+		Compute: []Computed{{Name: "m",
+			E: expr.NewDatePart(expr.Month, expr.NewColRef(0, "d", types.Date))}},
+		GroupBy: []string{"m"},
+		Aggs:    []AggItem{{Func: exec.Count, Col: ""}},
+	}
+	op, _, err := Build(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d month groups", len(rows))
+	}
+	counts := map[int64]int64{}
+	for _, r := range rows {
+		counts[int64(r[0])] = int64(r[1])
+	}
+	if counts[1] != 1 || counts[2] != 2 || counts[3] != 1 {
+		t.Fatalf("month counts %v", counts)
+	}
+}
+
+func TestConjunctSplittingPushesOnlyDictColumn(t *testing.T) {
+	// WHERE word = 'beta' AND v > 500: the string conjunct is pushed into
+	// the DictionaryTable; the numeric one stays as a residual filter.
+	n := 20000
+	words := []string{"alpha", "beta", "gamma"}
+	rng := rand.New(rand.NewSource(31))
+	svals := make([]string, n)
+	ovals := make([]int64, n)
+	for i := range svals {
+		svals[i] = words[rng.Intn(len(words))]
+		ovals[i] = int64(rng.Intn(1000))
+	}
+	tab := &storage.Table{Name: "t", Columns: []*storage.Column{
+		strColumn("word", svals, true),
+		intColumn("v", types.Integer, ovals),
+	}}
+	where := expr.NewAnd(
+		expr.NewCmp(expr.EQ, expr.NewColRef(0, "word", types.String), expr.NewStringConst("beta")),
+		expr.NewCmp(expr.GT, expr.NewColRef(0, "v", types.Integer), expr.NewIntConst(500)))
+	q := Query{Table: tab, Where: where, Aggs: []AggItem{{Func: exec.Count, Col: ""}}}
+	op, ex, err := Build(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.String(), "DictionaryTable") {
+		t.Fatalf("multi-conjunct predicate missed the invisible join: %s", ex)
+	}
+	if !strings.Contains(ex.String(), "ResidualFilter") {
+		t.Fatalf("residual conjunct lost: %s", ex)
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := range svals {
+		if svals[i] == "beta" && ovals[i] > 500 {
+			want++
+		}
+	}
+	if int64(rows[0][0]) != want {
+		t.Fatalf("count %d, want %d", int64(rows[0][0]), want)
+	}
+}
+
+func TestConjunctSplittingIndexPlan(t *testing.T) {
+	tab := buildRLTable(t, 80000)
+	where := expr.NewAnd(
+		expr.NewCmp(expr.GT, expr.NewColRef(0, "primary", types.Integer), expr.NewIntConst(80)),
+		expr.NewCmp(expr.LT, expr.NewColRef(0, "other", types.Integer), expr.NewIntConst(500000)))
+	q := Query{Table: tab, Where: where,
+		GroupBy: []string{"primary"},
+		Aggs:    []AggItem{{Func: exec.Count, Col: ""}}}
+	op, ex, err := Build(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.String(), "IndexTable") || !strings.Contains(ex.String(), "ResidualFilter") {
+		t.Fatalf("plan: %s", ex)
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference.
+	pc, oc := tab.Column("primary"), tab.Column("other")
+	want := map[int64]int64{}
+	for i := 0; i < tab.Rows(); i++ {
+		p, o := int64(pc.Value(i)), int64(oc.Value(i))
+		if p > 80 && o < 500000 {
+			want[p]++
+		}
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d groups, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if want[int64(r[0])] != int64(r[1]) {
+			t.Fatalf("group %d: %d want %d", int64(r[0]), int64(r[1]), want[int64(r[0])])
+		}
+	}
+}

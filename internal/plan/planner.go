@@ -1,0 +1,497 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"tde/internal/enc"
+	"tde/internal/exec"
+	"tde/internal/expr"
+	"tde/internal/storage"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// AggItem is one aggregate in a query ("" Col means COUNT(*)).
+type AggItem struct {
+	Func exec.AggFunc
+	Col  string
+	As   string
+}
+
+// Computed is a derived column evaluated before grouping.
+type Computed struct {
+	Name string
+	E    expr.Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  string
+	Desc bool
+}
+
+// Query is a single-table aggregation query — the shape Tableau's visual
+// queries take against an extract.
+type Query struct {
+	Table   *storage.Table
+	Where   expr.Expr // over named ColRefs; nil = no filter
+	Compute []Computed
+	GroupBy []string
+	Aggs    []AggItem
+	// Select lists plain output columns for non-aggregating queries.
+	Select  []string
+	OrderBy []OrderItem
+	// Having filters groups after aggregation, over the aggregate output
+	// schema (aliases or generated names like "SUM(v)").
+	Having expr.Expr
+	// Limit caps the result; with OrderBy it plans a bounded TopN sort
+	// instead of a full sort.
+	Limit int
+}
+
+// Options control the strategic optimizer.
+type Options struct {
+	// NoIndexPlan disables the IndexTable/IndexedScan rewrite (plan 1 of
+	// Fig. 10 is the control that fulfills the query "using the existing
+	// system").
+	NoIndexPlan bool
+	// NoDictPlan disables the invisible-join rewrite.
+	NoDictPlan bool
+	// OrderedIndex selects Fig. 10's plan 3 (sort the index, use ordered
+	// aggregation): <0 = strategic choice by run length, 0 = never,
+	// >0 = always.
+	OrderedIndex int
+	// ParallelWorkers injects an Exchange around the filter stage of scan
+	// plans (Sect. 2.3.1 "parallelism injection"). The exchange uses
+	// order-preserving routing whenever the filter column is sorted, so
+	// downstream encodings are not degraded (Sect. 4.3); otherwise blocks
+	// route freely. 0 disables injection.
+	ParallelWorkers int
+}
+
+// Explain records the strategic decisions for inspection.
+type Explain struct {
+	Steps []string
+}
+
+func (e *Explain) add(format string, args ...any) {
+	e.Steps = append(e.Steps, fmt.Sprintf(format, args...))
+}
+
+// String renders the plan outline.
+func (e *Explain) String() string { return strings.Join(e.Steps, " => ") }
+
+// Build runs the strategic optimizer over q and returns the physical plan.
+// Tactical choices (join algorithm, aggregation algorithm) stay with the
+// operators, driven by the metadata FlowTable and the scans derive.
+func Build(q Query, opt Options) (exec.Operator, *Explain, error) {
+	ex := &Explain{}
+	if q.Where != nil {
+		q.Where = expr.Simplify(q.Where)
+	}
+
+	var op exec.Operator
+	var err error
+	switch {
+	case q.Where != nil && !opt.NoIndexPlan && indexPlanColumn(q) != nil:
+		op, err = buildIndexPlan(q, opt, ex)
+	case q.Where != nil && !opt.NoDictPlan && dictPlanColumn(q) != nil:
+		op, err = buildDictPlan(q, ex)
+	default:
+		op, err = buildScanPlan(q, opt, ex)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	op, err = finishPlan(op, q, ex)
+	if err != nil {
+		return nil, nil, err
+	}
+	return op, ex, nil
+}
+
+// neededColumns computes the scan column set.
+func neededColumns(q Query) []string {
+	seen := map[string]bool{}
+	computed := map[string]bool{}
+	for _, c := range q.Compute {
+		computed[c.Name] = true
+	}
+	var out []string
+	add := func(n string) {
+		if n != "" && !seen[n] && !computed[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	if q.Where != nil {
+		for _, n := range Columns(q.Where) {
+			add(n)
+		}
+	}
+	for _, c := range q.Compute {
+		for _, n := range Columns(c.E) {
+			add(n)
+		}
+	}
+	for _, g := range q.GroupBy {
+		add(g)
+	}
+	for _, a := range q.Aggs {
+		add(a.Col)
+	}
+	for _, s := range q.Select {
+		add(s)
+	}
+	for _, o := range q.OrderBy {
+		add(o.Col)
+	}
+	return out
+}
+
+// splitConjuncts flattens an AND tree into its conjuncts.
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if l, ok := e.(*expr.Logic); ok && l.Op == expr.And {
+		return append(splitConjuncts(l.L), splitConjuncts(l.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+// combineConjuncts rebuilds an AND tree (nil for an empty list).
+func combineConjuncts(cs []expr.Expr) expr.Expr {
+	var out expr.Expr
+	for _, c := range cs {
+		if out == nil {
+			out = c
+		} else {
+			out = expr.NewAnd(out, c)
+		}
+	}
+	return out
+}
+
+// isolateColumn splits the WHERE conjuncts into those that reference only
+// the given candidate column (pushable into a pseudo-table) and the
+// residual. The strategic optimizer's "filtering move-around"
+// (Sect. 2.3.1) at work: only whole conjuncts move.
+func isolateColumn(where expr.Expr, accept func(*storage.Column) bool,
+	tab *storage.Table) (col *storage.Column, pushed, residual expr.Expr) {
+	conjuncts := splitConjuncts(where)
+	// Find the first acceptable column that at least one conjunct isolates.
+	for _, cj := range conjuncts {
+		cols := Columns(cj)
+		if len(cols) != 1 {
+			continue
+		}
+		c := tab.Column(cols[0])
+		if c == nil || !accept(c) {
+			continue
+		}
+		var push, rest []expr.Expr
+		for _, other := range conjuncts {
+			oc := Columns(other)
+			if len(oc) == 1 && oc[0] == cols[0] {
+				push = append(push, other)
+			} else {
+				rest = append(rest, other)
+			}
+		}
+		return c, combineConjuncts(push), combineConjuncts(rest)
+	}
+	return nil, nil, nil
+}
+
+// indexPlanColumn returns the RLE column some conjunct isolates, if the
+// IndexTable rewrite applies (Sect. 4.2).
+func indexPlanColumn(q Query) *storage.Column {
+	c, _, _ := isolateColumn(q.Where, func(c *storage.Column) bool {
+		return c.Data.Kind() == enc.RunLength
+	}, q.Table)
+	return c
+}
+
+// dictPlanColumn returns the compressed column some conjunct isolates, if
+// the invisible-join rewrite applies (Sect. 4.1): a string (heap) column
+// or a dictionary-compressed scalar.
+func dictPlanColumn(q Query) *storage.Column {
+	c, _, _ := isolateColumn(q.Where, func(c *storage.Column) bool {
+		return c.Type == types.String && c.Heap != nil || c.Dict != nil
+	}, q.Table)
+	return c
+}
+
+// buildScanPlan is the control: Scan => Filter (Fig. 10 plan 1), with
+// optional exchange-parallelized filtering.
+func buildScanPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
+	scan, err := exec.NewScan(q.Table, neededColumns(q)...)
+	if err != nil {
+		return nil, err
+	}
+	ex.add("Scan(%s)", q.Table.Name)
+	var op exec.Operator = scan
+	if q.Where != nil {
+		pred, err := Rebind(q.Where, op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		if opt.ParallelWorkers > 1 {
+			// Preserve block order when any scanned column is sorted —
+			// free routing would disturb value order and could ruin
+			// downstream encodings (Sect. 4.3).
+			preserve := false
+			for _, info := range scan.Schema() {
+				if info.Meta.SortedKnown && info.Meta.SortedAsc {
+					preserve = true
+					break
+				}
+			}
+			newChain := func() []exec.BlockTransform {
+				return []exec.BlockTransform{exec.NewSelect(nil, pred)}
+			}
+			op = exec.NewExchange(op, newChain, opt.ParallelWorkers, preserve, scan.Schema())
+			routing := "free"
+			if preserve {
+				routing = "order-preserving"
+			}
+			ex.add("Exchange[%d workers, %s] Filter[%s]", opt.ParallelWorkers, routing, pred)
+		} else {
+			op = exec.NewSelect(op, pred)
+			ex.add("Filter[%s]", pred)
+		}
+	}
+	return op, nil
+}
+
+// buildIndexPlan is the rank-join rewrite (Fig. 10 plans 2 and 3):
+// Index => Filter => [Sort =>] FlowTable => IndexedScan.
+func buildIndexPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
+	col, pushed, residual := isolateColumn(q.Where, func(c *storage.Column) bool {
+		return c.Data.Kind() == enc.RunLength
+	}, q.Table)
+	bt, err := IndexTable(col)
+	if err != nil {
+		return nil, err
+	}
+	ex.add("IndexTable(%s:%d runs)", col.Name, bt.Rows)
+	var inner exec.Operator = exec.NewBuiltScan(bt)
+	pred, err := Rebind(pushed, inner.Schema())
+	if err != nil {
+		return nil, err
+	}
+	inner = exec.NewSelect(inner, pred)
+	ex.add("Filter[%s]", pred)
+
+	// Strategic choice of ordered retrieval (Sect. 4.2.2): worth it only
+	// when runs are long relative to the block iteration size.
+	ordered := opt.OrderedIndex > 0
+	if opt.OrderedIndex < 0 {
+		avgRun := 0
+		if bt.Rows > 0 {
+			avgRun = col.Rows() / bt.Rows
+		}
+		ordered = avgRun >= vec.BlockSize
+	}
+	if ordered {
+		inner = exec.NewSort(inner, exec.SortKey{Col: 0})
+		ex.add("Sort[%s]", col.Name)
+	}
+	ft := exec.NewFlowTable(inner, exec.DefaultFlowTableConfig())
+	ex.add("FlowTable")
+
+	// Fetch the remaining needed columns from the outer table.
+	var outerCols []string
+	for _, n := range neededColumns(q) {
+		if n != col.Name {
+			outerCols = append(outerCols, n)
+		}
+	}
+	is, err := exec.NewIndexedScan(ft, []int{0}, 1, 2, q.Table, outerCols...)
+	if err != nil {
+		return nil, err
+	}
+	ex.add("IndexedScan(%s)", strings.Join(outerCols, ","))
+	var op exec.Operator = is
+	if residual != nil {
+		// Conjuncts on other columns stay above the indexed scan.
+		rpred, err := Rebind(residual, op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		op = exec.NewSelect(op, rpred)
+		ex.add("ResidualFilter[%s]", rpred)
+	}
+	return op, nil
+}
+
+// buildDictPlan is the invisible-join rewrite (Sect. 4.1): the filter is
+// pushed to a DictionaryTable, materialized by a FlowTable (with RLE
+// disallowed, Sect. 4.3), and joined back against the main table's tokens;
+// the tactical optimizer upgrades the join to a fetch join when the
+// filtered tokens form a contiguous range.
+func buildDictPlan(q Query, ex *Explain) (exec.Operator, error) {
+	col, pushed, residual := isolateColumn(q.Where, func(c *storage.Column) bool {
+		return c.Type == types.String && c.Heap != nil || c.Dict != nil
+	}, q.Table)
+	bt, err := DictionaryTable(col)
+	if err != nil {
+		return nil, err
+	}
+	ex.add("DictionaryTable(%s:%d)", col.Name, bt.Rows)
+	var inner exec.Operator = exec.NewBuiltScan(bt)
+	pred, err := Rebind(pushed, inner.Schema())
+	if err != nil {
+		return nil, err
+	}
+	inner = exec.NewSelect(inner, pred)
+	ex.add("Filter[%s] pushed to inner", pred)
+	// Keep only the token column on the inner side: the join is a
+	// semijoin that restricts the outer tokens.
+	const innerKeyIdx = 0
+	if col.Type != types.String {
+		s := inner.Schema()
+		inner = exec.NewProject(inner,
+			[]expr.Expr{expr.NewColRef(0, s[0].Name, s[0].Type)},
+			[]string{s[0].Name})
+	}
+	cfg := exec.DefaultFlowTableConfig()
+	cfg.DisallowRLE = true    // hash-join inner restriction (Sect. 4.3)
+	cfg.PreserveTokens = true // join keys must stay the outer table's tokens
+	ft := exec.NewFlowTable(inner, cfg)
+	ex.add("FlowTable(inner, no-RLE)")
+
+	scan, err := exec.NewScan(q.Table, neededColumns(q)...)
+	if err != nil {
+		return nil, err
+	}
+	ex.add("Scan(%s)", q.Table.Name)
+	outerKey := -1
+	for i, info := range scan.Schema() {
+		if info.Name == col.Name {
+			outerKey = i
+			break
+		}
+	}
+	if outerKey < 0 {
+		return nil, fmt.Errorf("plan: filter column %q not scanned", col.Name)
+	}
+	join := exec.NewHashJoin(scan, ft, outerKey, innerKeyIdx, exec.JoinAuto)
+	ex.add("InvisibleJoin(%s)", col.Name)
+	var op exec.Operator = join
+	if residual != nil {
+		rpred, err := Rebind(residual, op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		op = exec.NewSelect(op, rpred)
+		ex.add("ResidualFilter[%s]", rpred)
+	}
+	return op, nil
+}
+
+// finishPlan appends computation, aggregation, ordering and projection.
+func finishPlan(op exec.Operator, q Query, ex *Explain) (exec.Operator, error) {
+	if len(q.Compute) > 0 {
+		schema := op.Schema()
+		var exprs []expr.Expr
+		var names []string
+		for _, info := range schema {
+			exprs = append(exprs, expr.NewColRef(len(exprs), info.Name, info.Type))
+			names = append(names, info.Name)
+		}
+		for _, c := range q.Compute {
+			e, err := Rebind(c.E, schema)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, expr.Simplify(e))
+			names = append(names, c.Name)
+		}
+		op = exec.NewProject(op, exprs, names)
+		ex.add("Compute[%s]", strings.Join(names[len(names)-len(q.Compute):], ","))
+	}
+
+	if len(q.Aggs) > 0 || len(q.GroupBy) > 0 {
+		schema := op.Schema()
+		var keyIdxs []int
+		for _, g := range q.GroupBy {
+			idx := colIndex(schema, g)
+			if idx < 0 {
+				return nil, fmt.Errorf("plan: unknown group column %q", g)
+			}
+			keyIdxs = append(keyIdxs, idx)
+		}
+		var specs []exec.AggSpec
+		for _, a := range q.Aggs {
+			idx := -1
+			if a.Col != "" {
+				idx = colIndex(schema, a.Col)
+				if idx < 0 {
+					return nil, fmt.Errorf("plan: unknown aggregate column %q", a.Col)
+				}
+			}
+			specs = append(specs, exec.AggSpec{Func: a.Func, Col: idx, Name: a.As})
+		}
+		agg := exec.NewAggregate(op, keyIdxs, specs, exec.AggAuto)
+		op = agg
+		ex.add("Aggregate[%d keys, %d aggs]", len(keyIdxs), len(specs))
+		if q.Having != nil {
+			pred, err := Rebind(expr.Simplify(q.Having), op.Schema())
+			if err != nil {
+				return nil, err
+			}
+			op = exec.NewSelect(op, pred)
+			ex.add("Having[%s]", pred)
+		}
+	} else if len(q.Select) > 0 {
+		schema := op.Schema()
+		var exprs []expr.Expr
+		var names []string
+		for _, s := range q.Select {
+			idx := colIndex(schema, s)
+			if idx < 0 {
+				return nil, fmt.Errorf("plan: unknown select column %q", s)
+			}
+			exprs = append(exprs, expr.NewColRef(idx, s, schema[idx].Type))
+			names = append(names, s)
+		}
+		op = exec.NewProject(op, exprs, names)
+		ex.add("Project[%s]", strings.Join(names, ","))
+	}
+
+	if len(q.OrderBy) > 0 {
+		schema := op.Schema()
+		var keys []exec.SortKey
+		for _, o := range q.OrderBy {
+			idx := colIndex(schema, o.Col)
+			if idx < 0 {
+				return nil, fmt.Errorf("plan: unknown order column %q", o.Col)
+			}
+			keys = append(keys, exec.SortKey{Col: idx, Desc: o.Desc})
+		}
+		if q.Limit > 0 {
+			// Bounded sort: keep only the top rows instead of
+			// materializing everything.
+			op = exec.NewTopN(op, q.Limit, keys...)
+			ex.add("TopN[%d, %d keys]", q.Limit, len(keys))
+			return op, nil
+		}
+		op = exec.NewSort(op, keys...)
+		ex.add("Sort[%d keys]", len(keys))
+	}
+	if q.Limit > 0 {
+		op = exec.NewLimit(op, q.Limit)
+		ex.add("Limit[%d]", q.Limit)
+	}
+	return op, nil
+}
+
+func colIndex(schema []exec.ColInfo, name string) int {
+	for i, c := range schema {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}

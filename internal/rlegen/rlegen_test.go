@@ -1,0 +1,84 @@
+package rlegen
+
+import (
+	"testing"
+
+	"tde/internal/enc"
+)
+
+func TestBuildShape(t *testing.T) {
+	n := 200000
+	tab := Build(n, 1)
+	if tab.Rows() != n {
+		t.Fatalf("rows %d", tab.Rows())
+	}
+	p := tab.Column("primary")
+	s := tab.Column("secondary")
+	if p.Data.Kind() != enc.RunLength || s.Data.Kind() != enc.RunLength {
+		t.Fatalf("encodings %v/%v, want rle", p.Data.Kind(), s.Data.Kind())
+	}
+	// Sorted ascending on (primary, secondary): primary has ~Domain runs,
+	// secondary ~Domain^2.
+	if p.Data.NumRuns() != Domain {
+		t.Errorf("primary has %d runs, want %d", p.Data.NumRuns(), Domain)
+	}
+	if s.Data.NumRuns() < Domain*Domain*9/10 || s.Data.NumRuns() > Domain*Domain {
+		t.Errorf("secondary has %d runs, want ~%d", s.Data.NumRuns(), Domain*Domain)
+	}
+	// Verify global sortedness and domain.
+	pv := p.Data.DecodeAll()
+	sv := s.Data.DecodeAll()
+	for i := 1; i < n; i++ {
+		if pv[i] < pv[i-1] {
+			t.Fatal("primary not sorted")
+		}
+		if pv[i] == pv[i-1] && sv[i] < sv[i-1] {
+			t.Fatal("secondary not sorted within primary runs")
+		}
+		if pv[i] >= Domain || sv[i] >= Domain {
+			t.Fatal("value outside domain")
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(10000, 7)
+	b := Build(10000, 7)
+	av := a.Column("secondary").Data.DecodeAll()
+	bv := b.Column("secondary").Data.DecodeAll()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("same seed produced different tables")
+		}
+	}
+}
+
+func TestReferenceMaxOther(t *testing.T) {
+	tab := Build(50000, 3)
+	ref := ReferenceMaxOther(tab, "primary", 90)
+	if len(ref) != 9 { // values 91..99
+		t.Fatalf("reference has %d groups", len(ref))
+	}
+	for k, v := range ref {
+		if k <= 90 || k >= 100 {
+			t.Errorf("group %d out of range", k)
+		}
+		if v < 0 || v >= Domain {
+			t.Errorf("max %d out of range", v)
+		}
+	}
+}
+
+func TestForceRLE(t *testing.T) {
+	vals := []uint64{5, 5, 5, 9, 9, 2}
+	s := ForceRLE(vals)
+	if s.Kind() != enc.RunLength || s.Len() != 6 {
+		t.Fatalf("kind %v len %d", s.Kind(), s.Len())
+	}
+	got := s.DecodeAll()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatal("ForceRLE corrupted values")
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package sqlparse implements the small SQL subset the tooling and
+// examples use to drive the engine: single-table SELECT with WHERE,
+// GROUP BY and ORDER BY, the Tableau aggregates (SUM, COUNT, COUNTD, MIN,
+// MAX, AVG, MEDIAN) and the scalar functions of internal/expr.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	at   int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.at >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.at]
+		switch {
+		case isIdentStart(c):
+			start := l.at
+			for l.at < len(l.src) && isIdentPart(l.src[l.at]) {
+				l.at++
+			}
+			l.emitAt(tokIdent, l.src[start:l.at], start)
+		case c >= '0' && c <= '9' || c == '.' && l.at+1 < len(l.src) && l.src[l.at+1] >= '0' && l.src[l.at+1] <= '9':
+			start := l.at
+			for l.at < len(l.src) && (l.src[l.at] >= '0' && l.src[l.at] <= '9' || l.src[l.at] == '.') {
+				l.at++
+			}
+			if l.at < len(l.src) && (l.src[l.at] == 'e' || l.src[l.at] == 'E') {
+				l.at++
+				if l.at < len(l.src) && (l.src[l.at] == '+' || l.src[l.at] == '-') {
+					l.at++
+				}
+				for l.at < len(l.src) && l.src[l.at] >= '0' && l.src[l.at] <= '9' {
+					l.at++
+				}
+			}
+			l.emitAt(tokNumber, l.src[start:l.at], start)
+		case c == '\'':
+			start := l.at
+			l.at++
+			var sb strings.Builder
+			for l.at < len(l.src) {
+				if l.src[l.at] == '\'' {
+					if l.at+1 < len(l.src) && l.src[l.at+1] == '\'' {
+						sb.WriteByte('\'')
+						l.at += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(l.src[l.at])
+				l.at++
+			}
+			if l.at >= len(l.src) {
+				return nil, fmt.Errorf("sql: unterminated string at %d", start)
+			}
+			l.at++
+			l.emitAt(tokString, sb.String(), start)
+		default:
+			start := l.at
+			// Two-character operators first.
+			if l.at+1 < len(l.src) {
+				two := l.src[l.at : l.at+2]
+				switch two {
+				case "<=", ">=", "<>", "!=":
+					l.at += 2
+					l.emitAt(tokSymbol, two, start)
+					continue
+				}
+			}
+			switch c {
+			case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', '%', '.':
+				l.at++
+				l.emitAt(tokSymbol, string(c), start)
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.at)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.at < len(l.src) {
+		switch l.src[l.at] {
+		case ' ', '\t', '\n', '\r':
+			l.at++
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) emit(k tokenKind, s string)          { l.emitAt(k, s, l.at) }
+func (l *lexer) emitAt(k tokenKind, s string, p int) { l.toks = append(l.toks, token{k, s, p}) }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '$'
+}
+
+// keyword matching is case-insensitive.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"tde/internal/enc"
+	"tde/internal/types"
+)
+
+func buildColumn(t *testing.T, typ types.Type, vals []int64, forceRLE bool) *Column {
+	t.Helper()
+	w := enc.NewWriter(enc.WriterConfig{Signed: true, ConvertOptimal: true,
+		Sentinel: types.NullBits(typ), HasSentinel: true})
+	for _, v := range vals {
+		w.AppendOne(uint64(v))
+	}
+	s := w.Finish()
+	if forceRLE && s.Kind() != enc.RunLength {
+		raw := s.DecodeAll()
+		maxRun := 1
+		var maxV uint64
+		run := 1
+		for i := 1; i < len(raw); i++ {
+			if raw[i] == raw[i-1] {
+				run++
+				if run > maxRun {
+					maxRun = run
+				}
+			} else {
+				run = 1
+			}
+			if raw[i] > maxV {
+				maxV = raw[i]
+			}
+		}
+		var err error
+		s, err = enc.BuildRLE(raw, maxRun, maxV)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &Column{Name: "c", Type: typ, Data: s,
+		Meta: enc.MetadataFromStats(w.Stats(), true)}
+}
+
+func checkDictColumn(t *testing.T, c *Column, vals []int64) {
+	t.Helper()
+	if c.Dict == nil {
+		t.Fatal("column not dictionary compressed")
+	}
+	for i := 1; i < len(c.Dict); i++ {
+		if int64(c.Dict[i]) < int64(c.Dict[i-1]) {
+			t.Fatal("dictionary not sorted")
+		}
+	}
+	for i := range vals {
+		if got := int64(c.Value(i)); got != vals[i] {
+			t.Fatalf("value %d = %d, want %d", i, got, vals[i])
+		}
+	}
+}
+
+func TestConvertDictEncodedColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	domain := []int64{900000, -5, 70, 12345}
+	vals := make([]int64, 20000)
+	for i := range vals {
+		vals[i] = domain[rng.Intn(len(domain))]
+	}
+	c := buildColumn(t, types.Integer, vals, false)
+	if c.Data.Kind() != enc.Dictionary {
+		t.Skipf("encoded as %v", c.Data.Kind())
+	}
+	if err := ConvertToDictCompression(c); err != nil {
+		t.Fatal(err)
+	}
+	checkDictColumn(t, c, vals)
+	if len(c.Dict) != 4 {
+		t.Errorf("dictionary has %d entries", len(c.Dict))
+	}
+}
+
+func TestConvertFORColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]int64, 30000)
+	for i := range vals {
+		vals[i] = 50000 + int64(rng.Intn(2000))
+	}
+	c := buildColumn(t, types.Integer, vals, false)
+	if c.Data.Kind() != enc.FrameOfReference {
+		t.Skipf("encoded as %v", c.Data.Kind())
+	}
+	if err := ConvertToDictCompression(c); err != nil {
+		t.Fatal(err)
+	}
+	checkDictColumn(t, c, vals)
+	// The envelope dictionary may contain absent values (Sect. 3.4.3).
+	if len(c.Dict) < 2000 {
+		t.Errorf("envelope dictionary has %d entries", len(c.Dict))
+	}
+}
+
+func TestConvertRLEColumn(t *testing.T) {
+	var vals []int64
+	for v := 0; v < 40; v++ {
+		for j := 0; j < 700; j++ {
+			vals = append(vals, int64(v*1000000)) // wide values, long runs
+		}
+	}
+	c := buildColumn(t, types.Integer, vals, true)
+	if err := ConvertToDictCompression(c); err != nil {
+		t.Fatal(err)
+	}
+	checkDictColumn(t, c, vals)
+	// The token stream should be run-length over narrow tokens
+	// ("a scalar dictionary compressed column with a run-length encoded
+	// token stream", Sect. 3.4.3).
+	if c.Data.Kind() != enc.RunLength {
+		t.Errorf("token stream is %v", c.Data.Kind())
+	}
+	if c.Data.Width() != 1 {
+		t.Errorf("token width %d", c.Data.Width())
+	}
+}
+
+func TestConvertRejectsUnsupported(t *testing.T) {
+	// Raw (incompressible) column.
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = int64(rng.Uint64() >> 1)
+	}
+	c := buildColumn(t, types.Integer, vals, false)
+	if c.Data.Kind() != enc.None {
+		t.Skipf("encoded as %v", c.Data.Kind())
+	}
+	if err := ConvertToDictCompression(c); err == nil {
+		t.Fatal("raw column converted")
+	}
+	// Strings use heap compression.
+	sc := &Column{Name: "s", Type: types.String, Data: c.Data}
+	if err := ConvertToDictCompression(sc); err == nil {
+		t.Fatal("string column converted")
+	}
+}
+
+func TestConvertIdempotent(t *testing.T) {
+	vals := []int64{5, 5, 9, 9, 9, 5}
+	c := buildColumn(t, types.Integer, vals, false)
+	c.Dict = []uint64{5, 9} // pretend already compressed
+	if err := ConvertToDictCompression(c); err != nil {
+		t.Fatal("already-compressed column rejected")
+	}
+}
+
+func TestConvertWithNulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	domain := []int64{10, 20, 30}
+	vals := make([]int64, 8000)
+	for i := range vals {
+		vals[i] = domain[rng.Intn(len(domain))]
+	}
+	vals[100] = types.NullInteger
+	vals[5000] = types.NullInteger
+	c := buildColumn(t, types.Integer, vals, false)
+	if c.Data.Kind() != enc.Dictionary {
+		t.Skipf("encoded as %v", c.Data.Kind())
+	}
+	if err := ConvertToDictCompression(c); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsNull(100) || !c.IsNull(5000) {
+		t.Error("nulls lost in conversion")
+	}
+	if c.IsNull(0) {
+		t.Error("phantom null")
+	}
+	if int64(c.Value(0)) != vals[0] {
+		t.Error("values corrupted")
+	}
+}

@@ -1,0 +1,226 @@
+// Package storage implements the TDE column store: columns whose main data
+// is always fixed width (uncompressed scalars, indexes into a scalar
+// dictionary, or offsets into a string heap — Sect. 2.3.2), tables, and
+// the single-file database format of Sect. 2.3.3.
+package storage
+
+import (
+	"fmt"
+
+	"tde/internal/enc"
+	"tde/internal/heap"
+	"tde/internal/types"
+)
+
+// Column is one stored column. The main Data stream is fixed-width and
+// encoded (internal/enc); the paper's compression/encoding distinction
+// appears here: Dict and Heap are *compression* (column-level dictionaries
+// the optimizer can see and join against), while the Data stream's
+// internal format is *encoding* (invisible to the rest of the system).
+type Column struct {
+	Name      string
+	Type      types.Type
+	Collation types.Collation
+
+	// Data is the fixed-width main stream. Plain scalar columns store
+	// value bits; dictionary-compressed columns store indexes into Dict;
+	// string columns store byte-offset tokens into Heap.
+	Data *enc.Stream
+
+	// Dict is the scalar compression dictionary (sorted ascending) for
+	// dictionary-compressed fixed-width columns; nil otherwise.
+	Dict []uint64
+
+	// Heap is the string heap for string columns; nil otherwise.
+	Heap *heap.Heap
+
+	// Meta carries the properties extracted during load (Sect. 3.4.2).
+	Meta enc.Metadata
+}
+
+// Rows returns the column's logical row count.
+func (c *Column) Rows() int {
+	if c.Data == nil {
+		return 0
+	}
+	return c.Data.Len()
+}
+
+// DictCompressed reports whether the column is dictionary-compressed (its
+// data values are tokens into a scalar dictionary).
+func (c *Column) DictCompressed() bool { return c.Dict != nil }
+
+// Signed reports whether the column's raw values are interpreted as
+// signed; token-valued columns (strings, dictionary-compressed) are not.
+func (c *Column) Signed() bool {
+	if c.Dict != nil || c.Type == types.String {
+		return false
+	}
+	switch c.Type {
+	case types.Integer, types.Date, types.Timestamp:
+		return true
+	}
+	return false
+}
+
+// Value returns row i's value bits, resolving dictionary compression and
+// sign-extending narrow widths for signed columns.
+func (c *Column) Value(i int) uint64 {
+	v := c.Data.Get(i)
+	if c.Dict != nil {
+		if v == types.NullToken&enc.WidthMask(c.Data.Width()) {
+			return types.NullBits(c.Type)
+		}
+		return c.Dict[v]
+	}
+	return c.ResolveRaw(v)
+}
+
+// ResolveRaw turns a raw stream value into full-width value bits
+// (sign-extending signed columns and widening the NULL sentinel).
+func (c *Column) ResolveRaw(v uint64) uint64 {
+	w := c.Data.Width()
+	if w == 8 {
+		return v
+	}
+	if c.Type == types.String {
+		if v == types.NullToken&enc.WidthMask(w) {
+			return types.NullToken
+		}
+		return v
+	}
+	if c.Signed() {
+		return uint64(enc.SignExtend(v, w))
+	}
+	return v
+}
+
+// StringAt returns row i's string value. Only valid for string columns.
+func (c *Column) StringAt(i int) string {
+	tok := c.Data.Get(i)
+	if tok == types.NullToken&enc.WidthMask(c.Data.Width()) {
+		return ""
+	}
+	return c.Heap.Get(tok)
+}
+
+// IsNull reports whether row i is NULL. Dictionary-compressed columns can
+// carry NULL either as the token sentinel or as the type sentinel inside
+// the dictionary (a converted column keeps its sentinel as an entry).
+func (c *Column) IsNull(i int) bool {
+	v := c.Data.Get(i)
+	if c.Type == types.String {
+		return v == types.NullToken&enc.WidthMask(c.Data.Width())
+	}
+	if c.Dict != nil {
+		if v == types.NullToken&enc.WidthMask(c.Data.Width()) {
+			return true
+		}
+		return types.IsNull(c.Type, c.Dict[v])
+	}
+	return types.IsNull(c.Type, c.ResolveRaw(v))
+}
+
+// Format renders row i for display and text export.
+func (c *Column) Format(i int) string {
+	if c.Type == types.String {
+		if c.IsNull(i) {
+			return "NULL"
+		}
+		return c.StringAt(i)
+	}
+	return types.Format(c.Type, c.Value(i))
+}
+
+// Validate performs structural checks used by the file reader.
+func (c *Column) Validate() error {
+	if c.Data == nil {
+		return fmt.Errorf("storage: column %q has no data stream", c.Name)
+	}
+	if c.Type == types.String && c.Heap == nil {
+		return fmt.Errorf("storage: string column %q has no heap", c.Name)
+	}
+	if c.Dict != nil && c.Type == types.String {
+		return fmt.Errorf("storage: string column %q cannot be scalar-dictionary compressed", c.Name)
+	}
+	return nil
+}
+
+// Table is a named set of equal-length columns.
+type Table struct {
+	Name    string
+	Columns []*Column
+}
+
+// Rows returns the table's row count.
+func (t *Table) Rows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return t.Columns[0].Rows()
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks column lengths agree.
+func (t *Table) Validate() error {
+	rows := -1
+	for _, c := range t.Columns {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if rows == -1 {
+			rows = c.Rows()
+		} else if c.Rows() != rows {
+			return fmt.Errorf("storage: table %q column %q has %d rows, want %d",
+				t.Name, c.Name, c.Rows(), rows)
+		}
+	}
+	return nil
+}
+
+// PhysicalSize returns the stored byte size of all streams, heaps and
+// dictionaries — the "physical size" axis of Figure 5.
+func (t *Table) PhysicalSize() int {
+	total := 0
+	for _, c := range t.Columns {
+		total += c.Data.PhysicalSize()
+		if c.Heap != nil {
+			total += c.Heap.Size()
+		}
+		total += len(c.Dict) * 8
+	}
+	return total
+}
+
+// LogicalSize returns the unencoded byte size (values at stream width plus
+// heap bytes) — the "logical size" axis of Figure 5.
+func (t *Table) LogicalSize() int {
+	total := 0
+	for _, c := range t.Columns {
+		total += c.Data.LogicalSize()
+		if c.Heap != nil {
+			total += c.Heap.Size()
+		}
+		total += len(c.Dict) * 8
+	}
+	return total
+}

@@ -1,0 +1,347 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"tde/internal/enc"
+	"tde/internal/heap"
+	"tde/internal/types"
+)
+
+// Single-file database format (Sect. 2.3.3: "the database needs to be
+// represented by a single file" so users can pick it in a file dialog).
+// The internal read-write representation is one stream per column; writing
+// a database copies everything into one file, and column-level compression
+// is what keeps that unavoidable copy cheap.
+//
+// Layout (all integers little-endian):
+//
+//	magic "TDE\x01" | format version u32 | table count u32
+//	per table:  name | row count u64 | column count u32
+//	per column: name | type u8 | collation u8 | flags u8 |
+//	            metadata block | data stream | [heap] | [scalar dict]
+//	trailer: crc32 of everything after the magic
+//
+// Strings and byte blocks are u32-length-prefixed.
+
+const (
+	fileMagic   = "TDE\x01"
+	fileVersion = 1
+
+	flagHasHeap    = 1 << 0
+	flagHeapSorted = 1 << 1
+	flagHasDict    = 1 << 2
+)
+
+// WriteFile writes tables as a single-file database at path.
+func WriteFile(path string, tables []*Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, tables); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Write serializes tables to w in the single-file format.
+func Write(w io.Writer, tables []*Table) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
+	ew := &errWriter{w: out}
+	ew.u32(fileVersion)
+	ew.u32(uint32(len(tables)))
+	for _, t := range tables {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		ew.str(t.Name)
+		ew.u64(uint64(t.Rows()))
+		ew.u32(uint32(len(t.Columns)))
+		for _, c := range t.Columns {
+			writeColumn(ew, c)
+		}
+	}
+	if ew.err != nil {
+		return ew.err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeColumn(ew *errWriter, c *Column) {
+	ew.str(c.Name)
+	ew.u8(uint8(c.Type))
+	ew.u8(uint8(c.Collation))
+	var flags uint8
+	if c.Heap != nil {
+		flags |= flagHasHeap
+		if c.Heap.Sorted() {
+			flags |= flagHeapSorted
+		}
+	}
+	if c.Dict != nil {
+		flags |= flagHasDict
+	}
+	ew.u8(flags)
+	writeMetadata(ew, &c.Meta)
+	ew.bytes(c.Data.Bytes())
+	if c.Heap != nil {
+		ew.bytes(c.Heap.Bytes())
+		ew.u64(uint64(c.Heap.Len()))
+	}
+	if c.Dict != nil {
+		ew.u32(uint32(len(c.Dict)))
+		for _, v := range c.Dict {
+			ew.u64(v)
+		}
+	}
+}
+
+func writeMetadata(ew *errWriter, m *enc.Metadata) {
+	ew.u64(uint64(m.RowCount))
+	var flags uint16
+	set := func(bit int, v bool) {
+		if v {
+			flags |= 1 << bit
+		}
+	}
+	set(0, m.HasRange)
+	set(1, m.RangeExact)
+	set(2, m.CardinalityExact)
+	set(3, m.NullsKnown)
+	set(4, m.HasNulls)
+	set(5, m.SortedKnown)
+	set(6, m.SortedAsc)
+	set(7, m.Dense)
+	set(8, m.Unique)
+	set(9, m.IsAffine)
+	set(10, m.EntriesSorted)
+	ew.u16(flags)
+	ew.u64(uint64(m.Min))
+	ew.u64(uint64(m.Max))
+	ew.u64(uint64(m.Cardinality))
+	ew.u64(uint64(m.CardinalityUpper))
+	ew.u64(uint64(m.AffineBase))
+	ew.u64(uint64(m.AffineDelta))
+}
+
+// ReadFile loads a single-file database.
+func ReadFile(path string) ([]*Table, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Read(buf)
+}
+
+// Read parses a single-file database image. Column streams and heaps
+// alias buf, so the caller must keep it alive; this mirrors reading from
+// a memory-mapped extract.
+func Read(buf []byte) ([]*Table, error) {
+	if len(buf) < len(fileMagic)+8 || string(buf[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("storage: not a TDE database file")
+	}
+	body := buf[len(fileMagic) : len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("storage: checksum mismatch: file corrupt")
+	}
+	r := &reader{buf: body}
+	if v := r.u32(); v != fileVersion {
+		return nil, fmt.Errorf("storage: unsupported format version %d", v)
+	}
+	nt := int(r.u32())
+	tables := make([]*Table, 0, nt)
+	for i := 0; i < nt; i++ {
+		t := &Table{Name: r.str()}
+		rows := r.u64()
+		nc := int(r.u32())
+		for j := 0; j < nc; j++ {
+			c, err := readColumn(r)
+			if err != nil {
+				return nil, err
+			}
+			t.Columns = append(t.Columns, c)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if uint64(t.Rows()) != rows {
+			return nil, fmt.Errorf("storage: table %q catalog says %d rows, columns say %d",
+				t.Name, rows, t.Rows())
+		}
+		tables = append(tables, t)
+	}
+	return tables, r.err
+}
+
+func readColumn(r *reader) (*Column, error) {
+	c := &Column{Name: r.str()}
+	c.Type = types.Type(r.u8())
+	c.Collation = types.Collation(r.u8())
+	flags := r.u8()
+	readMetadata(r, &c.Meta)
+	data := r.bytes()
+	if r.err != nil {
+		return nil, r.err
+	}
+	s, err := enc.FromBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("storage: column %q: %w", c.Name, err)
+	}
+	c.Data = s
+	if flags&flagHasHeap != 0 {
+		hb := r.bytes()
+		hc := int(r.u64())
+		c.Heap = heap.FromBytes(hb, hc, c.Collation, flags&flagHeapSorted != 0)
+	}
+	if flags&flagHasDict != 0 {
+		n := int(r.u32())
+		if r.err == nil && (n < 0 || n > 1<<enc.DictMaxBits) {
+			return nil, fmt.Errorf("storage: column %q: dictionary size %d out of range", c.Name, n)
+		}
+		c.Dict = make([]uint64, n)
+		for i := range c.Dict {
+			c.Dict[i] = r.u64()
+		}
+	}
+	return c, r.err
+}
+
+func readMetadata(r *reader, m *enc.Metadata) {
+	m.RowCount = int(r.u64())
+	flags := r.u16()
+	get := func(bit int) bool { return flags&(1<<bit) != 0 }
+	m.HasRange = get(0)
+	m.RangeExact = get(1)
+	m.CardinalityExact = get(2)
+	m.NullsKnown = get(3)
+	m.HasNulls = get(4)
+	m.SortedKnown = get(5)
+	m.SortedAsc = get(6)
+	m.Dense = get(7)
+	m.Unique = get(8)
+	m.IsAffine = get(9)
+	m.EntriesSorted = get(10)
+	m.Min = int64(r.u64())
+	m.Max = int64(r.u64())
+	m.Cardinality = int(r.u64())
+	m.CardinalityUpper = int(r.u64())
+	m.AffineBase = int64(r.u64())
+	m.AffineDelta = int64(r.u64())
+}
+
+// errWriter accumulates the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+	tmp [8]byte
+}
+
+func (ew *errWriter) write(b []byte) {
+	if ew.err == nil {
+		_, ew.err = ew.w.Write(b)
+	}
+}
+
+func (ew *errWriter) u8(v uint8) { ew.tmp[0] = v; ew.write(ew.tmp[:1]) }
+
+func (ew *errWriter) u16(v uint16) {
+	binary.LittleEndian.PutUint16(ew.tmp[:2], v)
+	ew.write(ew.tmp[:2])
+}
+
+func (ew *errWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(ew.tmp[:4], v)
+	ew.write(ew.tmp[:4])
+}
+
+func (ew *errWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(ew.tmp[:8], v)
+	ew.write(ew.tmp[:8])
+}
+
+func (ew *errWriter) str(s string) {
+	ew.u32(uint32(len(s)))
+	ew.write([]byte(s))
+}
+
+func (ew *errWriter) bytes(b []byte) {
+	ew.u32(uint32(len(b)))
+	ew.write(b)
+}
+
+// reader parses the body with bounds checking.
+type reader struct {
+	buf []byte
+	at  int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.at+n > len(r.buf) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := r.buf[r.at : r.at+n]
+	r.at += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) str() string { return string(r.take(int(r.u32()))) }
+
+func (r *reader) bytes() []byte { return r.take(int(r.u32())) }

@@ -1,0 +1,265 @@
+// Package textscan implements the TDE flat-file import operator of
+// Sect. 5.1: a flow operator that reads a byte stream and produces blocks
+// of typed data, with statistical separator detection, competing-parser
+// type inference, header detection, and tight buffer-oriented scalar
+// parsers that rely on no external state (the fix for the locale-lock
+// contention of Sect. 5.1.2, which is also reproduced here as an ablation
+// path).
+package textscan
+
+import (
+	"sync"
+
+	"tde/internal/types"
+)
+
+// parseInt parses a decimal integer from b with no allocation and no
+// external state ("tightly written C code" in the paper's terms).
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		i++
+	}
+	if i >= len(b) || len(b)-i > 19 {
+		return 0, false
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+		if v < 0 {
+			return 0, false // overflow
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// parseReal parses a fixed or scientific notation real.
+func parseReal(b []byte) (float64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		i++
+	}
+	var mant float64
+	digits := 0
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		mant = mant*10 + float64(b[i]-'0')
+		digits++
+		i++
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		frac := 0.1
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			mant += float64(b[i]-'0') * frac
+			frac /= 10
+			digits++
+			i++
+		}
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		eneg := false
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			eneg = b[i] == '-'
+			i++
+		}
+		exp := 0
+		ed := 0
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			exp = exp*10 + int(b[i]-'0')
+			ed++
+			i++
+		}
+		if ed == 0 || exp > 308 {
+			return 0, false
+		}
+		scale := 1.0
+		for j := 0; j < exp; j++ {
+			scale *= 10
+		}
+		if eneg {
+			mant /= scale
+		} else {
+			mant *= scale
+		}
+	}
+	if i != len(b) {
+		return 0, false
+	}
+	if neg {
+		mant = -mant
+	}
+	return mant, true
+}
+
+// parseDate parses YYYY-MM-DD (also Y/M/D with slashes).
+func parseDate(b []byte) (int64, bool) {
+	y, m, d, n, ok := parseYMD(b)
+	if !ok || n != len(b) {
+		return 0, false
+	}
+	return types.DaysFromCivil(y, m, d), true
+}
+
+func parseYMD(b []byte) (y, m, d, n int, ok bool) {
+	if len(b) < 8 {
+		return
+	}
+	i := 0
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		y = y*10 + int(b[i]-'0')
+		i++
+	}
+	if i != 4 || i >= len(b) || (b[i] != '-' && b[i] != '/') {
+		return
+	}
+	sep := b[i]
+	i++
+	ms := i
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		m = m*10 + int(b[i]-'0')
+		i++
+	}
+	if i == ms || i-ms > 2 || i >= len(b) || b[i] != sep {
+		return
+	}
+	i++
+	ds := i
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		d = d*10 + int(b[i]-'0')
+		i++
+	}
+	if i == ds || i-ds > 2 {
+		return
+	}
+	if m < 1 || m > 12 || d < 1 || d > types.DaysInMonth(y, m) {
+		return
+	}
+	return y, m, d, i, true
+}
+
+// parseTimestamp parses "YYYY-MM-DD HH:MM:SS" (T separator also accepted;
+// seconds optional).
+func parseTimestamp(b []byte) (int64, bool) {
+	y, m, d, n, ok := parseYMD(b)
+	if !ok {
+		return 0, false
+	}
+	if n == len(b) {
+		return 0, false // a bare date should stay a date
+	}
+	if b[n] != ' ' && b[n] != 'T' {
+		return 0, false
+	}
+	i := n + 1
+	read2 := func() (int, bool) {
+		if i+2 > len(b) || b[i] < '0' || b[i] > '9' || b[i+1] < '0' || b[i+1] > '9' {
+			return 0, false
+		}
+		v := int(b[i]-'0')*10 + int(b[i+1]-'0')
+		i += 2
+		return v, true
+	}
+	h, ok := read2()
+	if !ok || i >= len(b) || b[i] != ':' {
+		return 0, false
+	}
+	i++
+	mi, ok := read2()
+	if !ok {
+		return 0, false
+	}
+	sec := 0
+	if i < len(b) {
+		if b[i] != ':' {
+			return 0, false
+		}
+		i++
+		sec, ok = read2()
+		if !ok || i != len(b) {
+			return 0, false
+		}
+	}
+	if h > 23 || mi > 59 || sec > 60 {
+		return 0, false
+	}
+	return types.TimestampFromCivil(y, m, d, h, mi, sec, 0), true
+}
+
+// parseBool parses explicit boolean spellings (not 0/1, which stay
+// integers under inference).
+func parseBool(b []byte) (bool, bool) {
+	switch string(b) {
+	case "true", "TRUE", "True", "t", "T", "yes", "Y":
+		return true, true
+	case "false", "FALSE", "False", "f", "F", "no", "N":
+		return false, true
+	}
+	return false, false
+}
+
+// localeMutex simulates the C++ standard library's locale singleton lock:
+// the original TextScan parsers "first needed to obtain and lock a
+// singleton locale object", and the contention negated all parallelism
+// gains (Sect. 5.1.2). The locked parser path exists purely to reproduce
+// that measurement.
+var localeMutex sync.Mutex
+
+// lockedParseInt is parseInt behind the simulated locale lock.
+func lockedParseInt(b []byte) (int64, bool) {
+	localeMutex.Lock()
+	v, ok := parseInt(b)
+	simulateLocaleWork()
+	localeMutex.Unlock()
+	return v, ok
+}
+
+// lockedParseReal is parseReal behind the simulated locale lock.
+func lockedParseReal(b []byte) (float64, bool) {
+	localeMutex.Lock()
+	v, ok := parseReal(b)
+	simulateLocaleWork()
+	localeMutex.Unlock()
+	return v, ok
+}
+
+// lockedParseDate is parseDate behind the simulated locale lock.
+func lockedParseDate(b []byte) (int64, bool) {
+	localeMutex.Lock()
+	v, ok := parseDate(b)
+	simulateLocaleWork()
+	localeMutex.Unlock()
+	return v, ok
+}
+
+// simulateLocaleWork models the facet lookup the C++ stream parsers do
+// under the lock. A short serial section is enough to serialize workers.
+var localeSink uint64
+
+func simulateLocaleWork() {
+	x := localeSink
+	for i := 0; i < 40; i++ {
+		x = x*1099511628211 + 1469598103934665603
+	}
+	localeSink = x
+}

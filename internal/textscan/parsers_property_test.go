@@ -1,0 +1,111 @@
+package textscan
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"tde/internal/types"
+)
+
+// The buffer-oriented parsers must agree with the standard library on
+// every value the standard library accepts in our grammar.
+
+func TestParseIntMatchesStrconv(t *testing.T) {
+	err := quick.Check(func(v int64) bool {
+		s := strconv.FormatInt(v, 10)
+		got, ok := parseInt([]byte(s))
+		return ok && got == v
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRealMatchesStrconvOnFixed(t *testing.T) {
+	err := quick.Check(func(mant int32, frac uint16) bool {
+		s := fmt.Sprintf("%d.%04d", mant, frac%10000)
+		want, _ := strconv.ParseFloat(s, 64)
+		got, ok := parseReal([]byte(s))
+		if !ok {
+			return false
+		}
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		// The fraction loop accumulates in float64; allow one ulp-ish slop.
+		scale := want
+		if scale < 0 {
+			scale = -scale
+		}
+		return diff <= 1e-12*(scale+1)
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDateRoundTripsAllDays(t *testing.T) {
+	err := quick.Check(func(off uint32) bool {
+		days := int64(off % 40000) // ~1970..2079
+		y, m, d := types.CivilFromDays(days)
+		s := fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+		got, ok := parseDate([]byte(s))
+		return ok && got == days
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTimestampRoundTrips(t *testing.T) {
+	err := quick.Check(func(off uint32, sec uint32) bool {
+		days := int64(off % 30000)
+		y, m, d := types.CivilFromDays(days)
+		h, mi, ss := int(sec%24), int(sec/24%60), int(sec/1440%60)
+		s := fmt.Sprintf("%04d-%02d-%02d %02d:%02d:%02d", y, m, d, h, mi, ss)
+		got, ok := parseTimestamp([]byte(s))
+		return ok && got == types.TimestampFromCivil(y, m, d, h, mi, ss, 0)
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsersRejectJunkConsistently(t *testing.T) {
+	junk := []string{"", " ", "-", "+", "--1", "1-", "2020-00-01", "2020-01-00",
+		"abc", "1..2", "1e", "1e+", "0x10", " 5", "5 ", "NaN", "inf"}
+	for _, s := range junk {
+		if _, ok := parseInt([]byte(s)); ok {
+			t.Errorf("parseInt accepted %q", s)
+		}
+		if _, ok := parseDate([]byte(s)); ok {
+			t.Errorf("parseDate accepted %q", s)
+		}
+	}
+	for _, s := range []string{"", "-", "abc", "1e", "0x10", " 5", "NaN"} {
+		if _, ok := parseReal([]byte(s)); ok {
+			t.Errorf("parseReal accepted %q", s)
+		}
+	}
+}
+
+func TestLockedParsersMatchUnlocked(t *testing.T) {
+	err := quick.Check(func(v int64, f float64) bool {
+		si := strconv.FormatInt(v, 10)
+		li, lok := lockedParseInt([]byte(si))
+		ui, uok := parseInt([]byte(si))
+		if lok != uok || li != ui {
+			return false
+		}
+		sf := strconv.FormatFloat(float64(int64(f*100))/100, 'f', 2, 64)
+		lf, lok2 := lockedParseReal([]byte(sf))
+		uf, uok2 := parseReal([]byte(sf))
+		return lok2 == uok2 && lf == uf
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}

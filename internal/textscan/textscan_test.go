@@ -1,0 +1,301 @@
+package textscan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tde/internal/exec"
+	"tde/internal/types"
+)
+
+func TestParseInt(t *testing.T) {
+	cases := map[string]struct {
+		v  int64
+		ok bool
+	}{
+		"0": {0, true}, "42": {42, true}, "-7": {-7, true}, "+9": {9, true},
+		"": {0, false}, "x": {0, false}, "1.5": {0, false}, "12 ": {0, false},
+		"9223372036854775807":  {9223372036854775807, true},
+		"99999999999999999999": {0, false},
+	}
+	for in, want := range cases {
+		v, ok := parseInt([]byte(in))
+		if ok != want.ok || (ok && v != want.v) {
+			t.Errorf("parseInt(%q) = %d,%v", in, v, ok)
+		}
+	}
+}
+
+func TestParseReal(t *testing.T) {
+	cases := map[string]struct {
+		v  float64
+		ok bool
+	}{
+		"0": {0, true}, "2.5": {2.5, true}, "-1.25": {-1.25, true},
+		"1e3": {1000, true}, "2.5e-2": {0.025, true}, "": {0, false},
+		".": {0, false}, "1.2.3": {0, false}, "abc": {0, false},
+	}
+	for in, want := range cases {
+		v, ok := parseReal([]byte(in))
+		if ok != want.ok {
+			t.Errorf("parseReal(%q) ok=%v", in, ok)
+			continue
+		}
+		if ok && (v-want.v > 1e-9 || want.v-v > 1e-9) {
+			t.Errorf("parseReal(%q) = %v, want %v", in, v, want.v)
+		}
+	}
+}
+
+func TestParseDateAndTimestamp(t *testing.T) {
+	d, ok := parseDate([]byte("2014-06-22"))
+	if !ok || d != types.DaysFromCivil(2014, 6, 22) {
+		t.Errorf("parseDate = %d,%v", d, ok)
+	}
+	if _, ok := parseDate([]byte("2014-13-01")); ok {
+		t.Error("bad month accepted")
+	}
+	if _, ok := parseDate([]byte("2014-02-30")); ok {
+		t.Error("Feb 30 accepted")
+	}
+	if d2, ok := parseDate([]byte("2014/6/2")); !ok || d2 != types.DaysFromCivil(2014, 6, 2) {
+		t.Error("slash date rejected")
+	}
+	ts, ok := parseTimestamp([]byte("2014-06-22 13:45:09"))
+	if !ok || ts != types.TimestampFromCivil(2014, 6, 22, 13, 45, 9, 0) {
+		t.Errorf("parseTimestamp = %d,%v", ts, ok)
+	}
+	if _, ok := parseTimestamp([]byte("2014-06-22")); ok {
+		t.Error("bare date must not parse as timestamp")
+	}
+	if _, ok := parseTimestamp([]byte("2014-06-22 25:00:00")); ok {
+		t.Error("hour 25 accepted")
+	}
+}
+
+func TestParseBool(t *testing.T) {
+	for _, s := range []string{"true", "TRUE", "T", "yes"} {
+		if v, ok := parseBool([]byte(s)); !ok || !v {
+			t.Errorf("parseBool(%q) failed", s)
+		}
+	}
+	if _, ok := parseBool([]byte("1")); ok {
+		t.Error("0/1 must not be boolean under inference")
+	}
+}
+
+func TestDetectSeparator(t *testing.T) {
+	cases := map[string]byte{
+		"a,b,c\n1,2,3\n":        ',',
+		"a|b|c|\n1|2|3|\n":      '|',
+		"a\tb\n1\t2\n":          '\t',
+		"a;b;c\n1;2;3\n":        ';',
+		"one,two\nthree,four\n": ',',
+	}
+	for in, want := range cases {
+		if got := DetectSeparator([]byte(in), 10); got != want {
+			t.Errorf("DetectSeparator(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitFields(t *testing.T) {
+	cases := []struct {
+		line string
+		sep  byte
+		want []string
+	}{
+		{"a|b|c|", '|', []string{"a", "b", "c"}}, // TPC-H trailing separator
+		{"a,b,c", ',', []string{"a", "b", "c"}},
+		{"a,,c", ',', []string{"a", "", "c"}},
+		{`"x,y",z`, ',', []string{"x,y", "z"}},
+		{`"he said ""hi""",2`, ',', []string{`he said "hi"`, "2"}},
+		{"solo", ',', []string{"solo"}},
+	}
+	for _, c := range cases {
+		got := splitFields([]byte(c.line), c.sep, nil)
+		if len(got) != len(c.want) {
+			t.Errorf("splitFields(%q) = %d fields %q, want %v", c.line, len(got), got, c.want)
+			continue
+		}
+		for i := range got {
+			if string(got[i]) != c.want[i] {
+				t.Errorf("splitFields(%q)[%d] = %q, want %q", c.line, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestInferenceAndHeader(t *testing.T) {
+	data := "id,amount,when,word\n1,2.5,2014-01-02,hello\n2,3.5,2014-01-03,world\n"
+	ts, err := New([]byte(data), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.HasHeader() {
+		t.Fatal("header not detected")
+	}
+	specs := ts.Specs()
+	want := []struct {
+		name string
+		t    types.Type
+	}{
+		{"id", types.Integer}, {"amount", types.Real},
+		{"when", types.Date}, {"word", types.String},
+	}
+	for i, w := range want {
+		if specs[i].Name != w.name || specs[i].Type != w.t {
+			t.Errorf("spec %d = %s:%v, want %s:%v", i, specs[i].Name, specs[i].Type, w.name, w.t)
+		}
+	}
+	rows, err := exec.CollectStrings(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("parsed %d rows", len(rows))
+	}
+	if rows[0][0] != "1" || rows[1][3] != "world" || rows[0][2] != "2014-01-02" {
+		t.Fatalf("rows wrong: %v", rows)
+	}
+}
+
+func TestNoHeaderDetection(t *testing.T) {
+	data := "1|2.5|x|\n2|3.5|y|\n"
+	ts, err := New([]byte(data), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.HasHeader() {
+		t.Fatal("phantom header detected")
+	}
+	if ts.Separator() != '|' {
+		t.Fatalf("separator %q", ts.Separator())
+	}
+	rows, err := exec.CollectStrings(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("parsed %d rows (first data row must not be eaten)", len(rows))
+	}
+}
+
+func TestExplicitSchema(t *testing.T) {
+	data := "5,hello\n6,world\n"
+	ts, err := New([]byte(data), Options{
+		Schema:    []ColumnSpec{{Name: "n", Type: types.Integer}, {Name: "s", Type: types.String}},
+		HeaderSet: true, HasHeader: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.CollectStrings(ts)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("rows %v err %v", rows, err)
+	}
+	if rows[1][0] != "6" || rows[1][1] != "world" {
+		t.Fatalf("rows wrong: %v", rows)
+	}
+}
+
+func TestNullsFromEmptyAndBadFields(t *testing.T) {
+	data := "a,b\n1,2\n,x\n3,4\n"
+	ts, err := New([]byte(data), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.CollectStrings(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1][0] != "NULL" {
+		t.Fatalf("empty field should be NULL: %v", rows[1])
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("a|b|c|d|\n")
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, "%d|%d.5|2013-%02d-01|w%d|\n", i, i, i%12+1, i%100)
+	}
+	data := []byte(sb.String())
+	run := func(parallel bool) [][]string {
+		ts, err := New(data, Options{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := exec.CollectStrings(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	s, p := run(false), run(true)
+	if len(s) != len(p) || len(s) != 5000 {
+		t.Fatalf("row counts differ: %d vs %d", len(s), len(p))
+	}
+	for i := 0; i < len(s); i += 733 {
+		for c := range s[i] {
+			if s[i][c] != p[i][c] {
+				t.Fatalf("row %d col %d differs: %q vs %q", i, c, s[i][c], p[i][c])
+			}
+		}
+	}
+}
+
+func TestLocaleLockedPathStillCorrect(t *testing.T) {
+	data := "1,2.5\n3,4.5\n"
+	ts, err := New([]byte(data), Options{LocaleLocked: true, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.CollectStrings(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1][0] != "3" || rows[1][1] != "4.5" {
+		t.Fatalf("locked parse wrong: %v", rows)
+	}
+}
+
+func TestSplitColumnsStage(t *testing.T) {
+	data := []byte("1|x|\n2|y|\n")
+	cols := SplitColumns(data, '|', 2)
+	if string(cols[0]) != "1\n2\n" {
+		t.Errorf("col0 = %q", cols[0])
+	}
+	if string(cols[1]) != "x\ny\n" {
+		t.Errorf("col1 = %q", cols[1])
+	}
+}
+
+func TestStageHelpers(t *testing.T) {
+	data := []byte("a,b\nc,d\n")
+	if SumBytes(data) == 0 {
+		t.Error("SumBytes zero")
+	}
+	if CountFields(data, ',') != 4 {
+		t.Errorf("CountFields = %d", CountFields(data, ','))
+	}
+}
+
+func TestCRLFAndBlankLines(t *testing.T) {
+	data := "a,b\r\n1,2\r\n\r\n3,4\r\n"
+	ts, err := New([]byte(data), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.CollectStrings(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("CRLF/blank handling kept %d rows", len(rows))
+	}
+	if rows[1][1] != "4" {
+		t.Fatalf("rows %v", rows)
+	}
+}

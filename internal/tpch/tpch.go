@@ -1,0 +1,296 @@
+// Package tpch is a dbgen-style generator for the TPC-H schema, emitting
+// the same pipe-delimited .tbl text format that the paper's experiments
+// ingest (Sect. 5.2). It is a substitution for the TPC tool: it recreates
+// the value distributions the encodings respond to — sequential keys,
+// small categorical domains, uniform numerics, date ranges, fixed-format
+// unique names, and random comment text — without claiming benchmark
+// compliance.
+package tpch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"tde/internal/types"
+)
+
+// Rows per table at scale factor 1, per the TPC-H spec.
+const (
+	sf1Lineitem = 6000000 // approximate; actual depends on orders
+	sf1Orders   = 1500000
+	sf1Customer = 150000
+	sf1Part     = 200000
+	sf1Supplier = 10000
+	sf1PartSupp = 800000
+)
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var instructions = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+var returnFlags = []string{"R", "A", "N"}
+var lineStatus = []string{"O", "F"}
+var orderStatus = []string{"O", "F", "P"}
+var nations = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+	"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+	"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+	"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+}
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+var nationRegion = []int{0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1}
+
+var words = []string{
+	"the", "slyly", "regular", "final", "ironic", "express", "quickly", "bold",
+	"furiously", "carefully", "pending", "deposits", "accounts", "packages",
+	"requests", "instructions", "theodolites", "platelets", "foxes", "pinto",
+	"beans", "asymptotes", "dependencies", "excuses", "ideas", "sleep", "wake",
+	"nag", "haggle", "cajole", "boost", "engage", "doze", "unusual", "special",
+	"even", "silent", "blithely", "across", "above", "against", "along",
+}
+
+// Generator produces TPC-H tables at a scale factor.
+type Generator struct {
+	SF  float64
+	rng *rand.Rand
+}
+
+// New returns a generator; seed fixes the stream.
+func New(sf float64, seed int64) *Generator {
+	return &Generator{SF: sf, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Generator) scale(base int) int {
+	n := int(float64(base) * g.SF)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (g *Generator) comment(minWords, maxWords int) string {
+	n := minWords + g.rng.Intn(maxWords-minWords+1)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += words[g.rng.Intn(len(words))]
+	}
+	return out
+}
+
+func (g *Generator) date(loYear, hiYear int) string {
+	y := loYear + g.rng.Intn(hiYear-loYear+1)
+	m := 1 + g.rng.Intn(12)
+	d := 1 + g.rng.Intn(types.DaysInMonth(y, m))
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+func (g *Generator) money(lo, hi int) string {
+	v := lo*100 + g.rng.Intn((hi-lo)*100)
+	sign := ""
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	return fmt.Sprintf("%s%d.%02d", sign, v/100, v%100)
+}
+
+func (g *Generator) phone() string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+g.rng.Intn(25),
+		g.rng.Intn(1000), g.rng.Intn(1000), g.rng.Intn(10000))
+}
+
+// WriteAll writes every table's .tbl file into dir.
+func (g *Generator) WriteAll(dir string) error {
+	writers := map[string]func(io.Writer) error{
+		"region.tbl":   g.WriteRegion,
+		"nation.tbl":   g.WriteNation,
+		"supplier.tbl": g.WriteSupplier,
+		"customer.tbl": g.WriteCustomer,
+		"part.tbl":     g.WritePart,
+		"partsupp.tbl": g.WritePartSupp,
+		"orders.tbl":   g.WriteOrders,
+		"lineitem.tbl": g.WriteLineitem,
+	}
+	for name, fn := range writers {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		if err := fn(bw); err != nil {
+			f.Close()
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRegion emits region.tbl.
+func (g *Generator) WriteRegion(w io.Writer) error {
+	for i, r := range regions {
+		if _, err := fmt.Fprintf(w, "%d|%s|%s|\n", i, r, g.comment(3, 10)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteNation emits nation.tbl.
+func (g *Generator) WriteNation(w io.Writer) error {
+	for i, n := range nations {
+		if _, err := fmt.Fprintf(w, "%d|%s|%d|%s|\n", i, n, nationRegion[i], g.comment(3, 12)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSupplier emits supplier.tbl.
+func (g *Generator) WriteSupplier(w io.Writer) error {
+	n := g.scale(sf1Supplier)
+	for i := 1; i <= n; i++ {
+		if _, err := fmt.Fprintf(w, "%d|Supplier#%09d|%s|%d|%s|%s|%s|\n",
+			i, i, g.comment(2, 4), g.rng.Intn(len(nations)), g.phone(),
+			g.money(-999, 9999), g.comment(5, 15)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCustomer emits customer.tbl. c_name is the fixed-format unique
+// string whose equal heap spacing the paper's affine encoding exploits
+// (Sect. 6.2: "the c_customername column ... consists of a set of unique
+// strings all with the same length").
+func (g *Generator) WriteCustomer(w io.Writer) error {
+	n := g.scale(sf1Customer)
+	for i := 1; i <= n; i++ {
+		if _, err := fmt.Fprintf(w, "%d|Customer#%09d|%s|%d|%s|%s|%s|%s|\n",
+			i, i, g.comment(2, 4), g.rng.Intn(len(nations)), g.phone(),
+			g.money(-999, 9999), segments[g.rng.Intn(len(segments))],
+			g.comment(6, 20)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePart emits part.tbl.
+func (g *Generator) WritePart(w io.Writer) error {
+	n := g.scale(sf1Part)
+	containers := []string{"SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PACK"}
+	brands := 25
+	for i := 1; i <= n; i++ {
+		if _, err := fmt.Fprintf(w, "%d|%s|Manufacturer#%d|Brand#%d|%s|%d|%s|%s|%s|\n",
+			i, g.comment(4, 6), 1+g.rng.Intn(5), 10+g.rng.Intn(brands),
+			g.comment(3, 5), 1+g.rng.Intn(50),
+			containers[g.rng.Intn(len(containers))],
+			g.money(900, 2000), g.comment(3, 8)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePartSupp emits partsupp.tbl.
+func (g *Generator) WritePartSupp(w io.Writer) error {
+	parts := g.scale(sf1Part)
+	supps := g.scale(sf1Supplier)
+	for p := 1; p <= parts; p++ {
+		for k := 0; k < 4; k++ {
+			s := 1 + (p+k*(supps/4+1))%supps
+			if _, err := fmt.Fprintf(w, "%d|%d|%d|%s|%s|\n",
+				p, s, 1+g.rng.Intn(9999), g.money(1, 1000), g.comment(10, 30)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteOrders emits orders.tbl.
+func (g *Generator) WriteOrders(w io.Writer) error {
+	n := g.scale(sf1Orders)
+	customers := g.scale(sf1Customer)
+	for i := 1; i <= n; i++ {
+		okey := orderKey(i)
+		if _, err := fmt.Fprintf(w, "%d|%d|%s|%s|%s|%s|Clerk#%09d|%d|%s|\n",
+			okey, 1+g.rng.Intn(customers), orderStatus[g.rng.Intn(len(orderStatus))],
+			g.money(1000, 500000), g.date(1992, 1998),
+			priorities[g.rng.Intn(len(priorities))],
+			1+g.rng.Intn(1000), 0, g.comment(4, 15)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// orderKey reproduces dbgen's sparse order keys (8 per 32-key block).
+func orderKey(i int) int {
+	block := (i - 1) / 8
+	off := (i - 1) % 8
+	return block*32 + off + 1
+}
+
+// WriteLineitem emits lineitem.tbl: the big table of the evaluation, with
+// 1-7 lines per order and the wide random-text l_comment column that
+// defeats the heap accelerator (Sect. 6.2).
+func (g *Generator) WriteLineitem(w io.Writer) error {
+	orders := g.scale(sf1Orders)
+	parts := g.scale(sf1Part)
+	supps := g.scale(sf1Supplier)
+	for o := 1; o <= orders; o++ {
+		okey := orderKey(o)
+		lines := 1 + g.rng.Intn(7)
+		for l := 1; l <= lines; l++ {
+			ship := g.date(1992, 1998)
+			if err := writeLine(w, g, okey, l, parts, supps, ship); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeLine(w io.Writer, g *Generator, okey, l, parts, supps int, ship string) error {
+	p := 1 + g.rng.Intn(parts)
+	s := 1 + g.rng.Intn(supps)
+	qty := 1 + g.rng.Intn(50)
+	_, err := fmt.Fprintf(w, "%d|%d|%d|%d|%d|%s|0.%02d|0.%02d|%s|%s|%s|%s|%s|%s|%s|%s|\n",
+		okey, p, s, l, qty, g.money(1000, 100000),
+		g.rng.Intn(11), g.rng.Intn(9),
+		returnFlags[g.rng.Intn(len(returnFlags))],
+		lineStatus[g.rng.Intn(len(lineStatus))],
+		ship, g.date(1992, 1998), g.date(1992, 1998),
+		instructions[g.rng.Intn(len(instructions))],
+		shipModes[g.rng.Intn(len(shipModes))],
+		g.comment(4, 12))
+	return err
+}
+
+// LineitemSchema names the lineitem columns for imports without a header.
+var LineitemSchema = []string{
+	"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+	"l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+	"l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct",
+	"l_shipmode", "l_comment",
+}
+
+// TableNames lists the generated tables.
+var TableNames = []string{
+	"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+}

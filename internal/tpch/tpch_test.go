@@ -1,0 +1,110 @@
+package tpch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tde/internal/exec"
+	"tde/internal/textscan"
+	"tde/internal/types"
+)
+
+func TestLineitemShape(t *testing.T) {
+	g := New(0.001, 1)
+	var buf bytes.Buffer
+	if err := g.WriteLineitem(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 1000 {
+		t.Fatalf("only %d lineitem rows at SF 0.001", len(lines))
+	}
+	fields := strings.Split(strings.TrimSuffix(lines[0], "|"), "|")
+	if len(fields) != 16 {
+		t.Fatalf("lineitem has %d fields", len(fields))
+	}
+}
+
+func TestLineitemImportsWithInference(t *testing.T) {
+	g := New(0.0005, 2)
+	var buf bytes.Buffer
+	if err := g.WriteLineitem(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := textscan.New(buf.Bytes(), textscan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Separator() != '|' {
+		t.Fatalf("separator %q", ts.Separator())
+	}
+	if ts.HasHeader() {
+		t.Fatal("phantom header in .tbl output")
+	}
+	specs := ts.Specs()
+	if len(specs) != 16 {
+		t.Fatalf("%d columns", len(specs))
+	}
+	// Key inferred types: orderkey int, extendedprice real, shipdate date,
+	// returnflag string.
+	if specs[0].Type != types.Integer {
+		t.Errorf("l_orderkey inferred %v", specs[0].Type)
+	}
+	if specs[5].Type != types.Real {
+		t.Errorf("l_extendedprice inferred %v", specs[5].Type)
+	}
+	if specs[10].Type != types.Date {
+		t.Errorf("l_shipdate inferred %v", specs[10].Type)
+	}
+	if specs[8].Type != types.String {
+		t.Errorf("l_returnflag inferred %v", specs[8].Type)
+	}
+	n, err := exec.Run(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 500 {
+		t.Fatalf("imported %d rows", n)
+	}
+}
+
+func TestCustomerNamesFixedWidth(t *testing.T) {
+	// The equal-length unique customer names are what affine-encodes the
+	// name tokens (Sect. 6.2); verify the format.
+	g := New(0.001, 3)
+	var buf bytes.Buffer
+	if err := g.WriteCustomer(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	nameLen := -1
+	for _, ln := range lines {
+		name := strings.Split(ln, "|")[1]
+		if !strings.HasPrefix(name, "Customer#") {
+			t.Fatalf("name %q", name)
+		}
+		if nameLen == -1 {
+			nameLen = len(name)
+		} else if len(name) != nameLen {
+			t.Fatal("customer names are not fixed width")
+		}
+	}
+}
+
+func TestAllTablesGenerate(t *testing.T) {
+	g := New(0.001, 4)
+	dir := t.TempDir()
+	if err := g.WriteAll(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderKeysSparse(t *testing.T) {
+	if orderKey(1) != 1 || orderKey(8) != 8 {
+		t.Error("first block keys wrong")
+	}
+	if orderKey(9) != 33 {
+		t.Errorf("orderKey(9) = %d, want 33 (sparse blocks)", orderKey(9))
+	}
+}

@@ -1,0 +1,99 @@
+package types
+
+// Civil-calendar conversions between (year, month, day) triples and day
+// counts since the 1970-01-01 epoch, using Howard Hinnant's branch-light
+// algorithms. Dates are proleptic Gregorian; the engine never consults the
+// host locale or time zone (timestamps are naive, matching the TDE).
+
+// DaysFromCivil converts a civil date to days since 1970-01-01.
+func DaysFromCivil(y int, m, d int) int64 {
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	var era int64
+	if yy >= 0 {
+		era = yy / 400
+	} else {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1     // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*146097 + doe - 719468
+}
+
+// CivilFromDays converts days since 1970-01-01 to a civil date.
+func CivilFromDays(z int64) (y int, m, d int) {
+	z += 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100) // [0, 365]
+	mp := (5*doy + 2) / 153                  // [0, 11]
+	d = int(doy - (153*mp+2)/5 + 1)          // [1, 31]
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		yy++
+	}
+	return int(yy), m, d
+}
+
+// TimestampFromCivil builds a Timestamp value (microseconds since epoch).
+func TimestampFromCivil(y, mo, d, h, mi, s, us int) int64 {
+	return DaysFromCivil(y, mo, d)*MicrosPerDay +
+		int64(h)*3600e6 + int64(mi)*60e6 + int64(s)*1e6 + int64(us)
+}
+
+// DateYear extracts the year from a Date value (days since epoch).
+func DateYear(days int64) int { y, _, _ := CivilFromDays(days); return y }
+
+// DateMonth extracts the month (1-12) from a Date value.
+func DateMonth(days int64) int { _, m, _ := CivilFromDays(days); return m }
+
+// DateDay extracts the day of month from a Date value.
+func DateDay(days int64) int { _, _, d := CivilFromDays(days); return d }
+
+// DateTruncMonth rolls a Date value down to the first day of its month —
+// the roll-up calculation Sect. 8 proposes running on an IndexTable.
+func DateTruncMonth(days int64) int64 {
+	y, m, _ := CivilFromDays(days)
+	return DaysFromCivil(y, m, 1)
+}
+
+// DateTruncYear rolls a Date value down to January 1 of its year.
+func DateTruncYear(days int64) int64 {
+	y, _, _ := CivilFromDays(days)
+	return DaysFromCivil(y, 1, 1)
+}
+
+// IsLeapYear reports whether y is a Gregorian leap year.
+func IsLeapYear(y int) bool {
+	return y%4 == 0 && (y%100 != 0 || y%400 == 0)
+}
+
+var daysInMonthTable = [13]int{0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+// DaysInMonth returns the number of days in the given month of year y.
+func DaysInMonth(y, m int) int {
+	if m == 2 && IsLeapYear(y) {
+		return 29
+	}
+	return daysInMonthTable[m]
+}

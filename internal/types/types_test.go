@@ -1,0 +1,287 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	for ty := Boolean; ty < NumTypes; ty++ {
+		got, err := ParseType(ty.String())
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", ty.String(), err)
+		}
+		if got != ty {
+			t.Errorf("round trip %v -> %v", ty, got)
+		}
+	}
+	if _, err := ParseType("nope"); err == nil {
+		t.Error("ParseType accepted unknown name")
+	}
+}
+
+func TestParseTypeAliases(t *testing.T) {
+	cases := map[string]Type{
+		"boolean": Boolean, "integer": Integer, "double": Real,
+		"float": Real, "datetime": Timestamp, "string": String, "text": String,
+	}
+	for name, want := range cases {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+}
+
+func TestFixed(t *testing.T) {
+	for ty := Boolean; ty < NumTypes; ty++ {
+		want := ty != String
+		if ty.Fixed() != want {
+			t.Errorf("%v.Fixed() = %v", ty, ty.Fixed())
+		}
+	}
+}
+
+func TestNullSentinels(t *testing.T) {
+	for ty := Boolean; ty < NumTypes; ty++ {
+		if !IsNull(ty, NullBits(ty)) {
+			t.Errorf("%v: NullBits not detected as null", ty)
+		}
+	}
+	if IsNull(Integer, FromInt(0)) {
+		t.Error("zero integer detected as null")
+	}
+	if IsNull(Real, FromReal(0)) {
+		t.Error("zero real detected as null")
+	}
+	// An ordinary NaN produced by arithmetic must not be forced to the NULL
+	// pattern by our helpers (only the exact sentinel counts).
+	weird := math.Float64bits(math.Float64frombits(NullRealBits ^ 1))
+	if weird != NullRealBits && IsNull(Real, weird) {
+		t.Error("non-sentinel NaN detected as null")
+	}
+}
+
+func TestScalarRoundTrips(t *testing.T) {
+	if err := quick.Check(func(v int64) bool { return ToInt(FromInt(v)) == v }, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(v float64) bool {
+		return FromReal(v) == FromReal(ToReal(FromReal(v)))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if ToBool(FromBool(true)) != true || ToBool(FromBool(false)) != false {
+		t.Error("bool round trip failed")
+	}
+}
+
+func TestCompareSigned(t *testing.T) {
+	if Compare(Integer, FromInt(-5), FromInt(3)) != -1 {
+		t.Error("signed integer comparison broken")
+	}
+	if Compare(Integer, FromInt(3), FromInt(-5)) != 1 {
+		t.Error("signed integer comparison broken (reverse)")
+	}
+	if Compare(Integer, FromInt(7), FromInt(7)) != 0 {
+		t.Error("equal integers compare nonzero")
+	}
+	if Compare(Real, FromReal(-0.5), FromReal(0.25)) != -1 {
+		t.Error("real comparison broken")
+	}
+	if Compare(Date, uint64(DaysFromCivil(1969, 12, 31)), uint64(DaysFromCivil(1970, 1, 2))) != -1 {
+		t.Error("pre-epoch date comparison broken")
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	err := quick.Check(func(a, b int64) bool {
+		return Compare(Integer, uint64(a), uint64(b)) == -Compare(Integer, uint64(b), uint64(a))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		t    Type
+		bits uint64
+		want string
+	}{
+		{Boolean, FromBool(true), "true"},
+		{Boolean, FromBool(false), "false"},
+		{Integer, FromInt(-42), "-42"},
+		{Real, FromReal(2.5), "2.5"},
+		{Date, uint64(DaysFromCivil(2014, 6, 22)), "2014-06-22"},
+		{Timestamp, uint64(TimestampFromCivil(2014, 6, 22, 13, 45, 9, 0)), "2014-06-22 13:45:09"},
+		{Integer, NullBits(Integer), "NULL"},
+		{String, NullBits(String), "NULL"},
+	}
+	for _, c := range cases {
+		if got := Format(c.t, c.bits); got != c.want {
+			t.Errorf("Format(%v, %#x) = %q, want %q", c.t, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestCivilRoundTrip(t *testing.T) {
+	// Sweep across leap years, century boundaries and the epoch.
+	for _, y := range []int{1899, 1900, 1970, 1999, 2000, 2014, 2016, 2100} {
+		for m := 1; m <= 12; m++ {
+			for _, d := range []int{1, 15, DaysInMonth(y, m)} {
+				days := DaysFromCivil(y, m, d)
+				gy, gm, gd := CivilFromDays(days)
+				if gy != y || gm != m || gd != d {
+					t.Fatalf("civil round trip %04d-%02d-%02d -> %d -> %04d-%02d-%02d",
+						y, m, d, days, gy, gm, gd)
+				}
+			}
+		}
+	}
+	if DaysFromCivil(1970, 1, 1) != 0 {
+		t.Error("epoch is not day zero")
+	}
+	if DaysFromCivil(1970, 1, 2) != 1 {
+		t.Error("day after epoch is not day one")
+	}
+	if DaysFromCivil(1969, 12, 31) != -1 {
+		t.Error("day before epoch is not day minus one")
+	}
+}
+
+func TestCivilMonotonic(t *testing.T) {
+	err := quick.Check(func(off int32) bool {
+		d := int64(off % 100000)
+		y1, m1, dd1 := CivilFromDays(d)
+		if DaysFromCivil(y1, m1, dd1) != d {
+			return false
+		}
+		return DaysFromCivil(y1, m1, dd1) < DaysFromCivil(y1, m1, dd1)+1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDateParts(t *testing.T) {
+	d := DaysFromCivil(2013, 11, 28)
+	if DateYear(d) != 2013 || DateMonth(d) != 11 || DateDay(d) != 28 {
+		t.Errorf("date parts wrong: %d %d %d", DateYear(d), DateMonth(d), DateDay(d))
+	}
+	if DateTruncMonth(d) != DaysFromCivil(2013, 11, 1) {
+		t.Error("DateTruncMonth wrong")
+	}
+	if DateTruncYear(d) != DaysFromCivil(2013, 1, 1) {
+		t.Error("DateTruncYear wrong")
+	}
+}
+
+func TestLeapYears(t *testing.T) {
+	for y, want := range map[int]bool{2000: true, 1900: false, 2012: true, 2014: false, 2400: true} {
+		if IsLeapYear(y) != want {
+			t.Errorf("IsLeapYear(%d) = %v", y, IsLeapYear(y))
+		}
+	}
+	if DaysInMonth(2012, 2) != 29 || DaysInMonth(2013, 2) != 28 || DaysInMonth(2014, 1) != 31 {
+		t.Error("DaysInMonth wrong")
+	}
+}
+
+func TestTimestampFormatNegativeRemainder(t *testing.T) {
+	// A timestamp before the epoch must still format with a non-negative
+	// time of day (floored division).
+	ts := TimestampFromCivil(1969, 12, 31, 23, 0, 0, 0)
+	if got := Format(Timestamp, uint64(ts)); got != "1969-12-31 23:00:00" {
+		t.Errorf("pre-epoch timestamp formatted as %q", got)
+	}
+}
+
+func TestCollationCompare(t *testing.T) {
+	cases := []struct {
+		c    Collation
+		a, b string
+		want int
+	}{
+		{CollateBinary, "Apple", "apple", -1},
+		{CollateBinary, "a", "a", 0},
+		{CollateCaseFold, "Apple", "apple", 0},
+		{CollateCaseFold, "apple", "banana", -1},
+		{CollateCaseFold, "ap", "apple", -1},
+		{CollateEN, "apple", "Banana", -1}, // case must not dominate letters
+		{CollateEN, "Zebra", "apple", 1},
+		{CollateEN, "a", "A", -1}, // lowercase-first tiebreak
+		{CollateEN, "same", "same", 0},
+		{CollateEN, "1", "a", -1}, // digits before letters
+	}
+	for _, c := range cases {
+		if got := c.c.Compare(c.a, c.b); got != c.want {
+			t.Errorf("%v.Compare(%q, %q) = %d, want %d", c.c, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCollationCompareProperties(t *testing.T) {
+	for _, c := range []Collation{CollateBinary, CollateCaseFold, CollateEN} {
+		c := c
+		err := quick.Check(func(a, b string) bool {
+			return c.Compare(a, b) == -c.Compare(b, a)
+		}, nil)
+		if err != nil {
+			t.Errorf("%v antisymmetry: %v", c, err)
+		}
+		err = quick.Check(func(a string) bool { return c.Compare(a, a) == 0 }, nil)
+		if err != nil {
+			t.Errorf("%v reflexivity: %v", c, err)
+		}
+	}
+}
+
+func TestCollationHashEqualImpliesHashEqual(t *testing.T) {
+	for _, c := range []Collation{CollateBinary, CollateCaseFold, CollateEN} {
+		if c.Hash("HELLO world") != c.Hash("HELLO world") {
+			t.Errorf("%v: hash not deterministic", c)
+		}
+	}
+	if CollateCaseFold.Hash("Hello") != CollateCaseFold.Hash("hELLO") {
+		t.Error("case-fold hash distinguishes case variants")
+	}
+	if !CollateCaseFold.Equal("Hello", "hELLO") {
+		t.Error("case-fold equality broken")
+	}
+	if CollateBinary.Equal("Hello", "hELLO") {
+		t.Error("binary equality folded case")
+	}
+}
+
+func TestCollationHashLongStrings(t *testing.T) {
+	// Exercise the buffered fold path across the 64-byte buffer boundary.
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = byte('A' + i%26)
+	}
+	up := string(long)
+	for i := range long {
+		long[i] = byte('a' + i%26)
+	}
+	lo := string(long)
+	if CollateCaseFold.Hash(up) != CollateCaseFold.Hash(lo) {
+		t.Error("long case variants hash differently under fold")
+	}
+}
+
+func TestParseCollation(t *testing.T) {
+	for _, c := range []Collation{CollateBinary, CollateCaseFold, CollateEN} {
+		got, ok := ParseCollation(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseCollation(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseCollation("klingon"); ok {
+		t.Error("ParseCollation accepted unknown collation")
+	}
+	if got, ok := ParseCollation(""); !ok || got != CollateBinary {
+		t.Error("empty collation should default to binary")
+	}
+}

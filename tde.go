@@ -1,0 +1,257 @@
+// Package tde is a Go reproduction of the Tableau Data Engine as
+// described in "Leveraging Compression in the Tableau Data Engine"
+// (Wesley & Terlecki, SIGMOD 2014): a read-only analytic column store
+// that operates directly on compressed data.
+//
+// The public API covers the product surface the paper describes: import
+// flat files through the TextScan/FlowTable pipeline (with dynamic
+// encoding, heap acceleration, type narrowing and metadata extraction),
+// persist single-file databases, inspect per-column encodings and derived
+// metadata, dictionary-compress dimension columns, and run analytic SQL
+// whose plans use invisible joins, rank joins (IndexedScan) and the
+// tactical fetch-join/ordered-aggregation upgrades.
+//
+// Start with New or Open, then ImportCSV and Query:
+//
+//	db := tde.New()
+//	if err := db.ImportCSVFile("orders", "orders.csv", tde.DefaultImportOptions()); err != nil { ... }
+//	res, err := db.Query("SELECT status, COUNT(*) FROM orders GROUP BY status")
+package tde
+
+import (
+	"fmt"
+	"os"
+
+	"tde/internal/exec"
+	"tde/internal/plan"
+	"tde/internal/sqlparse"
+	"tde/internal/storage"
+	"tde/internal/textscan"
+	"tde/internal/types"
+)
+
+// Database is a set of named, read-only tables: an "extract" in Tableau
+// terms. It persists as a single file (Sect. 2.3.3).
+type Database struct {
+	tables []*storage.Table
+}
+
+// New returns an empty database.
+func New() *Database { return &Database{} }
+
+// Open loads a single-file database written by Save.
+func Open(path string) (*Database, error) {
+	tables, err := storage.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{tables: tables}, nil
+}
+
+// Save writes the database as one file, the only on-disk format
+// (Sect. 2.3.3: the user must be able to pick the database in a file
+// dialog). Column-level compression is what keeps this copy cheap.
+func (db *Database) Save(path string) error {
+	return storage.WriteFile(path, db.tables)
+}
+
+// TableNames lists the tables.
+func (db *Database) TableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// Rows returns a table's row count, or -1 if absent.
+func (db *Database) Rows(table string) int {
+	t := db.lookup(table)
+	if t == nil {
+		return -1
+	}
+	return t.Rows()
+}
+
+func (db *Database) lookup(name string) *storage.Table {
+	for _, t := range db.tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// ImportOptions control the import pipeline; the fields mirror the
+// paper's experimental arms.
+type ImportOptions struct {
+	// Encode enables dynamic encoding (Sect. 3.2).
+	Encode bool
+	// Accelerate enables the heap accelerator (Sect. 5.1.4).
+	Accelerate bool
+	// Parallel parses and encodes columns concurrently (Sect. 5.1.2, 3.3).
+	Parallel bool
+	// FieldSep overrides separator detection (0 detects).
+	FieldSep byte
+	// Schema, when non-nil, overrides name/type inference: entries are
+	// "name:type" with type one of bool,int,real,date,timestamp,str.
+	Schema []string
+	// HasHeader overrides header detection when HeaderSet.
+	HasHeader bool
+	HeaderSet bool
+	// Collation applies to string columns: "binary", "ci" or "en".
+	Collation string
+}
+
+// DefaultImportOptions enables everything, like the shipping product.
+func DefaultImportOptions() ImportOptions {
+	return ImportOptions{Encode: true, Accelerate: true, Parallel: true}
+}
+
+// ImportCSVFile imports a delimited text file as a new table.
+func (db *Database) ImportCSVFile(table, path string, opt ImportOptions) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return db.ImportCSV(table, data, opt)
+}
+
+// ImportCSV imports delimited text as a new table, running the full
+// TextScan => FlowTable pipeline: separator/type/header inference, tight
+// buffer-oriented parsing, dynamic encoding, heap sorting, type narrowing
+// and metadata extraction.
+func (db *Database) ImportCSV(table string, data []byte, opt ImportOptions) error {
+	if db.lookup(table) != nil {
+		return fmt.Errorf("tde: table %q already exists", table)
+	}
+	coll, ok := types.ParseCollation(opt.Collation)
+	if !ok {
+		return fmt.Errorf("tde: unknown collation %q", opt.Collation)
+	}
+	tsOpt := textscan.Options{
+		FieldSep:  opt.FieldSep,
+		Parallel:  opt.Parallel,
+		HasHeader: opt.HasHeader,
+		HeaderSet: opt.HeaderSet,
+		Collation: coll,
+	}
+	if opt.Schema != nil {
+		specs, err := parseSchema(opt.Schema)
+		if err != nil {
+			return err
+		}
+		tsOpt.Schema = specs
+	}
+	ts, err := textscan.New(data, tsOpt)
+	if err != nil {
+		return err
+	}
+	ft := exec.NewFlowTable(ts, exec.FlowTableConfig{
+		Encode:     opt.Encode,
+		Accelerate: opt.Accelerate,
+		Parallel:   opt.Parallel,
+		SortHeaps:  true,
+		Narrow:     true,
+	})
+	bt, err := ft.BuildTable()
+	if err != nil {
+		return err
+	}
+	db.tables = append(db.tables, bt.ToTable(table))
+	return nil
+}
+
+func parseSchema(entries []string) ([]textscan.ColumnSpec, error) {
+	specs := make([]textscan.ColumnSpec, 0, len(entries))
+	for _, e := range entries {
+		var name, tname string
+		for i := len(e) - 1; i >= 0; i-- {
+			if e[i] == ':' {
+				name, tname = e[:i], e[i+1:]
+				break
+			}
+		}
+		if name == "" {
+			return nil, fmt.Errorf("tde: schema entry %q is not name:type", e)
+		}
+		t, err := types.ParseType(tname)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, textscan.ColumnSpec{Name: name, Type: t})
+	}
+	return specs, nil
+}
+
+// AddTable registers a prebuilt internal table; used by generators and
+// tests inside this module.
+func (db *Database) AddTable(t *storage.Table) { db.tables = append(db.tables, t) }
+
+// CompressColumn converts an encoded scalar column into a dictionary-
+// compressed one (Sect. 3.4.3), enabling invisible joins: filters and
+// calculations on the column are pushed down to its (small) domain. Most
+// valuable for dimension columns like dates.
+func (db *Database) CompressColumn(table, column string) error {
+	t := db.lookup(table)
+	if t == nil {
+		return fmt.Errorf("tde: unknown table %q", table)
+	}
+	c := t.Column(column)
+	if c == nil {
+		return fmt.Errorf("tde: table %q has no column %q", table, column)
+	}
+	return storage.ConvertToDictCompression(c)
+}
+
+// Result is a query result with formatted values.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	// Plan describes the strategic plan that produced the result.
+	Plan string
+}
+
+// Query parses and runs a SQL statement. The supported subset is
+// single-table SELECT with WHERE, GROUP BY and ORDER BY, the Tableau
+// aggregates (SUM, COUNT, COUNTD, MIN, MAX, AVG, MEDIAN), date parts
+// (YEAR, MONTH, DAY, TRUNC_MONTH, TRUNC_YEAR) and string functions
+// (UPPER, LOWER, LENGTH, FILE_EXT).
+func (db *Database) Query(sql string) (*Result, error) {
+	return db.QueryWithOptions(sql, plan.Options{})
+}
+
+// QueryWithOptions runs sql with explicit strategic-optimizer options —
+// the knob the benchmarks use to force the Fig. 10 plan shapes.
+func (db *Database) QueryWithOptions(sql string, opt plan.Options) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	op, ex, err := st.Build(db.tables, opt)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, c := range op.Schema() {
+		names = append(names, c.Name)
+	}
+	rows, err := exec.CollectStrings(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: names, Rows: rows, Plan: ex.String()}, nil
+}
+
+// Explain returns the strategic plan for sql without running it.
+func (db *Database) Explain(sql string) (string, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	_, ex, err := st.Build(db.tables, plan.Options{})
+	if err != nil {
+		return "", err
+	}
+	return ex.String(), nil
+}

@@ -1,0 +1,310 @@
+package tde
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const ordersCSV = `status,amount,when
+open,10,2014-01-05
+closed,25,2014-01-20
+open,5,2014-02-11
+closed,40,2014-02-28
+open,15,2014-03-03
+`
+
+func importOrders(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	if err := db.ImportCSV("orders", []byte(ordersCSV), DefaultImportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestImportAndQuery(t *testing.T) {
+	db := importOrders(t)
+	if db.Rows("orders") != 5 {
+		t.Fatalf("rows %d", db.Rows("orders"))
+	}
+	res, err := db.Query("SELECT status, SUM(amount) FROM orders GROUP BY status ORDER BY status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups %v", res.Rows)
+	}
+	if res.Rows[0][0] != "closed" || res.Rows[0][1] != "65" {
+		t.Fatalf("closed group %v", res.Rows[0])
+	}
+	if res.Rows[1][0] != "open" || res.Rows[1][1] != "30" {
+		t.Fatalf("open group %v", res.Rows[1])
+	}
+}
+
+func TestStringFilterUsesInvisibleJoin(t *testing.T) {
+	db := importOrders(t)
+	res, err := db.Query("SELECT COUNT(*) FROM orders WHERE status = 'open'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "3" {
+		t.Fatalf("count %v", res.Rows)
+	}
+	if !strings.Contains(res.Plan, "DictionaryTable") {
+		t.Errorf("plan did not use the invisible join: %s", res.Plan)
+	}
+}
+
+func TestSaveAndOpen(t *testing.T) {
+	db := importOrders(t)
+	path := filepath.Join(t.TempDir(), "orders.tde")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Query("SELECT MAX(amount) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "40" {
+		t.Fatalf("max %v", res.Rows)
+	}
+}
+
+func TestColumnsInspection(t *testing.T) {
+	db := importOrders(t)
+	cols, err := db.Columns("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 {
+		t.Fatalf("%d columns", len(cols))
+	}
+	byName := map[string]ColumnInfo{}
+	for _, c := range cols {
+		byName[c.Name] = c
+	}
+	if byName["status"].Type != "str" || byName["amount"].Type != "int" || byName["when"].Type != "date" {
+		t.Fatalf("types wrong: %+v", byName)
+	}
+	if !byName["status"].HeapSorted {
+		t.Error("status heap should be sorted (small domain)")
+	}
+	if byName["status"].Cardinality != 2 || !byName["status"].CardinalityExact {
+		t.Errorf("status cardinality %d", byName["status"].Cardinality)
+	}
+	if !byName["when"].Sorted || !byName["when"].SortedKnown {
+		t.Error("when column should be detected sorted")
+	}
+}
+
+func TestCompressColumnEnablesDictPlan(t *testing.T) {
+	// A bigger date table so the conversion is meaningful.
+	var sb strings.Builder
+	sb.WriteString("d,v\n")
+	for i := 0; i < 5000; i++ {
+		sb.WriteString(fmt.Sprintf("2013-%02d-%02d,%d\n", i%12+1, i%28+1, i%100))
+	}
+	db := New()
+	if err := db.ImportCSV("t", []byte(sb.String()), DefaultImportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompressColumn("t", "d"); err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := db.Columns("t")
+	var d ColumnInfo
+	for _, c := range cols {
+		if c.Name == "d" {
+			d = c
+		}
+	}
+	if d.DictionarySize == 0 {
+		t.Fatal("date column not dictionary compressed")
+	}
+	res, err := db.Query("SELECT COUNT(*) FROM t WHERE d >= DATE '2013-06-01' AND d < DATE '2013-07-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "DictionaryTable") {
+		t.Errorf("compressed date filter should use the invisible join: %s", res.Plan)
+	}
+	// Cross-check against the control plan.
+	want := 0
+	for i := 0; i < 5000; i++ {
+		if i%12+1 == 6 {
+			want++
+		}
+	}
+	if res.Rows[0][0] != fmt.Sprint(want) {
+		t.Fatalf("count %v want %d", res.Rows[0][0], want)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := importOrders(t)
+	if _, err := db.Query("SELECT x FROM nosuch"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.Query("NOT SQL AT ALL"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := db.ImportCSV("orders", []byte("a\n1\n"), DefaultImportOptions()); err == nil {
+		t.Error("duplicate table accepted")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := importOrders(t)
+	p, err := db.Explain("SELECT COUNT(*) FROM orders WHERE amount > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p, "Scan") {
+		t.Errorf("explain output %q", p)
+	}
+}
+
+func TestSchemaOverride(t *testing.T) {
+	db := New()
+	opt := DefaultImportOptions()
+	opt.Schema = []string{"code:str", "n:int"}
+	opt.HeaderSet, opt.HasHeader = true, false
+	if err := db.ImportCSV("t", []byte("007,1\n008,2\n"), opt); err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := db.Columns("t")
+	if cols[0].Type != "str" {
+		t.Fatalf("schema override ignored: %v", cols[0].Type)
+	}
+	res, _ := db.Query("SELECT code FROM t WHERE n = 2")
+	if res.Rows[0][0] != "008" {
+		t.Fatalf("rows %v", res.Rows)
+	}
+}
+
+func TestCollationOption(t *testing.T) {
+	db := New()
+	opt := DefaultImportOptions()
+	opt.Collation = "ci"
+	// An all-string file cannot header-detect (every value parses as a
+	// string), so declare the header explicitly.
+	opt.HeaderSet, opt.HasHeader = true, true
+	opt.Schema = []string{"w:str"}
+	if err := db.ImportCSV("t", []byte("w\nApple\nAPPLE\napple\n"), opt); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT COUNTD(w) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "1" {
+		t.Fatalf("case-insensitive countd %v", res.Rows)
+	}
+	if _, ok := interface{}(opt).(ImportOptions); !ok {
+		t.Fatal("unreachable")
+	}
+	if err := db.ImportCSV("bad", []byte("x\n1\n"), ImportOptions{Collation: "klingon"}); err == nil {
+		t.Error("bad collation accepted")
+	}
+}
+
+func TestLimitAndHavingThroughAPI(t *testing.T) {
+	db := importOrders(t)
+	res, err := db.Query("SELECT amount FROM orders ORDER BY amount DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "40" || res.Rows[1][0] != "25" {
+		t.Fatalf("top-2 %v", res.Rows)
+	}
+	if !strings.Contains(res.Plan, "TopN") {
+		t.Errorf("ORDER BY + LIMIT should plan a TopN: %s", res.Plan)
+	}
+	res, err = db.Query("SELECT status, SUM(amount) AS s FROM orders GROUP BY status HAVING s > 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "closed" {
+		t.Fatalf("having result %v", res.Rows)
+	}
+}
+
+func TestMonthRollupThroughAPI(t *testing.T) {
+	db := importOrders(t)
+	res, err := db.Query("SELECT MONTH(when) AS m, COUNT(*) FROM orders GROUP BY m ORDER BY m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("months %v", res.Rows)
+	}
+	if res.Rows[0][1] != "2" || res.Rows[1][1] != "2" || res.Rows[2][1] != "1" {
+		t.Fatalf("month counts %v", res.Rows)
+	}
+}
+
+func TestTimestampEndToEnd(t *testing.T) {
+	db := New()
+	csv := "ts,v\n2014-06-22 08:30:00,1\n2014-06-22 14:45:30,2\n2014-06-23 09:00:00,3\n"
+	if err := db.ImportCSV("events", []byte(csv), DefaultImportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := db.Columns("events")
+	if cols[0].Type != "timestamp" {
+		t.Fatalf("ts inferred as %s", cols[0].Type)
+	}
+	res, err := db.Query("SELECT MIN(ts), MAX(ts), COUNT(*) FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "2014-06-22 08:30:00" || res.Rows[0][1] != "2014-06-23 09:00:00" {
+		t.Fatalf("timestamp range %v", res.Rows[0])
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := importOrders(t)
+	res, err := db.Query("SELECT * FROM orders ORDER BY amount LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 3 || len(res.Rows) != 1 {
+		t.Fatalf("select * shape: %v %v", res.Columns, res.Rows)
+	}
+	if res.Rows[0][1] != "5" {
+		t.Fatalf("cheapest order %v", res.Rows[0])
+	}
+	if _, err := db.Query("SELECT *, COUNT(*) FROM orders"); err == nil {
+		t.Error("star mixed with aggregation accepted")
+	}
+}
+
+func TestJoinThroughPublicAPI(t *testing.T) {
+	db := importOrders(t)
+	sopt := DefaultImportOptions()
+	// All-string files cannot header-detect; declare it.
+	sopt.HeaderSet, sopt.HasHeader = true, true
+	sopt.Schema = []string{"code:str", "label:str"}
+	if err := db.ImportCSV("statuses", []byte("code,label\nopen,active\nclosed,done\n"), sopt); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT label, SUM(amount) FROM orders
+	                      JOIN statuses ON orders.status = statuses.code
+	                      GROUP BY label ORDER BY label`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "active" || res.Rows[0][1] != "30" {
+		t.Fatalf("join rows %v", res.Rows)
+	}
+	if res.Rows[1][0] != "done" || res.Rows[1][1] != "65" {
+		t.Fatalf("join rows %v", res.Rows)
+	}
+}
