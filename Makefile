@@ -1,0 +1,30 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One short coverage-guided pass per fuzz target; regressions in the
+# committed corpus under testdata/fuzz fail `make test` already.
+fuzz:
+	$(GO) test -fuzz=FuzzEncFromBytes -fuzztime=$(FUZZTIME) ./internal/enc/
+	$(GO) test -fuzz=FuzzStorageRead -fuzztime=$(FUZZTIME) ./internal/storage/
+	$(GO) test -fuzz=FuzzSQLParse -fuzztime=$(FUZZTIME) ./internal/sqlparse/
+
+check: vet build race fuzz
+
+clean:
+	$(GO) clean ./...

@@ -10,13 +10,36 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"tde"
 )
+
+// parseBytes parses a byte quantity like "64M", "1G" or "65536".
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch u := s[len(s)-1]; u {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSuffix(s, "B"), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte quantity %q", s)
+	}
+	return n * mult, nil
+}
 
 func main() {
 	out := flag.String("out", "out.tde", "output database file")
@@ -29,6 +52,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print the per-column physical design report")
 	appendTo := flag.Bool("append", false, "add tables to an existing database file")
 	compress := flag.String("compress", "", "comma-separated table.column list to dictionary-compress after import")
+	timeout := flag.Duration("timeout", 0, "per-import wall-clock limit (e.g. 5m; 0 = none)")
+	mem := flag.String("mem", "", "per-import memory budget (e.g. 1G; empty = unlimited)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -50,6 +75,12 @@ func main() {
 	if *schema != "" {
 		opt.Schema = strings.Split(*schema, ",")
 	}
+	budget, err := parseBytes(*mem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdeload:", err)
+		os.Exit(2)
+	}
+	qopt := tde.QueryOptions{Timeout: *timeout, MemoryBudget: budget}
 
 	db := tde.New()
 	if *appendTo {
@@ -66,7 +97,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tdeload: argument %q is not table=file\n", arg)
 			os.Exit(2)
 		}
-		if err := db.ImportCSVFile(name, path, opt); err != nil {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdeload: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if err := db.ImportCSVContext(context.Background(), name, data, opt, qopt); err != nil {
 			fmt.Fprintf(os.Stderr, "tdeload: %s: %v\n", path, err)
 			os.Exit(1)
 		}

@@ -10,32 +10,63 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"tde"
 )
+
+// parseBytes parses a byte quantity like "64M", "1G" or "65536".
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch u := s[len(s)-1]; u {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSuffix(s, "B"), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte quantity %q", s)
+	}
+	return n * mult, nil
+}
 
 func main() {
 	dbPath := flag.String("db", "", "database file")
 	explain := flag.Bool("explain", false, "print the plan instead of running")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	interactive := flag.Bool("i", false, "interactive shell (reads statements from stdin)")
+	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit (e.g. 30s; 0 = none)")
+	mem := flag.String("mem", "", "per-query memory budget (e.g. 64M, 1G; empty = unlimited)")
 	flag.Parse()
 
 	if *dbPath == "" || (flag.NArg() == 0 && !*interactive) {
-		fmt.Fprintln(os.Stderr, "usage: tdequery -db file.tde [-explain|-csv|-i] \"SELECT ...\"")
+		fmt.Fprintln(os.Stderr, "usage: tdequery -db file.tde [-explain|-csv|-i] [-timeout 30s] [-mem 64M] \"SELECT ...\"")
 		os.Exit(2)
 	}
+	budget, err := parseBytes(*mem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdequery:", err)
+		os.Exit(2)
+	}
+	qopt := tde.QueryOptions{Timeout: *timeout, MemoryBudget: budget}
 	db, err := tde.Open(*dbPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdequery:", err)
 		os.Exit(1)
 	}
 	if *interactive {
-		repl(db, *csv)
+		repl(db, *csv, qopt)
 		return
 	}
 	sql := strings.Join(flag.Args(), " ")
@@ -48,7 +79,7 @@ func main() {
 		fmt.Println(p)
 		return
 	}
-	res, err := db.Query(sql)
+	res, err := db.QueryContext(context.Background(), sql, qopt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdequery:", err)
 		os.Exit(1)
@@ -62,7 +93,7 @@ func main() {
 
 // repl reads statements (one per line; "\t" lists tables, "\d table"
 // describes one, "\q" quits) and prints results.
-func repl(db *tde.Database, csv bool) {
+func repl(db *tde.Database, csv bool, qopt tde.QueryOptions) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprint(os.Stderr, "tde> ")
@@ -79,7 +110,7 @@ func repl(db *tde.Database, csv bool) {
 		case strings.HasPrefix(line, `\d `):
 			describe(db, strings.TrimSpace(line[3:]))
 		default:
-			res, err := db.Query(line)
+			res, err := db.QueryContext(context.Background(), line, qopt)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				break

@@ -96,24 +96,95 @@ type Stream struct {
 }
 
 // FromBytes wraps a serialized stream. The buffer is retained, not copied.
+// Every header field that later accessors trust is validated here, so a
+// stream built from untrusted bytes can be read without out-of-bounds
+// access: the decompression-block payload must be fully present, run
+// counts must sum to the logical size, and dictionaries must fit in the
+// header region.
 func FromBytes(buf []byte) (*Stream, error) {
 	if len(buf) < headerFixed {
 		return nil, fmt.Errorf("enc: stream too short (%d bytes)", len(buf))
 	}
 	s := &Stream{buf: buf}
-	if Kind(buf[offAlgo]) >= numKinds {
+	kind := Kind(buf[offAlgo])
+	if kind >= numKinds {
 		return nil, fmt.Errorf("enc: unknown encoding algorithm %d", buf[offAlgo])
-	}
-	if off := s.dataOffset(); off > len(buf) {
-		return nil, fmt.Errorf("enc: data offset %d beyond stream end %d", off, len(buf))
 	}
 	switch w := s.Width(); w {
 	case 1, 2, 4, 8:
 	default:
 		return nil, fmt.Errorf("enc: unsupported element width %d", w)
 	}
+	if b := s.Bits(); b > 64 {
+		return nil, fmt.Errorf("enc: packing width %d exceeds 64 bits", b)
+	}
+	rawLen := getUint64(buf[offLogicalSize:])
+	if rawLen > 1<<48 {
+		return nil, fmt.Errorf("enc: implausible logical size %d", rawLen)
+	}
+	minHeader := headerFixed
+	switch kind {
+	case FrameOfReference, Delta:
+		minHeader = offFrame + 8
+	case Affine:
+		minHeader = offDelta + 8
+	case RunLength:
+		minHeader = offValueWidth + 1
+	case Dictionary:
+		minHeader = offDictEntry0
+	}
+	off := s.dataOffset()
+	if off < minHeader || off > len(buf) {
+		return nil, fmt.Errorf("enc: data offset %d outside [%d,%d]", off, minHeader, len(buf))
+	}
+	if bs := s.BlockSize(); bs <= 0 || bs > 1<<20 {
+		// Readers allocate block-sized buffers, so an implausible block
+		// size is a denial-of-service vector, not just a format error.
+		return nil, fmt.Errorf("enc: invalid decompression block size %d", bs)
+	}
+	switch kind {
+	case RunLength:
+		cw, vw := s.RunWidths()
+		if !validElemWidth(cw) || !validElemWidth(vw) {
+			return nil, fmt.Errorf("enc: invalid run-length field widths %d/%d", cw, vw)
+		}
+		if (len(buf)-off)%(cw+vw) != 0 {
+			return nil, fmt.Errorf("enc: run-length payload is not a whole number of runs")
+		}
+		var total uint64
+		for r, nr := 0, s.NumRuns(); r < nr; r++ {
+			count, _ := s.Run(r)
+			if count > rawLen-total {
+				return nil, fmt.Errorf("enc: run counts exceed logical size %d", rawLen)
+			}
+			total += count
+		}
+		if total != rawLen {
+			return nil, fmt.Errorf("enc: run counts sum to %d, logical size is %d", total, rawLen)
+		}
+	default:
+		if kind == Dictionary {
+			if b := s.Bits(); b > DictMaxBits {
+				return nil, fmt.Errorf("enc: dictionary index width %d exceeds %d bits", b, DictMaxBits)
+			}
+			n := getUint64(buf[offDictCount:])
+			if n > 1<<DictMaxBits {
+				return nil, fmt.Errorf("enc: dictionary size %d out of range", n)
+			}
+			if offDictEntry0+int(n)*s.Width() > off {
+				return nil, fmt.Errorf("enc: dictionary overruns header (%d entries, data at %d)", n, off)
+			}
+		}
+		if bb := s.blockBytes(); bb > 0 && s.numBlocks() > (len(buf)-off)/bb {
+			return nil, fmt.Errorf("enc: stream truncated: %d blocks of %d bytes, %d payload bytes",
+				s.numBlocks(), bb, len(buf)-off)
+		}
+	}
 	return s, nil
 }
+
+// validElemWidth reports whether w is a legal fixed element width.
+func validElemWidth(w int) bool { return w == 1 || w == 2 || w == 4 || w == 8 }
 
 // Bytes returns the serialized stream. The slice aliases internal state.
 func (s *Stream) Bytes() []byte { return s.buf }
@@ -164,10 +235,16 @@ func (s *Stream) AffineDelta() int64 { return int64(getUint64(s.buf[offDelta:]))
 // DictLen returns the number of dictionary entries in use.
 func (s *Stream) DictLen() int { return int(getUint64(s.buf[offDictCount:])) }
 
-// DictEntry returns dictionary entry i, zero-extended from the element width.
+// DictEntry returns dictionary entry i, zero-extended from the element
+// width. An index outside the header (possible when corrupt packed data
+// holds a token above the entry count) yields 0 rather than a fault.
 func (s *Stream) DictEntry(i int) uint64 {
 	w := s.Width()
-	return getWidth(s.buf[offDictEntry0+i*w:], w)
+	off := offDictEntry0 + i*w
+	if i < 0 || off+w > len(s.buf) {
+		return 0
+	}
+	return getWidth(s.buf[off:], w)
 }
 
 // setDictEntry overwrites dictionary entry i; used by the manipulation and

@@ -179,8 +179,9 @@ func (a *Aggregate) chooseMode() AggMode {
 }
 
 // Open implements Operator: stop-and-go, so all grouping happens here.
-func (a *Aggregate) Open() error {
-	if err := a.child.Open(); err != nil {
+func (a *Aggregate) Open(qc *QueryCtx) error {
+	qc.Trace("Aggregate")
+	if err := a.child.Open(qc); err != nil {
 		return err
 	}
 	defer a.child.Close()
@@ -193,6 +194,9 @@ func (a *Aggregate) Open() error {
 	case AggDirect:
 		md := a.child.Schema()[a.keyCols[0]].Meta
 		a.dmin = md.Min
+		if err := qc.Charge("Aggregate", int(md.Max-md.Min+1)*8); err != nil {
+			return err
+		}
 		a.direct = make([]int, md.Max-md.Min+1)
 	case AggOrdered:
 		a.curSet = false
@@ -220,6 +224,15 @@ func (a *Aggregate) Open() error {
 		a.strHeaps[c] = heap.New(coll)
 		a.strAccs[c] = heap.NewAccelerator(a.strHeaps[c], 0)
 	}
+	// Per-group hash-table footprint: keys, accumulators, bookkeeping.
+	groupCost := 64 + 16*(len(a.keyCols)+len(a.specs))
+	perRow := 0 // per-input-row state retained by COUNTD / MEDIAN
+	for _, s := range a.specs {
+		if s.Func == CountD || s.Func == Median {
+			perRow += 16
+		}
+	}
+	heapBytes := 0
 	b := vec.NewBlock(len(a.child.Schema()))
 	for {
 		ok, err := a.child.Next(b)
@@ -230,7 +243,23 @@ func (a *Aggregate) Open() error {
 			break
 		}
 		a.internStrings(b)
-		a.consume(b)
+		before := len(a.groups)
+		if a.chosen == AggOrdered && a.curSet {
+			before++ // the running group not yet flushed
+		}
+		if err := a.consume(b); err != nil {
+			return err
+		}
+		after := len(a.groups)
+		if a.chosen == AggOrdered && a.curSet {
+			after++
+		}
+		grown := heapSizes(a.strHeaps)
+		cost := (after-before)*groupCost + b.N*perRow + (grown - heapBytes)
+		heapBytes = grown
+		if err := qc.Charge("Aggregate", cost); err != nil {
+			return err
+		}
 	}
 	if a.chosen == AggOrdered && a.curSet {
 		a.groups = append(a.groups, a.cur)
@@ -259,27 +288,32 @@ func (a *Aggregate) internStrings(b *vec.Block) {
 	}
 }
 
-func (a *Aggregate) consume(b *vec.Block) {
+func (a *Aggregate) consume(b *vec.Block) error {
 	for i := 0; i < b.N; i++ {
-		g := a.findGroup(b, i)
+		g, err := a.findGroup(b, i)
+		if err != nil {
+			return err
+		}
 		a.update(g, b, i)
 	}
+	return nil
 }
 
-func (a *Aggregate) findGroup(b *vec.Block, i int) *group {
+func (a *Aggregate) findGroup(b *vec.Block, i int) (*group, error) {
 	switch a.chosen {
 	case AggDirect:
 		k := int64(b.Vecs[a.keyCols[0]].Data[i]) - a.dmin
 		if k < 0 || k >= int64(len(a.direct)) {
-			// Metadata promised this cannot happen; fall back defensively.
-			panic("exec: direct aggregation key outside envelope")
+			// Metadata promised this cannot happen; stored metadata can be
+			// stale or corrupt, so fail the query rather than the process.
+			return nil, fmt.Errorf("exec: direct aggregation key outside [min,max] envelope (corrupt column metadata?)")
 		}
 		if a.direct[k] == 0 {
 			g := a.newGroup(b, i)
 			a.groups = append(a.groups, g)
 			a.direct[k] = len(a.groups)
 		}
-		return a.groups[a.direct[k]-1]
+		return a.groups[a.direct[k]-1], nil
 	case AggOrdered:
 		same := a.curSet
 		if same {
@@ -300,7 +334,7 @@ func (a *Aggregate) findGroup(b *vec.Block, i int) *group {
 				a.curKeys[j] = b.Vecs[kc].Data[i]
 			}
 		}
-		return a.cur
+		return a.cur, nil
 	default: // AggHash
 		h := uint64(1469598103934665603)
 		for _, kc := range a.keyCols {
@@ -317,13 +351,13 @@ func (a *Aggregate) findGroup(b *vec.Block, i int) *group {
 				}
 			}
 			if match {
-				return g
+				return g, nil
 			}
 		}
 		g := a.newGroup(b, i)
 		a.groups = append(a.groups, g)
 		a.lookup[h] = append(a.lookup[h], len(a.groups)-1)
-		return g
+		return g, nil
 	}
 }
 

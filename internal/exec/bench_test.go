@@ -85,7 +85,7 @@ func benchFlowTable(b *testing.B, encode bool) {
 		scan, _ := NewScan(tab)
 		cfg := DefaultFlowTableConfig()
 		cfg.Encode = encode
-		if _, err := NewFlowTable(scan, cfg).BuildTable(); err != nil {
+		if _, err := NewFlowTable(scan, cfg).BuildTable(nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -38,6 +39,11 @@ type Exchange struct {
 	errMu   sync.Mutex
 	err     error
 	done    chan struct{}
+	// all tracks every goroutine Open spawned (producer, workers, closer)
+	// so Close can wait for a fully quiesced state — no leaks even when
+	// the consumer abandons the stream early or the query is cancelled.
+	all sync.WaitGroup
+	qc  *QueryCtx
 }
 
 type seqBlock struct {
@@ -58,8 +64,10 @@ func NewExchange(child Operator, newChain func() []BlockTransform, workers int, 
 func (e *Exchange) Schema() []ColInfo { return e.schema }
 
 // Open implements Operator: spawns the producer and workers.
-func (e *Exchange) Open() error {
-	if err := e.child.Open(); err != nil {
+func (e *Exchange) Open(qc *QueryCtx) error {
+	qc.Trace("Exchange")
+	e.qc = qc
+	if err := e.child.Open(qc); err != nil {
 		return err
 	}
 	e.nextSeq = 0
@@ -68,15 +76,26 @@ func (e *Exchange) Open() error {
 	e.done = make(chan struct{})
 	in := make(chan seqBlock, e.workers*2)
 	e.out = make(chan seqBlock, e.workers*2)
+	// The goroutines below capture the channels as locals: Close nils the
+	// struct fields from the consumer side, and sharing the fields with the
+	// workers would race.
+	done, out := e.done, e.out
 
 	// Producer: copies each child block (the child reuses its buffers).
+	e.all.Add(1)
 	go func() {
+		defer e.all.Done()
 		defer close(in)
+		defer e.containPanic("producer")
 		b := vec.NewBlock(len(e.child.Schema()))
 		seq := 0
 		for {
+			if err := qc.Err(); err != nil {
+				e.setErr(err)
+				return
+			}
 			select {
-			case <-e.done:
+			case <-done:
 				return
 			default:
 			}
@@ -90,7 +109,10 @@ func (e *Exchange) Open() error {
 			}
 			select {
 			case in <- seqBlock{seq: seq, b: copyBlock(b)}:
-			case <-e.done:
+			case <-done:
+				return
+			case <-qc.Done():
+				e.setErr(qc.Err())
 				return
 			}
 			seq++
@@ -100,8 +122,11 @@ func (e *Exchange) Open() error {
 	var wg sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
+		e.all.Add(1)
 		go func() {
+			defer e.all.Done()
 			defer wg.Done()
+			defer e.containPanic("worker")
 			chain := e.newChain()
 			scratch := vec.NewBlock(len(e.schema))
 			for sb := range in {
@@ -112,18 +137,32 @@ func (e *Exchange) Open() error {
 					}
 				}
 				select {
-				case e.out <- seqBlock{seq: sb.seq, b: copyBlock(cur)}:
-				case <-e.done:
+				case out <- seqBlock{seq: sb.seq, b: copyBlock(cur)}:
+				case <-done:
+					return
+				case <-qc.Done():
+					e.setErr(qc.Err())
 					return
 				}
 			}
 		}()
 	}
+	e.all.Add(1)
 	go func() {
+		defer e.all.Done()
 		wg.Wait()
-		close(e.out)
+		close(out)
 	}()
 	return nil
+}
+
+// containPanic converts a panicking parallel stage into a query error so
+// the failure surfaces on Next instead of crashing the process or
+// deadlocking the exchange.
+func (e *Exchange) containPanic(stage string) {
+	if r := recover(); r != nil {
+		e.setErr(fmt.Errorf("exec: exchange %s panicked: %v", stage, r))
+	}
 }
 
 func (e *Exchange) setErr(err error) {
@@ -137,10 +176,7 @@ func (e *Exchange) setErr(err error) {
 // Next implements Operator.
 func (e *Exchange) Next(b *vec.Block) (bool, error) {
 	for {
-		e.errMu.Lock()
-		err := e.err
-		e.errMu.Unlock()
-		if err != nil {
+		if err := e.loadErr(); err != nil {
 			return false, err
 		}
 		if e.preserveOrder {
@@ -162,7 +198,7 @@ func (e *Exchange) Next(b *vec.Block) (bool, error) {
 				if len(e.pending) > 0 && e.pending[0].seq == e.nextSeq {
 					continue
 				}
-				return false, nil
+				return false, e.loadErr()
 			}
 			e.pending = append(e.pending, sb)
 			sort.Slice(e.pending, func(i, j int) bool { return e.pending[i].seq < e.pending[j].seq })
@@ -170,7 +206,7 @@ func (e *Exchange) Next(b *vec.Block) (bool, error) {
 		}
 		sb, ok := <-e.out
 		if !ok {
-			return false, nil
+			return false, e.loadErr()
 		}
 		if sb.b.N == 0 {
 			continue
@@ -180,7 +216,15 @@ func (e *Exchange) Next(b *vec.Block) (bool, error) {
 	}
 }
 
-// Close implements Operator.
+func (e *Exchange) loadErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// Close implements Operator: signals shutdown, drains, and waits for every
+// goroutine Open spawned to exit — an early Close (LIMIT, error, cancel)
+// must not leak producers or workers.
 func (e *Exchange) Close() error {
 	if e.done != nil {
 		close(e.done)
@@ -192,6 +236,8 @@ func (e *Exchange) Close() error {
 		}
 		e.out = nil
 	}
+	e.all.Wait()
+	e.pending = nil
 	return e.child.Close()
 }
 

@@ -138,7 +138,7 @@ func TestFlowTableEncodesAndExtractsMetadata(t *testing.T) {
 		makeIntColumn("small", types.Integer, small))
 	scan, _ := NewScan(tab)
 	ft := NewFlowTable(scan, DefaultFlowTableConfig())
-	bt, err := ft.BuildTable()
+	bt, err := ft.BuildTable(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestFlowTableStringsSortHeap(t *testing.T) {
 	tab := makeTable("t", col)
 	scan, _ := NewScan(tab)
 	ft := NewFlowTable(scan, DefaultFlowTableConfig())
-	bt, err := ft.BuildTable()
+	bt, err := ft.BuildTable(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestFlowTableEncodingOffStaysRaw(t *testing.T) {
 	tab := makeTable("t", makeIntColumn("a", types.Integer, seqInts(5000)))
 	scan, _ := NewScan(tab)
 	cfg := FlowTableConfig{Encode: false, Accelerate: true}
-	bt, err := NewFlowTable(scan, cfg).BuildTable()
+	bt, err := NewFlowTable(scan, cfg).BuildTable(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestFlowTableParallelMatchesSerial(t *testing.T) {
 		scan, _ := NewScan(tab)
 		cfg := DefaultFlowTableConfig()
 		cfg.Parallel = parallel
-		bt, err := NewFlowTable(scan, cfg).BuildTable()
+		bt, err := NewFlowTable(scan, cfg).BuildTable(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -347,7 +347,7 @@ func TestAggregateAutoChoosesOrderedForSortedKey(t *testing.T) {
 	tab := makeTable("t", makeIntColumn("k", types.Integer, keys))
 	scan, _ := NewScan(tab)
 	ft := NewFlowTable(scan, DefaultFlowTableConfig())
-	if _, err := ft.BuildTable(); err != nil {
+	if _, err := ft.BuildTable(nil); err != nil {
 		t.Fatal(err)
 	}
 	agg := NewAggregate(ft, []int{0}, []AggSpec{{Func: Count, Col: -1}}, AggAuto)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -87,11 +88,12 @@ type columnBuilder struct {
 
 // BuildTable implements TableSource: it drains the child and returns the
 // materialized, post-processed table.
-func (f *FlowTable) BuildTable() (*Built, error) {
+func (f *FlowTable) BuildTable(qc *QueryCtx) (*Built, error) {
 	if f.built != nil {
 		return f.built, nil
 	}
-	if err := f.child.Open(); err != nil {
+	qc.Trace("FlowTable")
+	if err := f.child.Open(qc); err != nil {
 		return nil, err
 	}
 	defer f.child.Close()
@@ -134,6 +136,7 @@ func (f *FlowTable) BuildTable() (*Built, error) {
 	if f.cfg.Parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	heapBytes := 0
 	for {
 		ok, err := f.child.Next(b)
 		if err != nil {
@@ -144,11 +147,27 @@ func (f *FlowTable) BuildTable() (*Built, error) {
 		}
 		if workers > 1 && len(builders) > 1 {
 			var wg sync.WaitGroup
+			var panicErr error
+			var panicMu sync.Mutex
 			work := make(chan int)
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
+					// A panicking column builder must fail the build, not
+					// the process: deadlocking the wait or crashing here
+					// would escape the engine's panic boundary.
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicErr == nil {
+								panicErr = fmt.Errorf("exec: FlowTable column builder panicked: %v", r)
+							}
+							panicMu.Unlock()
+							for range work { // drain so the feeder never blocks
+							}
+						}
+					}()
 					for c := range work {
 						builders[c].appendBlock(&b.Vecs[c], b.N)
 					}
@@ -159,11 +178,26 @@ func (f *FlowTable) BuildTable() (*Built, error) {
 			}
 			close(work)
 			wg.Wait()
+			if panicErr != nil {
+				return nil, panicErr
+			}
 		} else {
 			for c := range builders {
 				builders[c].appendBlock(&b.Vecs[c], b.N)
 			}
 		}
+		// Charge the materialized block plus output-heap growth against
+		// the query's memory budget.
+		grown := 0
+		for _, cb := range builders {
+			if cb.outHeap != nil {
+				grown += cb.outHeap.Size()
+			}
+		}
+		if err := qc.Charge("FlowTable", rowFootprint(b.N, len(builders))+(grown-heapBytes)); err != nil {
+			return nil, err
+		}
+		heapBytes = grown
 	}
 
 	bt := &Built{}
@@ -280,13 +314,13 @@ func narrowColumn(stream *enc.Stream, st *enc.Stats, info ColInfo, signed bool) 
 }
 
 // Open implements Operator: building happens here (stop-and-go).
-func (f *FlowTable) Open() error {
-	bt, err := f.BuildTable()
+func (f *FlowTable) Open(qc *QueryCtx) error {
+	bt, err := f.BuildTable(qc)
 	if err != nil {
 		return err
 	}
 	f.scan = NewBuiltScan(bt)
-	return f.scan.Open()
+	return f.scan.Open(qc)
 }
 
 // Next implements Operator.

@@ -44,6 +44,7 @@ type IndexedScan struct {
 	readers []*enc.Reader
 	runIdx  int // current inner row
 	runOff  int // rows of the current run already emitted
+	qc      *QueryCtx
 }
 
 // NewIndexedScan builds an indexed scan. passCols/countCol/startCol index
@@ -83,8 +84,10 @@ func (is *IndexedScan) Schema() []ColInfo {
 }
 
 // Open implements Operator.
-func (is *IndexedScan) Open() error {
-	bt, err := is.inner.BuildTable()
+func (is *IndexedScan) Open(qc *QueryCtx) error {
+	qc.Trace("IndexedScan")
+	is.qc = qc
+	bt, err := is.inner.BuildTable(qc)
 	if err != nil {
 		return err
 	}
@@ -121,6 +124,9 @@ func (is *IndexedScan) Open() error {
 
 // Next implements Operator: packs one or more (partial) runs into a block.
 func (is *IndexedScan) Next(b *vec.Block) (bool, error) {
+	if err := is.qc.Err(); err != nil {
+		return false, err
+	}
 	if is.built == nil || is.runIdx >= is.built.Rows {
 		return false, nil
 	}

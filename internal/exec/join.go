@@ -73,6 +73,7 @@ type HashJoin struct {
 	base, delta int64
 
 	buf *vec.Block
+	qc  *QueryCtx
 }
 
 // NewHashJoin joins outer to inner on outer column outerKey = inner column
@@ -136,8 +137,10 @@ func (j *HashJoin) Algo() JoinAlgo { return j.chosen }
 
 // Open implements Operator: materializes the inner side and builds the
 // lookup structure the metadata admits.
-func (j *HashJoin) Open() error {
-	bt, err := j.inner.BuildTable()
+func (j *HashJoin) Open(qc *QueryCtx) error {
+	qc.Trace("HashJoin")
+	j.qc = qc
+	bt, err := j.inner.BuildTable(qc)
 	if err != nil {
 		return err
 	}
@@ -148,7 +151,7 @@ func (j *HashJoin) Open() error {
 
 	key := &bt.Cols[j.innerKey]
 	if key.Info.Type == types.String {
-		return j.openStringJoin(key)
+		return j.openStringJoin(qc, key)
 	}
 	md := key.Info.Meta
 	j.chosen = j.algo
@@ -173,28 +176,43 @@ func (j *HashJoin) Open() error {
 		}
 	case JoinDirect:
 		j.dmin = md.Min
+		if err := qc.Charge("HashJoin", int(md.Max-md.Min+1)*4); err != nil {
+			return err
+		}
 		j.direct = make([]int32, md.Max-md.Min+1)
 		for i := range j.direct {
 			j.direct[i] = -1
 		}
-		j.decodeInnerKey(key)
+		if err := j.decodeInnerKey(qc, key); err != nil {
+			return err
+		}
 		for r, v := range j.innerCol {
-			j.direct[int64(v)-j.dmin] = int32(r)
+			idx := int64(v) - j.dmin
+			if idx < 0 || idx >= int64(len(j.direct)) {
+				return fmt.Errorf("exec: join key %d outside direct envelope (corrupt column metadata?)", int64(v))
+			}
+			j.direct[idx] = int32(r)
 		}
 	case JoinHash:
 		j.table = make(map[uint64][]int32)
-		j.decodeInnerKey(key)
+		if err := j.decodeInnerKey(qc, key); err != nil {
+			return err
+		}
+		// Chained hash table: ~2 words per entry on top of the key vector.
+		if err := qc.Charge("HashJoin", len(j.innerCol)*16); err != nil {
+			return err
+		}
 		for r, v := range j.innerCol {
 			j.table[v] = append(j.table[v], int32(r))
 		}
 	}
-	return j.outer.Open()
+	return j.outer.Open(qc)
 }
 
 // openStringJoin builds the content-based lookup for string join keys.
 // Same-heap fast paths are possible when both sides share one heap, but
 // content hashing is always correct and collation-aware.
-func (j *HashJoin) openStringJoin(key *BuiltColumn) error {
+func (j *HashJoin) openStringJoin(qc *QueryCtx, key *BuiltColumn) error {
 	j.stringJoin = true
 	j.chosen = JoinHash
 	j.coll = key.Info.Collation
@@ -205,7 +223,13 @@ func (j *HashJoin) openStringJoin(key *BuiltColumn) error {
 	j.table = make(map[uint64][]int32) // token-keyed fast path (same heap)
 	j.strNullRow = -1
 	j.innerHeap = key.Info.Heap
-	j.decodeInnerKey(key)
+	if err := j.decodeInnerKey(qc, key); err != nil {
+		return err
+	}
+	// Two hash tables (token and content keyed), ~2 words per entry each.
+	if err := qc.Charge("HashJoin", len(j.innerCol)*32); err != nil {
+		return err
+	}
 	for r, tok := range j.innerCol {
 		if tok == types.NullToken {
 			// Tableau NULL join semantics: NULL matches NULL.
@@ -217,7 +241,7 @@ func (j *HashJoin) openStringJoin(key *BuiltColumn) error {
 		h := j.coll.Hash(s)
 		j.strTable[h] = append(j.strTable[h], int32(r))
 	}
-	return j.outer.Open()
+	return j.outer.Open(qc)
 }
 
 // probeString resolves an outer token through its (block) heap and looks
@@ -246,8 +270,11 @@ func (j *HashJoin) probeString(tok uint64, h *heap.Heap) int {
 	return -1
 }
 
-func (j *HashJoin) decodeInnerKey(key *BuiltColumn) {
+func (j *HashJoin) decodeInnerKey(qc *QueryCtx, key *BuiltColumn) error {
 	n := key.Data.Len()
+	if err := qc.Charge("HashJoin", n*8); err != nil {
+		return err
+	}
 	j.innerCol = make([]uint64, n)
 	r := enc.NewReader(key.Data)
 	r.Read(0, n, j.innerCol)
@@ -255,6 +282,7 @@ func (j *HashJoin) decodeInnerKey(key *BuiltColumn) {
 	for i, v := range j.innerCol {
 		j.innerCol[i] = resolveRaw(v, w, key.Info)
 	}
+	return nil
 }
 
 // Next implements Operator.

@@ -27,10 +27,11 @@ func NewLimit(child Operator, n int) *Limit {
 func (l *Limit) Schema() []ColInfo { return l.child.Schema() }
 
 // Open implements Operator.
-func (l *Limit) Open() error {
+func (l *Limit) Open(qc *QueryCtx) error {
+	qc.Trace("Limit")
 	l.seen = 0
 	l.buf = vec.NewBlock(len(l.child.Schema()))
-	return l.child.Open()
+	return l.child.Open(qc)
 }
 
 // Next implements Operator.
@@ -112,8 +113,9 @@ func (h *rowHeap) Pop() any {
 }
 
 // Open implements Operator: consume everything, retaining n rows.
-func (t *TopN) Open() error {
-	if err := t.child.Open(); err != nil {
+func (t *TopN) Open(qc *QueryCtx) error {
+	qc.Trace("TopN")
+	if err := t.child.Open(qc); err != nil {
 		return err
 	}
 	defer t.child.Close()
@@ -126,6 +128,7 @@ func (t *TopN) Open() error {
 	h.less = func(a, b int) bool { return t.rowLess(h, a, b) }
 	t.rows = h
 
+	retained := 0
 	b := vec.NewBlock(nc)
 	for {
 		ok, err := t.child.Next(b)
@@ -148,6 +151,13 @@ func (t *TopN) Open() error {
 			if h.Len() > t.n {
 				heap.Pop(h)
 			}
+		}
+		// The retained set is bounded by n rows; charge only its growth.
+		if h.Len() > retained {
+			if err := qc.Charge("TopN", rowFootprint(h.Len()-retained, nc)); err != nil {
+				return err
+			}
+			retained = h.Len()
 		}
 	}
 	// Extract in reverse (max-heap pops worst first).

@@ -36,8 +36,11 @@ type ColInfo struct {
 type Operator interface {
 	// Schema describes the output columns. Valid after construction.
 	Schema() []ColInfo
-	// Open prepares the operator (and its subtree) for iteration.
-	Open() error
+	// Open prepares the operator (and its subtree) for iteration. qc is
+	// the query's lifecycle handle: operators keep it, check it once per
+	// block in Next, and charge it at materialization points. A nil qc is
+	// valid and means "no budget, not cancellable".
+	Open(qc *QueryCtx) error
 	// Next fills b with the next block, returning false at end of stream.
 	// b's vectors are valid until the following Next call.
 	Next(b *vec.Block) (bool, error)
@@ -49,8 +52,9 @@ type Operator interface {
 // table (FlowTable and the pseudo-table operators of Sect. 4); the Join
 // operator "takes a stop-and-go operator as the inner relation".
 type TableSource interface {
-	// BuildTable runs the subtree to completion and returns the result.
-	BuildTable() (*Built, error)
+	// BuildTable runs the subtree to completion and returns the result,
+	// charging the materialized size against qc (nil = unaccounted).
+	BuildTable(qc *QueryCtx) (*Built, error)
 }
 
 // Built is a materialized table plus the metadata FlowTable extracted
@@ -136,8 +140,11 @@ func sentinelFor(info ColInfo) uint64 {
 
 // Run drains an operator, returning the total row count. Used by tests
 // and benches that only need the side effects.
-func Run(op Operator) (int, error) {
-	if err := op.Open(); err != nil {
+func Run(op Operator) (int, error) { return RunCtx(nil, op) }
+
+// RunCtx is Run under a query lifecycle handle.
+func RunCtx(qc *QueryCtx, op Operator) (int, error) {
+	if err := op.Open(qc); err != nil {
 		return 0, err
 	}
 	defer op.Close()
@@ -159,7 +166,7 @@ func Run(op Operator) (int, error) {
 // bits; string tokens are resolved to heap offsets of their block heap —
 // use CollectStrings for content). Intended for tests.
 func Collect(op Operator) ([][]uint64, error) {
-	if err := op.Open(); err != nil {
+	if err := op.Open(nil); err != nil {
 		return nil, err
 	}
 	defer op.Close()
@@ -186,7 +193,13 @@ func Collect(op Operator) ([][]uint64, error) {
 // CollectStrings drains an operator formatting every value, for tests on
 // string-bearing plans.
 func CollectStrings(op Operator) ([][]string, error) {
-	if err := op.Open(); err != nil {
+	return CollectStringsCtx(nil, op)
+}
+
+// CollectStringsCtx is CollectStrings under a query lifecycle handle —
+// the drain loop the public Query API uses.
+func CollectStringsCtx(qc *QueryCtx, op Operator) ([][]string, error) {
+	if err := op.Open(qc); err != nil {
 		return nil, err
 	}
 	defer op.Close()

@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// QueryCtx is the per-query lifecycle handle threaded through the operator
+// tree: every operator receives it in Open, checks it once per iteration
+// block, and charges it at every materialization point (FlowTable builds,
+// Sort buffers, Aggregate hash tables, Join inner tables, heap growth).
+// It carries cancellation (a context.Context) and an atomic memory
+// accountant with an optional byte budget, so a runaway stop-and-go
+// operator fails with ErrBudgetExceeded instead of exhausting the process.
+//
+// A nil *QueryCtx is valid everywhere and means "no budget, not
+// cancellable" — tests and the import pipeline's default path use it.
+type QueryCtx struct {
+	ctx    context.Context
+	budget int64 // bytes; 0 = unlimited
+
+	used atomic.Int64
+	peak atomic.Int64
+	// op names the most recently opened operator, so the engine's panic
+	// boundary can report where an internal failure happened.
+	op atomic.Value // string
+}
+
+// NewQueryCtx builds a lifecycle handle from ctx with a byte budget
+// (0 = unlimited). ctx may be nil, meaning context.Background().
+func NewQueryCtx(ctx context.Context, budgetBytes int64) *QueryCtx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	return &QueryCtx{ctx: ctx, budget: budgetBytes}
+}
+
+// Err reports the query's cancellation state: nil while the query may
+// proceed, context.Canceled or context.DeadlineExceeded after. Operators
+// call this once per block in their Next loops; it is one atomic load on
+// the fast path.
+func (q *QueryCtx) Err() error {
+	if q == nil {
+		return nil
+	}
+	return q.ctx.Err()
+}
+
+// Context returns the wrapped context (context.Background() for nil).
+func (q *QueryCtx) Context() context.Context {
+	if q == nil || q.ctx == nil {
+		return context.Background()
+	}
+	return q.ctx
+}
+
+// Done returns the cancellation channel, nil when not cancellable.
+func (q *QueryCtx) Done() <-chan struct{} {
+	if q == nil {
+		return nil
+	}
+	return q.ctx.Done()
+}
+
+// Charge accounts n bytes of materialized memory against the budget. It
+// returns a *BudgetError once the running total would exceed the budget;
+// the charge is rolled back so Close paths can release symmetrically.
+func (q *QueryCtx) Charge(op string, n int) error {
+	if q == nil || n <= 0 {
+		return nil
+	}
+	used := q.used.Add(int64(n))
+	if q.budget > 0 && used > q.budget {
+		// Roll back before the peak update: a rejected charge precedes any
+		// real allocation, so it must not count as observed usage.
+		q.used.Add(-int64(n))
+		return &BudgetError{Op: op, Budget: q.budget, Used: used}
+	}
+	for {
+		p := q.peak.Load()
+		if used <= p || q.peak.CompareAndSwap(p, used) {
+			break
+		}
+	}
+	return nil
+}
+
+// Release returns n bytes to the accountant (an operator freeing its
+// materialized state on Close).
+func (q *QueryCtx) Release(n int) {
+	if q == nil || n <= 0 {
+		return
+	}
+	q.used.Add(-int64(n))
+}
+
+// Used returns the bytes currently charged.
+func (q *QueryCtx) Used() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.used.Load()
+}
+
+// Peak returns the high-water mark of charged bytes.
+func (q *QueryCtx) Peak() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.peak.Load()
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (q *QueryCtx) Budget() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.budget
+}
+
+// Trace records the name of the operator currently opening/building, so a
+// recovered panic can name the failing operator.
+func (q *QueryCtx) Trace(op string) {
+	if q == nil {
+		return
+	}
+	q.op.Store(op)
+}
+
+// Op returns the most recently traced operator name.
+func (q *QueryCtx) Op() string {
+	if q == nil {
+		return ""
+	}
+	if s, ok := q.op.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// ErrBudgetExceeded is the sentinel matched by errors.Is for budget
+// failures.
+var ErrBudgetExceeded = errors.New("exec: memory budget exceeded")
+
+// BudgetError reports a memory-budget violation at a materialization
+// point. It matches ErrBudgetExceeded under errors.Is.
+type BudgetError struct {
+	// Op is the operator whose materialization hit the budget.
+	Op string
+	// Budget is the configured limit in bytes.
+	Budget int64
+	// Used is the running total that the rejected charge would have
+	// produced.
+	Used int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("exec: %s: memory budget exceeded (budget %d bytes, needed %d)",
+		e.Op, e.Budget, e.Used)
+}
+
+// Is makes errors.Is(err, ErrBudgetExceeded) work.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// rowFootprint approximates the in-memory cost of materializing n rows of
+// nc columns as decoded uint64 vectors — the accountant's unit for
+// FlowTable, Sort and join-side buffers.
+func rowFootprint(rows, cols int) int { return rows * cols * 8 }

@@ -20,6 +20,7 @@ type Scan struct {
 	readers []*enc.Reader
 	at      int
 	rows    int
+	qc      *QueryCtx
 }
 
 // NewScan scans the named columns of t (all columns when names is nil).
@@ -52,7 +53,9 @@ func NewScan(t *storage.Table, names ...string) (*Scan, error) {
 func (s *Scan) Schema() []ColInfo { return s.schema }
 
 // Open implements Operator.
-func (s *Scan) Open() error {
+func (s *Scan) Open(qc *QueryCtx) error {
+	qc.Trace("Scan")
+	s.qc = qc
 	s.at = 0
 	s.readers = make([]*enc.Reader, len(s.colIdxs))
 	for i, idx := range s.colIdxs {
@@ -63,6 +66,9 @@ func (s *Scan) Open() error {
 
 // Next implements Operator.
 func (s *Scan) Next(b *vec.Block) (bool, error) {
+	if err := s.qc.Err(); err != nil {
+		return false, err
+	}
 	if s.at >= s.rows {
 		return false, nil
 	}
@@ -124,6 +130,7 @@ type BuiltScan struct {
 	built   *Built
 	readers []*enc.Reader
 	at      int
+	qc      *QueryCtx
 }
 
 // NewBuiltScan scans bt.
@@ -133,7 +140,9 @@ func NewBuiltScan(bt *Built) *BuiltScan { return &BuiltScan{built: bt} }
 func (s *BuiltScan) Schema() []ColInfo { return s.built.Schema() }
 
 // Open implements Operator.
-func (s *BuiltScan) Open() error {
+func (s *BuiltScan) Open(qc *QueryCtx) error {
+	qc.Trace("BuiltScan")
+	s.qc = qc
 	s.at = 0
 	s.readers = make([]*enc.Reader, len(s.built.Cols))
 	for i := range s.built.Cols {
@@ -144,6 +153,9 @@ func (s *BuiltScan) Open() error {
 
 // Next implements Operator.
 func (s *BuiltScan) Next(b *vec.Block) (bool, error) {
+	if err := s.qc.Err(); err != nil {
+		return false, err
+	}
 	rows := s.built.Rows
 	if s.at >= rows {
 		return false, nil
@@ -174,4 +186,4 @@ func (s *BuiltScan) Close() error {
 }
 
 // BuildTable lets a BuiltScan act as a TableSource trivially.
-func (s *BuiltScan) BuildTable() (*Built, error) { return s.built, nil }
+func (s *BuiltScan) BuildTable(qc *QueryCtx) (*Built, error) { return s.built, nil }

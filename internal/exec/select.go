@@ -25,10 +25,11 @@ func NewSelect(child Operator, pred expr.Expr) *Select {
 func (s *Select) Schema() []ColInfo { return s.child.Schema() }
 
 // Open implements Operator.
-func (s *Select) Open() error {
+func (s *Select) Open(qc *QueryCtx) error {
+	qc.Trace("Select")
 	s.buf = vec.NewBlock(len(s.child.Schema()))
 	s.out.Data = make([]uint64, vec.BlockSize)
-	return s.child.Open()
+	return s.child.Open(qc)
 }
 
 // Next implements Operator.
@@ -101,9 +102,10 @@ func NewProject(child Operator, exprs []expr.Expr, names []string) *Project {
 func (p *Project) Schema() []ColInfo { return p.schema }
 
 // Open implements Operator.
-func (p *Project) Open() error {
+func (p *Project) Open(qc *QueryCtx) error {
+	qc.Trace("Project")
 	p.buf = vec.NewBlock(len(p.child.Schema()))
-	return p.child.Open()
+	return p.child.Open(qc)
 }
 
 // Next implements Operator.

@@ -52,8 +52,9 @@ func (s *Sort) Schema() []ColInfo {
 }
 
 // Open implements Operator.
-func (s *Sort) Open() error {
-	if err := s.child.Open(); err != nil {
+func (s *Sort) Open(qc *QueryCtx) error {
+	qc.Trace("Sort")
+	if err := s.child.Open(qc); err != nil {
 		return err
 	}
 	defer s.child.Close()
@@ -74,6 +75,7 @@ func (s *Sort) Open() error {
 			accs[c] = heap.NewAccelerator(s.heaps[c], 0)
 		}
 	}
+	heapBytes := 0
 	b := vec.NewBlock(nc)
 	for {
 		ok, err := s.child.Next(b)
@@ -98,10 +100,20 @@ func (s *Sort) Open() error {
 				s.cols[c] = append(s.cols[c], v.Data[:b.N]...)
 			}
 		}
+		// Sort buffers its whole input: charge the materialized block plus
+		// any string-heap growth it caused.
+		grown := heapSizes(s.heaps)
+		if err := qc.Charge("Sort", rowFootprint(b.N, nc)+(grown-heapBytes)); err != nil {
+			return err
+		}
+		heapBytes = grown
 	}
 	n := 0
 	if nc > 0 {
 		n = len(s.cols[0])
+	}
+	if err := qc.Charge("Sort", n*4); err != nil { // the order index
+		return err
 	}
 	s.order = make([]int32, n)
 	for i := range s.order {
@@ -197,4 +209,16 @@ func (s *Sort) Close() error {
 	s.cols = nil
 	s.order = nil
 	return nil
+}
+
+// heapSizes totals the byte size of the non-nil heaps, the unit the
+// accountant charges for string re-interning growth.
+func heapSizes(hs []*heap.Heap) int {
+	total := 0
+	for _, h := range hs {
+		if h != nil {
+			total += h.Size()
+		}
+	}
+	return total
 }

@@ -50,7 +50,7 @@ func ExchangeOrdering(rows, workers int) ([]ExchangeResult, error) {
 		ft := exec.NewFlowTable(ex, exec.DefaultFlowTableConfig())
 		var bt *exec.Built
 		sec, err := timeIt(func() error {
-			b, err := ft.BuildTable()
+			b, err := ft.BuildTable(nil)
 			bt = b
 			return err
 		})

@@ -95,7 +95,7 @@ func Import(data []byte, cfg ImportConfig) (*exec.Built, error) {
 		Narrow:     true,
 		KindMask:   cfg.KindMask,
 	})
-	return ft.BuildTable()
+	return ft.BuildTable(nil)
 }
 
 // timeIt runs f and returns elapsed seconds.

@@ -35,9 +35,27 @@ func New(collation types.Collation) *Heap {
 	return &Heap{collation: collation}
 }
 
-// FromBytes reconstructs a heap from its serialized form.
-func FromBytes(buf []byte, count int, collation types.Collation, sorted bool) *Heap {
-	return &Heap{buf: buf, count: count, collation: collation, sorted: sorted}
+// FromBytes reconstructs a heap from its serialized form. The element
+// chain is walked and validated: every length header must fit, every
+// element must lie inside the buffer, and the element count must match —
+// so a heap loaded from untrusted bytes cannot fault later in Get.
+func FromBytes(buf []byte, count int, collation types.Collation, sorted bool) (*Heap, error) {
+	got := 0
+	for off := 0; off < len(buf); got++ {
+		if off+elemHeader > len(buf) {
+			return nil, fmt.Errorf("heap: truncated element header at offset %d", off)
+		}
+		n := int(uint32(buf[off]) | uint32(buf[off+1])<<8 |
+			uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24)
+		if n < 0 || off+elemHeader+n > len(buf) {
+			return nil, fmt.Errorf("heap: element at offset %d overruns buffer (%d bytes claimed)", off, n)
+		}
+		off += elemHeader + n
+	}
+	if got != count {
+		return nil, fmt.Errorf("heap: buffer holds %d elements, catalog says %d", got, count)
+	}
+	return &Heap{buf: buf, count: count, collation: collation, sorted: sorted}, nil
 }
 
 // Bytes returns the heap's raw storage.
@@ -74,17 +92,23 @@ func (h *Heap) Append(s string) uint64 {
 	return tok
 }
 
-// Get returns the string at token tok.
+// Get returns the string at token tok. Tokens that fall outside the heap
+// (possible when corrupt column data carries a stale offset) yield the
+// empty string rather than a fault; FromBytes guarantees every genuine
+// element boundary is safe.
 func (h *Heap) Get(tok uint64) string {
 	if tok == types.NullToken {
 		return ""
 	}
 	off := int(tok)
-	if off+elemHeader > len(h.buf) {
-		panic(fmt.Sprintf("heap: token %d out of range", tok))
+	if off < 0 || off+elemHeader > len(h.buf) {
+		return ""
 	}
 	n := int(uint32(h.buf[off]) | uint32(h.buf[off+1])<<8 |
 		uint32(h.buf[off+2])<<16 | uint32(h.buf[off+3])<<24)
+	if n < 0 || off+elemHeader+n > len(h.buf) {
+		return ""
+	}
 	return string(h.buf[off+elemHeader : off+elemHeader+n])
 }
 

@@ -228,7 +228,10 @@ func TestHeapSerializationRoundTrip(t *testing.T) {
 		h.Append(w)
 	}
 	h.IsSortedOrder()
-	h2 := FromBytes(h.Bytes(), h.Len(), h.Collation(), h.Sorted())
+	h2, err := FromBytes(h.Bytes(), h.Len(), h.Collation(), h.Sorted())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h2.Len() != 3 || !h2.Sorted() || h2.Collation() != types.CollateEN {
 		t.Fatal("heap metadata lost in round trip")
 	}

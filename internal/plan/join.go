@@ -141,9 +141,9 @@ func (a aliasOp) Schema() []exec.ColInfo {
 
 // BuildTable lets aliased FlowTable children keep working; aliasOp wraps
 // flow operators only, so this is never reached for stop-and-go nodes.
-func (a aliasOp) BuildTable() (*exec.Built, error) {
+func (a aliasOp) BuildTable(qc *exec.QueryCtx) (*exec.Built, error) {
 	if ts, ok := a.Operator.(exec.TableSource); ok {
-		return ts.BuildTable()
+		return ts.BuildTable(qc)
 	}
 	return nil, fmt.Errorf("plan: alias wraps a flow operator")
 }

@@ -117,4 +117,4 @@ type builtSource struct{ bt *exec.Built }
 // Source wraps a Built as a TableSource.
 func Source(bt *exec.Built) exec.TableSource { return builtSource{bt} }
 
-func (s builtSource) BuildTable() (*exec.Built, error) { return s.bt, nil }
+func (s builtSource) BuildTable(qc *exec.QueryCtx) (*exec.Built, error) { return s.bt, nil }

@@ -39,7 +39,7 @@ func RollUpIndex(index *exec.Built, roll expr.Expr) (*exec.Built, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := scan.Open(); err != nil {
+	if err := scan.Open(nil); err != nil {
 		return nil, err
 	}
 	defer scan.Close()

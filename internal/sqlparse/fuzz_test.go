@@ -1,0 +1,29 @@
+package sqlparse
+
+import "testing"
+
+// FuzzSQLParse checks the parser never panics on arbitrary input; it must
+// either return a statement or a parse error.
+func FuzzSQLParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t",
+		"SELECT a, SUM(b) FROM t WHERE a > 10 GROUP BY a ORDER BY 2 DESC LIMIT 5",
+		"SELECT COUNT(DISTINCT x), MEDIAN(y) FROM t JOIN u ON t.k = u.k",
+		"SELECT a+b*c FROM t WHERE s LIKE 'ab%' AND d BETWEEN DATE '2004-01-01' AND DATE '2004-12-31'",
+		"select month(d), count(*) from t group by month(d)",
+		"SELECT",
+		"SELECT * FROM",
+		"((((",
+		"SELECT 'unterminated FROM t",
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		st, err := Parse(sql)
+		if err == nil && st == nil {
+			t.Fatal("nil statement with nil error")
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failAfter injects a write failure after n bytes, simulating a full disk
+// or a crash partway through a save.
+type failAfter struct {
+	w io.Writer
+	n int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errInjected
+	}
+	if len(p) > f.n {
+		k, _ := f.w.Write(p[:f.n])
+		f.n = 0
+		return k, errInjected
+	}
+	f.n -= len(p)
+	return f.w.Write(p)
+}
+
+func listEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestAtomicSavePreservesOldFile kills the write partway and checks the
+// previous database file is untouched and no temp files are left behind.
+func TestAtomicSavePreservesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.tde")
+
+	tables := []*Table{{Name: "t", Columns: []*Column{
+		buildIntColumn(t, "x", []int64{1, 2, 3, 4, 5}),
+	}}}
+	if err := WriteFile(path, tables); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail at a range of offsets: header, mid-body, and just before the
+	// final flush.
+	for _, cut := range []int{0, 1, 7, 64, len(good) / 2, len(good) - 1} {
+		err := writeFileAtomic(path, func(w io.Writer) error {
+			return Write(&failAfter{w: w, n: cut}, tables)
+		})
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("cut=%d: want injected error, got %v", cut, err)
+		}
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("cut=%d: original file gone: %v", cut, err)
+		}
+		if string(after) != string(good) {
+			t.Fatalf("cut=%d: original file modified by failed save", cut)
+		}
+	}
+	for _, name := range listEntries(t, dir) {
+		if strings.HasPrefix(name, ".tde-save-") {
+			t.Errorf("leftover temp file %q after failed save", name)
+		}
+	}
+
+	// A failed save over a *new* path must not create the destination.
+	fresh := filepath.Join(dir, "fresh.tde")
+	err = writeFileAtomic(fresh, func(w io.Writer) error {
+		return fmt.Errorf("save aborted")
+	})
+	if err == nil {
+		t.Fatal("want error from aborted save")
+	}
+	if _, err := os.Stat(fresh); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("aborted save created destination file: %v", err)
+	}
+}
+
+// TestAtomicSaveRoundTrip checks a successful atomic save is readable and
+// replaces prior contents.
+func TestAtomicSaveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.tde")
+	if err := os.WriteFile(path, []byte("stale garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tables := []*Table{{Name: "t", Columns: []*Column{
+		buildIntColumn(t, "x", []int64{10, 20, 30}),
+	}}}
+	if err := WriteFile(path, tables); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Rows() != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for _, name := range listEntries(t, dir) {
+		if strings.HasPrefix(name, ".tde-save-") {
+			t.Errorf("leftover temp file %q after successful save", name)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"tde/internal/enc"
 	"tde/internal/heap"
@@ -38,17 +39,47 @@ const (
 	flagHasDict    = 1 << 2
 )
 
-// WriteFile writes tables as a single-file database at path.
+// WriteFile writes tables as a single-file database at path. The write is
+// crash-safe: data goes to a temporary file in the target directory, is
+// fsynced, and is atomically renamed over the destination — a crash or
+// error mid-save never corrupts an existing extract (Sect. 2.3.3's
+// single-file contract demands the file a user picks is always complete).
 func WriteFile(path string, tables []*Table) error {
-	f, err := os.Create(path)
+	return writeFileAtomic(path, func(w io.Writer) error {
+		return Write(w, tables)
+	})
+}
+
+// writeFileAtomic runs write against a temp file next to path, fsyncs,
+// and renames it over path only on full success. On any failure the temp
+// file is removed and the previous contents of path are untouched.
+func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tde-save-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := Write(f, tables); err != nil {
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Write serializes tables to w in the single-file format.
@@ -167,6 +198,12 @@ func Read(buf []byte) ([]*Table, error) {
 		return nil, fmt.Errorf("storage: unsupported format version %d", v)
 	}
 	nt := int(r.u32())
+	// A table costs at least 16 bytes (name length, row count, column
+	// count), so a count the buffer cannot hold is corruption — reject it
+	// before the count sizes an allocation.
+	if nt > len(buf)/16 {
+		return nil, fmt.Errorf("storage: implausible table count %d in %d-byte file", nt, len(buf))
+	}
 	tables := make([]*Table, 0, nt)
 	for i := 0; i < nt; i++ {
 		t := &Table{Name: r.str()}
@@ -199,6 +236,15 @@ func readColumn(r *reader) (*Column, error) {
 	c.Type = types.Type(r.u8())
 	c.Collation = types.Collation(r.u8())
 	flags := r.u8()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if c.Type >= types.NumTypes {
+		return nil, fmt.Errorf("storage: column %q: invalid type byte %d", c.Name, uint8(c.Type))
+	}
+	if c.Collation > types.CollateEN {
+		return nil, fmt.Errorf("storage: column %q: invalid collation byte %d", c.Name, uint8(c.Collation))
+	}
 	readMetadata(r, &c.Meta)
 	data := r.bytes()
 	if r.err != nil {
@@ -212,7 +258,14 @@ func readColumn(r *reader) (*Column, error) {
 	if flags&flagHasHeap != 0 {
 		hb := r.bytes()
 		hc := int(r.u64())
-		c.Heap = heap.FromBytes(hb, hc, c.Collation, flags&flagHeapSorted != 0)
+		if r.err != nil {
+			return nil, r.err
+		}
+		h, err := heap.FromBytes(hb, hc, c.Collation, flags&flagHeapSorted != 0)
+		if err != nil {
+			return nil, fmt.Errorf("storage: column %q: %w", c.Name, err)
+		}
+		c.Heap = h
 	}
 	if flags&flagHasDict != 0 {
 		n := int(r.u32())

@@ -12,7 +12,7 @@ import (
 	"tde/internal/types"
 )
 
-func buildIntColumn(t *testing.T, name string, vals []int64) *Column {
+func buildIntColumn(t testing.TB, name string, vals []int64) *Column {
 	t.Helper()
 	w := enc.NewWriter(enc.WriterConfig{Signed: true, ConvertOptimal: true,
 		Sentinel: types.NullBits(types.Integer), HasSentinel: true})
@@ -24,7 +24,7 @@ func buildIntColumn(t *testing.T, name string, vals []int64) *Column {
 		Meta: enc.MetadataFromStats(w.Stats(), true)}
 }
 
-func buildStringColumn(t *testing.T, name string, vals []string) *Column {
+func buildStringColumn(t testing.TB, name string, vals []string) *Column {
 	t.Helper()
 	h := heap.New(types.CollateBinary)
 	acc := heap.NewAccelerator(h, 0)

@@ -50,10 +50,13 @@ type TextScan struct {
 	at     int // byte offset of the next record
 	fields [][]byte
 	rows   [][][]byte
+	qc     *exec.QueryCtx
 }
 
 // Open prepares iteration; inference already ran in New.
-func (ts *TextScan) Open() error {
+func (ts *TextScan) Open(qc *exec.QueryCtx) error {
+	qc.Trace("TextScan")
+	ts.qc = qc
 	ts.at = 0
 	if ts.header {
 		ts.skipLine()
@@ -202,6 +205,9 @@ func (ts *TextScan) nextLine() ([]byte, bool) {
 // producing independent output from a shared read-only state"
 // (Sect. 5.1.2).
 func (ts *TextScan) Next(b *vec.Block) (bool, error) {
+	if err := ts.qc.Err(); err != nil {
+		return false, err
+	}
 	// Gather up to BlockSize tokenized rows.
 	if ts.rows == nil {
 		ts.rows = make([][][]byte, 0, vec.BlockSize)

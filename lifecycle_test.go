@@ -1,0 +1,118 @@
+package tde
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tde/internal/tpch"
+)
+
+func lineitemImportOptions() ImportOptions {
+	types := []string{"int", "int", "int", "int", "int", "real", "real", "real",
+		"str", "str", "date", "date", "date", "str", "str", "str"}
+	opt := DefaultImportOptions()
+	opt.Schema = make([]string, len(tpch.LineitemSchema))
+	for i, n := range tpch.LineitemSchema {
+		opt.Schema[i] = n + ":" + types[i]
+	}
+	opt.HeaderSet, opt.HasHeader = true, false
+	return opt
+}
+
+// importLineitem loads a small TPC-H lineitem extract through the public
+// API — the acceptance workload for query-lifecycle behavior.
+func importLineitem(t *testing.T) *Database {
+	t.Helper()
+	g := tpch.New(0.01, 42)
+	var buf bytes.Buffer
+	if err := g.WriteLineitem(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	if err := db.ImportCSV("lineitem", buf.Bytes(), lineitemImportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQueryContextCancel(t *testing.T) {
+	db := importLineitem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := db.QueryContext(ctx, "SELECT l_orderkey, SUM(l_quantity) FROM lineitem GROUP BY l_orderkey", QueryOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled query took %v; want prompt return", d)
+	}
+}
+
+func TestQueryContextTimeout(t *testing.T) {
+	db := importLineitem(t)
+	_, err := db.QueryContext(context.Background(),
+		"SELECT l_comment, COUNT(*) FROM lineitem GROUP BY l_comment ORDER BY l_comment DESC",
+		QueryOptions{Timeout: time.Nanosecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestQueryContextMemoryBudget(t *testing.T) {
+	db := importLineitem(t)
+	_, err := db.QueryContext(context.Background(),
+		"SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice",
+		QueryOptions{MemoryBudget: 1 << 20})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	// The same query with room to work must succeed.
+	res, err := db.QueryContext(context.Background(),
+		"SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice",
+		QueryOptions{MemoryBudget: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("budgeted query returned no rows")
+	}
+}
+
+func TestImportCSVContextCancel(t *testing.T) {
+	g := tpch.New(0.01, 7)
+	var buf bytes.Buffer
+	if err := g.WriteLineitem(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := db.ImportCSVContext(ctx, "lineitem", buf.Bytes(), lineitemImportOptions(), QueryOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if db.lookup("lineitem") != nil {
+		t.Fatal("cancelled import left a partial table behind")
+	}
+}
+
+func TestInternalErrorContainsPanic(t *testing.T) {
+	// A nil table pointer through AddTable provokes an internal fault; the
+	// public API must convert it into *InternalError, not crash.
+	db := New()
+	db.AddTable(nil)
+	_, err := db.QueryContext(context.Background(), "SELECT 1 FROM x", QueryOptions{})
+	if err == nil {
+		t.Skip("planner rejected the statement before reaching the fault")
+	}
+	// Any error is acceptable as long as nothing panicked; when the panic
+	// boundary fired it must carry the InternalError type.
+	var ie *InternalError
+	if errors.As(err, &ie) && ie.Value == nil {
+		t.Fatal("InternalError with no payload")
+	}
+}

@@ -19,8 +19,12 @@
 package tde
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"runtime/debug"
+	"time"
 
 	"tde/internal/exec"
 	"tde/internal/plan"
@@ -29,6 +33,39 @@ import (
 	"tde/internal/textscan"
 	"tde/internal/types"
 )
+
+// ErrBudgetExceeded is returned (wrapped) when a query or import exceeds
+// its memory budget; match it with errors.Is.
+var ErrBudgetExceeded = exec.ErrBudgetExceeded
+
+// InternalError reports a panic recovered at an engine entry point
+// (Query, ImportCSV, Open): an engine bug or corrupt data that slipped
+// past validation, contained so the process survives.
+type InternalError struct {
+	// Op names the operator (or phase) that was running when the engine
+	// panicked.
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	op := e.Op
+	if op == "" {
+		op = "engine"
+	}
+	return fmt.Sprintf("tde: internal error in %s: %v", op, e.Value)
+}
+
+// containPanic recovers an internal panic into *InternalError. Deferred at
+// every public entry point that runs engine code.
+func containPanic(qc *exec.QueryCtx, err *error) {
+	if r := recover(); r != nil {
+		*err = &InternalError{Op: qc.Op(), Value: r, Stack: debug.Stack()}
+	}
+}
 
 // Database is a set of named, read-only tables: an "extract" in Tableau
 // terms. It persists as a single file (Sect. 2.3.3).
@@ -39,8 +76,12 @@ type Database struct {
 // New returns an empty database.
 func New() *Database { return &Database{} }
 
-// Open loads a single-file database written by Save.
-func Open(path string) (*Database, error) {
+// Open loads a single-file database written by Save. Corrupt or truncated
+// files return an error — never a panic: the image is checksummed and
+// structurally validated, and any residual failure is contained as an
+// *InternalError.
+func Open(path string) (db *Database, err error) {
+	defer containPanic(nil, &err)
 	tables, err := storage.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -51,7 +92,12 @@ func Open(path string) (*Database, error) {
 // Save writes the database as one file, the only on-disk format
 // (Sect. 2.3.3: the user must be able to pick the database in a file
 // dialog). Column-level compression is what keeps this copy cheap.
-func (db *Database) Save(path string) error {
+//
+// The write is crash-safe: data goes to a temporary file in the target
+// directory which is fsynced and atomically renamed over the destination,
+// so a crash mid-save never corrupts an existing extract.
+func (db *Database) Save(path string) (err error) {
+	defer containPanic(nil, &err)
 	return storage.WriteFile(path, db.tables)
 }
 
@@ -122,6 +168,15 @@ func (db *Database) ImportCSVFile(table, path string, opt ImportOptions) error {
 // buffer-oriented parsing, dynamic encoding, heap sorting, type narrowing
 // and metadata extraction.
 func (db *Database) ImportCSV(table string, data []byte, opt ImportOptions) error {
+	return db.ImportCSVContext(context.Background(), table, data, opt, QueryOptions{})
+}
+
+// ImportCSVContext is ImportCSV under a cancellable context and resource
+// limits: qopt.Timeout bounds wall time, qopt.MemoryBudget bounds the
+// FlowTable's materialized size, and internal panics are contained as
+// *InternalError.
+func (db *Database) ImportCSVContext(ctx context.Context, table string, data []byte,
+	opt ImportOptions, qopt QueryOptions) (err error) {
 	if db.lookup(table) != nil {
 		return fmt.Errorf("tde: table %q already exists", table)
 	}
@@ -154,7 +209,10 @@ func (db *Database) ImportCSV(table string, data []byte, opt ImportOptions) erro
 		SortHeaps:  true,
 		Narrow:     true,
 	})
-	bt, err := ft.BuildTable()
+	qc, cancel := qopt.newQueryCtx(ctx)
+	defer cancel()
+	defer containPanic(qc, &err)
+	bt, err := ft.BuildTable(qc)
 	if err != nil {
 		return err
 	}
@@ -212,23 +270,65 @@ type Result struct {
 	Plan string
 }
 
+// QueryOptions bound a query's (or import's) resource use. The zero value
+// means no timeout and no memory budget.
+type QueryOptions struct {
+	// Timeout cancels the query after the given wall-clock duration
+	// (0 = none); the query returns context.DeadlineExceeded.
+	Timeout time.Duration
+	// MemoryBudget caps the bytes the query's stop-and-go operators may
+	// materialize (0 = unlimited); exceeding it returns an error matching
+	// ErrBudgetExceeded instead of exhausting the process.
+	MemoryBudget int64
+	// Plan carries explicit strategic-optimizer options — the knob the
+	// benchmarks use to force the Fig. 10 plan shapes.
+	Plan plan.Options
+}
+
+// newQueryCtx builds the lifecycle handle for one query under o.
+func (o QueryOptions) newQueryCtx(ctx context.Context) (*exec.QueryCtx, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := context.CancelFunc(func() {})
+	if o.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+	}
+	return exec.NewQueryCtx(ctx, o.MemoryBudget), cancel
+}
+
 // Query parses and runs a SQL statement. The supported subset is
 // single-table SELECT with WHERE, GROUP BY and ORDER BY, the Tableau
 // aggregates (SUM, COUNT, COUNTD, MIN, MAX, AVG, MEDIAN), date parts
 // (YEAR, MONTH, DAY, TRUNC_MONTH, TRUNC_YEAR) and string functions
 // (UPPER, LOWER, LENGTH, FILE_EXT).
 func (db *Database) Query(sql string) (*Result, error) {
-	return db.QueryWithOptions(sql, plan.Options{})
+	return db.QueryContext(context.Background(), sql, QueryOptions{})
 }
 
 // QueryWithOptions runs sql with explicit strategic-optimizer options —
 // the knob the benchmarks use to force the Fig. 10 plan shapes.
 func (db *Database) QueryWithOptions(sql string, opt plan.Options) (*Result, error) {
+	return db.QueryContext(context.Background(), sql, QueryOptions{Plan: opt})
+}
+
+// QueryContext runs sql under a cancellable context and explicit resource
+// limits: cancelling ctx (or exceeding opt.Timeout) interrupts the query
+// within one execution block and returns the context's error; exceeding
+// opt.MemoryBudget returns an error matching ErrBudgetExceeded; an
+// internal panic is contained as *InternalError naming the failing
+// operator.
+func (db *Database) QueryContext(ctx context.Context, sql string, opt QueryOptions) (res *Result, err error) {
+	// The panic boundary wraps planning as well as execution: a malformed
+	// catalog (e.g. a nil table) must surface as *InternalError, not crash.
+	qc, cancel := opt.newQueryCtx(ctx)
+	defer cancel()
+	defer containPanic(qc, &err)
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	op, ex, err := st.Build(db.tables, opt)
+	op, ex, err := st.Build(db.tables, opt.Plan)
 	if err != nil {
 		return nil, err
 	}
@@ -236,8 +336,13 @@ func (db *Database) QueryWithOptions(sql string, opt plan.Options) (*Result, err
 	for _, c := range op.Schema() {
 		names = append(names, c.Name)
 	}
-	rows, err := exec.CollectStrings(op)
+	rows, err := exec.CollectStringsCtx(qc, op)
 	if err != nil {
+		// Prefer the root cancellation cause over operator wrapping so
+		// callers can match context.Canceled / DeadlineExceeded directly.
+		if ctxErr := qc.Err(); ctxErr != nil && !errors.Is(err, ctxErr) {
+			return nil, fmt.Errorf("%w (%v)", ctxErr, err)
+		}
 		return nil, err
 	}
 	return &Result{Columns: names, Rows: rows, Plan: ex.String()}, nil
