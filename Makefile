@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz check clean
+.PHONY: all build vet test race fuzz check clean bench-parallel bench-check bench-baseline
 
 all: check
 
@@ -23,6 +23,21 @@ fuzz:
 	$(GO) test -fuzz=FuzzEncFromBytes -fuzztime=$(FUZZTIME) ./internal/enc/
 	$(GO) test -fuzz=FuzzStorageRead -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -fuzz=FuzzSQLParse -fuzztime=$(FUZZTIME) ./internal/sqlparse/
+
+# Morsel-parallelism benchmarks and the regression guard: bench-check
+# fails when any parallel agg/join/import benchmark runs >2x slower than
+# the committed BENCH_parallel.json baseline (regenerate the baseline on
+# the owning machine with bench-baseline).
+BENCH_PARALLEL = -run '^$$' -bench 'BenchmarkParallel' -benchtime 2x -count 1 .
+
+bench-parallel:
+	$(GO) test $(BENCH_PARALLEL)
+
+bench-check:
+	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json
+
+bench-baseline:
+	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json -update
 
 check: vet build race fuzz
 

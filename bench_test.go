@@ -6,6 +6,7 @@ package tde
 // same drivers at larger scales with the paper-shaped renderings.
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"tde/internal/rlegen"
 	"tde/internal/storage"
 	"tde/internal/textscan"
+	"tde/internal/tpch"
 	"tde/internal/types"
 )
 
@@ -491,3 +493,94 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 
 func BenchmarkSingleFileCopy_Encoded(b *testing.B)   { benchSave(b, true) }
 func BenchmarkSingleFileCopy_Unencoded(b *testing.B) { benchSave(b, false) }
+
+// --- Morsel parallelism: partial aggregation, partitioned join, import ---
+//
+// Parallel-vs-serial pairs over an SF 0.1 TPC-H extract. `make bench-check`
+// compares these against BENCH_parallel.json and fails on a >2x
+// regression; on multi-core hosts the 4-worker variants should also beat
+// serial (the ISSUE's 1.5x acceptance bar).
+
+var (
+	pbOnce sync.Once
+	pbDB   *Database
+	pbErr  error
+)
+
+// parallelBenchDB imports SF 0.1 lineitem + orders once.
+func parallelBenchDB(b *testing.B) *Database {
+	b.Helper()
+	pbOnce.Do(func() {
+		g := tpch.New(0.1, 42)
+		db := New()
+		var li bytes.Buffer
+		if pbErr = g.WriteLineitem(&li); pbErr != nil {
+			return
+		}
+		kinds := []string{"int", "int", "int", "int", "int", "real", "real", "real",
+			"str", "str", "date", "date", "date", "str", "str", "str"}
+		schema := make([]string, len(tpch.LineitemSchema))
+		for i, n := range tpch.LineitemSchema {
+			schema[i] = n + ":" + kinds[i]
+		}
+		opt := DefaultImportOptions()
+		opt.Schema = schema
+		opt.HeaderSet, opt.HasHeader = true, false
+		if pbErr = db.ImportCSV("lineitem", li.Bytes(), opt); pbErr != nil {
+			return
+		}
+		var ord bytes.Buffer
+		if pbErr = g.WriteOrders(&ord); pbErr != nil {
+			return
+		}
+		opt = DefaultImportOptions()
+		opt.Schema = []string{"o_orderkey:int", "o_custkey:int", "o_orderstatus:str",
+			"o_totalprice:real", "o_orderdate:date", "o_orderpriority:str",
+			"o_clerk:str", "o_shippriority:int", "o_comment:str"}
+		opt.HeaderSet, opt.HasHeader = true, false
+		if pbErr = db.ImportCSV("orders", ord.Bytes(), opt); pbErr != nil {
+			return
+		}
+		pbDB = db
+	})
+	if pbErr != nil {
+		b.Fatal(pbErr)
+	}
+	return pbDB
+}
+
+func benchParallelQuery(b *testing.B, sql string, workers int) {
+	db := parallelBenchDB(b)
+	opt := plan.Options{ParallelWorkers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.QueryWithOptions(sql, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const parallelAggSQL = `SELECT l_returnflag, l_linestatus, SUM(l_quantity),
+	AVG(l_extendedprice), COUNT(*) FROM lineitem
+	GROUP BY l_returnflag, l_linestatus`
+
+const parallelJoinSQL = `SELECT o_orderpriority, COUNT(*), SUM(l_quantity)
+	FROM lineitem JOIN orders ON l_orderkey = o_orderkey
+	GROUP BY o_orderpriority`
+
+func BenchmarkParallelAgg_Serial(b *testing.B)    { benchParallelQuery(b, parallelAggSQL, -1) }
+func BenchmarkParallelAgg_4Workers(b *testing.B)  { benchParallelQuery(b, parallelAggSQL, 4) }
+func BenchmarkParallelJoin_Serial(b *testing.B)   { benchParallelQuery(b, parallelJoinSQL, -1) }
+func BenchmarkParallelJoin_4Workers(b *testing.B) { benchParallelQuery(b, parallelJoinSQL, 4) }
+
+// Import pair: the block-pipeline parse (Sect. 5.1.2) against the serial
+// scan over the shared SF 0.01 corpus.
+func BenchmarkParallelImport_Serial(b *testing.B) {
+	ds := benchDatasets(b)
+	benchImport(b, ds.Lineitem, harness.ImportConfig{Encode: true, Accelerate: true})
+}
+
+func BenchmarkParallelImport_Pipeline(b *testing.B) {
+	ds := benchDatasets(b)
+	benchImport(b, ds.Lineitem, harness.ImportConfig{Encode: true, Accelerate: true, Parallel: true})
+}

@@ -48,6 +48,7 @@ func main() {
 	interactive := flag.Bool("i", false, "interactive shell (reads statements from stdin)")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit (e.g. 30s; 0 = none)")
 	mem := flag.String("mem", "", "per-query memory budget (e.g. 64M, 1G; empty = unlimited)")
+	workers := flag.Int("workers", 0, "parallel workers per query stage (>0 force, 0 auto, <0 serial)")
 	flag.Parse()
 
 	if *dbPath == "" || (flag.NArg() == 0 && !*interactive) {
@@ -60,6 +61,7 @@ func main() {
 		os.Exit(2)
 	}
 	qopt := tde.QueryOptions{Timeout: *timeout, MemoryBudget: budget}
+	qopt.Plan.ParallelWorkers = *workers
 	db, err := tde.Open(*dbPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdequery:", err)
@@ -71,7 +73,7 @@ func main() {
 	}
 	sql := strings.Join(flag.Args(), " ")
 	if *explain {
-		p, err := db.Explain(sql)
+		p, err := db.ExplainWithOptions(sql, qopt.Plan)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tdequery:", err)
 			os.Exit(1)

@@ -1,0 +1,224 @@
+// Package difftest is a randomized differential query-testing harness:
+// it generates SQL over small TPC-H and flights tables, runs every query
+// once with parallelism disabled (the oracle) and again under a matrix of
+// worker counts and exchange routings, and demands row-set-identical
+// results. Parallel execution must never change an answer — only how
+// fast it arrives — so any mismatch is a bug by construction.
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tde"
+	"tde/internal/flights"
+	"tde/internal/plan"
+	"tde/internal/tpch"
+)
+
+// Config sizes one differential run.
+type Config struct {
+	Seed    int64
+	Queries int // random queries; each is compared under every variant
+	// Workers lists the forced worker counts compared against the serial
+	// oracle. Zero entries test the auto heuristic.
+	Workers []int
+	// Routings lists Options.Routing overrides (>0 preserve, <0 free).
+	Routings []int
+}
+
+// DefaultConfig covers workers 1, 2 and 8 with both routings — the
+// matrix the morsel operators must be transparent under.
+func DefaultConfig(seed int64, queries int) Config {
+	return Config{
+		Seed:     seed,
+		Queries:  queries,
+		Workers:  []int{1, 2, 8},
+		Routings: []int{1, -1},
+	}
+}
+
+// Mismatch reports one differential failure with everything needed to
+// replay it.
+type Mismatch struct {
+	SQL    string
+	Opt    plan.Options
+	Detail string
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("workers=%d routing=%d: %s\n  query: %s",
+		m.Opt.ParallelWorkers, m.Opt.Routing, m.Detail, m.SQL)
+}
+
+// Report is the outcome of a Run.
+type Report struct {
+	Queries     int
+	Comparisons int
+	Mismatches  []Mismatch
+}
+
+// BuildDatabase imports lineitem + orders at the given TPC-H scale factor
+// and a flights table, through the full text-import pipeline.
+func BuildDatabase(sf float64, flightRows int, seed int64) (*tde.Database, error) {
+	g := tpch.New(sf, seed)
+	db := tde.New()
+
+	var li bytes.Buffer
+	if err := g.WriteLineitem(&li); err != nil {
+		return nil, err
+	}
+	opt := tde.DefaultImportOptions()
+	opt.Schema = lineitemSchema()
+	opt.HeaderSet, opt.HasHeader = true, false
+	if err := db.ImportCSV("lineitem", li.Bytes(), opt); err != nil {
+		return nil, fmt.Errorf("difftest: import lineitem: %w", err)
+	}
+
+	var ord bytes.Buffer
+	if err := g.WriteOrders(&ord); err != nil {
+		return nil, err
+	}
+	opt = tde.DefaultImportOptions()
+	opt.Schema = ordersSchema()
+	opt.HeaderSet, opt.HasHeader = true, false
+	if err := db.ImportCSV("orders", ord.Bytes(), opt); err != nil {
+		return nil, fmt.Errorf("difftest: import orders: %w", err)
+	}
+
+	var fl bytes.Buffer
+	if err := flights.New(flightRows, seed+1).Write(&fl); err != nil {
+		return nil, err
+	}
+	if err := db.ImportCSV("flights", fl.Bytes(), tde.DefaultImportOptions()); err != nil {
+		return nil, fmt.Errorf("difftest: import flights: %w", err)
+	}
+	return db, nil
+}
+
+func lineitemSchema() []string {
+	kinds := []string{"int", "int", "int", "int", "int", "real", "real", "real",
+		"str", "str", "date", "date", "date", "str", "str", "str"}
+	out := make([]string, len(tpch.LineitemSchema))
+	for i, n := range tpch.LineitemSchema {
+		out[i] = n + ":" + kinds[i]
+	}
+	return out
+}
+
+func ordersSchema() []string {
+	return []string{"o_orderkey:int", "o_custkey:int", "o_orderstatus:str",
+		"o_totalprice:real", "o_orderdate:date", "o_orderpriority:str",
+		"o_clerk:str", "o_shippriority:int", "o_comment:str"}
+}
+
+// Run executes cfg.Queries random queries against db, comparing the
+// serial oracle to every (workers, routing) variant.
+func Run(db *tde.Database, cfg Config) (*Report, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &Report{}
+	for i := 0; i < cfg.Queries; i++ {
+		sql := randomQuery(rng)
+		rep.Queries++
+		oracle, err := db.QueryWithOptions(sql, plan.Options{ParallelWorkers: -1})
+		if err != nil {
+			return rep, fmt.Errorf("difftest: serial oracle failed: %w\n  query: %s", err, sql)
+		}
+		want := canonicalRows(oracle.Rows)
+		for _, w := range cfg.Workers {
+			for _, r := range cfg.Routings {
+				opt := plan.Options{ParallelWorkers: w, Routing: r}
+				rep.Comparisons++
+				got, err := db.QueryWithOptions(sql, opt)
+				if err != nil {
+					rep.Mismatches = append(rep.Mismatches, Mismatch{
+						SQL: sql, Opt: opt, Detail: fmt.Sprintf("query error: %v", err)})
+					continue
+				}
+				if d := diffRows(want, canonicalRows(got.Rows)); d != "" {
+					rep.Mismatches = append(rep.Mismatches, Mismatch{SQL: sql, Opt: opt, Detail: d})
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// canonicalRows renders a result as a sorted multiset of rows. Group
+// keys (or the unique sort key of a top-n selection) lead every row, so
+// rows that differ only in the trailing float cells still land at the
+// same index on both sides.
+func canonicalRows(rows [][]string) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = strings.Join(r, "\x00")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// floatTolerance bounds the relative divergence parallel reassociation
+// of SUM/AVG may introduce; anything larger is a real bug.
+const floatTolerance = 1e-9
+
+// cellsMatch is the per-cell oracle: exact match, or both cells are
+// floats within the reassociation tolerance. String rounding can't do
+// this — a sum sitting on a rounding half-point flips its last printed
+// digit under any fixed precision.
+func cellsMatch(a, b string) bool {
+	if a == b {
+		return true
+	}
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA != nil || errB != nil {
+		return false
+	}
+	diff := fa - fb
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := 1.0
+	if s := absFloat(fa); s > scale {
+		scale = s
+	}
+	if s := absFloat(fb); s > scale {
+		scale = s
+	}
+	return diff <= floatTolerance*scale
+}
+
+func absFloat(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// diffRows compares two canonical row sets and describes the first
+// divergence ("" when identical).
+func diffRows(want, got []string) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("row counts differ: serial %d, parallel %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] == got[i] {
+			continue
+		}
+		wc := strings.Split(want[i], "\x00")
+		gc := strings.Split(got[i], "\x00")
+		match := len(wc) == len(gc)
+		for j := 0; match && j < len(wc); j++ {
+			match = cellsMatch(wc[j], gc[j])
+		}
+		if !match {
+			return fmt.Sprintf("row %d differs:\n  serial:   %q\n  parallel: %q",
+				i, strings.Join(wc, "|"), strings.Join(gc, "|"))
+		}
+	}
+	return ""
+}

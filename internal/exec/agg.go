@@ -68,14 +68,32 @@ func (m AggMode) String() string {
 // lookup table of Sect. 2.3.4.
 const directLimit = 1 << 16
 
-// Aggregate is the stop-and-go grouping operator.
-type Aggregate struct {
-	child   Operator
+type group struct {
+	keys []uint64
+	accs []acc
+}
+
+type acc struct {
+	sumI     int64
+	sumF     float64
+	count    int64
+	minB     uint64
+	maxB     uint64
+	seen     bool
+	distinct map[uint64]struct{}
+	all      []uint64
+}
+
+// aggCore is the grouping machinery shared by the serial Aggregate and
+// the per-worker partials of ParallelAggregate: it owns the group table,
+// the per-column string heaps, and the budget cost model, but not the
+// child iteration (its caller feeds it blocks).
+type aggCore struct {
+	in      []ColInfo
 	keyCols []int
 	specs   []AggSpec
-	mode    AggMode
 	chosen  AggMode
-	schema  []ColInfo
+	opName  string
 
 	groups []*group
 	lookup map[uint64][]int // hash -> candidate group indexes (AggHash)
@@ -93,33 +111,452 @@ type Aggregate struct {
 	strHeaps []*heap.Heap
 	strAccs  []*heap.Accelerator
 
+	// budget cost model
+	groupCost int
+	perRow    int
+	heapBytes int
+	charged   int
+}
+
+// newAggCore sets up the grouping state for the chosen mode; the direct
+// table (the one up-front allocation) is charged against qc.
+func newAggCore(in []ColInfo, keyCols []int, specs []AggSpec, chosen AggMode, opName string, qc *QueryCtx) (*aggCore, error) {
+	c := &aggCore{in: in, keyCols: keyCols, specs: specs, chosen: chosen, opName: opName}
+	switch chosen {
+	case AggHash:
+		c.lookup = make(map[uint64][]int)
+	case AggDirect:
+		md := in[keyCols[0]].Meta
+		c.dmin = md.Min
+		if err := qc.Charge(opName, int(md.Max-md.Min+1)*8); err != nil {
+			return nil, err
+		}
+		c.charged += int(md.Max-md.Min+1) * 8
+		c.direct = make([]int, md.Max-md.Min+1)
+	case AggOrdered:
+		c.curKeys = make([]uint64, len(keyCols))
+	}
+	c.strHeaps = make([]*heap.Heap, len(in))
+	c.strAccs = make([]*heap.Accelerator, len(in))
+	needsHeap := map[int]bool{}
+	for _, kc := range keyCols {
+		if in[kc].Type == types.String {
+			needsHeap[kc] = true
+		}
+	}
+	for _, s := range specs {
+		if s.Col >= 0 && in[s.Col].Type == types.String {
+			needsHeap[s.Col] = true
+		}
+	}
+	for col := range needsHeap {
+		coll := in[col].Collation
+		if in[col].Heap != nil {
+			coll = in[col].Heap.Collation()
+		}
+		c.strHeaps[col] = heap.New(coll)
+		c.strAccs[col] = heap.NewAccelerator(c.strHeaps[col], 0)
+	}
+	// Per-group hash-table footprint: keys, accumulators, bookkeeping.
+	c.groupCost = 64 + 16*(len(keyCols)+len(specs))
+	for _, s := range specs {
+		if s.Func == CountD || s.Func == Median {
+			c.perRow += 16 // per-input-row state retained by COUNTD / MEDIAN
+		}
+	}
+	return c, nil
+}
+
+// internStrings rewrites string tokens in place (the block is owned by
+// the caller's read loop) into the per-column aggregation heaps, making
+// tokens comparable across blocks and collation-aware.
+func (c *aggCore) internStrings(b *vec.Block) {
+	for col, acc := range c.strAccs {
+		if acc == nil {
+			continue
+		}
+		v := &b.Vecs[col]
+		for i := 0; i < b.N; i++ {
+			tok := v.Data[i]
+			if tok == types.NullToken {
+				continue
+			}
+			v.Data[i] = acc.Intern(v.Heap.Get(tok))
+		}
+		v.Heap = c.strHeaps[col]
+	}
+}
+
+// consumeBlock groups one block (whose string columns internStrings has
+// already rewritten) and charges the growth against the budget.
+func (c *aggCore) consumeBlock(qc *QueryCtx, b *vec.Block) error {
+	before := len(c.groups)
+	if c.chosen == AggOrdered && c.curSet {
+		before++ // the running group not yet flushed
+	}
+	for i := 0; i < b.N; i++ {
+		g, err := c.findGroup(b, i)
+		if err != nil {
+			return err
+		}
+		c.update(g, b, i)
+	}
+	after := len(c.groups)
+	if c.chosen == AggOrdered && c.curSet {
+		after++
+	}
+	grown := heapSizes(c.strHeaps)
+	cost := (after-before)*c.groupCost + b.N*c.perRow + (grown - c.heapBytes)
+	c.heapBytes = grown
+	if err := qc.Charge(c.opName, cost); err != nil {
+		return err
+	}
+	c.charged += cost
+	return nil
+}
+
+// finish flushes the ordered mode's running group.
+func (c *aggCore) finish() {
+	if c.chosen == AggOrdered && c.curSet {
+		c.groups = append(c.groups, c.cur)
+		c.curSet = false
+	}
+}
+
+func (c *aggCore) findGroup(b *vec.Block, i int) (*group, error) {
+	switch c.chosen {
+	case AggDirect:
+		k := int64(b.Vecs[c.keyCols[0]].Data[i]) - c.dmin
+		if k < 0 || k >= int64(len(c.direct)) {
+			// Metadata promised this cannot happen; stored metadata can be
+			// stale or corrupt, so fail the query rather than the process.
+			return nil, fmt.Errorf("exec: direct aggregation key outside [min,max] envelope (corrupt column metadata?)")
+		}
+		if c.direct[k] == 0 {
+			g := c.newGroup(b, i)
+			c.groups = append(c.groups, g)
+			c.direct[k] = len(c.groups)
+		}
+		return c.groups[c.direct[k]-1], nil
+	case AggOrdered:
+		same := c.curSet
+		if same {
+			for j, kc := range c.keyCols {
+				if b.Vecs[kc].Data[i] != c.curKeys[j] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			if c.curSet {
+				c.groups = append(c.groups, c.cur)
+			}
+			c.cur = c.newGroup(b, i)
+			c.curSet = true
+			for j, kc := range c.keyCols {
+				c.curKeys[j] = b.Vecs[kc].Data[i]
+			}
+		}
+		return c.cur, nil
+	default: // AggHash
+		h := uint64(1469598103934665603)
+		for _, kc := range c.keyCols {
+			h ^= b.Vecs[kc].Data[i]
+			h *= 1099511628211
+		}
+		for _, gi := range c.lookup[h] {
+			g := c.groups[gi]
+			match := true
+			for j, kc := range c.keyCols {
+				if g.keys[j] != b.Vecs[kc].Data[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return g, nil
+			}
+		}
+		g := c.newGroup(b, i)
+		c.groups = append(c.groups, g)
+		c.lookup[h] = append(c.lookup[h], len(c.groups)-1)
+		return g, nil
+	}
+}
+
+func (c *aggCore) newGroup(b *vec.Block, i int) *group {
+	g := &group{keys: make([]uint64, len(c.keyCols)), accs: make([]acc, len(c.specs))}
+	for j, kc := range c.keyCols {
+		g.keys[j] = b.Vecs[kc].Data[i]
+	}
+	for j, s := range c.specs {
+		if s.Func == CountD {
+			g.accs[j].distinct = make(map[uint64]struct{})
+		}
+	}
+	return g
+}
+
+// findGroupKeys is findGroup's hash-mode twin for the merge stage, keyed
+// on an explicit key tuple instead of a block row.
+func (c *aggCore) findGroupKeys(keys []uint64) *group {
+	h := uint64(1469598103934665603)
+	for _, k := range keys {
+		h ^= k
+		h *= 1099511628211
+	}
+	for _, gi := range c.lookup[h] {
+		g := c.groups[gi]
+		match := true
+		for j := range keys {
+			if g.keys[j] != keys[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return g
+		}
+	}
+	g := &group{keys: append([]uint64(nil), keys...), accs: make([]acc, len(c.specs))}
+	for j, s := range c.specs {
+		if s.Func == CountD {
+			g.accs[j].distinct = make(map[uint64]struct{})
+		}
+	}
+	c.groups = append(c.groups, g)
+	c.lookup[h] = append(c.lookup[h], len(c.groups)-1)
+	return g
+}
+
+func (c *aggCore) update(g *group, b *vec.Block, i int) {
+	for j, s := range c.specs {
+		ac := &g.accs[j]
+		if s.Col < 0 { // COUNT(*)
+			ac.count++
+			continue
+		}
+		v := &b.Vecs[s.Col]
+		bits := v.Value(i)
+		t := c.in[s.Col].Type
+		if v.IsNull(i) {
+			continue // aggregates skip NULLs
+		}
+		switch s.Func {
+		case Count:
+			ac.count++
+		case CountD:
+			ac.distinct[v.Data[i]] = struct{}{}
+		case Sum, Avg:
+			ac.count++
+			if t == types.Real {
+				ac.sumF += types.ToReal(bits)
+			} else {
+				ac.sumI += int64(bits)
+			}
+		case Min, Max:
+			if !ac.seen {
+				ac.minB, ac.maxB, ac.seen = bits, bits, true
+				break
+			}
+			if t == types.String {
+				if v.Heap.Compare(v.Data[i], ac.minB) < 0 {
+					ac.minB = v.Data[i]
+				}
+				if v.Heap.Compare(v.Data[i], ac.maxB) > 0 {
+					ac.maxB = v.Data[i]
+				}
+			} else {
+				if types.Compare(t, bits, ac.minB) < 0 {
+					ac.minB = bits
+				}
+				if types.Compare(t, bits, ac.maxB) > 0 {
+					ac.maxB = bits
+				}
+			}
+		case Median:
+			ac.count++
+			ac.all = append(ac.all, bits)
+		}
+	}
+}
+
+// remapToken translates a string token minted in o's per-column heap into
+// c's heap (identity for non-string columns and NULL).
+func (c *aggCore) remapToken(o *aggCore, col int, tok uint64) uint64 {
+	if col < 0 || c.strAccs[col] == nil || tok == types.NullToken {
+		return tok
+	}
+	return c.strAccs[col].Intern(o.strHeaps[col].Get(tok))
+}
+
+// mergeFrom folds another core's partial groups into c — the merge stage
+// of parallel aggregation. Both cores were fed disjoint morsels of the
+// same input, so accumulators combine associatively; string tokens are
+// re-interned from o's heaps into c's.
+func (c *aggCore) mergeFrom(o *aggCore, qc *QueryCtx) error {
+	o.finish()
+	before := len(c.groups)
+	keys := make([]uint64, len(c.keyCols))
+	for _, g := range o.groups {
+		for j, kc := range c.keyCols {
+			keys[j] = c.remapToken(o, kc, g.keys[j])
+		}
+		dst := c.findGroupKeys(keys)
+		for j := range c.specs {
+			c.mergeAcc(&dst.accs[j], &g.accs[j], o, c.specs[j])
+		}
+	}
+	grown := heapSizes(c.strHeaps)
+	cost := (len(c.groups)-before)*c.groupCost + (grown - c.heapBytes)
+	c.heapBytes = grown
+	if err := qc.Charge(c.opName, cost); err != nil {
+		return err
+	}
+	c.charged += cost
+	return nil
+}
+
+func (c *aggCore) mergeAcc(dst, src *acc, o *aggCore, s AggSpec) {
+	if s.Col < 0 { // COUNT(*)
+		dst.count += src.count
+		return
+	}
+	switch s.Func {
+	case Count:
+		dst.count += src.count
+	case CountD:
+		for tok := range src.distinct {
+			dst.distinct[c.remapToken(o, s.Col, tok)] = struct{}{}
+		}
+	case Sum, Avg:
+		dst.count += src.count
+		dst.sumI += src.sumI
+		dst.sumF += src.sumF
+	case Median:
+		dst.count += src.count
+		dst.all = append(dst.all, src.all...)
+	case Min, Max:
+		if !src.seen {
+			return
+		}
+		t := c.in[s.Col].Type
+		if t == types.String {
+			minTok := c.remapToken(o, s.Col, src.minB)
+			maxTok := c.remapToken(o, s.Col, src.maxB)
+			h := c.strHeaps[s.Col]
+			if !dst.seen {
+				dst.minB, dst.maxB, dst.seen = minTok, maxTok, true
+				return
+			}
+			if h.Compare(minTok, dst.minB) < 0 {
+				dst.minB = minTok
+			}
+			if h.Compare(maxTok, dst.maxB) > 0 {
+				dst.maxB = maxTok
+			}
+		} else {
+			if !dst.seen {
+				dst.minB, dst.maxB, dst.seen = src.minB, src.maxB, true
+				return
+			}
+			if types.Compare(t, src.minB, dst.minB) < 0 {
+				dst.minB = src.minB
+			}
+			if types.Compare(t, src.maxB, dst.maxB) > 0 {
+				dst.maxB = src.maxB
+			}
+		}
+	}
+}
+
+// emit writes up to BlockSize groups starting at 'at' into b, returning
+// how many it wrote. outSchema is the aggregate operator's output schema.
+func (c *aggCore) emit(b *vec.Block, at int, outSchema []ColInfo) int {
+	if at >= len(c.groups) {
+		return 0
+	}
+	n := len(c.groups) - at
+	if n > vec.BlockSize {
+		n = vec.BlockSize
+	}
+	ensureVecs(b, len(outSchema))
+	for j, kc := range c.keyCols {
+		v := &b.Vecs[j]
+		v.Type = c.in[kc].Type
+		v.Heap = c.in[kc].Heap
+		if c.strHeaps[kc] != nil {
+			v.Heap = c.strHeaps[kc]
+		}
+		v.Dict = c.in[kc].Dict
+		for r := 0; r < n; r++ {
+			v.Data[r] = c.groups[at+r].keys[j]
+		}
+	}
+	for j, s := range c.specs {
+		v := &b.Vecs[len(c.keyCols)+j]
+		v.Type = outSchema[len(c.keyCols)+j].Type
+		v.Heap = nil
+		v.Dict = nil
+		if s.Func == Min || s.Func == Max {
+			if s.Col >= 0 {
+				v.Heap = c.in[s.Col].Heap
+				if c.strHeaps[s.Col] != nil {
+					v.Heap = c.strHeaps[s.Col]
+				}
+				v.Dict = c.in[s.Col].Dict
+			}
+		}
+		srcType := types.Integer
+		if s.Col >= 0 {
+			srcType = c.in[s.Col].Type
+		}
+		for r := 0; r < n; r++ {
+			v.Data[r] = finishAcc(&c.groups[at+r].accs[j], s, srcType)
+		}
+	}
+	b.N = n
+	return n
+}
+
+// release drops the group state and returns the charged bytes to the
+// accountant.
+func (c *aggCore) release(qc *QueryCtx) {
+	c.groups = nil
+	c.lookup = nil
+	c.direct = nil
+	qc.Release(c.charged)
+	c.charged = 0
+}
+
+// Aggregate is the stop-and-go grouping operator.
+type Aggregate struct {
+	child   Operator
+	keyCols []int
+	specs   []AggSpec
+	mode    AggMode
+	chosen  AggMode
+	schema  []ColInfo
+
+	core   *aggCore
 	emitAt int
-	buf    *vec.Block
-}
-
-type group struct {
-	keys []uint64
-	accs []acc
-}
-
-type acc struct {
-	sumI     int64
-	sumF     float64
-	count    int64
-	minB     uint64
-	maxB     uint64
-	seen     bool
-	distinct map[uint64]struct{}
-	all      []uint64
 }
 
 // NewAggregate groups child by keyCols computing specs. mode AggAuto lets
 // the tactical optimizer decide from runtime metadata.
 func NewAggregate(child Operator, keyCols []int, specs []AggSpec, mode AggMode) *Aggregate {
 	a := &Aggregate{child: child, keyCols: keyCols, specs: specs, mode: mode}
-	in := child.Schema()
+	a.schema = aggSchema(child.Schema(), keyCols, specs)
+	return a
+}
+
+// aggSchema derives the output schema: key columns then one column per
+// aggregate.
+func aggSchema(in []ColInfo, keyCols []int, specs []AggSpec) []ColInfo {
+	var schema []ColInfo
 	for _, k := range keyCols {
-		a.schema = append(a.schema, in[k])
+		schema = append(schema, in[k])
 	}
 	for _, s := range specs {
 		name := s.Name
@@ -130,9 +567,9 @@ func NewAggregate(child Operator, keyCols []int, specs []AggSpec, mode AggMode) 
 				name = "COUNT(*)"
 			}
 		}
-		a.schema = append(a.schema, ColInfo{Name: name, Type: aggType(s, in)})
+		schema = append(schema, ColInfo{Name: name, Type: aggType(s, in)})
 	}
-	return a
+	return schema
 }
 
 func aggType(s AggSpec, in []ColInfo) types.Type {
@@ -186,53 +623,11 @@ func (a *Aggregate) Open(qc *QueryCtx) error {
 	}
 	defer a.child.Close()
 	a.chosen = a.chooseMode()
-	a.groups = a.groups[:0]
 	a.emitAt = 0
-	switch a.chosen {
-	case AggHash:
-		a.lookup = make(map[uint64][]int)
-	case AggDirect:
-		md := a.child.Schema()[a.keyCols[0]].Meta
-		a.dmin = md.Min
-		if err := qc.Charge("Aggregate", int(md.Max-md.Min+1)*8); err != nil {
-			return err
-		}
-		a.direct = make([]int, md.Max-md.Min+1)
-	case AggOrdered:
-		a.curSet = false
-		a.curKeys = make([]uint64, len(a.keyCols))
+	core, err := newAggCore(a.child.Schema(), a.keyCols, a.specs, a.chosen, "Aggregate", qc)
+	if err != nil {
+		return err
 	}
-	in := a.child.Schema()
-	a.strHeaps = make([]*heap.Heap, len(in))
-	a.strAccs = make([]*heap.Accelerator, len(in))
-	needsHeap := map[int]bool{}
-	for _, kc := range a.keyCols {
-		if in[kc].Type == types.String {
-			needsHeap[kc] = true
-		}
-	}
-	for _, s := range a.specs {
-		if s.Col >= 0 && in[s.Col].Type == types.String {
-			needsHeap[s.Col] = true
-		}
-	}
-	for c := range needsHeap {
-		coll := in[c].Collation
-		if in[c].Heap != nil {
-			coll = in[c].Heap.Collation()
-		}
-		a.strHeaps[c] = heap.New(coll)
-		a.strAccs[c] = heap.NewAccelerator(a.strHeaps[c], 0)
-	}
-	// Per-group hash-table footprint: keys, accumulators, bookkeeping.
-	groupCost := 64 + 16*(len(a.keyCols)+len(a.specs))
-	perRow := 0 // per-input-row state retained by COUNTD / MEDIAN
-	for _, s := range a.specs {
-		if s.Func == CountD || s.Func == Median {
-			perRow += 16
-		}
-	}
-	heapBytes := 0
 	b := vec.NewBlock(len(a.child.Schema()))
 	for {
 		ok, err := a.child.Next(b)
@@ -242,240 +637,22 @@ func (a *Aggregate) Open(qc *QueryCtx) error {
 		if !ok {
 			break
 		}
-		a.internStrings(b)
-		before := len(a.groups)
-		if a.chosen == AggOrdered && a.curSet {
-			before++ // the running group not yet flushed
-		}
-		if err := a.consume(b); err != nil {
-			return err
-		}
-		after := len(a.groups)
-		if a.chosen == AggOrdered && a.curSet {
-			after++
-		}
-		grown := heapSizes(a.strHeaps)
-		cost := (after-before)*groupCost + b.N*perRow + (grown - heapBytes)
-		heapBytes = grown
-		if err := qc.Charge("Aggregate", cost); err != nil {
+		core.internStrings(b)
+		if err := core.consumeBlock(qc, b); err != nil {
 			return err
 		}
 	}
-	if a.chosen == AggOrdered && a.curSet {
-		a.groups = append(a.groups, a.cur)
-	}
-	a.buf = vec.NewBlock(len(a.schema))
+	core.finish()
+	a.core = core
 	return nil
-}
-
-// internStrings rewrites string tokens in place (the block is owned by
-// Open's read loop) into the per-column aggregation heaps, making tokens
-// comparable across blocks and collation-aware.
-func (a *Aggregate) internStrings(b *vec.Block) {
-	for c, acc := range a.strAccs {
-		if acc == nil {
-			continue
-		}
-		v := &b.Vecs[c]
-		for i := 0; i < b.N; i++ {
-			tok := v.Data[i]
-			if tok == types.NullToken {
-				continue
-			}
-			v.Data[i] = acc.Intern(v.Heap.Get(tok))
-		}
-		v.Heap = a.strHeaps[c]
-	}
-}
-
-func (a *Aggregate) consume(b *vec.Block) error {
-	for i := 0; i < b.N; i++ {
-		g, err := a.findGroup(b, i)
-		if err != nil {
-			return err
-		}
-		a.update(g, b, i)
-	}
-	return nil
-}
-
-func (a *Aggregate) findGroup(b *vec.Block, i int) (*group, error) {
-	switch a.chosen {
-	case AggDirect:
-		k := int64(b.Vecs[a.keyCols[0]].Data[i]) - a.dmin
-		if k < 0 || k >= int64(len(a.direct)) {
-			// Metadata promised this cannot happen; stored metadata can be
-			// stale or corrupt, so fail the query rather than the process.
-			return nil, fmt.Errorf("exec: direct aggregation key outside [min,max] envelope (corrupt column metadata?)")
-		}
-		if a.direct[k] == 0 {
-			g := a.newGroup(b, i)
-			a.groups = append(a.groups, g)
-			a.direct[k] = len(a.groups)
-		}
-		return a.groups[a.direct[k]-1], nil
-	case AggOrdered:
-		same := a.curSet
-		if same {
-			for j, kc := range a.keyCols {
-				if b.Vecs[kc].Data[i] != a.curKeys[j] {
-					same = false
-					break
-				}
-			}
-		}
-		if !same {
-			if a.curSet {
-				a.groups = append(a.groups, a.cur)
-			}
-			a.cur = a.newGroup(b, i)
-			a.curSet = true
-			for j, kc := range a.keyCols {
-				a.curKeys[j] = b.Vecs[kc].Data[i]
-			}
-		}
-		return a.cur, nil
-	default: // AggHash
-		h := uint64(1469598103934665603)
-		for _, kc := range a.keyCols {
-			h ^= b.Vecs[kc].Data[i]
-			h *= 1099511628211
-		}
-		for _, gi := range a.lookup[h] {
-			g := a.groups[gi]
-			match := true
-			for j, kc := range a.keyCols {
-				if g.keys[j] != b.Vecs[kc].Data[i] {
-					match = false
-					break
-				}
-			}
-			if match {
-				return g, nil
-			}
-		}
-		g := a.newGroup(b, i)
-		a.groups = append(a.groups, g)
-		a.lookup[h] = append(a.lookup[h], len(a.groups)-1)
-		return g, nil
-	}
-}
-
-func (a *Aggregate) newGroup(b *vec.Block, i int) *group {
-	g := &group{keys: make([]uint64, len(a.keyCols)), accs: make([]acc, len(a.specs))}
-	for j, kc := range a.keyCols {
-		g.keys[j] = b.Vecs[kc].Data[i]
-	}
-	for j, s := range a.specs {
-		if s.Func == CountD {
-			g.accs[j].distinct = make(map[uint64]struct{})
-		}
-	}
-	return g
-}
-
-func (a *Aggregate) update(g *group, b *vec.Block, i int) {
-	in := a.child.Schema()
-	for j, s := range a.specs {
-		ac := &g.accs[j]
-		if s.Col < 0 { // COUNT(*)
-			ac.count++
-			continue
-		}
-		v := &b.Vecs[s.Col]
-		bits := v.Value(i)
-		t := in[s.Col].Type
-		if v.IsNull(i) {
-			continue // aggregates skip NULLs
-		}
-		switch s.Func {
-		case Count:
-			ac.count++
-		case CountD:
-			ac.distinct[v.Data[i]] = struct{}{}
-		case Sum, Avg:
-			ac.count++
-			if t == types.Real {
-				ac.sumF += types.ToReal(bits)
-			} else {
-				ac.sumI += int64(bits)
-			}
-		case Min, Max:
-			if !ac.seen {
-				ac.minB, ac.maxB, ac.seen = bits, bits, true
-				break
-			}
-			var c int
-			if t == types.String {
-				c = v.Heap.Compare(v.Data[i], ac.minB)
-				if c < 0 {
-					ac.minB = v.Data[i]
-				}
-				if v.Heap.Compare(v.Data[i], ac.maxB) > 0 {
-					ac.maxB = v.Data[i]
-				}
-			} else {
-				c = types.Compare(t, bits, ac.minB)
-				if c < 0 {
-					ac.minB = bits
-				}
-				if types.Compare(t, bits, ac.maxB) > 0 {
-					ac.maxB = bits
-				}
-			}
-		case Median:
-			ac.count++
-			ac.all = append(ac.all, bits)
-		}
-	}
 }
 
 // Next implements Operator: emits one block of groups.
 func (a *Aggregate) Next(b *vec.Block) (bool, error) {
-	if a.emitAt >= len(a.groups) {
+	n := a.core.emit(b, a.emitAt, a.schema)
+	if n == 0 {
 		return false, nil
 	}
-	n := len(a.groups) - a.emitAt
-	if n > vec.BlockSize {
-		n = vec.BlockSize
-	}
-	ensureVecs(b, len(a.schema))
-	in := a.child.Schema()
-	for j, kc := range a.keyCols {
-		v := &b.Vecs[j]
-		v.Type = in[kc].Type
-		v.Heap = in[kc].Heap
-		if a.strHeaps[kc] != nil {
-			v.Heap = a.strHeaps[kc]
-		}
-		v.Dict = in[kc].Dict
-		for r := 0; r < n; r++ {
-			v.Data[r] = a.groups[a.emitAt+r].keys[j]
-		}
-	}
-	for j, s := range a.specs {
-		v := &b.Vecs[len(a.keyCols)+j]
-		v.Type = a.schema[len(a.keyCols)+j].Type
-		v.Heap = nil
-		v.Dict = nil
-		if s.Func == Min || s.Func == Max {
-			if s.Col >= 0 {
-				v.Heap = in[s.Col].Heap
-				if a.strHeaps[s.Col] != nil {
-					v.Heap = a.strHeaps[s.Col]
-				}
-				v.Dict = in[s.Col].Dict
-			}
-		}
-		srcType := types.Integer
-		if s.Col >= 0 {
-			srcType = in[s.Col].Type
-		}
-		for r := 0; r < n; r++ {
-			v.Data[r] = finishAcc(&a.groups[a.emitAt+r].accs[j], s, srcType)
-		}
-	}
-	b.N = n
 	a.emitAt += n
 	return true, nil
 }
@@ -539,14 +716,21 @@ func finishAcc(ac *acc, s AggSpec, t types.Type) uint64 {
 
 // Close implements Operator.
 func (a *Aggregate) Close() error {
-	a.groups = nil
-	a.lookup = nil
-	a.direct = nil
+	if a.core != nil {
+		a.core.groups = nil
+		a.core.lookup = nil
+		a.core.direct = nil
+	}
 	return nil
 }
 
 // NumGroups returns the group count (valid after Open).
-func (a *Aggregate) NumGroups() int { return len(a.groups) }
+func (a *Aggregate) NumGroups() int {
+	if a.core == nil {
+		return 0
+	}
+	return len(a.core.groups)
+}
 
 // KeyMetadataFromBuilt recomputes ColInfo metadata for a built column so
 // plans that aggregate over IndexedScan output can still make tactical

@@ -94,6 +94,11 @@ func (e *Exchange) Open(qc *QueryCtx) error {
 				e.setErr(err)
 				return
 			}
+			if e.loadErr() != nil {
+				// A worker already failed: stop consuming the child instead
+				// of draining its whole stream into a doomed query.
+				return
+			}
 			select {
 			case <-done:
 				return
@@ -130,6 +135,9 @@ func (e *Exchange) Open(qc *QueryCtx) error {
 			chain := e.newChain()
 			scratch := vec.NewBlock(len(e.schema))
 			for sb := range in {
+				if e.loadErr() != nil {
+					continue // drain without transforming; the query is doomed
+				}
 				cur := sb.b
 				for _, t := range chain {
 					if t.Transform(cur, scratch) >= 0 {

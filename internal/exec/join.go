@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"tde/internal/enc"
 	"tde/internal/heap"
@@ -51,8 +52,15 @@ type HashJoin struct {
 	// LeftOuter keeps unmatched outer rows with NULL inner columns;
 	// otherwise they are dropped.
 	LeftOuter bool
-	algo      JoinAlgo
-	chosen    JoinAlgo
+	// Workers > 1 parallelizes the build (inner key decode + partitioned
+	// hash insert) and runs the probe phase as an Exchange over the outer
+	// child. Set before Open; 0/1 keeps the serial path.
+	Workers int
+	// PreserveOrder keeps the parallel probe's output in outer order
+	// (order-preserving routing, Sect. 4.3); ignored when Workers <= 1.
+	PreserveOrder bool
+	algo          JoinAlgo
+	chosen        JoinAlgo
 
 	built    *Built
 	schema   []ColInfo
@@ -61,6 +69,10 @@ type HashJoin struct {
 	direct []int32
 	dmin   int64
 	table  map[uint64][]int32
+	// Partitioned hash table (parallel build): shards[joinShard(v)]
+	// replaces table when non-nil.
+	shards    []map[uint64][]int32
+	shardBits uint
 	// String keys join by content (tokens from different heaps are not
 	// comparable): collation-hashed candidates verified by collated
 	// equality, plus the NULL row for Tableau NULL-join semantics.
@@ -73,6 +85,7 @@ type HashJoin struct {
 	base, delta int64
 
 	buf *vec.Block
+	ex  *Exchange // parallel probe (Workers > 1), nil on the serial path
 	qc  *QueryCtx
 }
 
@@ -194,7 +207,6 @@ func (j *HashJoin) Open(qc *QueryCtx) error {
 			j.direct[idx] = int32(r)
 		}
 	case JoinHash:
-		j.table = make(map[uint64][]int32)
 		if err := j.decodeInnerKey(qc, key); err != nil {
 			return err
 		}
@@ -202,11 +214,133 @@ func (j *HashJoin) Open(qc *QueryCtx) error {
 		if err := qc.Charge("HashJoin", len(j.innerCol)*16); err != nil {
 			return err
 		}
+		if err := j.buildHashTable(); err != nil {
+			return err
+		}
+	}
+	return j.openOuter(qc)
+}
+
+// parallelBuildMin is the inner cardinality below which a partitioned
+// parallel build costs more than it saves.
+const parallelBuildMin = 1 << 15
+
+// buildHashTable inserts the decoded inner keys: serially into one
+// chained table, or — with enough workers and rows — as a two-phase
+// partitioned build: phase 1 range-splits the rows and buckets them by
+// key shard per worker; phase 2 merges each shard's buckets in worker
+// (= ascending row) order, so duplicate keys keep the same first-match
+// winner the serial insert produces.
+func (j *HashJoin) buildHashTable() error {
+	n := len(j.innerCol)
+	p := shardCount(j.Workers)
+	if p < 2 || n < parallelBuildMin {
+		j.table = make(map[uint64][]int32)
 		for r, v := range j.innerCol {
 			j.table[v] = append(j.table[v], int32(r))
 		}
+		return nil
+	}
+	j.shardBits = uint(0)
+	for 1<<j.shardBits < p {
+		j.shardBits++
+	}
+	buckets := make([][][]int32, p) // [worker][shard][]rows
+	if err := parallelRanges(p, n, func(w, lo, hi int) {
+		local := make([][]int32, p)
+		for r := lo; r < hi; r++ {
+			s := joinShard(j.innerCol[r], j.shardBits)
+			local[s] = append(local[s], int32(r))
+		}
+		buckets[w] = local
+	}); err != nil {
+		return err
+	}
+	j.shards = make([]map[uint64][]int32, p)
+	return parallelRanges(p, p, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			m := make(map[uint64][]int32)
+			for w := 0; w < p; w++ {
+				for _, r := range buckets[w][s] {
+					v := j.innerCol[r]
+					m[v] = append(m[v], r)
+				}
+			}
+			j.shards[s] = m
+		}
+	})
+}
+
+// shardCount rounds workers down to a power of two, capped at 8.
+func shardCount(workers int) int {
+	p := 1
+	for p*2 <= workers && p < 8 {
+		p *= 2
+	}
+	return p
+}
+
+// joinShard maps a key to its partition by multiplicative hashing.
+func joinShard(v uint64, bits uint) uint64 {
+	return (v * 0x9E3779B97F4A7C15) >> (64 - bits)
+}
+
+// parallelRanges runs fn over p contiguous ranges of [0,n) concurrently,
+// containing panics (goroutines here escape the engine's single-threaded
+// panic boundary).
+func parallelRanges(p, n int, fn func(w, lo, hi int)) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	per := (n + p - 1) / p
+	for w := 0; w < p; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("exec: parallel join build panicked: %v", r)
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// openOuter opens the probe side: serially, or wrapped in an Exchange
+// whose workers run joinBlock (read-only over the built state) per block.
+func (j *HashJoin) openOuter(qc *QueryCtx) error {
+	if j.Workers > 1 {
+		newChain := func() []BlockTransform {
+			return []BlockTransform{probeTransform{j}}
+		}
+		j.ex = NewExchange(j.outer, newChain, j.Workers, j.PreserveOrder, j.schema)
+		return j.ex.Open(qc)
 	}
 	return j.outer.Open(qc)
+}
+
+// probeTransform adapts the probe phase to the Exchange worker interface;
+// joinBlock only reads the lookup structures built in Open, so workers
+// share one HashJoin.
+type probeTransform struct{ j *HashJoin }
+
+func (p probeTransform) Transform(in, out *vec.Block) int {
+	return p.j.joinBlock(in, out)
 }
 
 // openStringJoin builds the content-based lookup for string join keys.
@@ -241,7 +375,7 @@ func (j *HashJoin) openStringJoin(qc *QueryCtx, key *BuiltColumn) error {
 		h := j.coll.Hash(s)
 		j.strTable[h] = append(j.strTable[h], int32(r))
 	}
-	return j.outer.Open(qc)
+	return j.openOuter(qc)
 }
 
 // probeString resolves an outer token through its (block) heap and looks
@@ -276,17 +410,32 @@ func (j *HashJoin) decodeInnerKey(qc *QueryCtx, key *BuiltColumn) error {
 		return err
 	}
 	j.innerCol = make([]uint64, n)
-	r := enc.NewReader(key.Data)
-	r.Read(0, n, j.innerCol)
 	w := key.Data.Width()
-	for i, v := range j.innerCol {
-		j.innerCol[i] = resolveRaw(v, w, key.Info)
+	p := shardCount(j.Workers)
+	if p < 2 || n < parallelBuildMin {
+		r := enc.NewReader(key.Data)
+		r.Read(0, n, j.innerCol)
+		for i, v := range j.innerCol {
+			j.innerCol[i] = resolveRaw(v, w, key.Info)
+		}
+		return nil
 	}
-	return nil
+	// enc.Reader caches decode state, so each range decodes through its
+	// own; Stream itself is stateless and shared.
+	return parallelRanges(p, n, func(_, lo, hi int) {
+		r := enc.NewReader(key.Data)
+		r.Read(lo, hi-lo, j.innerCol[lo:hi])
+		for i := lo; i < hi; i++ {
+			j.innerCol[i] = resolveRaw(j.innerCol[i], w, key.Info)
+		}
+	})
 }
 
 // Next implements Operator.
 func (j *HashJoin) Next(b *vec.Block) (bool, error) {
+	if j.ex != nil {
+		return j.ex.Next(b)
+	}
 	for {
 		ok, err := j.outer.Next(j.buf)
 		if err != nil || !ok {
@@ -372,7 +521,11 @@ func (j *HashJoin) probe(key uint64) int {
 		}
 		return int(j.direct[idx])
 	default:
-		for _, r := range j.table[key] {
+		m := j.table
+		if j.shards != nil {
+			m = j.shards[joinShard(key, j.shardBits)]
+		}
+		for _, r := range m[key] {
 			if j.innerCol[r] == key {
 				return int(r)
 			}
@@ -385,7 +538,13 @@ func (j *HashJoin) probe(key uint64) int {
 func (j *HashJoin) Close() error {
 	j.direct = nil
 	j.table = nil
+	j.shards = nil
 	j.innerCol = nil
+	if j.ex != nil {
+		ex := j.ex
+		j.ex = nil
+		return ex.Close() // closes the outer child
+	}
 	return j.outer.Close()
 }
 

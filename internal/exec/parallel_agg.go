@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"tde/internal/vec"
+)
+
+// ParallelAggregate is the morsel-parallel grouping operator: N workers
+// pull blocks from the shared child (the morsel dispenser), each folding
+// its morsels into a private hash-mode aggCore, and Open merges the
+// partials into one result — Exchange → PartialAgg → MergeAgg collapsed
+// into a single stop-and-go operator. The workers share the query's
+// memory budget through the (atomic) QueryCtx accountant, and each
+// checks cancellation once per block like any serial operator.
+//
+// Workers always run hash cores: partial inputs are arbitrary morsel
+// subsets, so the sortedness/envelope preconditions of the ordered and
+// direct modes do not survive the split. The strategic planner therefore
+// prefers the serial Aggregate when ordered aggregation applies.
+type ParallelAggregate struct {
+	child   Operator
+	keyCols []int
+	specs   []AggSpec
+	workers int
+	schema  []ColInfo
+
+	core   *aggCore // merged partials, valid after Open
+	emitAt int
+}
+
+// NewParallelAggregate groups child by keyCols with the given worker
+// count (minimum 1).
+func NewParallelAggregate(child Operator, keyCols []int, specs []AggSpec, workers int) *ParallelAggregate {
+	if workers < 1 {
+		workers = 1
+	}
+	return &ParallelAggregate{
+		child:   child,
+		keyCols: keyCols,
+		specs:   specs,
+		workers: workers,
+		schema:  aggSchema(child.Schema(), keyCols, specs),
+	}
+}
+
+// Schema implements Operator.
+func (p *ParallelAggregate) Schema() []ColInfo { return p.schema }
+
+// Workers returns the configured worker count.
+func (p *ParallelAggregate) Workers() int { return p.workers }
+
+// NumGroups returns the merged group count (valid after Open).
+func (p *ParallelAggregate) NumGroups() int {
+	if p.core == nil {
+		return 0
+	}
+	return len(p.core.groups)
+}
+
+// Open implements Operator: runs the full partial-aggregate/merge
+// pipeline, stop-and-go.
+func (p *ParallelAggregate) Open(qc *QueryCtx) error {
+	qc.Trace("ParallelAggregate")
+	if err := p.child.Open(qc); err != nil {
+		return err
+	}
+	defer p.child.Close()
+	p.emitAt = 0
+	in := p.child.Schema()
+
+	cores := make([]*aggCore, p.workers)
+	for i := range cores {
+		c, err := newAggCore(in, p.keyCols, p.specs, AggHash, "ParallelAggregate", qc)
+		if err != nil {
+			return err
+		}
+		cores[i] = c
+	}
+
+	var (
+		childMu  sync.Mutex // serializes Next on the shared child
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	loadErr := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr
+	}
+	// pull fetches the next morsel under the child mutex; the deferred
+	// unlock keeps the dispenser usable even if the child panics.
+	pull := func(b *vec.Block) (bool, error) {
+		childMu.Lock()
+		defer childMu.Unlock()
+		return p.child.Next(b)
+	}
+
+	for i := 0; i < p.workers; i++ {
+		wg.Add(1)
+		go func(core *aggCore) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					setErr(fmt.Errorf("exec: parallel aggregation worker panicked: %v", r))
+				}
+			}()
+			b := vec.NewBlock(len(in))
+			for {
+				if err := qc.Err(); err != nil {
+					setErr(err)
+					return
+				}
+				if loadErr() != nil {
+					return // another worker failed; stop pulling
+				}
+				ok, err := pull(b)
+				if err != nil {
+					setErr(err)
+					return
+				}
+				if !ok {
+					return
+				}
+				core.internStrings(b)
+				if err := core.consumeBlock(qc, b); err != nil {
+					setErr(err)
+					return
+				}
+			}
+		}(cores[i])
+	}
+	wg.Wait()
+	if err := loadErr(); err != nil {
+		return err
+	}
+
+	merged := cores[0]
+	for _, c := range cores[1:] {
+		if err := merged.mergeFrom(c, qc); err != nil {
+			return err
+		}
+		c.release(qc) // the partial's memory is garbage after the merge
+	}
+	merged.finish()
+	p.core = merged
+	return nil
+}
+
+// Next implements Operator: emits one block of merged groups.
+func (p *ParallelAggregate) Next(b *vec.Block) (bool, error) {
+	n := p.core.emit(b, p.emitAt, p.schema)
+	if n == 0 {
+		return false, nil
+	}
+	p.emitAt += n
+	return true, nil
+}
+
+// Close implements Operator.
+func (p *ParallelAggregate) Close() error {
+	if p.core != nil {
+		p.core.groups = nil
+		p.core.lookup = nil
+		p.core.direct = nil
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tde/internal/storage"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// aggTestTable builds an unsorted table with every column shape the
+// aggregates touch: a small string key, two int keys, a real measure, an
+// int measure with NULLs, and a high-cardinality string.
+func aggTestTable(n int, seed int64) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	ks := make([]string, n)
+	k1 := make([]int64, n)
+	k2 := make([]int64, n)
+	vr := make([]int64, n)
+	vi := make([]int64, n)
+	hs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ks[i] = keys[rng.Intn(len(keys))]
+		k1[i] = int64(rng.Intn(7))
+		k2[i] = int64(rng.Intn(5000))
+		vr[i] = int64(types.FromReal(rng.Float64()*1000 - 500))
+		if rng.Intn(10) == 0 {
+			vi[i] = types.NullInteger
+		} else {
+			vi[i] = int64(rng.Intn(100000) - 50000)
+		}
+		hs[i] = fmt.Sprintf("item-%04d", rng.Intn(2000))
+	}
+	rvals := make([]int64, n)
+	for i, bits := range vr {
+		rvals[i] = bits
+	}
+	rw := makeIntColumn("vr", types.Real, rvals)
+	return makeTable("aggtest",
+		makeStringColumn("ks", ks),
+		makeIntColumn("k1", types.Integer, k1),
+		makeIntColumn("k2", types.Integer, k2),
+		rw,
+		makeIntColumn("vi", types.Integer, vi),
+		makeStringColumn("hs", hs),
+	)
+}
+
+// sortRows canonicalizes a result for order-insensitive comparison:
+// real-valued cells are rounded to 9 significant digits, because parallel
+// SUM/AVG reassociate float additions and may differ in the last ulps.
+func sortRows(rows [][]string) {
+	for _, r := range rows {
+		for i, cell := range r {
+			if !strings.ContainsAny(cell, ".eE") {
+				continue
+			}
+			if f, err := strconv.ParseFloat(cell, 64); err == nil {
+				r[i] = strconv.FormatFloat(f, 'g', 9, 64)
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return strings.Join(rows[i], "\x00") < strings.Join(rows[j], "\x00")
+	})
+}
+
+func rowsEqual(t *testing.T, serial, parallel [][]string, label string) {
+	t.Helper()
+	if len(serial) != len(parallel) {
+		t.Fatalf("%s: %d serial rows vs %d parallel", label, len(serial), len(parallel))
+	}
+	for i := range serial {
+		if strings.Join(serial[i], "|") != strings.Join(parallel[i], "|") {
+			t.Fatalf("%s: row %d differs:\n serial   %v\n parallel %v",
+				label, i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestParallelAggregateMatchesSerial exercises every aggregate function
+// over every grouping shape and checks the merged partials agree with the
+// serial hash aggregation.
+func TestParallelAggregateMatchesSerial(t *testing.T) {
+	tab := aggTestTable(20_000, 7)
+	specs := []AggSpec{
+		{Func: Count, Col: -1},
+		{Func: Sum, Col: 4},
+		{Func: Sum, Col: 3},
+		{Func: Avg, Col: 4},
+		{Func: Min, Col: 4},
+		{Func: Max, Col: 3},
+		{Func: Min, Col: 5},
+		{Func: Max, Col: 5},
+		{Func: CountD, Col: 5},
+		{Func: CountD, Col: 2},
+		{Func: Median, Col: 4},
+	}
+	for _, keys := range [][]int{{0}, {1}, {0, 2}, {2}, nil} {
+		scan, err := NewScan(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CollectStrings(NewAggregate(scan, keys, specs, AggHash))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortRows(want)
+		for _, workers := range []int{1, 2, 8} {
+			scan, err := NewScan(tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := CollectStrings(NewParallelAggregate(scan, keys, specs, workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sortRows(got)
+			rowsEqual(t, want, got, fmt.Sprintf("keys=%v workers=%d", keys, workers))
+		}
+	}
+}
+
+// TestParallelAggregateEmptyInput checks zero input rows yields zero
+// groups (matching the serial operator) without hanging any worker.
+func TestParallelAggregateEmptyInput(t *testing.T) {
+	tab := makeTable("empty", makeIntColumn("k", types.Integer, nil))
+	scan, err := NewScan(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewParallelAggregate(scan, []int{0}, []AggSpec{{Func: Count, Col: -1}}, 4)
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty input produced %d groups", len(rows))
+	}
+}
+
+// errAfterOp yields its child's blocks until a count, then errors.
+type errAfterOp struct {
+	child Operator
+	after int
+	seen  int
+	err   error
+}
+
+func (e *errAfterOp) Schema() []ColInfo       { return e.child.Schema() }
+func (e *errAfterOp) Open(qc *QueryCtx) error { e.seen = 0; return e.child.Open(qc) }
+func (e *errAfterOp) Close() error            { return e.child.Close() }
+func (e *errAfterOp) Next(b *vec.Block) (bool, error) {
+	if e.seen >= e.after {
+		return false, e.err
+	}
+	e.seen++
+	return e.child.Next(b)
+}
+
+// TestParallelAggregateChildError checks a child error mid-stream stops
+// every worker and surfaces from Open exactly once.
+func TestParallelAggregateChildError(t *testing.T) {
+	tab := aggTestTable(30_000, 11)
+	scan, err := NewScan(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	child := &errAfterOp{child: scan, after: 3, err: boom}
+	agg := NewParallelAggregate(child, []int{1}, []AggSpec{{Func: Sum, Col: 4}}, 8)
+	if err := agg.Open(nil); !errors.Is(err, boom) {
+		t.Fatalf("Open = %v, want boom", err)
+	}
+	agg.Close()
+}
+
+// TestParallelAggregateBudget checks worker charges share one accountant:
+// a budget too small for the group state fails the query with
+// ErrBudgetExceeded instead of overshooting.
+func TestParallelAggregateBudget(t *testing.T) {
+	tab := aggTestTable(30_000, 13)
+	scan, err := NewScan(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := NewQueryCtx(context.Background(), 20_000)
+	agg := NewParallelAggregate(scan, []int{2}, []AggSpec{{Func: CountD, Col: 5}}, 4)
+	err = agg.Open(qc)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Open = %v, want ErrBudgetExceeded", err)
+	}
+	agg.Close()
+}
+
+// TestParallelAggregateCancel checks cancellation surfaces promptly from
+// the worker pool.
+func TestParallelAggregateCancel(t *testing.T) {
+	tab := aggTestTable(30_000, 17)
+	scan, err := NewScan(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qc := NewQueryCtx(ctx, 0)
+	agg := NewParallelAggregate(scan, []int{1}, []AggSpec{{Func: Sum, Col: 4}}, 4)
+	if err := agg.Open(qc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Open = %v, want context.Canceled", err)
+	}
+	agg.Close()
+}

@@ -65,15 +65,17 @@ func Fig10Query(tab *storage.Table, index string, selectivity int) plan.Query {
 }
 
 // Fig10PlanOptions returns the planner options that force each of the
-// three measured plans.
+// three measured plans. ParallelWorkers is pinned to serial: the figure
+// compares plan shapes, and auto-parallelism would fold a machine-dependent
+// worker count into the measurement.
 func Fig10PlanOptions(planNo int) plan.Options {
 	switch planNo {
 	case 1:
-		return plan.Options{NoIndexPlan: true, NoDictPlan: true}
+		return plan.Options{NoIndexPlan: true, NoDictPlan: true, ParallelWorkers: -1}
 	case 2:
-		return plan.Options{OrderedIndex: 0}
+		return plan.Options{OrderedIndex: 0, ParallelWorkers: -1}
 	default:
-		return plan.Options{OrderedIndex: 1}
+		return plan.Options{OrderedIndex: 1, ParallelWorkers: -1}
 	}
 }
 

@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"tde/internal/exec"
+)
+
+// TestResolveWorkers pins down the strategic worker-count heuristic and
+// the force/auto/serial semantics of Options.ParallelWorkers.
+func TestResolveWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	cases := []struct {
+		name    string
+		opt     Options
+		rows    int
+		workers int
+		auto    bool
+	}{
+		{"forced", Options{ParallelWorkers: 6}, 100, 6, false},
+		{"forced ignores size", Options{ParallelWorkers: 3}, 10 << 20, 3, false},
+		{"serial", Options{ParallelWorkers: -1}, 10 << 20, 1, false},
+		{"auto small input stays serial", Options{}, parallelMinRows - 1, 1, true},
+		{"auto at threshold", Options{}, parallelMinRows, 2, true},
+		{"auto scales with rows", Options{}, 4 * parallelRowsPerWorker, 4, true},
+		{"auto capped by GOMAXPROCS", Options{}, 100 * parallelRowsPerWorker, 4, true},
+	}
+	for _, c := range cases {
+		w, auto := resolveWorkers(c.opt, c.rows)
+		if w != c.workers || auto != c.auto {
+			t.Errorf("%s: resolveWorkers(%+v, %d) = (%d, %v), want (%d, %v)",
+				c.name, c.opt, c.rows, w, auto, c.workers, c.auto)
+		}
+	}
+
+	runtime.GOMAXPROCS(1)
+	if w, auto := resolveWorkers(Options{}, 10<<20); w != 1 || !auto {
+		t.Errorf("single-core auto: got (%d, %v), want (1, true)", w, auto)
+	}
+	if w, _ := resolveWorkers(Options{ParallelWorkers: 4}, 10<<20); w != 4 {
+		t.Errorf("force must override GOMAXPROCS: got %d workers", w)
+	}
+}
+
+// TestAutoParallelPlanExplain checks the strategic optimizer auto-picks
+// parallel stages for a large unfiltered group-by, records the choice in
+// Explain, and produces the same groups as the forced-serial plan.
+func TestAutoParallelPlanExplain(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	tab := buildRLTable(t, 150000) // above parallelMinRows
+	q := Query{
+		Table:   tab,
+		GroupBy: []string{"secondary"},
+		Aggs:    []AggItem{{Func: exec.Sum, Col: "other", As: "s"}},
+	}
+
+	serialOp, serialEx, err := Build(q, Options{ParallelWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(serialEx.String(), "Parallel") {
+		t.Fatalf("serial plan contains a parallel stage: %s", serialEx)
+	}
+	want, err := exec.CollectStrings(serialOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	autoOp, autoEx, err := Build(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(autoEx.String(), "ParallelAggregate") ||
+		!strings.Contains(autoEx.String(), "(auto)") {
+		t.Fatalf("auto plan did not record the parallel choice: %s", autoEx)
+	}
+	got, err := exec.CollectStrings(autoOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("group counts differ: %d vs %d", len(got), len(want))
+	}
+	wantSet := map[string]bool{}
+	for _, r := range want {
+		wantSet[strings.Join(r, "\x00")] = true
+	}
+	for _, r := range got {
+		if !wantSet[strings.Join(r, "\x00")] {
+			t.Fatalf("auto-parallel plan produced unknown group %v", r)
+		}
+	}
+}
+
+// TestAutoParallelSortedKeyStaysSerial: in auto mode a single sorted group
+// key keeps the serial ordered aggregation (splitting runs across workers
+// would forfeit it).
+func TestAutoParallelSortedKeyStaysSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	tab := buildRLTable(t, 150000)
+	q := Query{
+		Table:   tab,
+		GroupBy: []string{"primary"}, // sorted ascending in buildRLTable
+		Aggs:    []AggItem{{Func: exec.Sum, Col: "other", As: "s"}},
+	}
+	_, ex, err := Build(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ex.String(), "ParallelAggregate") {
+		t.Fatalf("sorted single-key auto plan went parallel: %s", ex)
+	}
+	// Forced workers must still override the ordered-aggregation preference.
+	_, ex, err = Build(q, Options{ParallelWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.String(), "ParallelAggregate[4 workers") {
+		t.Fatalf("forced workers did not parallelize the aggregate: %s", ex)
+	}
+}

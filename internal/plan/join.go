@@ -82,7 +82,14 @@ func BuildJoin(q JoinQuery, opt Options) (exec.Operator, *Explain, error) {
 		if j.LeftOuter {
 			kind = "LeftJoin"
 		}
-		ex.add("%s(%s.%s = %s.%s)", kind, q.Fact.Name, j.OuterKey, j.Table.Name, j.InnerKey)
+		if workers, auto := resolveWorkers(opt, q.Fact.Rows()); workers > 1 {
+			join.Workers = workers
+			join.PreserveOrder = preserveOrderRouting(opt, op.Schema())
+			ex.add("%s(%s.%s = %s.%s)[%s]", kind, q.Fact.Name, j.OuterKey,
+				j.Table.Name, j.InnerKey, workersLabel(workers, auto))
+		} else {
+			ex.add("%s(%s.%s = %s.%s)", kind, q.Fact.Name, j.OuterKey, j.Table.Name, j.InnerKey)
+		}
 		op = join
 	}
 
@@ -105,7 +112,7 @@ func BuildJoin(q JoinQuery, opt Options) (exec.Operator, *Explain, error) {
 		op = exec.NewSelect(op, pred)
 		ex.add("Filter[%s]", pred)
 	}
-	op, err = finishPlan(op, tail, ex)
+	op, err = finishPlan(op, tail, opt, q.Fact.Rows(), ex)
 	if err != nil {
 		return nil, nil, err
 	}

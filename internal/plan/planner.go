@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"tde/internal/enc"
@@ -62,12 +63,83 @@ type Options struct {
 	// aggregation): <0 = strategic choice by run length, 0 = never,
 	// >0 = always.
 	OrderedIndex int
-	// ParallelWorkers injects an Exchange around the filter stage of scan
-	// plans (Sect. 2.3.1 "parallelism injection"). The exchange uses
-	// order-preserving routing whenever the filter column is sorted, so
-	// downstream encodings are not degraded (Sect. 4.3); otherwise blocks
-	// route freely. 0 disables injection.
+	// ParallelWorkers controls parallelism injection (Sect. 2.3.1): an
+	// Exchange around scan-plan filters, partial-aggregation workers
+	// under grouped queries, and partitioned join builds/probes.
+	//   >0  force exactly this many workers on every eligible stage;
+	//    0  auto: the strategic optimizer picks a worker count from
+	//       GOMAXPROCS and the estimated input cardinality (staying
+	//       serial for small inputs or single-core hosts);
+	//   <0  disable injection entirely (serial plans).
+	// Exchanges use order-preserving routing whenever a scanned column is
+	// sorted, so downstream encodings are not degraded (Sect. 4.3);
+	// otherwise blocks route freely. Routing overrides that choice.
 	ParallelWorkers int
+	// Routing overrides the exchange routing decision: 0 = strategic
+	// choice from sortedness metadata, >0 = force order-preserving,
+	// <0 = force free routing.
+	Routing int
+}
+
+// Auto-parallelism thresholds: below parallelMinRows the fan-out costs
+// more than it saves; past that, one worker per parallelRowsPerWorker
+// rows up to GOMAXPROCS and parallelMaxWorkers.
+const (
+	parallelMinRows       = 128 << 10
+	parallelRowsPerWorker = 64 << 10
+	parallelMaxWorkers    = 8
+)
+
+// resolveWorkers is the strategic worker-count decision for one parallel
+// stage over an estimated rows input. auto reports whether the count came
+// from the heuristic (for Explain) rather than an explicit override.
+func resolveWorkers(opt Options, rows int) (workers int, auto bool) {
+	if opt.ParallelWorkers > 0 {
+		return opt.ParallelWorkers, false
+	}
+	if opt.ParallelWorkers < 0 {
+		return 1, false
+	}
+	maxp := runtime.GOMAXPROCS(0)
+	if maxp < 2 || rows < parallelMinRows {
+		return 1, true
+	}
+	w := rows / parallelRowsPerWorker
+	if w > maxp {
+		w = maxp
+	}
+	if w > parallelMaxWorkers {
+		w = parallelMaxWorkers
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w, true
+}
+
+// workersLabel renders a worker count for Explain, marking heuristic
+// choices so the auto-parallelism decision is inspectable.
+func workersLabel(workers int, auto bool) string {
+	if auto {
+		return fmt.Sprintf("%d workers (auto)", workers)
+	}
+	return fmt.Sprintf("%d workers", workers)
+}
+
+// preserveOrderRouting is the strategic routing decision (Sect. 4.3):
+// preserve block order when any scanned column is sorted — free routing
+// would disturb value order and could ruin downstream encodings — unless
+// Options.Routing overrides.
+func preserveOrderRouting(opt Options, schema []exec.ColInfo) bool {
+	if opt.Routing != 0 {
+		return opt.Routing > 0
+	}
+	for _, info := range schema {
+		if info.Meta.SortedKnown && info.Meta.SortedAsc {
+			return true
+		}
+	}
+	return false
 }
 
 // Explain records the strategic decisions for inspection.
@@ -97,7 +169,7 @@ func Build(q Query, opt Options) (exec.Operator, *Explain, error) {
 	case q.Where != nil && !opt.NoIndexPlan && indexPlanColumn(q) != nil:
 		op, err = buildIndexPlan(q, opt, ex)
 	case q.Where != nil && !opt.NoDictPlan && dictPlanColumn(q) != nil:
-		op, err = buildDictPlan(q, ex)
+		op, err = buildDictPlan(q, opt, ex)
 	default:
 		op, err = buildScanPlan(q, opt, ex)
 	}
@@ -105,7 +177,7 @@ func Build(q Query, opt Options) (exec.Operator, *Explain, error) {
 		return nil, nil, err
 	}
 
-	op, err = finishPlan(op, q, ex)
+	op, err = finishPlan(op, q, opt, q.Table.Rows(), ex)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -118,6 +190,17 @@ func neededColumns(q Query) []string {
 	computed := map[string]bool{}
 	for _, c := range q.Compute {
 		computed[c.Name] = true
+	}
+	// Aggregate output names (aliases or generated like "SUM(v)") are
+	// produced above the scan; ORDER BY and HAVING may reference them.
+	for _, a := range q.Aggs {
+		if a.As != "" {
+			computed[a.As] = true
+		} else if a.Col != "" {
+			computed[fmt.Sprintf("%s(%s)", a.Func, a.Col)] = true
+		} else {
+			computed["COUNT(*)"] = true
+		}
 	}
 	var out []string
 	add := func(n string) {
@@ -236,26 +319,18 @@ func buildScanPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		if opt.ParallelWorkers > 1 {
-			// Preserve block order when any scanned column is sorted —
-			// free routing would disturb value order and could ruin
-			// downstream encodings (Sect. 4.3).
-			preserve := false
-			for _, info := range scan.Schema() {
-				if info.Meta.SortedKnown && info.Meta.SortedAsc {
-					preserve = true
-					break
-				}
-			}
+		workers, auto := resolveWorkers(opt, q.Table.Rows())
+		if workers > 1 {
+			preserve := preserveOrderRouting(opt, scan.Schema())
 			newChain := func() []exec.BlockTransform {
 				return []exec.BlockTransform{exec.NewSelect(nil, pred)}
 			}
-			op = exec.NewExchange(op, newChain, opt.ParallelWorkers, preserve, scan.Schema())
+			op = exec.NewExchange(op, newChain, workers, preserve, scan.Schema())
 			routing := "free"
 			if preserve {
 				routing = "order-preserving"
 			}
-			ex.add("Exchange[%d workers, %s] Filter[%s]", opt.ParallelWorkers, routing, pred)
+			ex.add("Exchange[%s, %s] Filter[%s]", workersLabel(workers, auto), routing, pred)
 		} else {
 			op = exec.NewSelect(op, pred)
 			ex.add("Filter[%s]", pred)
@@ -330,7 +405,7 @@ func buildIndexPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 // disallowed, Sect. 4.3), and joined back against the main table's tokens;
 // the tactical optimizer upgrades the join to a fetch join when the
 // filtered tokens form a contiguous range.
-func buildDictPlan(q Query, ex *Explain) (exec.Operator, error) {
+func buildDictPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 	col, pushed, residual := isolateColumn(q.Where, func(c *storage.Column) bool {
 		return c.Type == types.String && c.Heap != nil || c.Dict != nil
 	}, q.Table)
@@ -377,7 +452,13 @@ func buildDictPlan(q Query, ex *Explain) (exec.Operator, error) {
 		return nil, fmt.Errorf("plan: filter column %q not scanned", col.Name)
 	}
 	join := exec.NewHashJoin(scan, ft, outerKey, innerKeyIdx, exec.JoinAuto)
-	ex.add("InvisibleJoin(%s)", col.Name)
+	if workers, auto := resolveWorkers(opt, q.Table.Rows()); workers > 1 {
+		join.Workers = workers
+		join.PreserveOrder = preserveOrderRouting(opt, scan.Schema())
+		ex.add("InvisibleJoin(%s)[%s]", col.Name, workersLabel(workers, auto))
+	} else {
+		ex.add("InvisibleJoin(%s)", col.Name)
+	}
 	var op exec.Operator = join
 	if residual != nil {
 		rpred, err := Rebind(residual, op.Schema())
@@ -391,7 +472,9 @@ func buildDictPlan(q Query, ex *Explain) (exec.Operator, error) {
 }
 
 // finishPlan appends computation, aggregation, ordering and projection.
-func finishPlan(op exec.Operator, q Query, ex *Explain) (exec.Operator, error) {
+// rows is the estimated input cardinality driving the auto-parallelism
+// decision for the aggregation stage.
+func finishPlan(op exec.Operator, q Query, opt Options, rows int, ex *Explain) (exec.Operator, error) {
 	if len(q.Compute) > 0 {
 		schema := op.Schema()
 		var exprs []expr.Expr
@@ -433,9 +516,23 @@ func finishPlan(op exec.Operator, q Query, ex *Explain) (exec.Operator, error) {
 			}
 			specs = append(specs, exec.AggSpec{Func: a.Func, Col: idx, Name: a.As})
 		}
-		agg := exec.NewAggregate(op, keyIdxs, specs, exec.AggAuto)
-		op = agg
-		ex.add("Aggregate[%d keys, %d aggs]", len(keyIdxs), len(specs))
+		workers, auto := resolveWorkers(opt, rows)
+		// In auto mode a single sorted group key stays serial: ordered
+		// aggregation emits groups as runs close, which partial
+		// aggregation would forfeit by splitting runs across workers.
+		if auto && workers > 1 && len(keyIdxs) == 1 {
+			if m := schema[keyIdxs[0]].Meta; m.SortedKnown && m.SortedAsc {
+				workers = 1
+			}
+		}
+		if workers > 1 {
+			op = exec.NewParallelAggregate(op, keyIdxs, specs, workers)
+			ex.add("ParallelAggregate[%s, %d keys, %d aggs]",
+				workersLabel(workers, auto), len(keyIdxs), len(specs))
+		} else {
+			op = exec.NewAggregate(op, keyIdxs, specs, exec.AggAuto)
+			ex.add("Aggregate[%d keys, %d aggs]", len(keyIdxs), len(specs))
+		}
 		if q.Having != nil {
 			pred, err := Rebind(expr.Simplify(q.Having), op.Schema())
 			if err != nil {

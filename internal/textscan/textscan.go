@@ -3,7 +3,6 @@ package textscan
 import (
 	"fmt"
 	"os"
-	"sync"
 
 	"tde/internal/exec"
 	"tde/internal/heap"
@@ -23,7 +22,9 @@ type Options struct {
 	Schema []ColumnSpec
 	// SampleRows bounds the inference sample (default 100).
 	SampleRows int
-	// Parallel parses columns of each block concurrently (Sect. 5.1.2).
+	// Parallel runs tokenizing and parsing as a background block pipeline
+	// (Sect. 5.1.2): a producer batches raw lines, workers parse whole
+	// blocks concurrently, and Next reassembles them in input order.
 	Parallel bool
 	// LocaleLocked routes scalar parsing through the simulated
 	// locale-singleton lock — the Sect. 5.1.2 ablation. Combined with
@@ -51,15 +52,24 @@ type TextScan struct {
 	fields [][]byte
 	rows   [][][]byte
 	qc     *exec.QueryCtx
+	pipe   *pipeline // parallel parse pipeline (opt.Parallel), nil = serial
 }
 
 // Open prepares iteration; inference already ran in New.
 func (ts *TextScan) Open(qc *exec.QueryCtx) error {
 	qc.Trace("TextScan")
+	if ts.pipe != nil {
+		ts.pipe.stop() // re-Open: tear down any previous pipeline first
+		ts.pipe = nil
+	}
 	ts.qc = qc
 	ts.at = 0
 	if ts.header {
 		ts.skipLine()
+	}
+	if ts.opt.Parallel {
+		// The producer goroutine owns the cursor from here until Close.
+		ts.startPipeline(qc)
 	}
 	return nil
 }
@@ -200,13 +210,16 @@ func (ts *TextScan) nextLine() ([]byte, bool) {
 	return ts.data[start:end], true
 }
 
-// Next implements exec.Operator: tokenize a block of rows, then parse the
-// columns — in parallel when configured, since "these column parsers were
-// producing independent output from a shared read-only state"
-// (Sect. 5.1.2).
+// Next implements exec.Operator: tokenize a block of rows, then parse
+// the columns. With opt.Parallel the tokenizing and parsing run in the
+// background pipeline (Sect. 5.1.2) and Next reassembles its output in
+// input order; serially both happen inline.
 func (ts *TextScan) Next(b *vec.Block) (bool, error) {
 	if err := ts.qc.Err(); err != nil {
 		return false, err
+	}
+	if ts.pipe != nil {
+		return ts.pipe.next(b)
 	}
 	// Gather up to BlockSize tokenized rows.
 	if ts.rows == nil {
@@ -225,20 +238,8 @@ func (ts *TextScan) Next(b *vec.Block) (bool, error) {
 	}
 	n := len(ts.rows)
 	ensure(b, len(ts.specs), n)
-	if ts.opt.Parallel && len(ts.specs) > 1 {
-		var wg sync.WaitGroup
-		for c := range ts.specs {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				ts.parseColumn(c, ts.rows, b)
-			}(c)
-		}
-		wg.Wait()
-	} else {
-		for c := range ts.specs {
-			ts.parseColumn(c, ts.rows, b)
-		}
+	for c := range ts.specs {
+		ts.parseColumn(c, ts.rows, b)
 	}
 	b.N = n
 	return true, nil
@@ -380,6 +381,10 @@ func parseScalar(f []byte, t types.Type, locked bool) uint64 {
 
 // Close implements exec.Operator.
 func (ts *TextScan) Close() error {
+	if ts.pipe != nil {
+		ts.pipe.stop()
+		ts.pipe = nil
+	}
 	ts.rows = nil
 	return nil
 }

@@ -1,0 +1,138 @@
+// benchcheck guards the parallel-execution benchmarks against
+// regression. It reads `go test -bench` output on stdin, extracts ns/op
+// per benchmark, and compares against a committed baseline:
+//
+//	go test -run '^$' -bench 'BenchmarkParallel' . | go run ./scripts/benchcheck -baseline BENCH_parallel.json
+//
+// A benchmark slower than threshold x its baseline fails the check.
+// -update rewrites the baseline from the current run instead (do this on
+// the machine that owns the baseline; ns/op is machine-relative, which
+// is why the threshold is a loose 2x — the guard catches accidental
+// serialization or quadratic blowups, not minor jitter).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type baseline struct {
+	Note       string             `json:"note"`
+	Threshold  float64            `json:"threshold"`
+	Benchmarks map[string]float64 `json:"benchmarks"` // name -> ns/op
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+)\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_parallel.json", "baseline file")
+	update := flag.Bool("update", false, "rewrite the baseline from this run")
+	flag.Parse()
+
+	current := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := stripProcSuffix(m[1])
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		current[name] = ns
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading bench output: %v", err)
+	}
+	if len(current) == 0 {
+		fatalf("no benchmark results on stdin")
+	}
+
+	if *update {
+		b := baseline{
+			Note: "ns/op baselines for the morsel-parallelism benchmarks; " +
+				"machine-relative, regenerate with `make bench-baseline`",
+			Threshold:  2.0,
+			Benchmarks: current,
+		}
+		buf, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchcheck: wrote %d baselines to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("no baseline (%v); run with -update to create one", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parsing %s: %v", *baselinePath, err)
+	}
+	if base.Threshold <= 1 {
+		base.Threshold = 2.0
+	}
+
+	var names []string
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := current[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: MISSING %s (in baseline, not in run)\n", name)
+			failed++
+			continue
+		}
+		ratio := got / want
+		status := "ok"
+		if ratio > base.Threshold {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "benchcheck: %-40s %12.0f ns/op  baseline %12.0f  ratio %.2fx  %s\n",
+			name, got, want, ratio, status)
+	}
+	if failed > 0 {
+		fatalf("%d benchmark(s) regressed past %.1fx or went missing", failed, base.Threshold)
+	}
+	fmt.Fprintf(os.Stderr, "benchcheck: %d benchmarks within %.1fx of baseline\n", len(names), base.Threshold)
+}
+
+// stripProcSuffix removes the -GOMAXPROCS suffix go test appends.
+func stripProcSuffix(name string) string {
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c == '-' {
+			return name[:i]
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+	}
+	return name
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

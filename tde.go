@@ -350,11 +350,18 @@ func (db *Database) QueryContext(ctx context.Context, sql string, opt QueryOptio
 
 // Explain returns the strategic plan for sql without running it.
 func (db *Database) Explain(sql string) (string, error) {
+	return db.ExplainWithOptions(sql, plan.Options{})
+}
+
+// ExplainWithOptions returns the strategic plan for sql under explicit
+// optimizer options, so plan shapes that depend on them (worker counts,
+// routing) can be inspected without running the query.
+func (db *Database) ExplainWithOptions(sql string, opt plan.Options) (string, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return "", err
 	}
-	_, ex, err := st.Build(db.tables, plan.Options{})
+	_, ex, err := st.Build(db.tables, opt)
 	if err != nil {
 		return "", err
 	}
