@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,17 @@ import (
 
 	"tde"
 )
+
+// exitIfCorrupt prints the structured corruption report and exits with a
+// distinct status (3) so scripts can tell "corrupt input database" apart
+// from usage errors (2) and ordinary failures (1).
+func exitIfCorrupt(tool string, err error) {
+	var rep *tde.CorruptionReport
+	if errors.As(err, &rep) {
+		fmt.Fprintf(os.Stderr, "%s: input database is corrupt (run tdecheck, or tdecheck -repair):\n%s\n", tool, rep)
+		os.Exit(3)
+	}
+}
 
 // parseBytes parses a byte quantity like "64M", "1G" or "65536".
 func parseBytes(s string) (int64, error) {
@@ -51,6 +63,7 @@ func main() {
 	collation := flag.String("collation", "binary", "string collation: binary | ci | en")
 	verbose := flag.Bool("v", false, "print the per-column physical design report")
 	appendTo := flag.Bool("append", false, "add tables to an existing database file")
+	verify := flag.Bool("verify", false, "with -append: fully verify every column value of the existing database at open")
 	compress := flag.String("compress", "", "comma-separated table.column list to dictionary-compress after import")
 	timeout := flag.Duration("timeout", 0, "per-import wall-clock limit (e.g. 5m; 0 = none)")
 	mem := flag.String("mem", "", "per-import memory budget (e.g. 1G; empty = unlimited)")
@@ -84,8 +97,9 @@ func main() {
 
 	db := tde.New()
 	if *appendTo {
-		loaded, err := tde.Open(*out)
+		loaded, _, err := tde.OpenWithOptions(*out, tde.OpenOptions{Verify: *verify})
 		if err != nil {
+			exitIfCorrupt("tdeload", err)
 			fmt.Fprintf(os.Stderr, "tdeload: -append: %v\n", err)
 			os.Exit(1)
 		}

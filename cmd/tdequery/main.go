@@ -11,6 +11,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,17 @@ import (
 
 	"tde"
 )
+
+// exitIfCorrupt prints the structured corruption report and exits with a
+// distinct status (3) so scripts can tell "corrupt input database" apart
+// from usage errors (2) and bad queries (1).
+func exitIfCorrupt(tool string, err error) {
+	var rep *tde.CorruptionReport
+	if errors.As(err, &rep) {
+		fmt.Fprintf(os.Stderr, "%s: input database is corrupt (run tdecheck, or tdecheck -repair):\n%s\n", tool, rep)
+		os.Exit(3)
+	}
+}
 
 // parseBytes parses a byte quantity like "64M", "1G" or "65536".
 func parseBytes(s string) (int64, error) {
@@ -49,6 +61,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit (e.g. 30s; 0 = none)")
 	mem := flag.String("mem", "", "per-query memory budget (e.g. 64M, 1G; empty = unlimited)")
 	workers := flag.Int("workers", 0, "parallel workers per query stage (>0 force, 0 auto, <0 serial)")
+	verify := flag.Bool("verify", false, "fully verify every column value at open (catches damage beyond checksums)")
+	salvage := flag.Bool("salvage", false, "open a damaged database read-only, quarantining damaged columns")
 	flag.Parse()
 
 	if *dbPath == "" || (flag.NArg() == 0 && !*interactive) {
@@ -62,10 +76,14 @@ func main() {
 	}
 	qopt := tde.QueryOptions{Timeout: *timeout, MemoryBudget: budget}
 	qopt.Plan.ParallelWorkers = *workers
-	db, err := tde.Open(*dbPath)
+	db, rep, err := tde.OpenWithOptions(*dbPath, tde.OpenOptions{Verify: *verify, Salvage: *salvage})
 	if err != nil {
+		exitIfCorrupt("tdequery", err)
 		fmt.Fprintln(os.Stderr, "tdequery:", err)
 		os.Exit(1)
+	}
+	if rep != nil {
+		fmt.Fprintf(os.Stderr, "tdequery: warning: opened read-only with quarantined data:\n%s\n", rep)
 	}
 	if *interactive {
 		repl(db, *csv, qopt)

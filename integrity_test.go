@@ -1,0 +1,153 @@
+package tde
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corruptColumn flips one byte inside the named column's record in a
+// saved database file and repairs the global trailer checksum, so only
+// the per-column checksum can catch the damage.
+func corruptColumn(t *testing.T, path, column string) {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var marker bytes.Buffer
+	binary.Write(&marker, binary.LittleEndian, uint32(len(column)))
+	marker.WriteString(column)
+	at := bytes.Index(buf, marker.Bytes())
+	if at < 0 {
+		t.Fatalf("column %q not found in %s", column, path)
+	}
+	// Flip a byte a little past the name — inside the column record's
+	// metadata block.
+	buf[at+marker.Len()+16] ^= 0x08
+	body := buf[4 : len(buf)-4]
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc32.ChecksumIEEE(body))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func saveOrders(t *testing.T) string {
+	t.Helper()
+	db := importOrders(t)
+	path := filepath.Join(t.TempDir(), "orders.tde")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenCorruptReturnsReport(t *testing.T) {
+	path := saveOrders(t)
+	corruptColumn(t, path, "amount")
+
+	_, err := Open(path)
+	if err == nil {
+		t.Fatal("Open accepted a damaged file")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v does not match ErrCorrupt", err)
+	}
+	var rep *CorruptionReport
+	if !errors.As(err, &rep) {
+		t.Fatalf("error %T carries no report", err)
+	}
+	if len(rep.Entries) != 1 || rep.Entries[0].Column != "amount" || rep.Entries[0].Offset <= 0 {
+		t.Fatalf("report does not localize the amount column: %v", rep)
+	}
+}
+
+func TestSalvageOpensIntactRemainder(t *testing.T) {
+	path := saveOrders(t)
+	corruptColumn(t, path, "amount")
+
+	db, rep, err := OpenWithOptions(path, OpenOptions{Salvage: true})
+	if err != nil {
+		t.Fatalf("salvage open: %v", err)
+	}
+	if rep == nil || len(rep.Entries) != 1 || rep.Entries[0].Column != "amount" {
+		t.Fatalf("salvage report: %v", rep)
+	}
+	if !db.ReadOnly() || db.Corruption() != rep {
+		t.Fatal("salvaged database is not marked read-only")
+	}
+
+	// The quarantined column is gone; its siblings still answer queries.
+	res, err := db.Query("SELECT status, COUNT(*) FROM orders GROUP BY status ORDER BY status")
+	if err != nil {
+		t.Fatalf("query on surviving columns: %v", err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "closed" {
+		t.Fatalf("unexpected result: %v", res.Rows)
+	}
+	if _, err := db.Query("SELECT SUM(amount) FROM orders"); err == nil {
+		t.Fatal("quarantined column still queryable")
+	}
+
+	// Mutations are refused: a partial extract must not be persisted or
+	// extended by accident.
+	if err := db.Save(filepath.Join(t.TempDir(), "copy.tde")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Save on salvaged db: %v", err)
+	}
+	if err := db.ImportCSV("more", []byte("a\n1\n"), DefaultImportOptions()); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("ImportCSV on salvaged db: %v", err)
+	}
+	if err := db.CompressColumn("orders", "status"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("CompressColumn on salvaged db: %v", err)
+	}
+}
+
+func TestSalvageCleanFileStaysWritable(t *testing.T) {
+	path := saveOrders(t)
+	db, rep, err := OpenWithOptions(path, OpenOptions{Salvage: true, Verify: true})
+	if err != nil || rep != nil {
+		t.Fatalf("clean salvage open: rep=%v err=%v", rep, err)
+	}
+	if db.ReadOnly() {
+		t.Fatal("clean database marked read-only")
+	}
+	if err := db.Save(path); err != nil {
+		t.Fatalf("save after clean salvage open: %v", err)
+	}
+}
+
+func TestOpenTruncatedFile(t *testing.T) {
+	path := saveOrders(t)
+	buf, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, buf[:len(buf)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated open: %v", err)
+	}
+	// Salvage of a truncated v2 file keeps the leading intact columns.
+	db, rep, err := OpenWithOptions(path, OpenOptions{Salvage: true})
+	if err != nil || rep == nil {
+		t.Fatalf("truncated salvage: rep=%v err=%v", rep, err)
+	}
+	_ = db
+}
+
+func TestCorruptionReportFormatting(t *testing.T) {
+	path := saveOrders(t)
+	corruptColumn(t, path, "when")
+	_, rep, _ := OpenWithOptions(path, OpenOptions{Salvage: true})
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	s := rep.String()
+	if !strings.Contains(s, `"when"`) || !strings.Contains(s, "offset") {
+		t.Fatalf("report rendering lacks detail: %s", s)
+	}
+}

@@ -1,0 +1,27 @@
+// Package corrupt holds the shared corruption sentinel. It lives in its
+// own leaf package because the layers that detect corruption form an
+// import chain (storage → enc, heap): every FromBytes/Read error that
+// means "these bytes are not a valid X" wraps corrupt.Err, and
+// storage.ErrCorrupt / tde.ErrCorrupt re-export the same value so callers
+// at any layer can errors.Is instead of string-matching.
+package corrupt
+
+import "errors"
+
+// Err is the sentinel wrapped by every corruption or format error
+// produced while decoding untrusted bytes.
+var Err = errors.New("data corrupt")
+
+// Wrap marks err as corruption: the result keeps err's message verbatim
+// but matches both err's chain and Err under errors.Is/As.
+func Wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return wrapped{err}
+}
+
+type wrapped struct{ err error }
+
+func (w wrapped) Error() string   { return w.err.Error() }
+func (w wrapped) Unwrap() []error { return []error{w.err, Err} }

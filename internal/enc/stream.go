@@ -1,6 +1,10 @@
 package enc
 
-import "fmt"
+import (
+	"fmt"
+
+	"tde/internal/corrupt"
+)
 
 // Kind identifies an encoding algorithm (the "algo" header field).
 type Kind uint8
@@ -102,6 +106,16 @@ type Stream struct {
 // counts must sum to the logical size, and dictionaries must fit in the
 // header region.
 func FromBytes(buf []byte) (*Stream, error) {
+	s, err := fromBytes(buf)
+	if err != nil {
+		// Every rejection here means "these bytes are not a valid stream";
+		// mark them all as corruption so callers can errors.Is one sentinel.
+		return nil, corrupt.Wrap(err)
+	}
+	return s, nil
+}
+
+func fromBytes(buf []byte) (*Stream, error) {
 	if len(buf) < headerFixed {
 		return nil, fmt.Errorf("enc: stream too short (%d bytes)", len(buf))
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tde/internal/corrupt"
 	"tde/internal/types"
 )
 
@@ -43,17 +44,17 @@ func FromBytes(buf []byte, count int, collation types.Collation, sorted bool) (*
 	got := 0
 	for off := 0; off < len(buf); got++ {
 		if off+elemHeader > len(buf) {
-			return nil, fmt.Errorf("heap: truncated element header at offset %d", off)
+			return nil, corrupt.Wrap(fmt.Errorf("heap: truncated element header at offset %d", off))
 		}
 		n := int(uint32(buf[off]) | uint32(buf[off+1])<<8 |
 			uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24)
 		if n < 0 || off+elemHeader+n > len(buf) {
-			return nil, fmt.Errorf("heap: element at offset %d overruns buffer (%d bytes claimed)", off, n)
+			return nil, corrupt.Wrap(fmt.Errorf("heap: element at offset %d overruns buffer (%d bytes claimed)", off, n))
 		}
 		off += elemHeader + n
 	}
 	if got != count {
-		return nil, fmt.Errorf("heap: buffer holds %d elements, catalog says %d", got, count)
+		return nil, corrupt.Wrap(fmt.Errorf("heap: buffer holds %d elements, catalog says %d", got, count))
 	}
 	return &Heap{buf: buf, count: count, collation: collation, sorted: sorted}, nil
 }

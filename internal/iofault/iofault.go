@@ -1,0 +1,346 @@
+// Package iofault abstracts the handful of OS file operations the
+// storage layer performs (create-temp, write, fsync, rename, read,
+// directory sync) behind an FS interface with two implementations: OS, a
+// passthrough used in production, and Injector, a deterministic,
+// scriptable wrapper that makes disks byzantine on demand — short writes,
+// fsync errors, rename failures, ENOSPC, read errors and bit flips at
+// chosen byte offsets or operation counts.
+//
+// The injector is what powers the crash-consistency harness: every
+// operation a save performs is numbered, and a test can replay the save
+// killing it at each numbered point, then assert the database on disk is
+// byte-for-byte either the old state or the new state. It is a test
+// instrument compiled into the main module so storage code can be
+// parameterized by FS without build tags; production code never
+// constructs an Injector.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the default error returned by injected faults; tests
+// match it with errors.Is.
+var ErrInjected = errors.New("iofault: injected fault")
+
+// Op identifies one kind of file operation the FS abstraction performs.
+type Op int
+
+const (
+	OpCreateTemp Op = iota
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpReadFile
+	OpSyncDir
+	numOps
+)
+
+var opNames = [...]string{"create-temp", "write", "sync", "close", "rename", "remove", "read-file", "sync-dir"}
+
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// File is the subset of *os.File the storage layer uses.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the storage layer's view of the filesystem. Production code uses
+// OS; tests swap in an *Injector.
+type FS interface {
+	// CreateTemp creates a new temporary file in dir (see os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads the whole named file (see os.ReadFile).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath (see os.Rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file (see os.Remove).
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making a preceding rename
+	// durable on filesystems that require it.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS used by production code.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Fault describes one scripted fault. A fault fires when its selectors
+// all match the current operation; selectors left zero match anything.
+type Fault struct {
+	// Op restricts the fault to one operation kind; negative matches all.
+	Op Op
+	// AtOp fires on the Nth operation overall (1-based, counted across
+	// all kinds); 0 disables the selector.
+	AtOp int
+	// AtCount fires on the Nth operation of kind Op (1-based); 0 disables
+	// the selector.
+	AtCount int
+	// Err is the error injected; nil means ErrInjected. Use syscall.ENOSPC
+	// and friends to simulate specific OS failures.
+	Err error
+	// Tear, for OpWrite faults, is how many leading bytes of the payload
+	// are written through before the error — a torn write. Negative tears
+	// nothing.
+	Tear int
+	// FlipByteOffset / FlipBitMask, when FlipBitMask is nonzero, corrupt
+	// the operation's payload instead of failing it: the byte at
+	// FlipByteOffset (into the write payload, or into the returned
+	// contents for OpReadFile) is XORed with FlipBitMask and the
+	// operation succeeds. Offsets outside the payload corrupt nothing.
+	FlipByteOffset int64
+	FlipBitMask    byte
+	// Once retires the fault after it first fires.
+	Once bool
+
+	spent bool
+}
+
+// Injector is a deterministic fault-injecting FS. It numbers every
+// operation it sees (the kill points of the crash harness), applies the
+// scripted faults, and records a log for debugging.
+type Injector struct {
+	under FS
+
+	mu      sync.Mutex
+	faults  []*Fault
+	nextOp  int // total operations observed
+	perOp   [numOps]int
+	log     []string
+	maxByte int64 // bytes written through OpWrite, for offset scripting
+}
+
+// NewInjector wraps under (usually OS) with no faults scripted; until
+// Script is called it only counts and logs operations.
+func NewInjector(under FS) *Injector {
+	if under == nil {
+		under = OS
+	}
+	return &Injector{under: under}
+}
+
+// Script replaces the injector's fault list. Fault.Op values in faults
+// are taken as-is; to match any kind set Op to a negative value.
+func (in *Injector) Script(faults ...Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = in.faults[:0]
+	for i := range faults {
+		f := faults[i]
+		in.faults = append(in.faults, &f)
+	}
+}
+
+// FailAtOp scripts a single fault: the nth operation overall (1-based)
+// fails with err (ErrInjected when nil). Any kind of operation matches.
+func (in *Injector) FailAtOp(n int, err error) {
+	in.Script(Fault{Op: -1, AtOp: n, Err: err})
+}
+
+// Ops returns how many operations the injector has observed — running a
+// save against a fresh injector with no faults yields the number of kill
+// points the crash harness must cover.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.nextOp
+}
+
+// BytesWritten returns the total bytes accepted by OpWrite operations.
+func (in *Injector) BytesWritten() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.maxByte
+}
+
+// Log returns the operation trace ("3 write 1048576B", "5 rename ...").
+func (in *Injector) Log() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.log...)
+}
+
+// begin numbers an operation and returns the fault that fires on it, if
+// any. Caller holds no locks.
+func (in *Injector) begin(op Op, detail string) *Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.nextOp++
+	in.perOp[op]++
+	in.log = append(in.log, fmt.Sprintf("%d %s %s", in.nextOp, op, detail))
+	for _, f := range in.faults {
+		if f.spent {
+			continue
+		}
+		if f.Op >= 0 && f.Op != op {
+			continue
+		}
+		if f.AtOp != 0 && f.AtOp != in.nextOp {
+			continue
+		}
+		if f.AtCount != 0 && (f.Op < 0 || f.AtCount != in.perOp[op]) {
+			continue
+		}
+		if f.Once {
+			f.spent = true
+		}
+		return f
+	}
+	return nil
+}
+
+func faultErr(f *Fault) error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if f := in.begin(OpCreateTemp, dir); f != nil && f.FlipBitMask == 0 {
+		return nil, faultErr(f)
+	}
+	under, err := in.under.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, under: under}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	f := in.begin(OpReadFile, name)
+	if f != nil && f.FlipBitMask == 0 {
+		return nil, faultErr(f)
+	}
+	buf, err := in.under.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil && f.FlipBitMask != 0 && f.FlipByteOffset >= 0 && f.FlipByteOffset < int64(len(buf)) {
+		buf = append([]byte(nil), buf...)
+		buf[f.FlipByteOffset] ^= f.FlipBitMask
+	}
+	return buf, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f := in.begin(OpRename, newpath); f != nil && f.FlipBitMask == 0 {
+		return faultErr(f)
+	}
+	return in.under.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if f := in.begin(OpRemove, name); f != nil && f.FlipBitMask == 0 {
+		return faultErr(f)
+	}
+	return in.under.Remove(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if f := in.begin(OpSyncDir, dir); f != nil && f.FlipBitMask == 0 {
+		return faultErr(f)
+	}
+	return in.under.SyncDir(dir)
+}
+
+// injFile wraps a File so writes, syncs and closes flow through the
+// injector's operation counter and fault script.
+type injFile struct {
+	in    *Injector
+	under File
+	off   int64 // running byte offset of this file's writes
+}
+
+func (f *injFile) Name() string { return f.under.Name() }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	ft := f.in.begin(OpWrite, fmt.Sprintf("%dB@%d", len(p), f.off))
+	f.in.mu.Lock()
+	f.in.maxByte += int64(len(p))
+	f.in.mu.Unlock()
+	if ft == nil {
+		n, err := f.under.Write(p)
+		f.off += int64(n)
+		return n, err
+	}
+	if ft.FlipBitMask != 0 {
+		// Corrupt-but-succeed: flip one bit if the scripted file offset
+		// lands inside this write's payload.
+		rel := ft.FlipByteOffset - f.off
+		if rel >= 0 && rel < int64(len(p)) {
+			p = append([]byte(nil), p...)
+			p[rel] ^= ft.FlipBitMask
+		}
+		n, err := f.under.Write(p)
+		f.off += int64(n)
+		return n, err
+	}
+	// Torn write: push a prefix through, then fail.
+	tear := ft.Tear
+	if tear > len(p) {
+		tear = len(p)
+	}
+	n := 0
+	if tear > 0 {
+		n, _ = f.under.Write(p[:tear])
+		f.off += int64(n)
+	}
+	return n, faultErr(ft)
+}
+
+func (f *injFile) Sync() error {
+	if ft := f.in.begin(OpSync, f.under.Name()); ft != nil && ft.FlipBitMask == 0 {
+		return faultErr(ft)
+	}
+	return f.under.Sync()
+}
+
+func (f *injFile) Close() error {
+	if ft := f.in.begin(OpClose, f.under.Name()); ft != nil && ft.FlipBitMask == 0 {
+		// The descriptor still gets closed: an injected close failure
+		// models fsync-at-close errors, not a leaked fd.
+		f.under.Close()
+		return faultErr(ft)
+	}
+	return f.under.Close()
+}

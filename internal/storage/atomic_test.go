@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"tde/internal/iofault"
 	"testing"
 )
 
@@ -65,7 +66,7 @@ func TestAtomicSavePreservesOldFile(t *testing.T) {
 	// Fail at a range of offsets: header, mid-body, and just before the
 	// final flush.
 	for _, cut := range []int{0, 1, 7, 64, len(good) / 2, len(good) - 1} {
-		err := writeFileAtomic(path, func(w io.Writer) error {
+		err := writeFileAtomic(iofault.OS, path, func(w io.Writer) error {
 			return Write(&failAfter{w: w, n: cut}, tables)
 		})
 		if !errors.Is(err, errInjected) {
@@ -87,7 +88,7 @@ func TestAtomicSavePreservesOldFile(t *testing.T) {
 
 	// A failed save over a *new* path must not create the destination.
 	fresh := filepath.Join(dir, "fresh.tde")
-	err = writeFileAtomic(fresh, func(w io.Writer) error {
+	err = writeFileAtomic(iofault.OS, fresh, func(w io.Writer) error {
 		return fmt.Errorf("save aborted")
 	})
 	if err == nil {

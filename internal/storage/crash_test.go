@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"tde/internal/iofault"
+)
+
+// crashSeeds sets how many randomized databases the crash-consistency
+// harness saves; CI raises it (go test ./internal/storage/ -crashseeds 128).
+var crashSeeds = flag.Int("crashseeds", 64, "randomized databases for the crash-consistency harness")
+
+// randomTables builds a small randomized database: 1-3 tables, mixed int,
+// string and dictionary-compressed columns, occasional NULLs.
+func randomTables(t testing.TB, rng *rand.Rand) []*Table {
+	t.Helper()
+	nt := 1 + rng.Intn(3)
+	tables := make([]*Table, 0, nt)
+	for i := 0; i < nt; i++ {
+		rows := 1 + rng.Intn(200)
+		nc := 1 + rng.Intn(4)
+		tab := &Table{Name: fmt.Sprintf("t%d", i)}
+		for j := 0; j < nc; j++ {
+			name := fmt.Sprintf("c%d", j)
+			if rng.Intn(2) == 0 {
+				vals := make([]int64, rows)
+				span := int64(1) << uint(2+rng.Intn(40))
+				for r := range vals {
+					vals[r] = rng.Int63n(span) - span/2
+				}
+				c := buildIntColumn(t, name, vals)
+				if rng.Intn(3) == 0 {
+					// Dictionary compression is its own storage shape
+					// (extra dict block in the column record); errors here
+					// are fine — not every column is convertible.
+					_ = ConvertToDictCompression(c)
+				}
+				tab.Columns = append(tab.Columns, c)
+			} else {
+				vocab := []string{"alpha", "beta", "gamma", "", "delta-delta", "x"}
+				vals := make([]string, rows)
+				for r := range vals {
+					vals[r] = vocab[rng.Intn(len(vocab))]
+				}
+				tab.Columns = append(tab.Columns, buildStringColumn(t, name, vals))
+			}
+		}
+		tables = append(tables, tab)
+	}
+	return tables
+}
+
+// TestCrashConsistency is the kill-point harness: for a randomized old
+// and new database state, it replays the save killing it at every
+// numbered I/O operation (with a randomized torn-write prefix) and
+// asserts the file on disk is byte-for-byte either the complete old state
+// or the complete new state — never a partial — and always reopens.
+func TestCrashConsistency(t *testing.T) {
+	for seed := 0; seed < *crashSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			oldTables := randomTables(t, rng)
+			newTables := randomTables(t, rng)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "db.tde")
+
+			if err := WriteFile(path, oldTables); err != nil {
+				t.Fatal(err)
+			}
+			oldBytes, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var nb, nb2 bytes.Buffer
+			if err := Write(&nb, newTables); err != nil {
+				t.Fatal(err)
+			}
+			// The byte-for-byte oracle requires a deterministic writer.
+			if err := Write(&nb2, newTables); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(nb.Bytes(), nb2.Bytes()) {
+				t.Fatal("Write is not deterministic; crash oracle invalid")
+			}
+			newBytes := nb.Bytes()
+
+			// Count the save's kill points with a fault-free probe run.
+			probe := iofault.NewInjector(nil)
+			if err := WriteFileFS(probe, filepath.Join(dir, "probe.tde"), newTables); err != nil {
+				t.Fatal(err)
+			}
+			n := probe.Ops()
+			if n < 5 {
+				t.Fatalf("implausibly few kill points (%d): %v", n, probe.Log())
+			}
+
+			for k := 1; k <= n; k++ {
+				inj := iofault.NewInjector(nil)
+				inj.Script(iofault.Fault{Op: -1, AtOp: k, Tear: rng.Intn(1 << 16)})
+				saveErr := WriteFileFS(inj, path, newTables)
+
+				onDisk, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("kill at op %d: destination unreadable: %v", k, err)
+				}
+				switch {
+				case bytes.Equal(onDisk, oldBytes), bytes.Equal(onDisk, newBytes):
+				default:
+					t.Fatalf("kill at op %d: destination is a partial state (%d bytes; old %d, new %d)\nops: %v",
+						k, len(onDisk), len(oldBytes), len(newBytes), inj.Log())
+				}
+				if saveErr == nil && !bytes.Equal(onDisk, newBytes) {
+					t.Fatalf("kill at op %d: save reported success but destination is not the new state", k)
+				}
+				if _, err := Read(onDisk); err != nil {
+					t.Fatalf("kill at op %d: surviving state does not reopen: %v", k, err)
+				}
+				for _, name := range listEntries(t, dir) {
+					if strings.HasPrefix(name, ".tde-save-") {
+						t.Fatalf("kill at op %d: leftover temp file %q", k, name)
+					}
+				}
+				// Restore the old state so every kill point starts from
+				// the same precondition.
+				if err := os.WriteFile(path, oldBytes, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// With no faults the save must land the new state exactly.
+			if err := WriteFile(path, newTables); err != nil {
+				t.Fatal(err)
+			}
+			onDisk, _ := os.ReadFile(path)
+			if !bytes.Equal(onDisk, newBytes) {
+				t.Fatal("fault-free save did not produce the expected image")
+			}
+		})
+	}
+}
+
+// TestSaveENOSPC checks a full disk surfaces as ENOSPC and leaves the old
+// extract untouched.
+func TestSaveENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.tde")
+	tables := testTables(t)
+	if err := WriteFile(path, tables); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.ReadFile(path)
+
+	inj := iofault.NewInjector(nil)
+	inj.Script(iofault.Fault{Op: iofault.OpWrite, AtCount: 1, Err: syscall.ENOSPC, Tear: 512})
+	if err := WriteFileFS(inj, path, tables); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatal("ENOSPC save modified the destination")
+	}
+}
+
+// TestOpenReadFault checks read-side I/O errors propagate (not corrupt,
+// not a panic).
+func TestOpenReadFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.tde")
+	if err := WriteFile(path, testTables(t)); err != nil {
+		t.Fatal(err)
+	}
+	inj := iofault.NewInjector(nil)
+	inj.Script(iofault.Fault{Op: iofault.OpReadFile, Err: syscall.EIO})
+	_, _, err := ReadFileFS(inj, path, ReadOptions{})
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("an I/O error is not corruption")
+	}
+}
+
+// TestBitFlipAtRestDetected flips one bit during the save's writes (a
+// byzantine disk) and at read time, and checks the open always detects it.
+func TestBitFlipAtRestDetected(t *testing.T) {
+	tables := testTables(t)
+	var img bytes.Buffer
+	if err := Write(&img, tables); err != nil {
+		t.Fatal(err)
+	}
+	size := int64(img.Len())
+	rng := rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+	for trial := 0; trial < 64; trial++ {
+		off := rng.Int63n(size)
+		mask := byte(1 << uint(rng.Intn(8)))
+		path := filepath.Join(dir, fmt.Sprintf("flip%d.tde", trial))
+
+		wr := iofault.NewInjector(nil)
+		wr.Script(iofault.Fault{Op: iofault.OpWrite, FlipByteOffset: off, FlipBitMask: mask})
+		if err := WriteFileFS(wr, path, tables); err != nil {
+			t.Fatalf("trial %d: save failed: %v", trial, err)
+		}
+		if _, err := ReadFile(path); err == nil {
+			t.Fatalf("trial %d: flipped bit at offset %d (mask %#x) opened clean", trial, off, mask)
+		}
+
+		// Same flip injected at read time on an intact file.
+		good := filepath.Join(dir, "good.tde")
+		if err := WriteFile(good, tables); err != nil {
+			t.Fatal(err)
+		}
+		rd := iofault.NewInjector(nil)
+		rd.Script(iofault.Fault{Op: iofault.OpReadFile, FlipByteOffset: off, FlipBitMask: mask})
+		if _, _, err := ReadFileFS(rd, good, ReadOptions{}); err == nil {
+			t.Fatalf("trial %d: read-side flip at offset %d opened clean", trial, off)
+		}
+	}
+}

@@ -2,15 +2,18 @@ package storage
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 
+	"tde/internal/corrupt"
 	"tde/internal/enc"
 	"tde/internal/heap"
+	"tde/internal/iofault"
 	"tde/internal/types"
 )
 
@@ -24,19 +27,35 @@ import (
 //
 //	magic "TDE\x01" | format version u32 | table count u32
 //	per table:  name | row count u64 | column count u32
-//	per column: name | type u8 | collation u8 | flags u8 |
-//	            metadata block | data stream | [heap] | [scalar dict]
+//	per column (v2): record length u64 | record crc32 u32 | record
+//	column record:   name | type u8 | collation u8 | flags u8 |
+//	                 metadata block | data stream | [heap] | [scalar dict]
 //	trailer: crc32 of everything after the magic
 //
 // Strings and byte blocks are u32-length-prefixed.
+//
+// Version 1 files wrote the column record inline with no per-record
+// length or checksum; the reader still accepts them. Version 2 makes the
+// column record the unit of integrity: a flipped bit damages exactly one
+// column, and because the record length precedes the record, a reader can
+// skip a damaged column and salvage every other one (ReadOptions.Salvage)
+// instead of refusing the whole file on the trailer checksum.
 
 const (
-	fileMagic   = "TDE\x01"
-	fileVersion = 1
+	fileMagic     = "TDE\x01"
+	fileVersion   = 2
+	fileVersionV1 = 1
 
 	flagHasHeap    = 1 << 0
 	flagHeapSorted = 1 << 1
 	flagHasDict    = 1 << 2
+
+	// colRecordOverhead is the bytes v2 spends per column outside the
+	// checksummed record: length u64 + crc32 u32.
+	colRecordOverhead = 12
+	// colRecordMin is the smallest possible column record: empty name,
+	// type/collation/flags, metadata block, empty data stream length.
+	colRecordMin = 4 + 3
 )
 
 // WriteFile writes tables as a single-file database at path. The write is
@@ -45,7 +64,13 @@ const (
 // error mid-save never corrupts an existing extract (Sect. 2.3.3's
 // single-file contract demands the file a user picks is always complete).
 func WriteFile(path string, tables []*Table) error {
-	return writeFileAtomic(path, func(w io.Writer) error {
+	return WriteFileFS(iofault.OS, path, tables)
+}
+
+// WriteFileFS is WriteFile against an explicit filesystem; tests inject
+// faults by passing an *iofault.Injector.
+func WriteFileFS(fs iofault.FS, path string, tables []*Table) error {
+	return writeFileAtomic(fs, path, func(w io.Writer) error {
 		return Write(w, tables)
 	})
 }
@@ -53,9 +78,9 @@ func WriteFile(path string, tables []*Table) error {
 // writeFileAtomic runs write against a temp file next to path, fsyncs,
 // and renames it over path only on full success. On any failure the temp
 // file is removed and the previous contents of path are untouched.
-func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+func writeFileAtomic(fs iofault.FS, path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".tde-save-*")
+	f, err := fs.CreateTemp(dir, ".tde-save-*")
 	if err != nil {
 		return err
 	}
@@ -63,7 +88,7 @@ func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
 	defer func() {
 		if err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fs.Remove(tmp)
 		}
 	}()
 	if err = write(f); err != nil {
@@ -75,15 +100,29 @@ func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
 	if err = f.Close(); err != nil {
 		return err
 	}
-	if err = os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err = fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
 		return err
 	}
+	// The rename is durable only once the directory entry itself is on
+	// disk; without this a crash right after a "successful" save can roll
+	// the directory back to the old file on some filesystems. Best-effort:
+	// directories cannot be fsynced on some platforms (and some
+	// filesystems return EINVAL), and by this point the data file itself
+	// is fsynced and complete.
+	_ = fs.SyncDir(dir)
 	return nil
 }
 
-// Write serializes tables to w in the single-file format.
+// Write serializes tables to w in the current (version 2) format.
 func Write(w io.Writer, tables []*Table) error {
+	return writeImage(w, tables, fileVersion)
+}
+
+// writeImage serializes tables at the requested format version. Version 1
+// is kept writable so compatibility tests and fuzz corpora can produce
+// genuine old-format files.
+func writeImage(w io.Writer, tables []*Table, version uint32) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(fileMagic); err != nil {
 		return err
@@ -91,8 +130,9 @@ func Write(w io.Writer, tables []*Table) error {
 	crc := crc32.NewIEEE()
 	out := io.MultiWriter(bw, crc)
 	ew := &errWriter{w: out}
-	ew.u32(fileVersion)
+	ew.u32(version)
 	ew.u32(uint32(len(tables)))
+	var scratch bytes.Buffer
 	for _, t := range tables {
 		if err := t.Validate(); err != nil {
 			return err
@@ -101,7 +141,23 @@ func Write(w io.Writer, tables []*Table) error {
 		ew.u64(uint64(t.Rows()))
 		ew.u32(uint32(len(t.Columns)))
 		for _, c := range t.Columns {
-			writeColumn(ew, c)
+			if version == fileVersionV1 {
+				writeColumnRecord(ew, c)
+				continue
+			}
+			// v2: frame the record with its length and checksum so the
+			// reader can verify — and on mismatch skip — exactly this
+			// column.
+			scratch.Reset()
+			sew := &errWriter{w: &scratch}
+			writeColumnRecord(sew, c)
+			if sew.err != nil {
+				return sew.err
+			}
+			rec := scratch.Bytes()
+			ew.u64(uint64(len(rec)))
+			ew.u32(crc32.ChecksumIEEE(rec))
+			ew.write(rec)
 		}
 	}
 	if ew.err != nil {
@@ -115,7 +171,9 @@ func Write(w io.Writer, tables []*Table) error {
 	return bw.Flush()
 }
 
-func writeColumn(ew *errWriter, c *Column) {
+// writeColumnRecord writes the column record body — identical bytes in
+// v1 (inline) and v2 (inside the checksummed frame).
+func writeColumnRecord(ew *errWriter, c *Column) {
 	ew.str(c.Name)
 	ew.u8(uint8(c.Type))
 	ew.u8(uint8(c.Collation))
@@ -172,112 +230,401 @@ func writeMetadata(ew *errWriter, m *enc.Metadata) {
 	ew.u64(uint64(m.AffineDelta))
 }
 
-// ReadFile loads a single-file database.
-func ReadFile(path string) ([]*Table, error) {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return Read(buf)
+// ReadOptions control how a database image is opened.
+type ReadOptions struct {
+	// Salvage quarantines damaged columns and tables (reported in the
+	// CorruptionReport) and returns the intact remainder, instead of
+	// failing the whole open on the first damaged byte.
+	Salvage bool
+	// DeepVerify additionally walks every value of every column, so
+	// damage that passes the structural checks (or hostile images with
+	// recomputed checksums) is still caught at open rather than at query
+	// time. It costs a full scan of the database.
+	DeepVerify bool
 }
 
-// Read parses a single-file database image. Column streams and heaps
-// alias buf, so the caller must keep it alive; this mirrors reading from
-// a memory-mapped extract.
+// ReadFile loads a single-file database, strictly: any corruption fails
+// the open with a *CorruptionReport error (match storage.ErrCorrupt).
+func ReadFile(path string) ([]*Table, error) {
+	tables, _, err := ReadFileFS(iofault.OS, path, ReadOptions{})
+	return tables, err
+}
+
+// ReadFileFS loads a database from fs under opt. The report is non-nil
+// exactly when damage was found; with opt.Salvage the tables returned
+// alongside it are the intact remainder and err is nil.
+func ReadFileFS(fs iofault.FS, path string, opt ReadOptions) ([]*Table, *CorruptionReport, error) {
+	buf, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	tables, rep, err := ReadWithOptions(buf, opt)
+	if rep != nil {
+		rep.Path = path
+	}
+	return tables, rep, err
+}
+
+// Read parses a single-file database image, strictly. Column streams and
+// heaps alias buf, so the caller must keep it alive; this mirrors reading
+// from a memory-mapped extract.
 func Read(buf []byte) ([]*Table, error) {
+	tables, _, err := ReadWithOptions(buf, ReadOptions{})
+	return tables, err
+}
+
+// ReadWithOptions parses a single-file database image. Damage is
+// localized into a *CorruptionReport (per column for v2 files); without
+// opt.Salvage any damage fails the open with the report as the error,
+// with opt.Salvage the intact tables and columns are returned alongside
+// it. Unknown future format versions fail with *UnsupportedVersionError.
+func ReadWithOptions(buf []byte, opt ReadOptions) ([]*Table, *CorruptionReport, error) {
 	if len(buf) < len(fileMagic)+8 || string(buf[:len(fileMagic)]) != fileMagic {
-		return nil, fmt.Errorf("storage: not a TDE database file")
+		return nil, nil, corrupt.Wrap(errors.New("storage: not a TDE database file"))
 	}
 	body := buf[len(fileMagic) : len(buf)-4]
 	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
-	if got := crc32.ChecksumIEEE(body); got != want {
-		return nil, fmt.Errorf("storage: checksum mismatch: file corrupt")
-	}
+	crcOK := crc32.ChecksumIEEE(body) == want
 	r := &reader{buf: body}
-	if v := r.u32(); v != fileVersion {
-		return nil, fmt.Errorf("storage: unsupported format version %d", v)
+	version := r.u32()
+	rep := &CorruptionReport{}
+	var tables []*Table
+	switch version {
+	case fileVersionV1:
+		if !crcOK {
+			rep.add(CorruptionEntry{Offset: -1,
+				Reason: "checksum mismatch (v1 file: damage cannot be localized per column)"})
+			if !opt.Salvage {
+				return nil, rep, rep
+			}
+		}
+		tables = readTables(r, rep, opt, version)
+	case fileVersion:
+		tables = readTables(r, rep, opt, version)
+		if !crcOK && len(rep.Entries) == 0 {
+			// Every column record checks out, so the flipped bytes are in
+			// the table catalog (or the trailer itself) — unlocalizable.
+			rep.add(CorruptionEntry{Offset: -1,
+				Reason: "checksum mismatch outside column records (table catalog or trailer damaged)"})
+		}
+	default:
+		return nil, nil, &UnsupportedVersionError{Version: version}
 	}
+	if len(rep.Entries) > 0 {
+		if !opt.Salvage {
+			return nil, rep, rep
+		}
+		return tables, rep, nil
+	}
+	return tables, nil, nil
+}
+
+// fileOff converts the reader's body position to an absolute file offset.
+func fileOff(r *reader) int64 { return int64(len(fileMagic) + r.at) }
+
+// readTables parses the table catalog and column records for either
+// format version, localizing damage into rep. It returns the tables that
+// survive; in strict mode the caller turns a non-empty rep into an error.
+func readTables(r *reader, rep *CorruptionReport, opt ReadOptions, version uint32) []*Table {
 	nt := int(r.u32())
 	// A table costs at least 16 bytes (name length, row count, column
 	// count), so a count the buffer cannot hold is corruption — reject it
 	// before the count sizes an allocation.
-	if nt > len(buf)/16 {
-		return nil, fmt.Errorf("storage: implausible table count %d in %d-byte file", nt, len(buf))
+	if r.err != nil || nt < 0 || nt > len(r.buf)/16 {
+		rep.add(CorruptionEntry{Offset: -1,
+			Reason: fmt.Sprintf("implausible table count %d in %d-byte body", nt, len(r.buf))})
+		return nil
 	}
-	tables := make([]*Table, 0, nt)
+	var tables []*Table
 	for i := 0; i < nt; i++ {
+		tblOff := fileOff(r)
 		t := &Table{Name: r.str()}
 		rows := r.u64()
 		nc := int(r.u32())
-		for j := 0; j < nc; j++ {
-			c, err := readColumn(r)
-			if err != nil {
-				return nil, err
-			}
-			t.Columns = append(t.Columns, c)
-		}
 		if r.err != nil {
-			return nil, r.err
+			rep.add(CorruptionEntry{Table: t.Name, Offset: tblOff,
+				Reason: fmt.Sprintf("table catalog truncated (table %d of %d)", i+1, nt)})
+			return tables
 		}
-		if err := t.Validate(); err != nil {
-			return nil, err
+		perCol := colRecordMin
+		if version == fileVersion {
+			perCol += colRecordOverhead
 		}
-		if uint64(t.Rows()) != rows {
-			return nil, fmt.Errorf("storage: table %q catalog says %d rows, columns say %d",
-				t.Name, rows, t.Rows())
+		if nc < 0 || nc > (len(r.buf)-r.at)/perCol {
+			rep.add(CorruptionEntry{Table: t.Name, Offset: tblOff,
+				Reason: fmt.Sprintf("implausible column count %d with %d bytes left", nc, len(r.buf)-r.at)})
+			return tables
 		}
-		tables = append(tables, t)
+		t, stop := readTableColumns(r, rep, opt, version, t, rows, nc)
+		if t != nil {
+			tables = append(tables, t)
+		}
+		if stop {
+			if i+1 < nt {
+				rep.add(CorruptionEntry{Offset: fileOff(r),
+					Reason: fmt.Sprintf("%d trailing table(s) unreadable past damaged record", nt-i-1)})
+			}
+			return tables
+		}
 	}
-	return tables, r.err
+	return tables
 }
 
-func readColumn(r *reader) (*Column, error) {
+// readTableColumns parses one table's columns. It returns the table with
+// its surviving columns (nil when the whole table is quarantined or
+// empty-but-inconsistent) and stop=true when the file position is lost
+// and nothing further can be parsed.
+func readTableColumns(r *reader, rep *CorruptionReport, opt ReadOptions,
+	version uint32, t *Table, rows uint64, nc int) (*Table, bool) {
+	damaged := 0
+	stop := false
+scan:
+	for j := 0; j < nc; j++ {
+		recOff := fileOff(r)
+		var c *Column
+		var err error
+		switch version {
+		case fileVersionV1:
+			// v1 records carry no length, so a damaged record loses the
+			// file position: nothing past it can be parsed.
+			c, err = parseColumn(r, false)
+			if err != nil {
+				rep.add(CorruptionEntry{Table: t.Name, Column: columnLabel(c, j), Offset: recOff,
+					Reason: err.Error()})
+				damaged += nc - j
+				stop = true
+				break scan
+			}
+		default:
+			recLen := r.u64()
+			recCRC := r.u32()
+			if r.err != nil {
+				rep.add(CorruptionEntry{Table: t.Name, Column: fmt.Sprintf("#%d", j), Offset: recOff,
+					Reason: "column record header truncated"})
+				damaged += nc - j
+				stop = true
+				break scan
+			}
+			if recLen > uint64(len(r.buf)-r.at) {
+				rep.add(CorruptionEntry{Table: t.Name, Column: fmt.Sprintf("#%d", j), Offset: recOff,
+					Reason: fmt.Sprintf("column record length %d overruns file", recLen)})
+				damaged += nc - j
+				stop = true
+				break scan
+			}
+			rec := r.take(int(recLen))
+			if crc32.ChecksumIEEE(rec) != recCRC {
+				rep.add(CorruptionEntry{Table: t.Name, Column: recordName(rec, j), Offset: recOff,
+					Length: int64(recLen) + colRecordOverhead,
+					Reason: "column checksum mismatch"})
+				damaged++
+				continue
+			}
+			sub := &reader{buf: rec}
+			c, err = parseColumn(sub, true)
+			if err != nil {
+				rep.add(CorruptionEntry{Table: t.Name, Column: recordName(rec, j), Offset: recOff,
+					Length: int64(recLen) + colRecordOverhead,
+					Reason: err.Error()})
+				damaged++
+				continue
+			}
+		}
+		if opt.DeepVerify {
+			if verr := deepVerifyColumn(c); verr != nil {
+				rep.add(CorruptionEntry{Table: t.Name, Column: c.Name, Offset: recOff,
+					Reason: verr.Error()})
+				damaged++
+				continue
+			}
+		}
+		t.Columns = append(t.Columns, c)
+	}
+	// Surviving columns must agree with the catalog row count; ones that
+	// do not are as untrustworthy as a failed checksum.
+	keep := t.Columns[:0]
+	for _, c := range t.Columns {
+		if uint64(c.Rows()) != rows {
+			rep.add(CorruptionEntry{Table: t.Name, Column: c.Name, Offset: -1,
+				Reason: fmt.Sprintf("column has %d rows, catalog says %d", c.Rows(), rows)})
+			damaged++
+			continue
+		}
+		keep = append(keep, c)
+	}
+	t.Columns = keep
+	if nc == 0 && rows != 0 {
+		rep.add(CorruptionEntry{Table: t.Name, Offset: -1,
+			Reason: fmt.Sprintf("catalog says %d rows but table has no columns", rows)})
+		return nil, stop
+	}
+	if damaged > 0 && len(t.Columns) == 0 {
+		rep.add(CorruptionEntry{Table: t.Name, Offset: -1,
+			Reason: "all columns damaged; table quarantined"})
+		return nil, stop
+	}
+	return t, stop
+}
+
+// columnLabel names a column for a report entry when the column may not
+// have parsed: its name when available, else its ordinal.
+func columnLabel(c *Column, j int) string {
+	if c != nil && c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("#%d", j)
+}
+
+// recordName best-effort extracts the column name from a (possibly
+// damaged) v2 column record for report entries.
+func recordName(rec []byte, j int) string {
+	if len(rec) >= 4 {
+		n := int(binary.LittleEndian.Uint32(rec))
+		if n > 0 && n <= 1<<10 && 4+n <= len(rec) {
+			return string(rec[4 : 4+n])
+		}
+	}
+	return fmt.Sprintf("#%d", j)
+}
+
+// parseColumn parses one column record from r. With exact set (v2), the
+// record must be consumed completely — trailing bytes inside a
+// checksummed frame mean the frame lied about its contents.
+func parseColumn(r *reader, exact bool) (*Column, error) {
 	c := &Column{Name: r.str()}
 	c.Type = types.Type(r.u8())
 	c.Collation = types.Collation(r.u8())
 	flags := r.u8()
 	if r.err != nil {
-		return nil, r.err
+		return c, r.err
 	}
 	if c.Type >= types.NumTypes {
-		return nil, fmt.Errorf("storage: column %q: invalid type byte %d", c.Name, uint8(c.Type))
+		return c, fmt.Errorf("column %q: invalid type byte %d", c.Name, uint8(c.Type))
 	}
 	if c.Collation > types.CollateEN {
-		return nil, fmt.Errorf("storage: column %q: invalid collation byte %d", c.Name, uint8(c.Collation))
+		return c, fmt.Errorf("column %q: invalid collation byte %d", c.Name, uint8(c.Collation))
 	}
 	readMetadata(r, &c.Meta)
 	data := r.bytes()
 	if r.err != nil {
-		return nil, r.err
+		return c, r.err
 	}
 	s, err := enc.FromBytes(data)
 	if err != nil {
-		return nil, fmt.Errorf("storage: column %q: %w", c.Name, err)
+		return c, fmt.Errorf("column %q: %w", c.Name, err)
 	}
 	c.Data = s
 	if flags&flagHasHeap != 0 {
 		hb := r.bytes()
 		hc := int(r.u64())
 		if r.err != nil {
-			return nil, r.err
+			return c, r.err
 		}
 		h, err := heap.FromBytes(hb, hc, c.Collation, flags&flagHeapSorted != 0)
 		if err != nil {
-			return nil, fmt.Errorf("storage: column %q: %w", c.Name, err)
+			return c, fmt.Errorf("column %q: %w", c.Name, err)
 		}
 		c.Heap = h
 	}
 	if flags&flagHasDict != 0 {
 		n := int(r.u32())
 		if r.err == nil && (n < 0 || n > 1<<enc.DictMaxBits) {
-			return nil, fmt.Errorf("storage: column %q: dictionary size %d out of range", c.Name, n)
+			return c, fmt.Errorf("column %q: dictionary size %d out of range", c.Name, n)
 		}
 		c.Dict = make([]uint64, n)
 		for i := range c.Dict {
 			c.Dict[i] = r.u64()
 		}
 	}
-	return c, r.err
+	if r.err != nil {
+		return c, r.err
+	}
+	if exact && r.at != len(r.buf) {
+		return c, fmt.Errorf("column %q: %d trailing bytes in column record", c.Name, len(r.buf)-r.at)
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	if err := validateDictTokens(c); err != nil {
+		return c, fmt.Errorf("column %q: %w", c.Name, err)
+	}
+	return c, nil
+}
+
+// validateDictTokens checks that every stored token of a dictionary-
+// compressed column indexes inside its dictionary (or is the NULL
+// sentinel), so Value can never fault on a loaded file. The walk is
+// O(payload), not O(rows): constant and affine streams are checked at
+// their endpoints, run-length streams per run, and dictionary-encoded
+// streams per dictionary entry.
+func validateDictTokens(c *Column) error {
+	if c.Dict == nil {
+		return nil
+	}
+	s := c.Data
+	null := types.NullToken & enc.WidthMask(s.Width())
+	n := uint64(len(c.Dict))
+	check := func(tok uint64) error {
+		if tok != null && tok >= n {
+			return fmt.Errorf("dictionary token %d out of range (%d entries)", tok, n)
+		}
+		return nil
+	}
+	switch {
+	case s.Len() == 0:
+		return nil
+	case s.Kind() == enc.RunLength:
+		for i := 0; i < s.NumRuns(); i++ {
+			_, v := s.Run(i)
+			if err := check(v); err != nil {
+				return err
+			}
+		}
+	case s.Kind() == enc.Dictionary:
+		for i := 0; i < s.DictLen(); i++ {
+			if err := check(s.DictEntry(i)); err != nil {
+				return err
+			}
+		}
+	case s.Bits() == 0 || s.Kind() == enc.Affine:
+		// Values advance by a constant step (or not at all), so the
+		// extremes are at the endpoints.
+		if err := check(s.Get(0)); err != nil {
+			return err
+		}
+		return check(s.Get(s.Len() - 1))
+	default:
+		// Bit-packed payload: rows are bounded by payload bits, so a full
+		// walk is bounded by the record size.
+		for i, rows := 0, s.Len(); i < rows; i++ {
+			if err := check(s.Get(i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deepVerifyColumn decodes every value of c, converting any residual
+// fault (including a panic in the decode path on a hostile image) into a
+// corruption error.
+func deepVerifyColumn(c *Column) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("deep verify: panic decoding values: %v", p)
+		}
+	}()
+	for i, rows := 0, c.Rows(); i < rows; i++ {
+		if c.IsNull(i) {
+			continue
+		}
+		if c.Type == types.String {
+			_ = c.StringAt(i)
+		} else {
+			_ = c.Value(i)
+		}
+	}
+	return nil
 }
 
 func readMetadata(r *reader, m *enc.Metadata) {

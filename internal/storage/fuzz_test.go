@@ -3,7 +3,11 @@ package storage
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -20,44 +24,142 @@ func fixupCRC(data []byte) []byte {
 	return fixed
 }
 
+// fuzzSeedTables is the deterministic database behind the fuzz seeds and
+// the committed corpus (see TestGenerateFuzzCorpus).
+func fuzzSeedTables(tb testing.TB) []*Table {
+	return []*Table{{Name: "t", Columns: []*Column{
+		buildIntColumn(tb, "id", []int64{1, 2, 3, 4, 5, 6, 7, 8}),
+		buildStringColumn(tb, "s", []string{"alpha", "beta", "alpha", "g", "beta", "x", "y", "z"}),
+	}}}
+}
+
+// walkTables reads every accepted value, capped: a constant-encoded
+// column can legally claim billions of rows.
+func walkTables(got []*Table) {
+	for _, tab := range got {
+		rows := tab.Rows()
+		if rows > 4096 {
+			rows = 4096
+		}
+		for _, c := range tab.Columns {
+			for i := 0; i < rows; i++ {
+				c.Format(i)
+			}
+			if tab.Rows() > 0 {
+				c.Format(tab.Rows() - 1)
+			}
+		}
+	}
+}
+
 // FuzzStorageRead checks that parsing an arbitrary database image never
 // panics: it must return tables or an error, even when the image is a
-// mutation of a genuine file with a corrected checksum.
+// mutation of a genuine v1 or v2 file with a corrected checksum, and in
+// both strict and salvage modes.
 func FuzzStorageRead(f *testing.F) {
-	tables := []*Table{{Name: "t", Columns: []*Column{
-		buildIntColumn(f, "id", []int64{1, 2, 3, 4, 5, 6, 7, 8}),
-		buildStringColumn(f, "s", []string{"alpha", "beta", "alpha", "g", "beta", "x", "y", "z"}),
-	}}}
-	var buf bytes.Buffer
-	if err := Write(&buf, tables); err != nil {
-		f.Fatal(err)
+	tables := fuzzSeedTables(f)
+	for _, version := range []uint32{fileVersionV1, fileVersion} {
+		var buf bytes.Buffer
+		if err := writeImage(&buf, tables, version); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
 	}
-	f.Add(buf.Bytes())
 	f.Add([]byte(fileMagic))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, img := range [][]byte{data, fixupCRC(data)} {
-			got, err := Read(img)
-			if err != nil {
-				continue
+			if got, err := Read(img); err == nil {
+				walkTables(got)
 			}
-			// Accepted images must be safely readable. Cap the walk: a
-			// constant-encoded column can legally claim billions of rows.
-			for _, tab := range got {
-				rows := tab.Rows()
-				if rows > 4096 {
-					rows = 4096
-				}
-				for _, c := range tab.Columns {
-					for i := 0; i < rows; i++ {
-						c.Format(i)
-					}
-					if tab.Rows() > 0 {
-						c.Format(tab.Rows() - 1)
-					}
-				}
+			got, rep, err := ReadWithOptions(img, ReadOptions{Salvage: true})
+			if err == nil {
+				walkTables(got)
+			} else if rep != nil {
+				t.Fatalf("salvage returned both a report and an error: %v / %v", rep, err)
 			}
 		}
 	})
+}
+
+// FuzzSalvageOpen mutates one byte inside one column record of a valid v2
+// image (trailer re-checksummed so only the per-column CRC can object)
+// and asserts salvage never panics, never fails the open, and always
+// quarantines the mutated column.
+func FuzzSalvageOpen(f *testing.F) {
+	var buf bytes.Buffer
+	if err := writeImage(&buf, fuzzSeedTables(f), fileVersion); err != nil {
+		f.Fatal(err)
+	}
+	base := buf.Bytes()
+	spans := v2Spans(f, base)
+
+	f.Add(uint32(0), uint32(0), byte(0x01))
+	f.Add(uint32(1), uint32(9), byte(0x80))
+	f.Add(uint32(0), uint32(1<<16), byte(0xFF))
+	f.Add(uint32(1), uint32(3), byte(0))
+
+	f.Fuzz(func(t *testing.T, colIdx, off uint32, xor byte) {
+		sp := spans[int(colIdx)%len(spans)]
+		rec := sp.length - colRecordOverhead
+		pos := sp.start + colRecordOverhead + int(off)%rec
+		img := append([]byte(nil), base...)
+		img[pos] ^= xor
+		img = fixupCRC(img)
+
+		got, rep, err := ReadWithOptions(img, ReadOptions{Salvage: true})
+		if err != nil {
+			t.Fatalf("salvage open failed on single-column damage: %v", err)
+		}
+		walkTables(got)
+		if xor == 0 {
+			if rep != nil {
+				t.Fatalf("undamaged image produced report %v", rep)
+			}
+			return
+		}
+		// CRC32 detects every single-byte error, so the mutated record
+		// must be quarantined: no surviving column may carry its name.
+		for _, tab := range got {
+			if tab.Name != sp.table {
+				continue
+			}
+			if tab.Column(sp.column) != nil {
+				t.Fatalf("mutated column %s.%s (offset %d, xor %#x) survived salvage",
+					sp.table, sp.column, pos, xor)
+			}
+		}
+		if rep == nil || len(rep.Entries) == 0 {
+			t.Fatalf("mutation at %d not reported", pos)
+		}
+	})
+}
+
+// TestGenerateFuzzCorpus regenerates the committed corpus seeds (genuine
+// v1 and v2 images) under testdata/fuzz when REGEN_CORPUS=1 is set; these
+// lock the on-disk formats into the coverage corpus so format drift is
+// caught even without -fuzz.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_CORPUS") == "" {
+		t.Skip("set REGEN_CORPUS=1 to regenerate committed corpus files")
+	}
+	tables := fuzzSeedTables(t)
+	for _, v := range []struct {
+		version uint32
+		name    string
+	}{{fileVersionV1, "seed-v1-image"}, {fileVersion, "seed-v2-image"}} {
+		var buf bytes.Buffer
+		if err := writeImage(&buf, tables, v.version); err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join("testdata", "fuzz", "FuzzStorageRead")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(buf.String()))
+		if err := os.WriteFile(filepath.Join(dir, v.name), []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }

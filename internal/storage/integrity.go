@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"tde/internal/corrupt"
+)
+
+// ErrCorrupt is the sentinel matched (via errors.Is) by every corruption
+// or format error produced while decoding a database image, including the
+// enc and heap layers' FromBytes errors. It is the same value as
+// corrupt.Err, re-exported at the layer most callers import.
+var ErrCorrupt = corrupt.Err
+
+// UnsupportedVersionError reports a well-formed file whose format version
+// is newer than this build understands. It is deliberately not a
+// corruption error: the file may be perfectly intact.
+type UnsupportedVersionError struct {
+	Version uint32
+}
+
+func (e *UnsupportedVersionError) Error() string {
+	return fmt.Sprintf("storage: unsupported format version %d (this build reads versions 1-%d)",
+		e.Version, fileVersion)
+}
+
+// CorruptionEntry localizes one damaged region of a database file.
+type CorruptionEntry struct {
+	// Table is the owning table's name; "" for file-level damage.
+	Table string
+	// Column is the damaged column's name ("#N" when the name itself is
+	// unreadable); "" when the whole table or file is affected.
+	Column string
+	// Offset is the absolute byte offset of the damaged record in the
+	// file, or -1 when unknown.
+	Offset int64
+	// Length is the damaged record's length in bytes, 0 when unknown.
+	Length int64
+	// Reason describes what failed (checksum mismatch, truncation, ...).
+	Reason string
+}
+
+func (e CorruptionEntry) String() string {
+	loc := "file"
+	switch {
+	case e.Table != "" && e.Column != "":
+		loc = fmt.Sprintf("table %q column %q", e.Table, e.Column)
+	case e.Table != "":
+		loc = fmt.Sprintf("table %q", e.Table)
+	}
+	if e.Offset >= 0 {
+		if e.Length > 0 {
+			return fmt.Sprintf("%s at offset %d (%d bytes): %s", loc, e.Offset, e.Length, e.Reason)
+		}
+		return fmt.Sprintf("%s at offset %d: %s", loc, e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("%s: %s", loc, e.Reason)
+}
+
+// CorruptionReport is the structured result of verifying or salvaging a
+// database image: one entry per damaged (quarantined) region. It doubles
+// as the error returned by strict opens of damaged files, so callers can
+// errors.As for the detail and errors.Is(err, ErrCorrupt) for the class.
+type CorruptionReport struct {
+	// Path is the file the report describes, when read from disk.
+	Path string
+	// Entries lists each damaged region, in file order.
+	Entries []CorruptionEntry
+}
+
+func (r *CorruptionReport) add(e CorruptionEntry) { r.Entries = append(r.Entries, e) }
+
+// Error summarizes the report on one line.
+func (r *CorruptionReport) Error() string {
+	name := r.Path
+	if name == "" {
+		name = "database image"
+	}
+	if len(r.Entries) == 0 {
+		return fmt.Sprintf("storage: %s: corrupt", name)
+	}
+	return fmt.Sprintf("storage: %s: corrupt (%d damaged regions; first: %s)",
+		name, len(r.Entries), r.Entries[0])
+}
+
+// Unwrap makes every report match ErrCorrupt under errors.Is.
+func (r *CorruptionReport) Unwrap() error { return ErrCorrupt }
+
+// String renders the full report, one entry per line.
+func (r *CorruptionReport) String() string {
+	var b strings.Builder
+	name := r.Path
+	if name == "" {
+		name = "database image"
+	}
+	fmt.Fprintf(&b, "%s: %d damaged region(s)\n", name, len(r.Entries))
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

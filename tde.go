@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"tde/internal/exec"
+	"tde/internal/iofault"
 	"tde/internal/plan"
 	"tde/internal/sqlparse"
 	"tde/internal/storage"
@@ -37,6 +38,30 @@ import (
 // ErrBudgetExceeded is returned (wrapped) when a query or import exceeds
 // its memory budget; match it with errors.Is.
 var ErrBudgetExceeded = exec.ErrBudgetExceeded
+
+// ErrCorrupt is matched (errors.Is) by every corruption error an Open
+// reports, at any layer — file trailer, column checksum, or structural
+// damage inside a column's encoded stream. The concrete error usually
+// also carries a *CorruptionReport (errors.As) localizing the damage.
+var ErrCorrupt = storage.ErrCorrupt
+
+// ErrReadOnly is returned by mutating operations on a database that was
+// opened with OpenOptions.Salvage and lost data to quarantine: persisting
+// or extending a partial extract must be an explicit decision (use
+// tdecheck -repair, or storage-level APIs) rather than a silent Save.
+var ErrReadOnly = errors.New("tde: database was salvaged read-only; damaged columns are quarantined")
+
+// CorruptionReport localizes damage found while opening a database:
+// one entry per damaged table/column with byte offsets. It is both the
+// error strict opens return and the report salvage opens produce.
+type CorruptionReport = storage.CorruptionReport
+
+// CorruptionEntry is one damaged region in a CorruptionReport.
+type CorruptionEntry = storage.CorruptionEntry
+
+// UnsupportedVersionError reports a database written by a newer format
+// version than this build understands; the file is likely intact.
+type UnsupportedVersionError = storage.UnsupportedVersionError
 
 // InternalError reports a panic recovered at an engine entry point
 // (Query, ImportCSV, Open): an engine bug or corrupt data that slipped
@@ -71,23 +96,66 @@ func containPanic(qc *exec.QueryCtx, err *error) {
 // terms. It persists as a single file (Sect. 2.3.3).
 type Database struct {
 	tables []*storage.Table
+
+	// salvaged is the corruption report of a Salvage open that lost data;
+	// non-nil makes the database read-only (see ErrReadOnly).
+	salvaged *CorruptionReport
 }
 
 // New returns an empty database.
 func New() *Database { return &Database{} }
 
-// Open loads a single-file database written by Save. Corrupt or truncated
-// files return an error — never a panic: the image is checksummed and
-// structurally validated, and any residual failure is contained as an
-// *InternalError.
-func Open(path string) (db *Database, err error) {
-	defer containPanic(nil, &err)
-	tables, err := storage.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return &Database{tables: tables}, nil
+// OpenOptions control how Open treats a damaged database file.
+type OpenOptions struct {
+	// Verify walks every value of every column at open (beyond the
+	// checksum and structural validation strict opens always perform), so
+	// even damage on an adversarially re-checksummed file surfaces at
+	// open rather than at query time. It costs a full scan.
+	Verify bool
+	// Salvage opens a damaged file anyway: columns and tables that fail
+	// their checksums are quarantined (detailed in the returned
+	// CorruptionReport) and the intact remainder is opened read-only.
+	Salvage bool
 }
+
+// Open loads a single-file database written by Save. Corrupt or truncated
+// files return an error — never a panic: the image is checksummed (per
+// column in format v2) and structurally validated, and any residual
+// failure is contained as an *InternalError. The error matches ErrCorrupt
+// and carries a *CorruptionReport localizing the damage; to open the
+// intact remainder of a damaged file, use OpenWithOptions with Salvage.
+func Open(path string) (*Database, error) {
+	db, _, err := OpenWithOptions(path, OpenOptions{})
+	return db, err
+}
+
+// OpenWithOptions loads a single-file database under opt. The report is
+// non-nil exactly when damage was found: without Salvage the open also
+// fails with that report as the error; with Salvage the database contains
+// every intact table and column, is marked read-only, and err is nil.
+func OpenWithOptions(path string, opt OpenOptions) (db *Database, rep *CorruptionReport, err error) {
+	defer containPanic(nil, &err)
+	tables, rep, err := storage.ReadFileFS(iofault.OS, path, storage.ReadOptions{
+		Salvage:    opt.Salvage,
+		DeepVerify: opt.Verify,
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	db = &Database{tables: tables}
+	if rep != nil && len(rep.Entries) > 0 {
+		db.salvaged = rep
+	}
+	return db, rep, nil
+}
+
+// Corruption returns the report of the salvage open that produced this
+// database, or nil if it was opened clean.
+func (db *Database) Corruption() *CorruptionReport { return db.salvaged }
+
+// ReadOnly reports whether the database refuses mutation because a
+// salvage open quarantined data.
+func (db *Database) ReadOnly() bool { return db.salvaged != nil }
 
 // Save writes the database as one file, the only on-disk format
 // (Sect. 2.3.3: the user must be able to pick the database in a file
@@ -97,6 +165,9 @@ func Open(path string) (db *Database, err error) {
 // directory which is fsynced and atomically renamed over the destination,
 // so a crash mid-save never corrupts an existing extract.
 func (db *Database) Save(path string) (err error) {
+	if db.salvaged != nil {
+		return fmt.Errorf("%w: %d damaged regions", ErrReadOnly, len(db.salvaged.Entries))
+	}
 	defer containPanic(nil, &err)
 	return storage.WriteFile(path, db.tables)
 }
@@ -177,6 +248,9 @@ func (db *Database) ImportCSV(table string, data []byte, opt ImportOptions) erro
 // *InternalError.
 func (db *Database) ImportCSVContext(ctx context.Context, table string, data []byte,
 	opt ImportOptions, qopt QueryOptions) (err error) {
+	if db.salvaged != nil {
+		return ErrReadOnly
+	}
 	if db.lookup(table) != nil {
 		return fmt.Errorf("tde: table %q already exists", table)
 	}
@@ -251,6 +325,9 @@ func (db *Database) AddTable(t *storage.Table) { db.tables = append(db.tables, t
 // calculations on the column are pushed down to its (small) domain. Most
 // valuable for dimension columns like dates.
 func (db *Database) CompressColumn(table, column string) error {
+	if db.salvaged != nil {
+		return ErrReadOnly
+	}
 	t := db.lookup(table)
 	if t == nil {
 		return fmt.Errorf("tde: unknown table %q", table)
