@@ -24,6 +24,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzStorageRead -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -fuzz=FuzzSalvageOpen -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -fuzz=FuzzSQLParse -fuzztime=$(FUZZTIME) ./internal/sqlparse/
+	$(GO) test -fuzz=FuzzSpillRead -fuzztime=$(FUZZTIME) ./internal/spill/
 
 # Crash-consistency sweep: kill a save at every injectable point and
 # require the on-disk file to be exactly the old or the new image.

@@ -7,6 +7,7 @@ package tde
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -572,6 +573,31 @@ func BenchmarkParallelAgg_Serial(b *testing.B)    { benchParallelQuery(b, parall
 func BenchmarkParallelAgg_4Workers(b *testing.B)  { benchParallelQuery(b, parallelAggSQL, 4) }
 func BenchmarkParallelJoin_Serial(b *testing.B)   { benchParallelQuery(b, parallelJoinSQL, -1) }
 func BenchmarkParallelJoin_4Workers(b *testing.B) { benchParallelQuery(b, parallelJoinSQL, 4) }
+
+// Spill pair: a high-cardinality aggregation run fully in memory and
+// under a budget tight enough to force the partitioned spill-to-disk
+// path, quantifying the cost of graceful degradation.
+const spillAggSQL = `SELECT l_orderkey, COUNT(*), SUM(l_quantity)
+	FROM lineitem GROUP BY l_orderkey`
+
+func benchSpillQuery(b *testing.B, mem int64) {
+	db := parallelBenchDB(b)
+	opt := QueryOptions{MemoryBudget: mem, SpillBudget: 1 << 30}
+	opt.Plan.ParallelWorkers = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.QueryContext(context.Background(), spillAggSQL, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mem > 0 && len(res.Stats().Spill) == 0 {
+			b.Fatal("budgeted run did not spill; the benchmark is not measuring degradation")
+		}
+	}
+}
+
+func BenchmarkParallelSpillAgg_InMemory(b *testing.B) { benchSpillQuery(b, 0) }
+func BenchmarkParallelSpillAgg_Spilling(b *testing.B) { benchSpillQuery(b, 512<<10) }
 
 // Import pair: the block-pipeline parse (Sect. 5.1.2) against the serial
 // scan over the shared SF 0.01 corpus.

@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"tde/internal/iofault"
+	"tde/internal/spill"
 	"tde/internal/storage"
 )
 
@@ -73,6 +74,11 @@ func main() {
 
 	if !*repair {
 		os.Exit(1)
+	}
+	// Repair mode also sweeps spill temp dirs orphaned by crashed queries
+	// (recognizable by the tde-spill- prefix); a no-op when none exist.
+	if n, err := spill.Sweep(os.TempDir(), 0); err == nil && n > 0 {
+		fmt.Printf("removed %d orphaned spill dir(s)\n", n)
 	}
 	dst := *out
 	if dst == "" {

@@ -60,6 +60,7 @@ func main() {
 	interactive := flag.Bool("i", false, "interactive shell (reads statements from stdin)")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit (e.g. 30s; 0 = none)")
 	mem := flag.String("mem", "", "per-query memory budget (e.g. 64M, 1G; empty = unlimited)")
+	spillArg := flag.String("spill", "", "per-query spill-to-disk budget (e.g. 256M, 4G; empty = no spilling, budget errors fail fast)")
 	workers := flag.Int("workers", 0, "parallel workers per query stage (>0 force, 0 auto, <0 serial)")
 	verify := flag.Bool("verify", false, "fully verify every column value at open (catches damage beyond checksums)")
 	salvage := flag.Bool("salvage", false, "open a damaged database read-only, quarantining damaged columns")
@@ -74,7 +75,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tdequery:", err)
 		os.Exit(2)
 	}
-	qopt := tde.QueryOptions{Timeout: *timeout, MemoryBudget: budget}
+	spillBudget, err := parseBytes(*spillArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdequery:", err)
+		os.Exit(2)
+	}
+	qopt := tde.QueryOptions{Timeout: *timeout, MemoryBudget: budget, SpillBudget: spillBudget}
 	qopt.Plan.ParallelWorkers = *workers
 	db, rep, err := tde.OpenWithOptions(*dbPath, tde.OpenOptions{Verify: *verify, Salvage: *salvage})
 	if err != nil {

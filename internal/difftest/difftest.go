@@ -8,6 +8,7 @@ package difftest
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -29,6 +30,13 @@ type Config struct {
 	Workers []int
 	// Routings lists Options.Routing overrides (>0 preserve, <0 free).
 	Routings []int
+	// MemoryBudget caps each variant query's memory (0 = unlimited); the
+	// serial oracle always runs unbudgeted, so a budget exercises the
+	// spill-to-disk degradation paths against an in-memory ground truth.
+	MemoryBudget int64
+	// SpillBudget is the variants' spill-to-disk allowance (0 = no
+	// spilling; budget overruns then fail the run as mismatches).
+	SpillBudget int64
 }
 
 // DefaultConfig covers workers 1, 2 and 8 with both routings — the
@@ -60,6 +68,9 @@ type Report struct {
 	Queries     int
 	Comparisons int
 	Mismatches  []Mismatch
+	// Spilled counts variant queries that actually degraded to disk
+	// (meaningful only with a MemoryBudget set).
+	Spilled int
 }
 
 // BuildDatabase imports lineitem + orders at the given TPC-H scale factor
@@ -133,11 +144,18 @@ func Run(db *tde.Database, cfg Config) (*Report, error) {
 			for _, r := range cfg.Routings {
 				opt := plan.Options{ParallelWorkers: w, Routing: r}
 				rep.Comparisons++
-				got, err := db.QueryWithOptions(sql, opt)
+				got, err := db.QueryContext(context.Background(), sql, tde.QueryOptions{
+					Plan:         opt,
+					MemoryBudget: cfg.MemoryBudget,
+					SpillBudget:  cfg.SpillBudget,
+				})
 				if err != nil {
 					rep.Mismatches = append(rep.Mismatches, Mismatch{
 						SQL: sql, Opt: opt, Detail: fmt.Sprintf("query error: %v", err)})
 					continue
+				}
+				if len(got.Stats().Spill) > 0 {
+					rep.Spilled++
 				}
 				if d := diffRows(want, canonicalRows(got.Rows)); d != "" {
 					rep.Mismatches = append(rep.Mismatches, Mismatch{SQL: sql, Opt: opt, Detail: d})

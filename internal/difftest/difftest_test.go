@@ -42,6 +42,39 @@ func TestDifferentialQueries(t *testing.T) {
 		rep.Queries, rep.Comparisons, len(rep.Mismatches))
 }
 
+// TestDifferentialSpill reruns the differential sweep under memory
+// budgets tight enough to force spill-to-disk degradation: every variant
+// — serial and parallel alike — must still be row-set-identical to the
+// unbudgeted serial oracle, and at least one query must actually have
+// spilled (otherwise the budget was too loose to test anything).
+func TestDifferentialSpill(t *testing.T) {
+	queries := 25
+	if *long {
+		queries = 80
+	}
+	db, err := BuildDatabase(0.003, 6000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{256 << 10, 1 << 20} {
+		cfg := DefaultConfig(11, queries)
+		cfg.MemoryBudget = budget
+		cfg.SpillBudget = 1 << 30
+		rep, err := Run(db, cfg)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		for _, m := range rep.Mismatches {
+			t.Errorf("budget %d: mismatch: %s", budget, m)
+		}
+		if rep.Spilled == 0 {
+			t.Errorf("budget %d: no query spilled; the budget is too loose to exercise degradation", budget)
+		}
+		t.Logf("budget %d: %d queries, %d comparisons, %d spilled, %d mismatches",
+			budget, rep.Queries, rep.Comparisons, rep.Spilled, len(rep.Mismatches))
+	}
+}
+
 // TestGeneratorShape spot-checks the grammar: every draw parses (the
 // oracle in Run would otherwise fail late), stays on known tables, and
 // every LIMIT is preceded by an ORDER BY so the cut is deterministic.

@@ -112,10 +112,11 @@ type aggCore struct {
 	strAccs  []*heap.Accelerator
 
 	// budget cost model
-	groupCost int
-	perRow    int
-	heapBytes int
-	charged   int
+	groupCost    int
+	perRow       int
+	heapBytes    int
+	charged      int
+	directCharge int // the direct table's up-front charge, kept across evictions
 }
 
 // newAggCore sets up the grouping state for the chosen mode; the direct
@@ -132,6 +133,7 @@ func newAggCore(in []ColInfo, keyCols []int, specs []AggSpec, chosen AggMode, op
 			return nil, err
 		}
 		c.charged += int(md.Max-md.Min+1) * 8
+		c.directCharge = c.charged
 		c.direct = make([]int, md.Max-md.Min+1)
 	case AggOrdered:
 		c.curKeys = make([]uint64, len(keyCols))
@@ -541,6 +543,12 @@ type Aggregate struct {
 
 	core   *aggCore
 	emitAt int
+
+	// spill-to-disk degradation state
+	qc    *QueryCtx
+	sp    *aggSpill
+	spool *orderedSpool
+	em    *aggSpillEmitter
 }
 
 // NewAggregate groups child by keyCols computing specs. mode AggAuto lets
@@ -616,18 +624,36 @@ func (a *Aggregate) chooseMode() AggMode {
 }
 
 // Open implements Operator: stop-and-go, so all grouping happens here.
-func (a *Aggregate) Open(qc *QueryCtx) error {
+// When a charge is denied and a spill budget is set, the operator
+// degrades instead of failing: hash/direct mode evicts partitioned
+// partial groups to disk, ordered mode spools finished output rows.
+func (a *Aggregate) Open(qc *QueryCtx) (err error) {
 	qc.Trace("Aggregate")
+	a.qc = qc
+	a.emitAt = 0
+	defer func() {
+		if err != nil {
+			a.cleanup()
+		}
+	}()
 	if err := a.child.Open(qc); err != nil {
 		return err
 	}
 	defer a.child.Close()
 	a.chosen = a.chooseMode()
-	a.emitAt = 0
 	core, err := newAggCore(a.child.Schema(), a.keyCols, a.specs, a.chosen, "Aggregate", qc)
 	if err != nil {
-		return err
+		if a.chosen != AggDirect || !spillableErr(qc, err) {
+			return err
+		}
+		// The direct table alone blows the budget: fall back to hash
+		// mode, which can evict.
+		a.chosen = AggHash
+		if core, err = newAggCore(a.child.Schema(), a.keyCols, a.specs, AggHash, "Aggregate", qc); err != nil {
+			return err
+		}
 	}
+	a.core = core
 	b := vec.NewBlock(len(a.child.Schema()))
 	for {
 		ok, err := a.child.Next(b)
@@ -638,17 +664,61 @@ func (a *Aggregate) Open(qc *QueryCtx) error {
 			break
 		}
 		core.internStrings(b)
-		if err := core.consumeBlock(qc, b); err != nil {
-			return err
+		if cerr := core.consumeBlock(qc, b); cerr != nil {
+			if !spillableErr(qc, cerr) {
+				return cerr
+			}
+			if a.chosen == AggOrdered {
+				if a.spool == nil {
+					a.spool = newOrderedSpool(qc, "Aggregate", a.child.Schema(), a.keyCols, a.specs, a.schema)
+				}
+				if serr := a.spool.spool(core); serr != nil {
+					return serr
+				}
+			} else {
+				if a.sp == nil {
+					a.sp = newAggSpill(qc, "Aggregate", a.child.Schema(), a.keyCols, a.specs)
+				}
+				if serr := a.sp.evict(core); serr != nil {
+					return serr
+				}
+			}
 		}
 	}
 	core.finish()
-	a.core = core
+	if a.sp != nil && a.sp.spilled {
+		work, err := a.sp.finishConsume(core)
+		if err != nil {
+			return err
+		}
+		core.release(qc)
+		a.core = nil
+		a.em = &aggSpillEmitter{sp: a.sp, out: a.schema, work: work}
+		return nil
+	}
+	if a.spool != nil {
+		if err := a.spool.finish(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Next implements Operator: emits one block of groups.
 func (a *Aggregate) Next(b *vec.Block) (bool, error) {
+	if a.em != nil {
+		return a.em.next(b)
+	}
+	if a.spool != nil {
+		ok, err := a.spool.next(b)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		// spool drained; fall through to the in-memory tail
+	}
 	n := a.core.emit(b, a.emitAt, a.schema)
 	if n == 0 {
 		return false, nil
@@ -716,12 +786,29 @@ func finishAcc(ac *acc, s AggSpec, t types.Type) uint64 {
 
 // Close implements Operator.
 func (a *Aggregate) Close() error {
-	if a.core != nil {
-		a.core.groups = nil
-		a.core.lookup = nil
-		a.core.direct = nil
-	}
+	a.cleanup()
 	return nil
+}
+
+// cleanup releases the group state's charges and removes any spill
+// files this operator still owns.
+func (a *Aggregate) cleanup() {
+	if a.core != nil {
+		a.core.release(a.qc)
+		a.core = nil
+	}
+	if a.em != nil {
+		a.em.close()
+		a.em = nil
+	}
+	if a.sp != nil {
+		a.sp.cleanup()
+		a.sp = nil
+	}
+	if a.spool != nil {
+		a.spool.close()
+		a.spool = nil
+	}
 }
 
 // NumGroups returns the group count (valid after Open).

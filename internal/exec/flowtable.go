@@ -64,6 +64,23 @@ type FlowTable struct {
 
 	built *Built
 	scan  *BuiltScan
+
+	// memory accounting: cost is the full build footprint, charged the
+	// first time BuildTable runs and re-charged on cache hits under a new
+	// query context; charged is what this table currently holds.
+	qc      *QueryCtx
+	charged int
+	cost    int
+}
+
+// SpillChild implements SpillSource: the grace hash join re-streams the
+// inner side from the materialized table when it exists, else from the
+// (re-openable) child pipeline.
+func (f *FlowTable) SpillChild() Operator {
+	if f.built != nil {
+		return NewBuiltScan(f.built)
+	}
+	return f.child
 }
 
 // NewFlowTable materializes child with cfg.
@@ -90,9 +107,25 @@ type columnBuilder struct {
 // materialized, post-processed table.
 func (f *FlowTable) BuildTable(qc *QueryCtx) (*Built, error) {
 	if f.built != nil {
+		// Cache hit under a fresh query context (shared plans): re-charge
+		// the build footprint so the new query's accountant sees it.
+		if f.charged == 0 && f.cost > 0 {
+			if err := qc.Charge("FlowTable", f.cost); err != nil {
+				return nil, err
+			}
+			f.charged = f.cost
+			f.qc = qc
+		}
 		return f.built, nil
 	}
 	qc.Trace("FlowTable")
+	defer func() {
+		// A failed build must not leak its partial charges.
+		if f.built == nil && f.charged > 0 {
+			qc.Release(f.charged)
+			f.charged = 0
+		}
+	}()
 	if err := f.child.Open(qc); err != nil {
 		return nil, err
 	}
@@ -194,9 +227,11 @@ func (f *FlowTable) BuildTable(qc *QueryCtx) (*Built, error) {
 				grown += cb.outHeap.Size()
 			}
 		}
-		if err := qc.Charge("FlowTable", rowFootprint(b.N, len(builders))+(grown-heapBytes)); err != nil {
+		n := rowFootprint(b.N, len(builders)) + (grown - heapBytes)
+		if err := qc.Charge("FlowTable", n); err != nil {
 			return nil, err
 		}
+		f.charged += n
 		heapBytes = grown
 	}
 
@@ -209,6 +244,8 @@ func (f *FlowTable) BuildTable(qc *QueryCtx) (*Built, error) {
 	}
 	f.built = bt
 	f.schema = bt.Schema()
+	f.cost = f.charged
+	f.qc = qc
 	return bt, nil
 }
 
@@ -328,8 +365,13 @@ func (f *FlowTable) Next(b *vec.Block) (bool, error) {
 	return f.scan.Next(b)
 }
 
-// Close implements Operator.
+// Close implements Operator: releases the materialized table's memory
+// charges back to the query that paid for them.
 func (f *FlowTable) Close() error {
+	if f.charged > 0 {
+		f.qc.Release(f.charged)
+		f.charged = 0
+	}
 	if f.scan != nil {
 		return f.scan.Close()
 	}

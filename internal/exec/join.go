@@ -87,6 +87,13 @@ type HashJoin struct {
 	buf *vec.Block
 	ex  *Exchange // parallel probe (Workers > 1), nil on the serial path
 	qc  *QueryCtx
+
+	// charged tracks this operator's accountant charges so Close (and the
+	// grace fallback) can return them.
+	charged int
+	// grace is the spill-to-disk fallback state when the in-memory build
+	// exceeded the memory budget (nil on the in-memory path).
+	grace *graceJoin
 }
 
 // NewHashJoin joins outer to inner on outer column outerKey = inner column
@@ -148,11 +155,62 @@ func (j *HashJoin) Schema() []ColInfo {
 // Algo returns the algorithm actually chosen (valid after Open).
 func (j *HashJoin) Algo() JoinAlgo { return j.chosen }
 
+// charge routes a charge through the accountant and tracks it for
+// release on Close.
+func (j *HashJoin) charge(qc *QueryCtx, n int) error {
+	if err := qc.Charge("HashJoin", n); err != nil {
+		return err
+	}
+	j.charged += n
+	return nil
+}
+
+// releaseBuild drops the lookup structures and returns their charges —
+// the first step of degrading to a grace join.
+func (j *HashJoin) releaseBuild(qc *QueryCtx) {
+	j.direct = nil
+	j.table = nil
+	j.shards = nil
+	j.strTable = nil
+	j.innerCol = nil
+	qc.Release(j.charged)
+	j.charged = 0
+}
+
+// spillInnerSource returns an operator that re-streams the inner rows
+// for grace partitioning, or nil when the inner side cannot be
+// re-streamed.
+func (j *HashJoin) spillInnerSource() Operator {
+	if j.built != nil {
+		return NewBuiltScan(j.built)
+	}
+	if ss, ok := j.inner.(SpillSource); ok {
+		return ss.SpillChild()
+	}
+	return nil
+}
+
 // Open implements Operator: materializes the inner side and builds the
-// lookup structure the metadata admits.
+// lookup structure the metadata admits. When a charge is denied and a
+// spill budget is set, the join degrades to a grace hash join over
+// partitioned spill files instead of failing.
 func (j *HashJoin) Open(qc *QueryCtx) error {
 	qc.Trace("HashJoin")
 	j.qc = qc
+	err := j.openBuilt(qc)
+	if err == nil || !spillableErr(qc, err) {
+		return err
+	}
+	src := j.spillInnerSource()
+	if src == nil {
+		return err
+	}
+	j.releaseBuild(qc)
+	return j.openGrace(qc, src)
+}
+
+// openBuilt is the in-memory build path.
+func (j *HashJoin) openBuilt(qc *QueryCtx) error {
 	bt, err := j.inner.BuildTable(qc)
 	if err != nil {
 		return err
@@ -189,7 +247,7 @@ func (j *HashJoin) Open(qc *QueryCtx) error {
 		}
 	case JoinDirect:
 		j.dmin = md.Min
-		if err := qc.Charge("HashJoin", int(md.Max-md.Min+1)*4); err != nil {
+		if err := j.charge(qc, int(md.Max-md.Min+1)*4); err != nil {
 			return err
 		}
 		j.direct = make([]int32, md.Max-md.Min+1)
@@ -211,7 +269,7 @@ func (j *HashJoin) Open(qc *QueryCtx) error {
 			return err
 		}
 		// Chained hash table: ~2 words per entry on top of the key vector.
-		if err := qc.Charge("HashJoin", len(j.innerCol)*16); err != nil {
+		if err := j.charge(qc, len(j.innerCol)*16); err != nil {
 			return err
 		}
 		if err := j.buildHashTable(); err != nil {
@@ -361,7 +419,7 @@ func (j *HashJoin) openStringJoin(qc *QueryCtx, key *BuiltColumn) error {
 		return err
 	}
 	// Two hash tables (token and content keyed), ~2 words per entry each.
-	if err := qc.Charge("HashJoin", len(j.innerCol)*32); err != nil {
+	if err := j.charge(qc, len(j.innerCol)*32); err != nil {
 		return err
 	}
 	for r, tok := range j.innerCol {
@@ -406,7 +464,7 @@ func (j *HashJoin) probeString(tok uint64, h *heap.Heap) int {
 
 func (j *HashJoin) decodeInnerKey(qc *QueryCtx, key *BuiltColumn) error {
 	n := key.Data.Len()
-	if err := qc.Charge("HashJoin", n*8); err != nil {
+	if err := j.charge(qc, n*8); err != nil {
 		return err
 	}
 	j.innerCol = make([]uint64, n)
@@ -433,6 +491,9 @@ func (j *HashJoin) decodeInnerKey(qc *QueryCtx, key *BuiltColumn) error {
 
 // Next implements Operator.
 func (j *HashJoin) Next(b *vec.Block) (bool, error) {
+	if j.grace != nil {
+		return j.grace.next(b)
+	}
 	if j.ex != nil {
 		return j.ex.Next(b)
 	}
@@ -539,7 +600,21 @@ func (j *HashJoin) Close() error {
 	j.direct = nil
 	j.table = nil
 	j.shards = nil
+	j.strTable = nil
 	j.innerCol = nil
+	j.qc.Release(j.charged)
+	j.charged = 0
+	// The inner table source holds materialized (and charged) state that
+	// nothing else owns once the join is done.
+	if c, ok := j.inner.(interface{ Close() error }); ok {
+		_ = c.Close()
+	}
+	if j.grace != nil {
+		g := j.grace
+		j.grace = nil
+		g.cleanup()
+		return nil // grace closed the outer child after partitioning it
+	}
 	if j.ex != nil {
 		ex := j.ex
 		j.ex = nil

@@ -1,0 +1,141 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"tde/internal/storage"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// runLeakChecked opens op under qc, drains it, closes it, and then
+// asserts the memory accountant is back to zero — the leak oracle every
+// operator must satisfy on success and on every failure path alike.
+func runLeakChecked(t *testing.T, name string, qc *QueryCtx, op Operator) error {
+	t.Helper()
+	err := func() error {
+		if err := op.Open(qc); err != nil {
+			return err
+		}
+		b := vec.NewBlock(len(op.Schema()))
+		for {
+			ok, err := op.Next(b)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}()
+	if cerr := op.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if used := qc.Used(); used != 0 {
+		t.Errorf("%s: %d bytes still charged after Close (err=%v)", name, used, err)
+	}
+	qc.CleanupSpill()
+	return err
+}
+
+// leakTables builds a fact table big enough that tiny budgets fail and a
+// dimension to join it with.
+func leakTables() (fact, dim *storage.Table) {
+	n := 6000
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	strs := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = int64(i % 2000)
+		vals[i] = int64(i % 97)
+		strs[i] = "name-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+	}
+	fact = makeTable("fact",
+		makeIntColumn("k", types.Integer, keys),
+		makeIntColumn("v", types.Integer, vals),
+		makeStringColumn("s", strs))
+	dn := 2000
+	dkeys := make([]int64, dn)
+	dstrs := make([]string, dn)
+	for i := 0; i < dn; i++ {
+		dkeys[i] = int64(i)
+		dstrs[i] = "dim-" + string(rune('a'+i%26))
+	}
+	dim = makeTable("dim",
+		makeIntColumn("dkey", types.Integer, dkeys),
+		makeStringColumn("dval", dstrs))
+	return fact, dim
+}
+
+// TestOperatorsReleaseAllMemory drives every stop-and-go operator through
+// success, fail-fast budget denial, spilling completion, and disk-budget
+// exhaustion, requiring the accountant to read zero after Close in every
+// case — including mid-query failures.
+func TestOperatorsReleaseAllMemory(t *testing.T) {
+	fact, dim := leakTables()
+	mustScan := func(tab *storage.Table) Operator {
+		s, err := NewScan(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	specs := []AggSpec{{Func: Count, Col: -1, Name: "n"}, {Func: Sum, Col: 1, Name: "sv"},
+		{Func: Min, Col: 2, Name: "ms"}}
+	ops := map[string]func() Operator{
+		"agg-hash": func() Operator {
+			return NewAggregate(mustScan(fact), []int{0}, specs, AggHash)
+		},
+		"agg-ordered": func() Operator {
+			// the fact scan is not sorted by col 2, but ordered mode only
+			// needs *a* grouping; use col 0 of the dim (unique, sorted)
+			return NewAggregate(mustScan(dim), []int{0}, []AggSpec{
+				{Func: Count, Col: -1, Name: "n"}, {Func: Min, Col: 1, Name: "mv"}}, AggOrdered)
+		},
+		"agg-parallel": func() Operator {
+			return NewParallelAggregate(mustScan(fact), []int{0}, specs, 4)
+		},
+		"sort": func() Operator {
+			return NewSort(mustScan(fact), SortKey{Col: 2}, SortKey{Col: 1}, SortKey{Col: 0})
+		},
+		"topn": func() Operator {
+			return NewTopN(mustScan(fact), 64, SortKey{Col: 2}, SortKey{Col: 0})
+		},
+		"flowtable": func() Operator {
+			return NewFlowTable(mustScan(fact), DefaultFlowTableConfig())
+		},
+		"hash-join": func() Operator {
+			ft := NewFlowTable(mustScan(dim), DefaultFlowTableConfig())
+			return NewHashJoin(mustScan(fact), ft, 0, 0, JoinHash)
+		},
+	}
+	for name, mk := range ops {
+		t.Run(name, func(t *testing.T) {
+			// Success, unbudgeted.
+			if err := runLeakChecked(t, name+"/ok", NewQueryCtx(nil, 0), mk()); err != nil {
+				t.Fatalf("unbudgeted run failed: %v", err)
+			}
+			// Fail-fast: a budget far too small and no spilling. The
+			// operator may or may not error (small state fits), but must
+			// not leak either way.
+			err := runLeakChecked(t, name+"/fail-fast", NewQueryCtx(nil, 16<<10), mk())
+			if err != nil && !errors.Is(err, ErrBudgetExceeded) {
+				t.Fatalf("fail-fast run returned a non-budget error: %v", err)
+			}
+			// Spilling completion: same budget, generous disk.
+			qc := NewQueryCtxSpill(nil, 16<<10, SpillConfig{Budget: 1 << 30, Dir: t.TempDir()})
+			if err := runLeakChecked(t, name+"/spill", qc, mk()); err != nil &&
+				!errors.Is(err, ErrBudgetExceeded) {
+				t.Fatalf("spilling run failed: %v", err)
+			}
+			// Disk exhaustion: spilling allowed but the disk budget is
+			// consumed almost immediately.
+			qc = NewQueryCtxSpill(nil, 16<<10, SpillConfig{Budget: 1 << 10, Dir: t.TempDir()})
+			if err := runLeakChecked(t, name+"/disk-full", qc, mk()); err != nil &&
+				!errors.Is(err, ErrBudgetExceeded) {
+				t.Fatalf("disk-full run returned a non-budget error: %v", err)
+			}
+		})
+	}
+}

@@ -74,6 +74,9 @@ type TopN struct {
 	rows   *rowHeap
 	sorted [][]uint64
 	at     int
+
+	qc      *QueryCtx
+	charged int
 }
 
 // NewTopN keeps the n first rows of child under keys.
@@ -113,8 +116,15 @@ func (h *rowHeap) Pop() any {
 }
 
 // Open implements Operator: consume everything, retaining n rows.
-func (t *TopN) Open(qc *QueryCtx) error {
+func (t *TopN) Open(qc *QueryCtx) (err error) {
 	qc.Trace("TopN")
+	t.qc = qc
+	defer func() {
+		if err != nil && t.charged > 0 {
+			qc.Release(t.charged)
+			t.charged = 0
+		}
+	}()
 	if err := t.child.Open(qc); err != nil {
 		return err
 	}
@@ -154,9 +164,11 @@ func (t *TopN) Open(qc *QueryCtx) error {
 		}
 		// The retained set is bounded by n rows; charge only its growth.
 		if h.Len() > retained {
-			if err := qc.Charge("TopN", rowFootprint(h.Len()-retained, nc)); err != nil {
+			n := rowFootprint(h.Len()-retained, nc)
+			if err := qc.Charge("TopN", n); err != nil {
 				return err
 			}
+			t.charged += n
 			retained = h.Len()
 		}
 	}
@@ -275,6 +287,10 @@ func (t *TopN) Next(b *vec.Block) (bool, error) {
 
 // Close implements Operator.
 func (t *TopN) Close() error {
+	if t.charged > 0 {
+		t.qc.Release(t.charged)
+		t.charged = 0
+	}
 	t.sorted = nil
 	t.rows = nil
 	return nil

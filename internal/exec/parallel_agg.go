@@ -28,6 +28,11 @@ type ParallelAggregate struct {
 
 	core   *aggCore // merged partials, valid after Open
 	emitAt int
+
+	// spill-to-disk degradation state (shared by all workers)
+	qc *QueryCtx
+	sp *aggSpill
+	em *aggSpillEmitter
 }
 
 // NewParallelAggregate groups child by keyCols with the given worker
@@ -61,19 +66,36 @@ func (p *ParallelAggregate) NumGroups() int {
 
 // Open implements Operator: runs the full partial-aggregate/merge
 // pipeline, stop-and-go.
-func (p *ParallelAggregate) Open(qc *QueryCtx) error {
+func (p *ParallelAggregate) Open(qc *QueryCtx) (err error) {
 	qc.Trace("ParallelAggregate")
+	p.qc = qc
+	p.emitAt = 0
+	defer func() {
+		if err != nil {
+			p.cleanup()
+		}
+	}()
 	if err := p.child.Open(qc); err != nil {
 		return err
 	}
 	defer p.child.Close()
-	p.emitAt = 0
 	in := p.child.Schema()
+	if qc.SpillEnabled() {
+		p.sp = newAggSpill(qc, "ParallelAggregate", in, p.keyCols, p.specs)
+	}
 
 	cores := make([]*aggCore, p.workers)
+	release := func() {
+		for _, c := range cores {
+			if c != nil {
+				c.release(qc)
+			}
+		}
+	}
 	for i := range cores {
 		c, err := newAggCore(in, p.keyCols, p.specs, AggHash, "ParallelAggregate", qc)
 		if err != nil {
+			release()
 			return err
 		}
 		cores[i] = c
@@ -133,6 +155,15 @@ func (p *ParallelAggregate) Open(qc *QueryCtx) error {
 				}
 				core.internStrings(b)
 				if err := core.consumeBlock(qc, b); err != nil {
+					if p.sp != nil && spillableErr(qc, err) {
+						// evict this worker's partial groups and keep
+						// pulling morsels
+						if serr := p.sp.evict(core); serr != nil {
+							setErr(serr)
+							return
+						}
+						continue
+					}
 					setErr(err)
 					return
 				}
@@ -141,23 +172,47 @@ func (p *ParallelAggregate) Open(qc *QueryCtx) error {
 	}
 	wg.Wait()
 	if err := loadErr(); err != nil {
+		release()
 		return err
 	}
 
 	merged := cores[0]
 	for _, c := range cores[1:] {
 		if err := merged.mergeFrom(c, qc); err != nil {
-			return err
+			if p.sp == nil || !spillableErr(qc, err) {
+				release()
+				return err
+			}
+			// merged already holds this partial's groups (mergeFrom folds
+			// before charging): evict the union and carry on merging
+			if serr := p.sp.evict(merged); serr != nil {
+				release()
+				return serr
+			}
 		}
 		c.release(qc) // the partial's memory is garbage after the merge
 	}
 	merged.finish()
+	cores = nil // merged's charge is owned by p.core / the emitter below
+	if p.sp != nil && p.sp.spilled {
+		work, err := p.sp.finishConsume(merged)
+		if err != nil {
+			merged.release(qc)
+			return err
+		}
+		merged.release(qc)
+		p.em = &aggSpillEmitter{sp: p.sp, out: p.schema, work: work}
+		return nil
+	}
 	p.core = merged
 	return nil
 }
 
 // Next implements Operator: emits one block of merged groups.
 func (p *ParallelAggregate) Next(b *vec.Block) (bool, error) {
+	if p.em != nil {
+		return p.em.next(b)
+	}
 	n := p.core.emit(b, p.emitAt, p.schema)
 	if n == 0 {
 		return false, nil
@@ -168,10 +223,23 @@ func (p *ParallelAggregate) Next(b *vec.Block) (bool, error) {
 
 // Close implements Operator.
 func (p *ParallelAggregate) Close() error {
-	if p.core != nil {
-		p.core.groups = nil
-		p.core.lookup = nil
-		p.core.direct = nil
-	}
+	p.cleanup()
 	return nil
+}
+
+// cleanup releases the merged core's charges and removes any spill files
+// this operator still owns.
+func (p *ParallelAggregate) cleanup() {
+	if p.core != nil {
+		p.core.release(p.qc)
+		p.core = nil
+	}
+	if p.em != nil {
+		p.em.close()
+		p.em = nil
+	}
+	if p.sp != nil {
+		p.sp.cleanup()
+		p.sp = nil
+	}
 }

@@ -4,7 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
+
+	"tde/internal/iofault"
+	"tde/internal/spill"
 )
 
 // QueryCtx is the per-query lifecycle handle threaded through the operator
@@ -26,18 +32,241 @@ type QueryCtx struct {
 	// op names the most recently opened operator, so the engine's panic
 	// boundary can report where an internal failure happened.
 	op atomic.Value // string
+
+	// Spill state: a disk budget mirroring the memory accountant, a
+	// lazily created per-query spill.Manager, and per-operator stats.
+	spillCfg  SpillConfig
+	spillUsed atomic.Int64
+	spillPeak atomic.Int64
+
+	spillMu    sync.Mutex
+	spillMgr   *spill.Manager
+	spillStats map[string]*OpSpillStats
+}
+
+// SpillConfig configures graceful degradation for one query: when Budget
+// is nonzero, stop-and-go operators that would exceed the memory budget
+// evict state to compressed spill files instead of failing.
+type SpillConfig struct {
+	// Budget caps the spill bytes on disk (0 disables spilling, restoring
+	// fail-fast budget errors).
+	Budget int64
+	// Dir is the base directory for the per-query tde-spill-* temp dir
+	// ("" = os.TempDir()).
+	Dir string
+	// FS routes spill I/O; nil means iofault.OS. Tests inject faults here.
+	FS iofault.FS
+}
+
+// OpSpillStats aggregates one operator's spill activity; fields are
+// updated atomically (parallel aggregation workers share one).
+type OpSpillStats struct {
+	IO spill.Stats
+	// Spills counts eviction events (partition evictions, sorted runs).
+	Spills int64
+	// Partitions counts spill partitions/runs created.
+	Partitions int64
+	// MaxDepth is the deepest recursive re-partitioning level reached.
+	MaxDepth int64
+}
+
+// AddSpill records one eviction event.
+func (s *OpSpillStats) AddSpill() { atomic.AddInt64(&s.Spills, 1) }
+
+// AddPartitions records n new partition or run files.
+func (s *OpSpillStats) AddPartitions(n int) { atomic.AddInt64(&s.Partitions, int64(n)) }
+
+// NoteDepth raises MaxDepth to d.
+func (s *OpSpillStats) NoteDepth(d int) {
+	for {
+		cur := atomic.LoadInt64(&s.MaxDepth)
+		if int64(d) <= cur || atomic.CompareAndSwapInt64(&s.MaxDepth, cur, int64(d)) {
+			return
+		}
+	}
 }
 
 // NewQueryCtx builds a lifecycle handle from ctx with a byte budget
 // (0 = unlimited). ctx may be nil, meaning context.Background().
 func NewQueryCtx(ctx context.Context, budgetBytes int64) *QueryCtx {
+	return NewQueryCtxSpill(ctx, budgetBytes, SpillConfig{})
+}
+
+// NewQueryCtxSpill is NewQueryCtx with graceful-degradation spilling
+// configured by sc.
+func NewQueryCtxSpill(ctx context.Context, budgetBytes int64, sc SpillConfig) *QueryCtx {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if budgetBytes < 0 {
 		budgetBytes = 0
 	}
-	return &QueryCtx{ctx: ctx, budget: budgetBytes}
+	if sc.Budget < 0 {
+		sc.Budget = 0
+	}
+	return &QueryCtx{ctx: ctx, budget: budgetBytes, spillCfg: sc,
+		spillStats: map[string]*OpSpillStats{}}
+}
+
+// SpillEnabled reports whether the query may degrade to disk.
+func (q *QueryCtx) SpillEnabled() bool {
+	return q != nil && q.spillCfg.Budget > 0
+}
+
+// SpillManager returns the query's spill manager, creating it on first
+// use with charge/release hooks into the disk accountant.
+func (q *QueryCtx) SpillManager() *spill.Manager {
+	q.spillMu.Lock()
+	defer q.spillMu.Unlock()
+	if q.spillMgr == nil {
+		q.spillMgr = spill.NewManager(q.spillCfg.FS, q.spillCfg.Dir,
+			func(n int) error { return q.ChargeSpill("spill", n) },
+			func(n int) { q.ReleaseSpill(n) })
+	}
+	return q.spillMgr
+}
+
+// CleanupSpill removes every spill file and the query's spill directory;
+// the query lifecycle calls it on completion, cancellation and panic.
+func (q *QueryCtx) CleanupSpill() {
+	if q == nil {
+		return
+	}
+	q.spillMu.Lock()
+	mgr := q.spillMgr
+	q.spillMu.Unlock()
+	if mgr != nil {
+		mgr.Cleanup()
+	}
+}
+
+// ChargeSpill accounts n bytes written to spill files against the disk
+// budget, mirroring Charge's rollback semantics. The error matches both
+// ErrSpillBudgetExceeded and ErrBudgetExceeded.
+func (q *QueryCtx) ChargeSpill(op string, n int) error {
+	if q == nil || n <= 0 {
+		return nil
+	}
+	used := q.spillUsed.Add(int64(n))
+	if q.spillCfg.Budget > 0 && used > q.spillCfg.Budget {
+		q.spillUsed.Add(-int64(n))
+		return &BudgetError{Op: op, Budget: q.spillCfg.Budget, Used: used, Disk: true}
+	}
+	for {
+		p := q.spillPeak.Load()
+		if used <= p || q.spillPeak.CompareAndSwap(p, used) {
+			break
+		}
+	}
+	return nil
+}
+
+// ReleaseSpill returns n spill bytes to the disk accountant (a spill
+// file removed).
+func (q *QueryCtx) ReleaseSpill(n int) {
+	if q == nil || n <= 0 {
+		return
+	}
+	q.spillUsed.Add(-int64(n))
+}
+
+// SpillUsed returns the spill bytes currently on disk.
+func (q *QueryCtx) SpillUsed() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.spillUsed.Load()
+}
+
+// SpillPeak returns the high-water mark of spill bytes on disk.
+func (q *QueryCtx) SpillPeak() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.spillPeak.Load()
+}
+
+// SpillStat returns (creating on demand) the named operator's spill
+// stats record.
+func (q *QueryCtx) SpillStat(op string) *OpSpillStats {
+	if q == nil {
+		return &OpSpillStats{}
+	}
+	q.spillMu.Lock()
+	defer q.spillMu.Unlock()
+	s := q.spillStats[op]
+	if s == nil {
+		s = &OpSpillStats{}
+		q.spillStats[op] = s
+	}
+	return s
+}
+
+// SpillStats snapshots every operator's spill stats, keyed by operator
+// name; operators that never spilled are omitted.
+func (q *QueryCtx) SpillStats() map[string]OpSpillStats {
+	if q == nil {
+		return nil
+	}
+	q.spillMu.Lock()
+	defer q.spillMu.Unlock()
+	out := map[string]OpSpillStats{}
+	for op, s := range q.spillStats {
+		if atomic.LoadInt64(&s.Spills) == 0 {
+			continue
+		}
+		out[op] = OpSpillStats{
+			IO: spill.Stats{
+				Files:        atomic.LoadInt64(&s.IO.Files),
+				Chunks:       atomic.LoadInt64(&s.IO.Chunks),
+				BytesWritten: atomic.LoadInt64(&s.IO.BytesWritten),
+				BytesRead:    atomic.LoadInt64(&s.IO.BytesRead),
+			},
+			Spills:     atomic.LoadInt64(&s.Spills),
+			Partitions: atomic.LoadInt64(&s.Partitions),
+			MaxDepth:   atomic.LoadInt64(&s.MaxDepth),
+		}
+	}
+	return out
+}
+
+// SpillSummary renders the per-operator spill stats in the Explain
+// style ("" when nothing spilled), e.g.
+// "Spill[Aggregate spills=3 parts=8 depth=1 wrote=12KB read=12KB]".
+func (q *QueryCtx) SpillSummary() string {
+	stats := q.SpillStats()
+	if len(stats) == 0 {
+		return ""
+	}
+	ops := make([]string, 0, len(stats))
+	for op := range stats {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	var b strings.Builder
+	b.WriteString("Spill[")
+	for i, op := range ops {
+		s := stats[op]
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s spills=%d parts=%d depth=%d wrote=%s read=%s",
+			op, s.Spills, s.Partitions, s.MaxDepth,
+			fmtBytes(s.IO.BytesWritten), fmtBytes(s.IO.BytesRead))
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // Err reports the query's cancellation state: nil while the query may
@@ -147,8 +376,15 @@ func (q *QueryCtx) Op() string {
 // failures.
 var ErrBudgetExceeded = errors.New("exec: memory budget exceeded")
 
-// BudgetError reports a memory-budget violation at a materialization
-// point. It matches ErrBudgetExceeded under errors.Is.
+// ErrSpillBudgetExceeded is the sentinel for disk-budget failures: the
+// query degraded to spilling and then exhausted SpillBudget too. It also
+// matches ErrBudgetExceeded, so existing callers see every budget
+// failure; match this one first to tell the two apart.
+var ErrSpillBudgetExceeded = errors.New("exec: spill budget exceeded")
+
+// BudgetError reports a memory- or disk-budget violation at a
+// materialization point. It matches ErrBudgetExceeded under errors.Is
+// (and ErrSpillBudgetExceeded when Disk is set).
 type BudgetError struct {
 	// Op is the operator whose materialization hit the budget.
 	Op string
@@ -157,15 +393,26 @@ type BudgetError struct {
 	// Used is the running total that the rejected charge would have
 	// produced.
 	Used int64
+	// Disk marks a spill (disk) budget violation.
+	Disk bool
 }
 
 func (e *BudgetError) Error() string {
-	return fmt.Sprintf("exec: %s: memory budget exceeded (budget %d bytes, needed %d)",
-		e.Op, e.Budget, e.Used)
+	kind := "memory"
+	if e.Disk {
+		kind = "spill"
+	}
+	return fmt.Sprintf("exec: %s: %s budget exceeded (budget %d bytes, needed %d)",
+		e.Op, kind, e.Budget, e.Used)
 }
 
 // Is makes errors.Is(err, ErrBudgetExceeded) work.
-func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+func (e *BudgetError) Is(target error) bool {
+	if target == ErrSpillBudgetExceeded {
+		return e.Disk
+	}
+	return target == ErrBudgetExceeded
+}
 
 // rowFootprint approximates the in-memory cost of materializing n rows of
 // nc columns as decoded uint64 vectors — the accountant's unit for

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"tde/internal/heap"
+	"tde/internal/spill"
 	"tde/internal/types"
 	"tde/internal/vec"
 )
@@ -18,6 +19,12 @@ type SortKey struct {
 // sorts row indexes, and emits blocks in order. Note Sect. 4.3: operators
 // that disturb data order can degrade downstream encodings — Sort is also
 // what the Fig. 10 plan 3 uses to enable ordered aggregation.
+//
+// When the memory budget denies a charge and spilling is enabled, Sort
+// degrades to an external merge sort: the buffered rows are sorted and
+// written out as a compressed run, the buffer restarts empty, and Next
+// merges the runs (pre-merged in passes of spillMergeFanIn when there are
+// many) instead of walking an in-memory order index.
 type Sort struct {
 	child  Operator
 	keys   []SortKey
@@ -25,8 +32,22 @@ type Sort struct {
 
 	cols  [][]uint64
 	heaps []*heap.Heap // unified output heap per string column
+	accs  []*heap.Accelerator
 	order []int32
 	at    int
+
+	qc        *QueryCtx
+	charged   int
+	heapBytes int
+
+	// external sort state
+	mgr     *spill.Manager
+	stats   *OpSpillStats
+	specs   []spill.ColSpec
+	runs    []string
+	cursors []*mergeCursor
+	rowBuf  []uint64
+	heapBuf []*heap.Heap
 }
 
 // NewSort sorts child by keys.
@@ -43,7 +64,8 @@ func (s *Sort) Schema() []ColInfo {
 			out[i].Heap = s.heaps[i]
 		}
 	}
-	// The primary key column is sorted on output.
+	// The primary key column is sorted on output (the external merge
+	// produces the same order as the in-memory sort).
 	if len(s.keys) > 0 && !s.keys[0].Desc {
 		out[s.keys[0].Col].Meta.SortedKnown = true
 		out[s.keys[0].Col].Meta.SortedAsc = true
@@ -51,31 +73,45 @@ func (s *Sort) Schema() []ColInfo {
 	return out
 }
 
+// charge accounts n bytes to the query and remembers them for release.
+func (s *Sort) charge(n int) error {
+	if err := s.qc.Charge("Sort", n); err != nil {
+		return err
+	}
+	s.charged += n
+	return nil
+}
+
+// initBuffers (re)creates the accumulation buffers, fresh heaps included.
+func (s *Sort) initBuffers() {
+	nc := len(s.schema)
+	s.cols = make([][]uint64, nc)
+	s.heaps = make([]*heap.Heap, nc)
+	s.accs = make([]*heap.Accelerator, nc)
+	for c, info := range s.schema {
+		if info.Type == types.String {
+			s.heaps[c] = heap.New(collationOf(info))
+			s.accs[c] = heap.NewAccelerator(s.heaps[c], 0)
+		}
+	}
+	s.heapBytes = 0
+}
+
 // Open implements Operator.
-func (s *Sort) Open(qc *QueryCtx) error {
+func (s *Sort) Open(qc *QueryCtx) (err error) {
 	qc.Trace("Sort")
+	s.qc = qc
+	defer func() {
+		if err != nil {
+			s.cleanup()
+		}
+	}()
 	if err := s.child.Open(qc); err != nil {
 		return err
 	}
 	defer s.child.Close()
+	s.initBuffers()
 	nc := len(s.schema)
-	s.cols = make([][]uint64, nc)
-	s.heaps = make([]*heap.Heap, nc)
-	var accs []*heap.Accelerator
-	for c, info := range s.schema {
-		if info.Type == types.String {
-			coll := info.Collation
-			if info.Heap != nil {
-				coll = info.Heap.Collation()
-			}
-			s.heaps[c] = heap.New(coll)
-			for len(accs) <= c {
-				accs = append(accs, nil)
-			}
-			accs[c] = heap.NewAccelerator(s.heaps[c], 0)
-		}
-	}
-	heapBytes := 0
 	b := vec.NewBlock(nc)
 	for {
 		ok, err := s.child.Next(b)
@@ -93,7 +129,7 @@ func (s *Sort) Open(qc *QueryCtx) error {
 					if tok == types.NullToken {
 						s.cols[c] = append(s.cols[c], types.NullToken)
 					} else {
-						s.cols[c] = append(s.cols[c], accs[c].Intern(v.Heap.Get(tok)))
+						s.cols[c] = append(s.cols[c], s.accs[c].Intern(v.Heap.Get(tok)))
 					}
 				}
 			} else {
@@ -103,24 +139,54 @@ func (s *Sort) Open(qc *QueryCtx) error {
 		// Sort buffers its whole input: charge the materialized block plus
 		// any string-heap growth it caused.
 		grown := heapSizes(s.heaps)
-		if err := qc.Charge("Sort", rowFootprint(b.N, nc)+(grown-heapBytes)); err != nil {
+		if err := s.charge(rowFootprint(b.N, nc) + (grown - s.heapBytes)); err != nil {
+			if !spillableErr(s.qc, err) {
+				return err
+			}
+			// Degrade: flush the buffer (the denied block included) as one
+			// sorted compressed run and start over empty.
+			if err := s.spillRun(); err != nil {
+				return err
+			}
+			continue
+		}
+		s.heapBytes = grown
+	}
+	if len(s.runs) > 0 {
+		// Already external: the tail buffer becomes the last run, then the
+		// runs are pre-merged down to a single merge's fan-in.
+		if err := s.spillRun(); err != nil {
 			return err
 		}
-		heapBytes = grown
+		return s.openMerge()
 	}
 	n := 0
 	if nc > 0 {
 		n = len(s.cols[0])
 	}
-	if err := qc.Charge("Sort", n*4); err != nil { // the order index
-		return err
+	if err := s.charge(n * 4); err != nil { // the order index
+		if !spillableErr(s.qc, err) {
+			return err
+		}
+		if err := s.spillRun(); err != nil {
+			return err
+		}
+		return s.openMerge()
 	}
-	s.order = make([]int32, n)
-	for i := range s.order {
-		s.order[i] = int32(i)
+	s.order = s.sortBuffer(n)
+	s.at = 0
+	return nil
+}
+
+// sortBuffer builds and sorts an order index over the first n buffered
+// rows.
+func (s *Sort) sortBuffer(n int) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
 	}
-	sort.SliceStable(s.order, func(a, b int) bool {
-		ra, rb := s.order[a], s.order[b]
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := order[a], order[b]
 		for _, k := range s.keys {
 			c := s.compare(k.Col, ra, rb)
 			if c == 0 {
@@ -133,13 +199,97 @@ func (s *Sort) Open(qc *QueryCtx) error {
 		}
 		return false
 	})
-	s.at = 0
+	return order
+}
+
+// spillRun sorts the buffered rows, writes them as one compressed run,
+// and resets the buffer, returning its memory to the accountant.
+func (s *Sort) spillRun() error {
+	n := 0
+	if len(s.cols) > 0 {
+		n = len(s.cols[0])
+	}
+	if n == 0 {
+		return nil
+	}
+	if s.mgr == nil {
+		s.mgr = s.qc.SpillManager()
+		s.stats = s.qc.SpillStat("Sort")
+		s.specs = spillSpecs(s.schema)
+	}
+	s.stats.AddSpill()
+	order := s.sortBuffer(n)
+	w, err := s.mgr.NewWriter(s.specs, &s.stats.IO)
+	if err != nil {
+		return err
+	}
+	row := make([]uint64, len(s.schema))
+	for _, r := range order {
+		for c := range s.cols {
+			row[c] = s.cols[c][r]
+		}
+		if err := w.Append(row, s.heaps); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	s.runs = append(s.runs, w.Path())
+	s.stats.AddPartitions(1)
+	// The buffer's memory goes back; the rows now live compressed on disk.
+	s.qc.Release(s.charged)
+	s.charged = 0
+	s.initBuffers()
 	return nil
 }
 
-// compare orders two materialized rows on column c; NULL sorts first.
-func (s *Sort) compare(c int, ra, rb int32) int {
-	va, vb := s.cols[c][ra], s.cols[c][rb]
+// openMerge pre-merges runs down to spillMergeFanIn and opens the final
+// merge cursors. Runs are kept in creation (= input) order and ties break
+// toward the earlier cursor, preserving the stability of the in-memory
+// sort.
+func (s *Sort) openMerge() error {
+	for len(s.runs) > spillMergeFanIn {
+		merged, err := mergeRuns(s.qc, "Sort", s.mgr, s.specs, s.runs[:spillMergeFanIn], &s.stats.IO, s.cursorLess)
+		if err != nil {
+			return err
+		}
+		s.runs = append([]string{merged}, s.runs[spillMergeFanIn:]...)
+	}
+	s.cursors = make([]*mergeCursor, len(s.runs))
+	for i, path := range s.runs {
+		c, err := openMergeCursor(s.qc, "Sort", s.mgr, path, &s.stats.IO)
+		if err != nil {
+			return err
+		}
+		s.cursors[i] = c
+	}
+	s.runs = nil
+	s.rowBuf = make([]uint64, len(s.schema))
+	s.heapBuf = make([]*heap.Heap, len(s.schema))
+	return nil
+}
+
+// cursorLess orders two run cursors by the sort keys.
+func (s *Sort) cursorLess(a, b *mergeCursor) bool {
+	for _, k := range s.keys {
+		c := s.cursorCompare(k.Col, a, b)
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// cursorCompare is compare across two run cursors; string values compare
+// by collated content since each chunk carries its own heap.
+func (s *Sort) cursorCompare(c int, ca, cb *mergeCursor) int {
+	va, vb := ca.val(c), cb.val(c)
 	info := s.schema[c]
 	if info.Type == types.String {
 		an, bn := va == types.NullToken, vb == types.NullToken
@@ -151,8 +301,12 @@ func (s *Sort) compare(c int, ra, rb int32) int {
 		case bn:
 			return 1
 		}
-		return s.heaps[c].Compare(va, vb)
+		return collationOf(info).Compare(ca.strHeap(c).Get(va), cb.strHeap(c).Get(vb))
 	}
+	return s.compareScalar(info, va, vb)
+}
+
+func (s *Sort) compareScalar(info ColInfo, va, vb uint64) int {
 	t := info.Type
 	resolve := func(v uint64) uint64 {
 		if info.Dict != nil && v != types.NullToken {
@@ -173,8 +327,30 @@ func (s *Sort) compare(c int, ra, rb int32) int {
 	return types.Compare(t, xa, xb)
 }
 
+// compare orders two materialized rows on column c; NULL sorts first.
+func (s *Sort) compare(c int, ra, rb int32) int {
+	va, vb := s.cols[c][ra], s.cols[c][rb]
+	info := s.schema[c]
+	if info.Type == types.String {
+		an, bn := va == types.NullToken, vb == types.NullToken
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		case bn:
+			return 1
+		}
+		return s.heaps[c].Compare(va, vb)
+	}
+	return s.compareScalar(info, va, vb)
+}
+
 // Next implements Operator.
 func (s *Sort) Next(b *vec.Block) (bool, error) {
+	if s.cursors != nil {
+		return s.mergeNext(b)
+	}
 	n := len(s.order) - s.at
 	if n <= 0 {
 		return false, nil
@@ -204,10 +380,83 @@ func (s *Sort) Next(b *vec.Block) (bool, error) {
 	return true, nil
 }
 
-// Close implements Operator.
-func (s *Sort) Close() error {
+// mergeNext emits one block from the run merge. String values re-intern
+// into fresh per-block heaps: rows in one block come from chunks of
+// different runs, whose heaps are not shared.
+func (s *Sort) mergeNext(b *vec.Block) (bool, error) {
+	ensureVecs(b, len(s.schema))
+	var blockHeaps []*heap.Heap
+	for c, info := range s.schema {
+		if info.Type == types.String {
+			if blockHeaps == nil {
+				blockHeaps = make([]*heap.Heap, len(s.schema))
+			}
+			blockHeaps[c] = heap.New(collationOf(info))
+		}
+	}
+	n := 0
+	for n < vec.BlockSize {
+		i := pickMin(s.cursors, s.cursorLess)
+		if i < 0 {
+			break
+		}
+		cur := s.cursors[i]
+		for c := range s.schema {
+			v := cur.val(c)
+			if blockHeaps != nil && blockHeaps[c] != nil && v != types.NullToken {
+				v = blockHeaps[c].Append(cur.strHeap(c).Get(v))
+			}
+			b.Vecs[c].Data[n] = v
+		}
+		n++
+		if err := cur.advance(); err != nil {
+			return false, err
+		}
+		if cur.done {
+			cur.close(true) // run consumed: free its disk budget eagerly
+		}
+	}
+	if n == 0 {
+		return false, nil
+	}
+	for c := range s.schema {
+		v := &b.Vecs[c]
+		v.Type = s.schema[c].Type
+		v.Dict = s.schema[c].Dict
+		v.Heap = nil
+		if blockHeaps != nil && blockHeaps[c] != nil {
+			v.Heap = blockHeaps[c]
+		}
+	}
+	b.N = n
+	return true, nil
+}
+
+// cleanup releases every charge and closes the merge state; run files are
+// removed eagerly (the manager would also sweep them at query end).
+func (s *Sort) cleanup() {
+	for _, c := range s.cursors {
+		if c != nil {
+			c.close(true)
+		}
+	}
+	s.cursors = nil
+	for _, path := range s.runs {
+		if s.mgr != nil {
+			_ = s.mgr.Remove(path)
+		}
+	}
+	s.runs = nil
 	s.cols = nil
 	s.order = nil
+	s.accs = nil
+	s.qc.Release(s.charged)
+	s.charged = 0
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.cleanup()
 	return nil
 }
 

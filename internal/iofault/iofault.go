@@ -39,10 +39,13 @@ const (
 	OpRemove
 	OpReadFile
 	OpSyncDir
+	OpMkdirTemp
+	OpOpen
+	OpRead
 	numOps
 )
 
-var opNames = [...]string{"create-temp", "write", "sync", "close", "rename", "remove", "read-file", "sync-dir"}
+var opNames = [...]string{"create-temp", "write", "sync", "close", "rename", "remove", "read-file", "sync-dir", "mkdir-temp", "open", "read"}
 
 func (o Op) String() string {
 	if o < 0 || int(o) >= len(opNames) {
@@ -59,11 +62,24 @@ type File interface {
 	Name() string
 }
 
+// RFile is a random-access read handle; the spill layer streams spill
+// files through it chunk by chunk instead of slurping with ReadFile.
+type RFile interface {
+	io.ReaderAt
+	io.Closer
+}
+
 // FS is the storage layer's view of the filesystem. Production code uses
 // OS; tests swap in an *Injector.
 type FS interface {
 	// CreateTemp creates a new temporary file in dir (see os.CreateTemp).
 	CreateTemp(dir, pattern string) (File, error)
+	// MkdirTemp creates a new temporary directory in dir (see os.MkdirTemp).
+	MkdirTemp(dir, pattern string) (string, error)
+	// Open opens the named file for random-access reads (see os.Open).
+	// Each ReadAt is an OpRead operation, so read errors and bit flips at
+	// chosen offsets are injectable mid-stream.
+	Open(name string) (RFile, error)
 	// ReadFile reads the whole named file (see os.ReadFile).
 	ReadFile(name string) ([]byte, error)
 	// Rename atomically replaces newpath with oldpath (see os.Rename).
@@ -87,6 +103,10 @@ func (osFS) CreateTemp(dir, pattern string) (File, error) {
 	}
 	return f, nil
 }
+
+func (osFS) MkdirTemp(dir, pattern string) (string, error) { return os.MkdirTemp(dir, pattern) }
+
+func (osFS) Open(name string) (RFile, error) { return os.Open(name) }
 
 func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
@@ -246,6 +266,24 @@ func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
 	return &injFile{in: in, under: under}, nil
 }
 
+func (in *Injector) MkdirTemp(dir, pattern string) (string, error) {
+	if f := in.begin(OpMkdirTemp, dir); f != nil && f.FlipBitMask == 0 {
+		return "", faultErr(f)
+	}
+	return in.under.MkdirTemp(dir, pattern)
+}
+
+func (in *Injector) Open(name string) (RFile, error) {
+	if f := in.begin(OpOpen, name); f != nil && f.FlipBitMask == 0 {
+		return nil, faultErr(f)
+	}
+	under, err := in.under.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injRFile{in: in, under: under, name: name}, nil
+}
+
 func (in *Injector) ReadFile(name string) ([]byte, error) {
 	f := in.begin(OpReadFile, name)
 	if f != nil && f.FlipBitMask == 0 {
@@ -281,6 +319,39 @@ func (in *Injector) SyncDir(dir string) error {
 		return faultErr(f)
 	}
 	return in.under.SyncDir(dir)
+}
+
+// injRFile wraps a random-access read handle so every ReadAt flows
+// through the injector: OpRead faults fail the read, and FlipBitMask
+// faults corrupt the byte at the scripted absolute file offset when it
+// falls inside the read range.
+type injRFile struct {
+	in    *Injector
+	under RFile
+	name  string
+}
+
+func (f *injRFile) ReadAt(p []byte, off int64) (int, error) {
+	ft := f.in.begin(OpRead, fmt.Sprintf("%s %dB@%d", f.name, len(p), off))
+	if ft != nil && ft.FlipBitMask == 0 {
+		return 0, faultErr(ft)
+	}
+	n, err := f.under.ReadAt(p, off)
+	if ft != nil && ft.FlipBitMask != 0 {
+		rel := ft.FlipByteOffset - off
+		if rel >= 0 && rel < int64(n) {
+			p[rel] ^= ft.FlipBitMask
+		}
+	}
+	return n, err
+}
+
+func (f *injRFile) Close() error {
+	if ft := f.in.begin(OpClose, f.name); ft != nil && ft.FlipBitMask == 0 {
+		f.under.Close()
+		return faultErr(ft)
+	}
+	return f.under.Close()
 }
 
 // injFile wraps a File so writes, syncs and closes flow through the

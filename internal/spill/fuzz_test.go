@@ -1,0 +1,185 @@
+package spill
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tde/internal/corrupt"
+	"tde/internal/heap"
+	"tde/internal/types"
+)
+
+// writeCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzSpillRead (run: go test ./internal/spill -run
+// TestWriteFuzzCorpus -write-corpus).
+var writeCorpus = flag.Bool("write-corpus", false, "regenerate the FuzzSpillRead seed corpus")
+
+// corpusSpecs is the column mix every seed file exercises: a signed
+// scalar, an unsigned scalar with a sentinel, and a string column.
+func corpusSpecs() []ColSpec {
+	return []ColSpec{
+		{Signed: true, Sentinel: types.NullToken},
+		{Sentinel: types.NullToken},
+		{Str: true, Collation: types.CollateBinary},
+	}
+}
+
+// buildSeed writes rows through the real Writer and returns the file's
+// bytes — a structurally valid spill file to seed the fuzzer with.
+func buildSeed(tb testing.TB, rows int) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	m := NewManager(nil, dir, nil, nil)
+	defer m.Cleanup()
+	var stats Stats
+	w, err := m.NewWriter(corpusSpecs(), &stats)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h := heap.New(types.CollateBinary)
+	heaps := []*heap.Heap{nil, nil, h}
+	row := make([]uint64, 3)
+	for i := 0; i < rows; i++ {
+		row[0] = uint64(int64(i - rows/2))
+		row[1] = uint64(i * 3)
+		if i%7 == 0 {
+			row[1] = types.NullToken
+			row[2] = types.NullToken
+		} else {
+			row[2] = h.Append(fmt.Sprintf("value-%d", i%11))
+		}
+		if err := w.Append(row, heaps); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(w.Path())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// seedMutations derives interesting corrupt variants from a valid file.
+func seedMutations(valid []byte) [][]byte {
+	muts := [][]byte{
+		{},                   // empty file
+		[]byte("SPCH"),       // bare magic
+		valid[:len(valid)/2], // torn write: truncated mid-chunk
+	}
+	if len(valid) > 20 {
+		flip := append([]byte(nil), valid...)
+		flip[len(flip)/2] ^= 0x40 // payload bit flip (CRC must catch it)
+		muts = append(muts, flip)
+		badLen := append([]byte(nil), valid...)
+		badLen[5] = 0xff // absurd chunk length
+		muts = append(muts, badLen)
+	}
+	return muts
+}
+
+// TestWriteFuzzCorpus materializes the seed corpus as committed files in
+// go's "go test fuzz v1" format; a no-op without -write-corpus.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !*writeCorpus {
+		t.Skip("run with -write-corpus to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzSpillRead")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	valid := buildSeed(t, 600) // >2 chunks
+	seeds := append([][]byte{valid, buildSeed(t, 3)}, seedMutations(valid)...)
+	for i, s := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzSpillRead drives the spill reader over arbitrary bytes: whatever
+// the input, Next must terminate with rows, io.EOF, or a typed error —
+// corruption wrapping corrupt.Err or I/O failure as *IOError — and
+// never panic (the decoder's own panic containment is part of the
+// contract).
+func FuzzSpillRead(f *testing.F) {
+	valid := buildSeed(f, 600)
+	f.Add(valid)
+	f.Add(buildSeed(f, 3))
+	for _, m := range seedMutations(valid) {
+		f.Add(m)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		defer r.Close()
+		rows := 0
+		for i := 0; i < 1<<16; i++ { // bound: no input this size yields more chunks
+			ch, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				var ioe *IOError
+				if !errors.Is(err, corrupt.Err) && !errors.As(err, &ioe) {
+					t.Fatalf("untyped spill read error: %v", err)
+				}
+				return
+			}
+			if ch.Rows <= 0 || ch.Rows > ChunkRows {
+				t.Fatalf("chunk row count %d out of range", ch.Rows)
+			}
+			for _, c := range ch.Cols {
+				if len(c.Values) != ch.Rows {
+					t.Fatalf("column has %d values for %d rows", len(c.Values), ch.Rows)
+				}
+			}
+			rows += ch.Rows
+		}
+		t.Fatalf("reader did not terminate after %d rows", rows)
+	})
+}
+
+// TestFuzzSeedsRoundTrip pins the valid seed's content: the reader must
+// decode exactly what the writer stored, including NULLs and strings.
+func TestFuzzSeedsRoundTrip(t *testing.T) {
+	data := buildSeed(t, 600)
+	r := NewReader(bytes.NewReader(data))
+	defer r.Close()
+	seen := 0
+	for {
+		ch, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ch.Rows; i++ {
+			g := seen + i
+			if got, want := ch.Cols[0].Values[i], uint64(int64(g-300)); got != want {
+				t.Fatalf("row %d col 0: got %d want %d", g, got, want)
+			}
+			if g%7 == 0 {
+				if ch.Cols[2].Values[i] != types.NullToken {
+					t.Fatalf("row %d col 2: expected NULL", g)
+				}
+			} else if got, want := ch.Cols[2].Heap.Get(ch.Cols[2].Values[i]), fmt.Sprintf("value-%d", g%11); got != want {
+				t.Fatalf("row %d col 2: got %q want %q", g, got, want)
+			}
+		}
+		seen += ch.Rows
+	}
+	if seen != 600 {
+		t.Fatalf("decoded %d rows, want 600", seen)
+	}
+}

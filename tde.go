@@ -29,6 +29,7 @@ import (
 	"tde/internal/exec"
 	"tde/internal/iofault"
 	"tde/internal/plan"
+	"tde/internal/spill"
 	"tde/internal/sqlparse"
 	"tde/internal/storage"
 	"tde/internal/textscan"
@@ -38,6 +39,11 @@ import (
 // ErrBudgetExceeded is returned (wrapped) when a query or import exceeds
 // its memory budget; match it with errors.Is.
 var ErrBudgetExceeded = exec.ErrBudgetExceeded
+
+// ErrSpillBudgetExceeded is returned (wrapped) when a spilling query
+// exceeds its disk budget as well as its memory budget. It also matches
+// ErrBudgetExceeded.
+var ErrSpillBudgetExceeded = exec.ErrSpillBudgetExceeded
 
 // ErrCorrupt is matched (errors.Is) by every corruption error an Open
 // reports, at any layer — file trailer, column checksum, or structural
@@ -135,6 +141,10 @@ func Open(path string) (*Database, error) {
 // every intact table and column, is marked read-only, and err is nil.
 func OpenWithOptions(path string, opt OpenOptions) (db *Database, rep *CorruptionReport, err error) {
 	defer containPanic(nil, &err)
+	// Best-effort orphan sweep: spill temp dirs abandoned by a crashed
+	// process (recognizable by the tde-spill- prefix) are removed once
+	// they are old enough to be surely dead.
+	_, _ = spill.Sweep(os.TempDir(), time.Hour)
 	tables, rep, err := storage.ReadFileFS(iofault.OS, path, storage.ReadOptions{
 		Salvage:    opt.Salvage,
 		DeepVerify: opt.Verify,
@@ -285,6 +295,7 @@ func (db *Database) ImportCSVContext(ctx context.Context, table string, data []b
 	})
 	qc, cancel := qopt.newQueryCtx(ctx)
 	defer cancel()
+	defer qc.CleanupSpill()
 	defer containPanic(qc, &err)
 	bt, err := ft.BuildTable(qc)
 	if err != nil {
@@ -343,8 +354,27 @@ func (db *Database) CompressColumn(table, column string) error {
 type Result struct {
 	Columns []string
 	Rows    [][]string
-	// Plan describes the strategic plan that produced the result.
+	// Plan describes the strategic plan that produced the result; when the
+	// query degraded to disk it is suffixed with a per-operator spill
+	// summary ("... => Spill[Aggregate spills=1 parts=8 ...]").
 	Plan string
+
+	stats QueryStats
+}
+
+// Stats returns the query's resource-use counters.
+func (r *Result) Stats() QueryStats { return r.stats }
+
+// QueryStats are the resource-use counters of one finished query.
+type QueryStats struct {
+	// MemoryPeak is the high-water mark of accounted bytes in memory.
+	MemoryPeak int64
+	// SpillPeak is the high-water mark of spill bytes on disk (0 when the
+	// query never spilled).
+	SpillPeak int64
+	// Spill holds per-operator spill activity, keyed by operator name;
+	// empty when the query never spilled.
+	Spill map[string]exec.OpSpillStats
 }
 
 // QueryOptions bound a query's (or import's) resource use. The zero value
@@ -360,6 +390,18 @@ type QueryOptions struct {
 	// Plan carries explicit strategic-optimizer options — the knob the
 	// benchmarks use to force the Fig. 10 plan shapes.
 	Plan plan.Options
+	// SpillBudget caps the bytes a memory-pressured query may stage in
+	// compressed spill files on disk (0 disables spilling: exceeding
+	// MemoryBudget fails fast). With a budget set, grouped aggregation,
+	// hash joins and sorts degrade gracefully — partitioning state to disk
+	// and completing with bounded memory — instead of failing.
+	SpillBudget int64
+	// SpillDir is the base directory for the per-query spill temp dir
+	// ("" = os.TempDir()).
+	SpillDir string
+	// SpillFS routes spill file I/O; nil means the real filesystem. Tests
+	// inject disk faults here.
+	SpillFS iofault.FS
 }
 
 // newQueryCtx builds the lifecycle handle for one query under o.
@@ -371,7 +413,11 @@ func (o QueryOptions) newQueryCtx(ctx context.Context) (*exec.QueryCtx, context.
 	if o.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 	}
-	return exec.NewQueryCtx(ctx, o.MemoryBudget), cancel
+	return exec.NewQueryCtxSpill(ctx, o.MemoryBudget, exec.SpillConfig{
+		Budget: o.SpillBudget,
+		Dir:    o.SpillDir,
+		FS:     o.SpillFS,
+	}), cancel
 }
 
 // Query parses and runs a SQL statement. The supported subset is
@@ -400,6 +446,9 @@ func (db *Database) QueryContext(ctx context.Context, sql string, opt QueryOptio
 	// catalog (e.g. a nil table) must surface as *InternalError, not crash.
 	qc, cancel := opt.newQueryCtx(ctx)
 	defer cancel()
+	// Spill files must not outlive the query on any exit path — success,
+	// error, cancellation or contained panic.
+	defer qc.CleanupSpill()
 	defer containPanic(qc, &err)
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -422,7 +471,15 @@ func (db *Database) QueryContext(ctx context.Context, sql string, opt QueryOptio
 		}
 		return nil, err
 	}
-	return &Result{Columns: names, Rows: rows, Plan: ex.String()}, nil
+	planStr := ex.String()
+	if s := qc.SpillSummary(); s != "" {
+		planStr += " => " + s
+	}
+	return &Result{Columns: names, Rows: rows, Plan: planStr, stats: QueryStats{
+		MemoryPeak: qc.Peak(),
+		SpillPeak:  qc.SpillPeak(),
+		Spill:      qc.SpillStats(),
+	}}, nil
 }
 
 // Explain returns the strategic plan for sql without running it.
