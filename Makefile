@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz check check-db crash clean bench-parallel bench-check bench-baseline
+.PHONY: all build vet test race fuzz check check-db crash clean bench-parallel bench-check bench-baseline bench-overhead trace-smoke
 
 all: check
 
@@ -56,6 +56,32 @@ bench-check:
 
 bench-baseline:
 	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json -update
+
+# Tighter guard for the per-operator instrumentation: with a baseline
+# regenerated on this machine immediately before an instrumentation
+# change, a >3% ns/op ratio on any parallel benchmark flags the new
+# counters as too hot for the Next path.
+bench-overhead:
+	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json -maxratio 1.03
+
+# End-to-end observability smoke test: generate a small TPC-H corpus,
+# load three tables, run a two-hash-join aggregation with EXPLAIN
+# ANALYZE + -trace through the real CLI, and validate the emitted
+# Chrome trace's structure with tracecheck.
+LINEITEM_SCHEMA = l_orderkey:int,l_partkey:int,l_suppkey:int,l_linenumber:int,l_quantity:int,l_extendedprice:real,l_discount:real,l_tax:real,l_returnflag:str,l_linestatus:str,l_shipdate:date,l_commitdate:date,l_receiptdate:date,l_shipinstruct:str,l_shipmode:str,l_comment:str
+ORDERS_SCHEMA = o_orderkey:int,o_custkey:int,o_orderstatus:str,o_totalprice:real,o_orderdate:date,o_orderpriority:str,o_clerk:str,o_shippriority:int,o_comment:str
+CUSTOMER_SCHEMA = c_custkey:int,c_name:str,c_address:str,c_nationkey:int,c_phone:str,c_acctbal:real,c_mktsegment:str,c_comment:str
+TRACE_QUERY = SELECT c_mktsegment, COUNT(*), SUM(l_extendedprice) FROM lineitem JOIN orders ON l_orderkey = o_orderkey JOIN customer ON o_custkey = c_custkey GROUP BY c_mktsegment ORDER BY c_mktsegment
+
+trace-smoke:
+	@rm -rf .tracedb && mkdir -p .tracedb
+	$(GO) run ./cmd/tdegen -kind tpch -sf 0.01 -out .tracedb
+	$(GO) run ./cmd/tdeload -out .tracedb/tpch.tde -header no -schema '$(LINEITEM_SCHEMA)' lineitem=.tracedb/lineitem.tbl
+	$(GO) run ./cmd/tdeload -append -out .tracedb/tpch.tde -header no -schema '$(ORDERS_SCHEMA)' orders=.tracedb/orders.tbl
+	$(GO) run ./cmd/tdeload -append -out .tracedb/tpch.tde -header no -schema '$(CUSTOMER_SCHEMA)' customer=.tracedb/customer.tbl
+	$(GO) run ./cmd/tdequery -db .tracedb/tpch.tde -analyze -trace .tracedb/q.trace.json "$(TRACE_QUERY)"
+	$(GO) run ./scripts/tracecheck .tracedb/q.trace.json
+	@rm -rf .tracedb
 
 check: vet build race fuzz
 

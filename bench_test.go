@@ -590,7 +590,7 @@ func benchSpillQuery(b *testing.B, mem int64) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if mem > 0 && len(res.Stats().Spill) == 0 {
+		if mem > 0 && !res.Stats().Spilled() {
 			b.Fatal("budgeted run did not spill; the benchmark is not measuring degradation")
 		}
 	}

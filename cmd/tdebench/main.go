@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"tde"
 	"tde/internal/harness"
+	"tde/internal/tpch"
 )
 
 func main() {
@@ -27,16 +30,27 @@ func main() {
 	large := flag.Int("large", 16000000, "Fig. 10 large table rows")
 	repeats := flag.Int("repeats", 3, "Fig. 10 repetitions (best-of)")
 	seed := flag.Int64("seed", 42, "random seed")
+	tracePath := flag.String("trace", "", "run a representative two-join TPC-H query and write its Chrome trace (chrome://tracing) to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
 		want[f] = true
 	}
+	figSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fig" {
+			figSet = true
+		}
+	})
+	if *tracePath != "" && !figSet {
+		// -trace alone shouldn't drag in every figure; run just the trace.
+		want = map[string]bool{}
+	}
 	all := want["all"]
 
 	needsImports := all || want["4"] || want["5"] || want["6"] || want["7"] ||
-		want["8"] || want["9"] || want["locale"] || want["dynamic"]
+		want["8"] || want["9"] || want["locale"] || want["dynamic"] || *tracePath != ""
 	var ds *harness.Datasets
 	if needsImports {
 		fmt.Fprintf(os.Stderr, "generating datasets (TPC-H SF %g, %d flight rows)...\n", *sf, *flightRows)
@@ -131,6 +145,67 @@ func main() {
 		}
 		harness.RenderDynamic(os.Stdout, rows, total)
 	}
+	if *tracePath != "" {
+		if err := writeTrace(ds, *tracePath); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// traceQuery is the representative workload for -trace: a two-hash-join
+// TPC-H aggregation, so the trace shows two distinct join operators with
+// their own IDs, counters and tactical routines.
+const traceQuery = "SELECT c_mktsegment, COUNT(*), SUM(l_extendedprice) " +
+	"FROM lineitem JOIN orders ON l_orderkey = o_orderkey " +
+	"JOIN customer ON o_custkey = c_custkey " +
+	"GROUP BY c_mktsegment ORDER BY c_mktsegment"
+
+// writeTrace imports the generated lineitem, orders and customer corpora
+// into an in-memory database, runs traceQuery, prints its EXPLAIN ANALYZE
+// tree and saves the per-operator Chrome trace to path.
+func writeTrace(ds *harness.Datasets, path string) error {
+	db := tde.New()
+	opt := tde.DefaultImportOptions()
+	opt.HeaderSet, opt.HasHeader = true, false
+	opt.Schema = lineitemSchema()
+	if err := db.ImportCSV("lineitem", ds.Lineitem, opt); err != nil {
+		return fmt.Errorf("import lineitem: %w", err)
+	}
+	opt.Schema = []string{"o_orderkey:int", "o_custkey:int", "o_orderstatus:str",
+		"o_totalprice:real", "o_orderdate:date", "o_orderpriority:str",
+		"o_clerk:str", "o_shippriority:int", "o_comment:str"}
+	if err := db.ImportCSV("orders", ds.Small["orders"], opt); err != nil {
+		return fmt.Errorf("import orders: %w", err)
+	}
+	opt.Schema = []string{"c_custkey:int", "c_name:str", "c_address:str",
+		"c_nationkey:int", "c_phone:str", "c_acctbal:real",
+		"c_mktsegment:str", "c_comment:str"}
+	if err := db.ImportCSV("customer", ds.Small["customer"], opt); err != nil {
+		return fmt.Errorf("import customer: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "tracing: %s\n", traceQuery)
+	res, err := db.ExplainAnalyzeContext(context.Background(), traceQuery, tde.QueryOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.ExplainAnalyze())
+	if err := res.SaveTrace(path); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote trace to", path)
+	return nil
+}
+
+// lineitemSchema forces the canonical TPC-H lineitem column names and
+// types (header inference can't name a headerless .tbl file).
+func lineitemSchema() []string {
+	kinds := []string{"int", "int", "int", "int", "int", "real", "real", "real",
+		"str", "str", "date", "date", "date", "str", "str", "str"}
+	out := make([]string, len(tpch.LineitemSchema))
+	for i, n := range tpch.LineitemSchema {
+		out[i] = n + ":" + kinds[i]
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -56,6 +56,8 @@ func parseBytes(s string) (int64, error) {
 func main() {
 	dbPath := flag.String("db", "", "database file")
 	explain := flag.Bool("explain", false, "print the plan instead of running")
+	analyze := flag.Bool("analyze", false, "run the query and print the plan tree annotated with per-operator actuals")
+	tracePath := flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the query's operators to this file")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	interactive := flag.Bool("i", false, "interactive shell (reads statements from stdin)")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit (e.g. 30s; 0 = none)")
@@ -110,9 +112,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tdequery:", err)
 		os.Exit(1)
 	}
-	if *csv {
+	if *tracePath != "" {
+		if err := res.SaveTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "tdequery: writing trace:", err)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case *analyze:
+		fmt.Print(res.ExplainAnalyze())
+	case *csv:
 		printCSV(res)
-	} else {
+	default:
 		printResult(res)
 	}
 }

@@ -154,7 +154,7 @@ func Run(db *tde.Database, cfg Config) (*Report, error) {
 						SQL: sql, Opt: opt, Detail: fmt.Sprintf("query error: %v", err)})
 					continue
 				}
-				if len(got.Stats().Spill) > 0 {
+				if got.Stats().Spilled() {
 					rep.Spilled++
 				}
 				if d := diffRows(want, canonicalRows(got.Rows)); d != "" {

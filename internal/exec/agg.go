@@ -534,6 +534,7 @@ func (c *aggCore) release(qc *QueryCtx) {
 
 // Aggregate is the stop-and-go grouping operator.
 type Aggregate struct {
+	OpInstr
 	child   Operator
 	keyCols []int
 	specs   []AggSpec
@@ -602,6 +603,12 @@ func (a *Aggregate) Schema() []ColInfo { return a.schema }
 // Mode returns the algorithm actually chosen (valid after Open).
 func (a *Aggregate) Mode() AggMode { return a.chosen }
 
+// OpKind implements Instrumented.
+func (a *Aggregate) OpKind() string { return "Aggregate" }
+
+// OpChildren implements Instrumented.
+func (a *Aggregate) OpChildren() []Operator { return []Operator{a.child} }
+
 // chooseMode is the tactical decision: ordered beats direct beats hash
 // when applicable.
 func (a *Aggregate) chooseMode() AggMode {
@@ -628,7 +635,11 @@ func (a *Aggregate) chooseMode() AggMode {
 // degrades instead of failing: hash/direct mode evicts partitioned
 // partial groups to disk, ordered mode spools finished output rows.
 func (a *Aggregate) Open(qc *QueryCtx) (err error) {
-	qc.Trace("Aggregate")
+	start := a.beginOpen(qc, "Aggregate")
+	defer func() {
+		a.st.SetRoutine(a.chosen.String())
+		a.endOpen(start)
+	}()
 	a.qc = qc
 	a.emitAt = 0
 	defer func() {
@@ -670,14 +681,14 @@ func (a *Aggregate) Open(qc *QueryCtx) (err error) {
 			}
 			if a.chosen == AggOrdered {
 				if a.spool == nil {
-					a.spool = newOrderedSpool(qc, "Aggregate", a.child.Schema(), a.keyCols, a.specs, a.schema)
+					a.spool = newOrderedSpool(qc, "Aggregate", &a.st.Spill, a.child.Schema(), a.keyCols, a.specs, a.schema)
 				}
 				if serr := a.spool.spool(core); serr != nil {
 					return serr
 				}
 			} else {
 				if a.sp == nil {
-					a.sp = newAggSpill(qc, "Aggregate", a.child.Schema(), a.keyCols, a.specs)
+					a.sp = newAggSpill(qc, "Aggregate", &a.st.Spill, a.child.Schema(), a.keyCols, a.specs)
 				}
 				if serr := a.sp.evict(core); serr != nil {
 					return serr
@@ -706,6 +717,13 @@ func (a *Aggregate) Open(qc *QueryCtx) (err error) {
 
 // Next implements Operator: emits one block of groups.
 func (a *Aggregate) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := a.next(b)
+	a.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (a *Aggregate) next(b *vec.Block) (bool, error) {
 	if a.em != nil {
 		return a.em.next(b)
 	}

@@ -36,9 +36,9 @@ type orderedSpool struct {
 	heaps []*heap.Heap
 }
 
-func newOrderedSpool(qc *QueryCtx, op string, in []ColInfo, keyCols []int, aspecs []AggSpec, out []ColInfo) *orderedSpool {
+func newOrderedSpool(qc *QueryCtx, op string, stats *OpSpillStats, in []ColInfo, keyCols []int, aspecs []AggSpec, out []ColInfo) *orderedSpool {
 	o := &orderedSpool{qc: qc, op: op, in: in, keyCols: keyCols, aspecs: aspecs, out: out,
-		mgr: qc.SpillManager(), stats: qc.SpillStat(op)}
+		mgr: qc.SpillManager(), stats: stats}
 	for _, kc := range keyCols {
 		o.specs = append(o.specs, spillSpecFor(in[kc]))
 	}

@@ -112,9 +112,9 @@ type aggSpill struct {
 	spilled  bool
 }
 
-func newAggSpill(qc *QueryCtx, op string, in []ColInfo, keyCols []int, specs []AggSpec) *aggSpill {
+func newAggSpill(qc *QueryCtx, op string, stats *OpSpillStats, in []ColInfo, keyCols []int, specs []AggSpec) *aggSpill {
 	sp := &aggSpill{qc: qc, op: op, in: in, keyCols: keyCols, aspecs: specs,
-		mgr: qc.SpillManager(), stats: qc.SpillStat(op)}
+		mgr: qc.SpillManager(), stats: stats}
 	for _, kc := range keyCols {
 		sp.rowSpecs = append(sp.rowSpecs, spillSpecFor(in[kc]))
 	}

@@ -25,6 +25,7 @@ type BlockTransform interface {
 // completion order wins, disturbing value order and potentially ruining
 // downstream encodings.
 type Exchange struct {
+	OpInstr
 	child Operator
 	// NewChain builds a fresh transform chain per worker (transform state
 	// is not shared between goroutines).
@@ -63,9 +64,25 @@ func NewExchange(child Operator, newChain func() []BlockTransform, workers int, 
 // Schema implements Operator.
 func (e *Exchange) Schema() []ColInfo { return e.schema }
 
+// OpKind implements Instrumented.
+func (e *Exchange) OpKind() string { return "Exchange" }
+
+// OpLabel implements Instrumented.
+func (e *Exchange) OpLabel() string {
+	routing := "completion-order"
+	if e.preserveOrder {
+		routing = "order-preserving"
+	}
+	return fmt.Sprintf("workers=%d %s", e.workers, routing)
+}
+
+// OpChildren implements Instrumented.
+func (e *Exchange) OpChildren() []Operator { return []Operator{e.child} }
+
 // Open implements Operator: spawns the producer and workers.
 func (e *Exchange) Open(qc *QueryCtx) error {
-	qc.Trace("Exchange")
+	start := e.beginOpen(qc, "Exchange")
+	defer e.endOpen(start)
 	e.qc = qc
 	if err := e.child.Open(qc); err != nil {
 		return err
@@ -183,6 +200,13 @@ func (e *Exchange) setErr(err error) {
 
 // Next implements Operator.
 func (e *Exchange) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := e.next(b)
+	e.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (e *Exchange) next(b *vec.Block) (bool, error) {
 	for {
 		if err := e.loadErr(); err != nil {
 			return false, err

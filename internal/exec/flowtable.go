@@ -58,6 +58,7 @@ func DefaultFlowTableConfig() FlowTableConfig {
 // metadata extraction. The extracted metadata is what the tactical
 // optimizer consumes to pick join and aggregation algorithms.
 type FlowTable struct {
+	OpInstr
 	child  Operator
 	cfg    FlowTableConfig
 	schema []ColInfo
@@ -91,6 +92,12 @@ func NewFlowTable(child Operator, cfg FlowTableConfig) *FlowTable {
 // Schema implements Operator.
 func (f *FlowTable) Schema() []ColInfo { return f.schema }
 
+// OpKind implements Instrumented.
+func (f *FlowTable) OpKind() string { return "FlowTable" }
+
+// OpChildren implements Instrumented.
+func (f *FlowTable) OpChildren() []Operator { return []Operator{f.child} }
+
 // columnBuilder accumulates one column.
 type columnBuilder struct {
 	info   ColInfo
@@ -106,6 +113,21 @@ type columnBuilder struct {
 // BuildTable implements TableSource: it drains the child and returns the
 // materialized, post-processed table.
 func (f *FlowTable) BuildTable(qc *QueryCtx) (*Built, error) {
+	start := f.beginOpen(qc, "FlowTable")
+	defer func() {
+		if f.built != nil {
+			// The table's full row count is this operator's output, whether
+			// freshly built or served from cache; the scanning wrapper below
+			// (Next) records time only, so rows are never double-counted.
+			f.st.addRowsOut(int64(f.built.Rows))
+			kinds := make([]enc.Kind, 0, len(f.built.Cols))
+			for i := range f.built.Cols {
+				kinds = append(kinds, f.built.Cols[i].Data.Kind())
+			}
+			f.st.SetRoutine(encRoutine(kinds))
+		}
+		f.endOpen(start)
+	}()
 	if f.built != nil {
 		// Cache hit under a fresh query context (shared plans): re-charge
 		// the build footprint so the new query's accountant sees it.
@@ -360,9 +382,13 @@ func (f *FlowTable) Open(qc *QueryCtx) error {
 	return f.scan.Open(qc)
 }
 
-// Next implements Operator.
+// Next implements Operator. Rows are accounted once, in BuildTable; the
+// wrapper records time only.
 func (f *FlowTable) Next(b *vec.Block) (bool, error) {
-	return f.scan.Next(b)
+	start := nowNanos()
+	ok, err := f.scan.Next(b)
+	f.endNextTimeOnly(start)
+	return ok, err
 }
 
 // Close implements Operator: releases the materialized table's memory

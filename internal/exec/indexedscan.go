@@ -28,6 +28,7 @@ type SchemaSource interface {
 }
 
 type IndexedScan struct {
+	OpInstr
 	inner    SchemaSource
 	countCol int
 	startCol int
@@ -83,9 +84,25 @@ func (is *IndexedScan) Schema() []ColInfo {
 	return out
 }
 
+// OpKind implements Instrumented.
+func (is *IndexedScan) OpKind() string { return "IndexedScan" }
+
+// OpLabel implements Instrumented.
+func (is *IndexedScan) OpLabel() string { return is.outer.Name }
+
+// OpChildren implements Instrumented: the inner index table when it is a
+// plan operator (FlowTable).
+func (is *IndexedScan) OpChildren() []Operator {
+	if op, ok := is.inner.(Operator); ok {
+		return []Operator{op}
+	}
+	return nil
+}
+
 // Open implements Operator.
 func (is *IndexedScan) Open(qc *QueryCtx) error {
-	qc.Trace("IndexedScan")
+	start := is.beginOpen(qc, "IndexedScan")
+	defer is.endOpen(start)
 	is.qc = qc
 	bt, err := is.inner.BuildTable(qc)
 	if err != nil {
@@ -124,6 +141,13 @@ func (is *IndexedScan) Open(qc *QueryCtx) error {
 
 // Next implements Operator: packs one or more (partial) runs into a block.
 func (is *IndexedScan) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := is.next(b)
+	is.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (is *IndexedScan) next(b *vec.Block) (bool, error) {
 	if err := is.qc.Err(); err != nil {
 		return false, err
 	}
@@ -164,6 +188,7 @@ func (is *IndexedScan) Next(b *vec.Block) (bool, error) {
 					start+is.runOff, start+is.runOff+take)
 			}
 			widenInPlace(dst, col.Data.Width(), is.schema[np+oi])
+			is.st.AddBytesScanned(int64(take * col.Data.Width()))
 		}
 		filled += take
 		is.runOff += take

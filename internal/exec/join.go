@@ -45,6 +45,7 @@ const directJoinLimit = 1 << 24
 // operator as the inner relation"), typically a FlowTable whose extracted
 // metadata drives the algorithm choice.
 type HashJoin struct {
+	OpInstr
 	outer    Operator
 	inner    TableSource
 	outerKey int
@@ -155,6 +156,19 @@ func (j *HashJoin) Schema() []ColInfo {
 // Algo returns the algorithm actually chosen (valid after Open).
 func (j *HashJoin) Algo() JoinAlgo { return j.chosen }
 
+// OpKind implements Instrumented.
+func (j *HashJoin) OpKind() string { return "HashJoin" }
+
+// OpChildren implements Instrumented: the outer probe side, then the
+// inner table source when it is itself a plan operator (FlowTable).
+func (j *HashJoin) OpChildren() []Operator {
+	out := []Operator{j.outer}
+	if op, ok := j.inner.(Operator); ok {
+		out = append(out, op)
+	}
+	return out
+}
+
 // charge routes a charge through the accountant and tracks it for
 // release on Close.
 func (j *HashJoin) charge(qc *QueryCtx, n int) error {
@@ -195,7 +209,15 @@ func (j *HashJoin) spillInnerSource() Operator {
 // spill budget is set, the join degrades to a grace hash join over
 // partitioned spill files instead of failing.
 func (j *HashJoin) Open(qc *QueryCtx) error {
-	qc.Trace("HashJoin")
+	start := j.beginOpen(qc, "HashJoin")
+	defer func() {
+		if j.grace != nil {
+			j.st.SetRoutine("grace")
+		} else {
+			j.st.SetRoutine(j.chosen.String())
+		}
+		j.endOpen(start)
+	}()
 	j.qc = qc
 	err := j.openBuilt(qc)
 	if err == nil || !spillableErr(qc, err) {
@@ -491,6 +513,13 @@ func (j *HashJoin) decodeInnerKey(qc *QueryCtx, key *BuiltColumn) error {
 
 // Next implements Operator.
 func (j *HashJoin) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := j.nextBlock(b)
+	j.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (j *HashJoin) nextBlock(b *vec.Block) (bool, error) {
 	if j.grace != nil {
 		return j.grace.next(b)
 	}

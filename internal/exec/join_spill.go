@@ -72,7 +72,7 @@ type graceJoin struct {
 
 // openGrace partitions both sides and leaves the probe to Next.
 func (j *HashJoin) openGrace(qc *QueryCtx, src Operator) error {
-	g := &graceJoin{j: j, qc: qc, mgr: qc.SpillManager(), stats: qc.SpillStat("HashJoin")}
+	g := &graceJoin{j: j, qc: qc, mgr: qc.SpillManager(), stats: &j.opStats().Spill}
 	g.stats.AddSpill()
 	j.grace = g
 	j.chosen = JoinHash

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"container/heap"
+	"strconv"
 
 	strheap "tde/internal/heap"
 	"tde/internal/types"
@@ -12,6 +13,7 @@ import (
 // TopN sort below it gives Tableau's "top N" views without materializing
 // the full sort.
 type Limit struct {
+	OpInstr
 	child Operator
 	n     int
 	seen  int
@@ -26,9 +28,19 @@ func NewLimit(child Operator, n int) *Limit {
 // Schema implements Operator.
 func (l *Limit) Schema() []ColInfo { return l.child.Schema() }
 
+// OpKind implements Instrumented.
+func (l *Limit) OpKind() string { return "Limit" }
+
+// OpLabel implements Instrumented.
+func (l *Limit) OpLabel() string { return strconv.Itoa(l.n) }
+
+// OpChildren implements Instrumented.
+func (l *Limit) OpChildren() []Operator { return []Operator{l.child} }
+
 // Open implements Operator.
 func (l *Limit) Open(qc *QueryCtx) error {
-	qc.Trace("Limit")
+	start := l.beginOpen(qc, "Limit")
+	defer l.endOpen(start)
 	l.seen = 0
 	l.buf = vec.NewBlock(len(l.child.Schema()))
 	return l.child.Open(qc)
@@ -36,6 +48,13 @@ func (l *Limit) Open(qc *QueryCtx) error {
 
 // Next implements Operator.
 func (l *Limit) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := l.next(b)
+	l.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (l *Limit) next(b *vec.Block) (bool, error) {
 	if l.seen >= l.n {
 		return false, nil
 	}
@@ -66,6 +85,7 @@ func (l *Limit) Close() error { return l.child.Close() }
 // sort keys (a max-heap of size n), so ORDER BY ... LIMIT n costs
 // O(rows·log n) memory-light work instead of a full materialized sort.
 type TopN struct {
+	OpInstr
 	child  Operator
 	keys   []SortKey
 	n      int
@@ -86,6 +106,15 @@ func NewTopN(child Operator, n int, keys ...SortKey) *TopN {
 
 // Schema implements Operator.
 func (t *TopN) Schema() []ColInfo { return t.schema }
+
+// OpKind implements Instrumented.
+func (t *TopN) OpKind() string { return "TopN" }
+
+// OpLabel implements Instrumented.
+func (t *TopN) OpLabel() string { return strconv.Itoa(t.n) }
+
+// OpChildren implements Instrumented.
+func (t *TopN) OpChildren() []Operator { return []Operator{t.child} }
 
 // rowHeap is a max-heap of retained rows ordered by the sort keys, so the
 // root is the worst retained row, evicted when something better arrives.
@@ -117,7 +146,8 @@ func (h *rowHeap) Pop() any {
 
 // Open implements Operator: consume everything, retaining n rows.
 func (t *TopN) Open(qc *QueryCtx) (err error) {
-	qc.Trace("TopN")
+	start := t.beginOpen(qc, "TopN")
+	defer t.endOpen(start)
 	t.qc = qc
 	defer func() {
 		if err != nil && t.charged > 0 {
@@ -263,6 +293,13 @@ func (t *TopN) compareRows(h *rowHeap, col, a, b int) int {
 
 // Next implements Operator.
 func (t *TopN) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := t.next(b)
+	t.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (t *TopN) next(b *vec.Block) (bool, error) {
 	n := len(t.sorted) - t.at
 	if n <= 0 {
 		return false, nil

@@ -20,6 +20,7 @@ import (
 // direct modes do not survive the split. The strategic planner therefore
 // prefers the serial Aggregate when ordered aggregation applies.
 type ParallelAggregate struct {
+	OpInstr
 	child   Operator
 	keyCols []int
 	specs   []AggSpec
@@ -53,6 +54,12 @@ func NewParallelAggregate(child Operator, keyCols []int, specs []AggSpec, worker
 // Schema implements Operator.
 func (p *ParallelAggregate) Schema() []ColInfo { return p.schema }
 
+// OpKind implements Instrumented.
+func (p *ParallelAggregate) OpKind() string { return "ParallelAggregate" }
+
+// OpChildren implements Instrumented.
+func (p *ParallelAggregate) OpChildren() []Operator { return []Operator{p.child} }
+
 // Workers returns the configured worker count.
 func (p *ParallelAggregate) Workers() int { return p.workers }
 
@@ -67,7 +74,9 @@ func (p *ParallelAggregate) NumGroups() int {
 // Open implements Operator: runs the full partial-aggregate/merge
 // pipeline, stop-and-go.
 func (p *ParallelAggregate) Open(qc *QueryCtx) (err error) {
-	qc.Trace("ParallelAggregate")
+	start := p.beginOpen(qc, "ParallelAggregate")
+	defer p.endOpen(start)
+	p.st.SetRoutine(fmt.Sprintf("hash(workers=%d)", p.workers))
 	p.qc = qc
 	p.emitAt = 0
 	defer func() {
@@ -81,7 +90,7 @@ func (p *ParallelAggregate) Open(qc *QueryCtx) (err error) {
 	defer p.child.Close()
 	in := p.child.Schema()
 	if qc.SpillEnabled() {
-		p.sp = newAggSpill(qc, "ParallelAggregate", in, p.keyCols, p.specs)
+		p.sp = newAggSpill(qc, "ParallelAggregate", &p.st.Spill, in, p.keyCols, p.specs)
 	}
 
 	cores := make([]*aggCore, p.workers)
@@ -210,6 +219,13 @@ func (p *ParallelAggregate) Open(qc *QueryCtx) (err error) {
 
 // Next implements Operator: emits one block of merged groups.
 func (p *ParallelAggregate) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := p.next(b)
+	p.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (p *ParallelAggregate) next(b *vec.Block) (bool, error) {
 	if p.em != nil {
 		return p.em.next(b)
 	}

@@ -33,15 +33,21 @@ type QueryCtx struct {
 	// boundary can report where an internal failure happened.
 	op atomic.Value // string
 
-	// Spill state: a disk budget mirroring the memory accountant, a
-	// lazily created per-query spill.Manager, and per-operator stats.
+	// Spill state: a disk budget mirroring the memory accountant and a
+	// lazily created per-query spill.Manager.
 	spillCfg  SpillConfig
 	spillUsed atomic.Int64
 	spillPeak atomic.Int64
 
-	spillMu    sync.Mutex
-	spillMgr   *spill.Manager
-	spillStats map[string]*OpSpillStats
+	spillMu  sync.Mutex
+	spillMgr *spill.Manager
+
+	// ops is the per-operator runtime stats registry, keyed by the
+	// plan-assigned operator ID (see opstats.go). Spill stats live inside
+	// each OpStats record, so two operators of the same kind never share
+	// an entry.
+	opMu sync.Mutex
+	ops  map[int]*OpStats
 }
 
 // SpillConfig configures graceful degradation for one query: when Budget
@@ -86,6 +92,19 @@ func (s *OpSpillStats) NoteDepth(d int) {
 	}
 }
 
+// snapshot reads the counters atomically into a serializable snapshot.
+func (s *OpSpillStats) snapshot() OpSpillSnapshot {
+	return OpSpillSnapshot{
+		Spills:       atomic.LoadInt64(&s.Spills),
+		Partitions:   atomic.LoadInt64(&s.Partitions),
+		MaxDepth:     atomic.LoadInt64(&s.MaxDepth),
+		Files:        atomic.LoadInt64(&s.IO.Files),
+		Chunks:       atomic.LoadInt64(&s.IO.Chunks),
+		BytesWritten: atomic.LoadInt64(&s.IO.BytesWritten),
+		BytesRead:    atomic.LoadInt64(&s.IO.BytesRead),
+	}
+}
+
 // NewQueryCtx builds a lifecycle handle from ctx with a byte budget
 // (0 = unlimited). ctx may be nil, meaning context.Background().
 func NewQueryCtx(ctx context.Context, budgetBytes int64) *QueryCtx {
@@ -104,8 +123,7 @@ func NewQueryCtxSpill(ctx context.Context, budgetBytes int64, sc SpillConfig) *Q
 	if sc.Budget < 0 {
 		sc.Budget = 0
 	}
-	return &QueryCtx{ctx: ctx, budget: budgetBytes, spillCfg: sc,
-		spillStats: map[string]*OpSpillStats{}}
+	return &QueryCtx{ctx: ctx, budget: budgetBytes, spillCfg: sc}
 }
 
 // SpillEnabled reports whether the query may degrade to disk.
@@ -186,73 +204,45 @@ func (q *QueryCtx) SpillPeak() int64 {
 	return q.spillPeak.Load()
 }
 
-// SpillStat returns (creating on demand) the named operator's spill
-// stats record.
-func (q *QueryCtx) SpillStat(op string) *OpSpillStats {
-	if q == nil {
-		return &OpSpillStats{}
-	}
-	q.spillMu.Lock()
-	defer q.spillMu.Unlock()
-	s := q.spillStats[op]
-	if s == nil {
-		s = &OpSpillStats{}
-		q.spillStats[op] = s
-	}
-	return s
-}
-
-// SpillStats snapshots every operator's spill stats, keyed by operator
-// name; operators that never spilled are omitted.
-func (q *QueryCtx) SpillStats() map[string]OpSpillStats {
-	if q == nil {
-		return nil
-	}
-	q.spillMu.Lock()
-	defer q.spillMu.Unlock()
-	out := map[string]OpSpillStats{}
-	for op, s := range q.spillStats {
-		if atomic.LoadInt64(&s.Spills) == 0 {
-			continue
-		}
-		out[op] = OpSpillStats{
-			IO: spill.Stats{
-				Files:        atomic.LoadInt64(&s.IO.Files),
-				Chunks:       atomic.LoadInt64(&s.IO.Chunks),
-				BytesWritten: atomic.LoadInt64(&s.IO.BytesWritten),
-				BytesRead:    atomic.LoadInt64(&s.IO.BytesRead),
-			},
-			Spills:     atomic.LoadInt64(&s.Spills),
-			Partitions: atomic.LoadInt64(&s.Partitions),
-			MaxDepth:   atomic.LoadInt64(&s.MaxDepth),
-		}
-	}
-	return out
-}
-
 // SpillSummary renders the per-operator spill stats in the Explain
-// style ("" when nothing spilled), e.g.
-// "Spill[Aggregate spills=3 parts=8 depth=1 wrote=12KB read=12KB]".
+// style ("" when nothing spilled), keyed by plan operator ID so two
+// operators of the same kind report separately, e.g.
+// "Spill[#4 HashJoin spills=3 parts=8 depth=1 wrote=12KB read=12KB]".
 func (q *QueryCtx) SpillSummary() string {
-	stats := q.SpillStats()
-	if len(stats) == 0 {
+	if q == nil {
 		return ""
 	}
-	ops := make([]string, 0, len(stats))
-	for op := range stats {
-		ops = append(ops, op)
+	q.opMu.Lock()
+	ids := make([]int, 0, len(q.ops))
+	for id := range q.ops {
+		ids = append(ids, id)
 	}
-	sort.Strings(ops)
+	sort.Ints(ids)
+	type spilled struct {
+		id   int
+		kind string
+		sp   OpSpillSnapshot
+	}
+	var rows []spilled
+	for _, id := range ids {
+		s := q.ops[id]
+		if sp := s.Spill.snapshot(); sp.Spills > 0 {
+			rows = append(rows, spilled{id: id, kind: s.kind, sp: sp})
+		}
+	}
+	q.opMu.Unlock()
+	if len(rows) == 0 {
+		return ""
+	}
 	var b strings.Builder
 	b.WriteString("Spill[")
-	for i, op := range ops {
-		s := stats[op]
+	for i, r := range rows {
 		if i > 0 {
 			b.WriteString("; ")
 		}
-		fmt.Fprintf(&b, "%s spills=%d parts=%d depth=%d wrote=%s read=%s",
-			op, s.Spills, s.Partitions, s.MaxDepth,
-			fmtBytes(s.IO.BytesWritten), fmtBytes(s.IO.BytesRead))
+		fmt.Fprintf(&b, "#%d %s spills=%d parts=%d depth=%d wrote=%s read=%s",
+			r.id, r.kind, r.sp.Spills, r.sp.Partitions, r.sp.MaxDepth,
+			fmtBytes(r.sp.BytesWritten), fmtBytes(r.sp.BytesRead))
 	}
 	b.WriteString("]")
 	return b.String()

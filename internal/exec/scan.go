@@ -14,6 +14,7 @@ import (
 // tokens, preserving the invisible-join opportunity; plain scalars emit
 // resolved full-width values.
 type Scan struct {
+	OpInstr
 	table   *storage.Table
 	colIdxs []int
 	schema  []ColInfo
@@ -52,20 +53,37 @@ func NewScan(t *storage.Table, names ...string) (*Scan, error) {
 // Schema implements Operator.
 func (s *Scan) Schema() []ColInfo { return s.schema }
 
+// OpKind implements Instrumented.
+func (s *Scan) OpKind() string { return "Scan" }
+
+// OpLabel implements Instrumented.
+func (s *Scan) OpLabel() string { return s.table.Name }
+
 // Open implements Operator.
 func (s *Scan) Open(qc *QueryCtx) error {
-	qc.Trace("Scan")
+	start := s.beginOpen(qc, "Scan")
+	defer s.endOpen(start)
 	s.qc = qc
 	s.at = 0
 	s.readers = make([]*enc.Reader, len(s.colIdxs))
+	kinds := make([]enc.Kind, 0, len(s.colIdxs))
 	for i, idx := range s.colIdxs {
 		s.readers[i] = enc.NewReader(s.table.Columns[idx].Data)
+		kinds = append(kinds, s.table.Columns[idx].Data.Kind())
 	}
+	s.st.SetRoutine(encRoutine(kinds))
 	return nil
 }
 
 // Next implements Operator.
 func (s *Scan) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := s.next(b)
+	s.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (s *Scan) next(b *vec.Block) (bool, error) {
 	if err := s.qc.Err(); err != nil {
 		return false, err
 	}
@@ -87,7 +105,9 @@ func (s *Scan) Next(b *vec.Block) (bool, error) {
 		if got != n {
 			return false, fmt.Errorf("exec: short column read: %d of %d", got, n)
 		}
-		widenInPlace(v.Data[:n], s.table.Columns[s.colIdxs[i]].Data.Width(), info)
+		w := s.table.Columns[s.colIdxs[i]].Data.Width()
+		widenInPlace(v.Data[:n], w, info)
+		s.st.AddBytesScanned(int64(n * w))
 	}
 	b.N = n
 	s.at += n
@@ -98,6 +118,24 @@ func (s *Scan) Next(b *vec.Block) (bool, error) {
 func (s *Scan) Close() error {
 	s.readers = nil
 	return nil
+}
+
+// encRoutine renders the deduplicated encoding kinds of a scan's columns
+// in first-seen order, e.g. "dict+rle+raw".
+func encRoutine(kinds []enc.Kind) string {
+	var out string
+	seen := map[enc.Kind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if out != "" {
+			out += "+"
+		}
+		out += k.String()
+	}
+	return out
 }
 
 // widenInPlace converts raw width-sized stream values to full-width bits.
@@ -127,6 +165,7 @@ func ensureVecs(b *vec.Block, n int) {
 // BuiltScan iterates a Built table (the output of FlowTable and the
 // pseudo-table operators).
 type BuiltScan struct {
+	OpInstr
 	built   *Built
 	readers []*enc.Reader
 	at      int
@@ -139,20 +178,34 @@ func NewBuiltScan(bt *Built) *BuiltScan { return &BuiltScan{built: bt} }
 // Schema implements Operator.
 func (s *BuiltScan) Schema() []ColInfo { return s.built.Schema() }
 
+// OpKind implements Instrumented.
+func (s *BuiltScan) OpKind() string { return "BuiltScan" }
+
 // Open implements Operator.
 func (s *BuiltScan) Open(qc *QueryCtx) error {
-	qc.Trace("BuiltScan")
+	start := s.beginOpen(qc, "BuiltScan")
+	defer s.endOpen(start)
 	s.qc = qc
 	s.at = 0
 	s.readers = make([]*enc.Reader, len(s.built.Cols))
+	kinds := make([]enc.Kind, 0, len(s.built.Cols))
 	for i := range s.built.Cols {
 		s.readers[i] = enc.NewReader(s.built.Cols[i].Data)
+		kinds = append(kinds, s.built.Cols[i].Data.Kind())
 	}
+	s.st.SetRoutine(encRoutine(kinds))
 	return nil
 }
 
 // Next implements Operator.
 func (s *BuiltScan) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := s.next(b)
+	s.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (s *BuiltScan) next(b *vec.Block) (bool, error) {
 	if err := s.qc.Err(); err != nil {
 		return false, err
 	}
@@ -173,6 +226,7 @@ func (s *BuiltScan) Next(b *vec.Block) (bool, error) {
 		v.Dict = col.Info.Dict
 		r.Read(s.at, n, v.Data)
 		widenInPlace(v.Data[:n], col.Data.Width(), col.Info)
+		s.st.AddBytesScanned(int64(n * col.Data.Width()))
 	}
 	b.N = n
 	s.at += n

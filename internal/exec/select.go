@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"strings"
+
 	"tde/internal/expr"
 	"tde/internal/types"
 	"tde/internal/vec"
@@ -10,6 +12,7 @@ import (
 // per block and compacts the surviving rows. NULL predicate results drop
 // the row (Tableau predicate semantics).
 type Select struct {
+	OpInstr
 	child Operator
 	pred  expr.Expr
 	buf   *vec.Block
@@ -24,9 +27,19 @@ func NewSelect(child Operator, pred expr.Expr) *Select {
 // Schema implements Operator.
 func (s *Select) Schema() []ColInfo { return s.child.Schema() }
 
+// OpKind implements Instrumented.
+func (s *Select) OpKind() string { return "Select" }
+
+// OpLabel implements Instrumented.
+func (s *Select) OpLabel() string { return s.pred.String() }
+
+// OpChildren implements Instrumented.
+func (s *Select) OpChildren() []Operator { return []Operator{s.child} }
+
 // Open implements Operator.
 func (s *Select) Open(qc *QueryCtx) error {
-	qc.Trace("Select")
+	start := s.beginOpen(qc, "Select")
+	defer s.endOpen(start)
 	s.buf = vec.NewBlock(len(s.child.Schema()))
 	s.out.Data = make([]uint64, vec.BlockSize)
 	return s.child.Open(qc)
@@ -34,6 +47,13 @@ func (s *Select) Open(qc *QueryCtx) error {
 
 // Next implements Operator.
 func (s *Select) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := s.next(b)
+	s.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (s *Select) next(b *vec.Block) (bool, error) {
 	for {
 		ok, err := s.child.Next(s.buf)
 		if err != nil || !ok {
@@ -82,6 +102,7 @@ func (s *Select) Close() error { return s.child.Close() }
 // Project is the computation flow operator: it evaluates expressions over
 // each block to produce its output columns.
 type Project struct {
+	OpInstr
 	child  Operator
 	exprs  []expr.Expr
 	names  []string
@@ -101,15 +122,32 @@ func NewProject(child Operator, exprs []expr.Expr, names []string) *Project {
 // Schema implements Operator.
 func (p *Project) Schema() []ColInfo { return p.schema }
 
+// OpKind implements Instrumented.
+func (p *Project) OpKind() string { return "Project" }
+
+// OpLabel implements Instrumented.
+func (p *Project) OpLabel() string { return strings.Join(p.names, ", ") }
+
+// OpChildren implements Instrumented.
+func (p *Project) OpChildren() []Operator { return []Operator{p.child} }
+
 // Open implements Operator.
 func (p *Project) Open(qc *QueryCtx) error {
-	qc.Trace("Project")
+	start := p.beginOpen(qc, "Project")
+	defer p.endOpen(start)
 	p.buf = vec.NewBlock(len(p.child.Schema()))
 	return p.child.Open(qc)
 }
 
 // Next implements Operator.
 func (p *Project) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := p.next(b)
+	p.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (p *Project) next(b *vec.Block) (bool, error) {
 	ok, err := p.child.Next(p.buf)
 	if err != nil || !ok {
 		return false, err

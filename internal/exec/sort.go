@@ -26,6 +26,7 @@ type SortKey struct {
 // merges the runs (pre-merged in passes of spillMergeFanIn when there are
 // many) instead of walking an in-memory order index.
 type Sort struct {
+	OpInstr
 	child  Operator
 	keys   []SortKey
 	schema []ColInfo
@@ -97,9 +98,23 @@ func (s *Sort) initBuffers() {
 	s.heapBytes = 0
 }
 
+// OpKind implements Instrumented.
+func (s *Sort) OpKind() string { return "Sort" }
+
+// OpChildren implements Instrumented.
+func (s *Sort) OpChildren() []Operator { return []Operator{s.child} }
+
 // Open implements Operator.
 func (s *Sort) Open(qc *QueryCtx) (err error) {
-	qc.Trace("Sort")
+	start := s.beginOpen(qc, "Sort")
+	defer func() {
+		if s.cursors != nil {
+			s.st.SetRoutine("external")
+		} else {
+			s.st.SetRoutine("memory")
+		}
+		s.endOpen(start)
+	}()
 	s.qc = qc
 	defer func() {
 		if err != nil {
@@ -214,7 +229,7 @@ func (s *Sort) spillRun() error {
 	}
 	if s.mgr == nil {
 		s.mgr = s.qc.SpillManager()
-		s.stats = s.qc.SpillStat("Sort")
+		s.stats = &s.opStats().Spill
 		s.specs = spillSpecs(s.schema)
 	}
 	s.stats.AddSpill()
@@ -348,6 +363,13 @@ func (s *Sort) compare(c int, ra, rb int32) int {
 
 // Next implements Operator.
 func (s *Sort) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := s.next(b)
+	s.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (s *Sort) next(b *vec.Block) (bool, error) {
 	if s.cursors != nil {
 		return s.mergeNext(b)
 	}

@@ -116,6 +116,7 @@ func BuildJoin(q JoinQuery, opt Options) (exec.Operator, *Explain, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	ex.Tree = exec.AssignOpIDs(op)
 	return op, ex, nil
 }
 
@@ -153,4 +154,49 @@ func (a aliasOp) BuildTable(qc *exec.QueryCtx) (*exec.Built, error) {
 		return ts.BuildTable(qc)
 	}
 	return nil, fmt.Errorf("plan: alias wraps a flow operator")
+}
+
+// The Instrumented delegation below makes the alias transparent to
+// AssignOpIDs: the wrapped operator keeps its own identity and stats, and
+// only the rendered label carries the alias.
+
+func (a aliasOp) OpID() int {
+	if inst, ok := a.Operator.(exec.Instrumented); ok {
+		return inst.OpID()
+	}
+	return 0
+}
+
+func (a aliasOp) SetOpID(id int) {
+	if inst, ok := a.Operator.(exec.Instrumented); ok {
+		inst.SetOpID(id)
+	}
+}
+
+func (a aliasOp) OpKind() string {
+	if inst, ok := a.Operator.(exec.Instrumented); ok {
+		return inst.OpKind()
+	}
+	return "Alias"
+}
+
+func (a aliasOp) OpLabel() string {
+	label := ""
+	if inst, ok := a.Operator.(exec.Instrumented); ok {
+		label = inst.OpLabel()
+	}
+	if a.prefix == "" {
+		return label
+	}
+	if label == "" {
+		return "as " + a.prefix
+	}
+	return label + " as " + a.prefix
+}
+
+func (a aliasOp) OpChildren() []exec.Operator {
+	if inst, ok := a.Operator.(exec.Instrumented); ok {
+		return inst.OpChildren()
+	}
+	return nil
 }

@@ -142,9 +142,11 @@ func preserveOrderRouting(opt Options, schema []exec.ColInfo) bool {
 	return false
 }
 
-// Explain records the strategic decisions for inspection.
+// Explain records the strategic decisions for inspection. Tree is the
+// operator tree with the stable per-operator IDs runtime stats key on.
 type Explain struct {
 	Steps []string
+	Tree  *exec.PlanNode
 }
 
 func (e *Explain) add(format string, args ...any) {
@@ -181,6 +183,7 @@ func Build(q Query, opt Options) (exec.Operator, *Explain, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	ex.Tree = exec.AssignOpIDs(op)
 	return op, ex, nil
 }
 

@@ -33,6 +33,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+)\s+\d+\s+([0-9.]+) ns/op`)
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_parallel.json", "baseline file")
 	update := flag.Bool("update", false, "rewrite the baseline from this run")
+	maxRatio := flag.Float64("maxratio", 0, "override the baseline's threshold (e.g. 1.03 to bound instrumentation overhead at 3%)")
 	flag.Parse()
 
 	current := map[string]float64{}
@@ -87,6 +88,9 @@ func main() {
 	}
 	if base.Threshold <= 1 {
 		base.Threshold = 2.0
+	}
+	if *maxRatio > 0 {
+		base.Threshold = *maxRatio
 	}
 
 	var names []string

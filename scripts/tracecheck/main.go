@@ -1,0 +1,101 @@
+// tracecheck validates a Chrome trace file (the JSON Object Format with
+// a traceEvents array that chrome://tracing and Perfetto load) emitted
+// by tdequery/tdebench -trace or Result.WriteTrace:
+//
+//	go run ./scripts/tracecheck query.trace.json
+//
+// It checks the structural invariants the viewers rely on — every event
+// has a phase, "X" complete events carry non-negative ts/dur plus
+// pid/tid, "M" metadata events name their thread — and the engine's own
+// contract: at least one operator span, unique tids (one per plan
+// operator ID), and a thread_name record for every span's tid. Exit 0
+// on a loadable trace, 1 with a diagnostic otherwise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    *float64       `json:"ts"`
+	Dur   *float64       `json:"dur"`
+	PID   *int           `json:"pid"`
+	TID   *int           `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		fatalf("not valid JSON: %v", err)
+	}
+	if tf.TraceEvents == nil {
+		fatalf("no traceEvents array")
+	}
+
+	named := map[int]bool{}   // tids with a thread_name metadata record
+	spanTID := map[int]bool{} // tids carrying an operator span
+	spans := 0
+	for i, ev := range tf.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			if ev.TS == nil || ev.Dur == nil {
+				fatalf("event %d: complete event missing ts/dur", i)
+			}
+			if *ev.TS < 0 || *ev.Dur < 0 {
+				fatalf("event %d: negative ts (%g) or dur (%g)", i, *ev.TS, *ev.Dur)
+			}
+			if ev.PID == nil || ev.TID == nil {
+				fatalf("event %d: complete event missing pid/tid", i)
+			}
+			if spanTID[*ev.TID] {
+				fatalf("event %d: duplicate operator span on tid %d", i, *ev.TID)
+			}
+			spanTID[*ev.TID] = true
+			spans++
+		case "M":
+			if ev.Name != "thread_name" {
+				continue
+			}
+			if ev.TID == nil {
+				fatalf("event %d: thread_name without tid", i)
+			}
+			if _, ok := ev.Args["name"].(string); !ok {
+				fatalf("event %d: thread_name without args.name", i)
+			}
+			named[*ev.TID] = true
+		case "":
+			fatalf("event %d: missing phase", i)
+		}
+	}
+	if spans == 0 {
+		fatalf("no operator spans (phase X events)")
+	}
+	for tid := range spanTID {
+		if !named[tid] {
+			fatalf("operator span on tid %d has no thread_name record", tid)
+		}
+	}
+	fmt.Printf("tracecheck: ok — %d operator spans, %d events\n", spans, len(tf.TraceEvents))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -85,7 +85,7 @@ func runSpillOracle(t *testing.T, db *Database, sql string, mem int64) {
 			t.Fatalf("workers=%d: %d rows differ from oracle's %d\nfirst got: %.200s",
 				workers, len(got), len(want), strings.Join(got[:min(3, len(got))], " | "))
 		}
-		if len(res.Stats().Spill) == 0 || res.Stats().SpillPeak == 0 {
+		if !res.Stats().Spilled() || res.Stats().SpillPeak == 0 {
 			t.Fatalf("workers=%d: query under %d-byte budget did not spill (stats %+v)",
 				workers, mem, res.Stats())
 		}

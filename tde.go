@@ -356,25 +356,43 @@ type Result struct {
 	Rows    [][]string
 	// Plan describes the strategic plan that produced the result; when the
 	// query degraded to disk it is suffixed with a per-operator spill
-	// summary ("... => Spill[Aggregate spills=1 parts=8 ...]").
+	// summary ("... => Spill[#4 HashJoin spills=1 parts=8 ...]").
 	Plan string
 
 	stats QueryStats
+	tree  *exec.PlanNode
 }
 
-// Stats returns the query's resource-use counters.
+// Stats returns the query's resource-use counters, snapshotted after the
+// last operator (exchange workers included) finished.
 func (r *Result) Stats() QueryStats { return r.stats }
 
-// QueryStats are the resource-use counters of one finished query.
+// QueryStats are the resource-use counters of one finished query. The
+// whole struct is JSON-serializable.
 type QueryStats struct {
 	// MemoryPeak is the high-water mark of accounted bytes in memory.
-	MemoryPeak int64
+	MemoryPeak int64 `json:"memory_peak"`
 	// SpillPeak is the high-water mark of spill bytes on disk (0 when the
 	// query never spilled).
-	SpillPeak int64
-	// Spill holds per-operator spill activity, keyed by operator name;
-	// empty when the query never spilled.
-	Spill map[string]exec.OpSpillStats
+	SpillPeak int64 `json:"spill_peak"`
+	// Operators holds one runtime-counter entry per planned operator, in
+	// plan pre-order, keyed by the stable operator ID — two operators of
+	// the same kind report separately.
+	Operators []OperatorStats `json:"operators"`
+}
+
+// OperatorStats is one operator's runtime counters (see
+// exec.OpStatsSnapshot for field semantics).
+type OperatorStats = exec.OpStatsSnapshot
+
+// Spilled reports whether any operator of the query spilled to disk.
+func (s QueryStats) Spilled() bool {
+	for i := range s.Operators {
+		if s.Operators[i].Spill != nil && s.Operators[i].Spill.Spills > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // QueryOptions bound a query's (or import's) resource use. The zero value
@@ -471,15 +489,18 @@ func (db *Database) QueryContext(ctx context.Context, sql string, opt QueryOptio
 		}
 		return nil, err
 	}
+	// CollectStringsCtx has closed the whole tree (exchange workers
+	// joined), so the operator counters snapshotted here are final.
 	planStr := ex.String()
 	if s := qc.SpillSummary(); s != "" {
 		planStr += " => " + s
 	}
-	return &Result{Columns: names, Rows: rows, Plan: planStr, stats: QueryStats{
-		MemoryPeak: qc.Peak(),
-		SpillPeak:  qc.SpillPeak(),
-		Spill:      qc.SpillStats(),
-	}}, nil
+	return &Result{Columns: names, Rows: rows, Plan: planStr, tree: ex.Tree,
+		stats: QueryStats{
+			MemoryPeak: qc.Peak(),
+			SpillPeak:  qc.SpillPeak(),
+			Operators:  qc.OpSnapshots(ex.Tree),
+		}}, nil
 }
 
 // Explain returns the strategic plan for sql without running it.

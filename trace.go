@@ -1,0 +1,96 @@
+package tde
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace event format (the JSON Array / traceEvents flavour that
+// chrome://tracing and Perfetto load): one "X" complete event per
+// operator spanning its first-to-last activity, with the runtime
+// counters attached as args, plus one "M" metadata event per operator
+// naming its thread row. All operators of one query share pid 1; each
+// operator's plan ID is its tid, so the trace rows mirror the plan.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// WriteTrace exports the query's per-operator runtime stats as a Chrome
+// trace (load the file in chrome://tracing or ui.perfetto.dev).
+// Timestamps are relative to the process's profiling epoch, so multiple
+// queries traced from one process line up on a shared timeline.
+func (r *Result) WriteTrace(w io.Writer) error {
+	tf := traceFile{TraceEvents: []traceEvent{}}
+	for _, s := range r.stats.Operators {
+		name := s.Kind
+		if s.Label != "" {
+			name = fmt.Sprintf("%s(%s)", s.Kind, s.Label)
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name:  "thread_name",
+			Phase: "M", PID: 1, TID: s.ID,
+			Args: map[string]any{"name": fmt.Sprintf("#%d %s", s.ID, name)},
+		})
+		start := s.StartNanos
+		end := s.EndNanos
+		if end < start {
+			end = start
+		}
+		args := map[string]any{
+			"rows_in":    s.RowsIn,
+			"rows_out":   s.RowsOut,
+			"blocks_in":  s.BlocksIn,
+			"blocks_out": s.BlocksOut,
+			"open_ns":    s.OpenNanos,
+			"next_ns":    s.NextNanos,
+		}
+		if s.Routine != "" {
+			args["routine"] = s.Routine
+		}
+		if s.BytesScanned > 0 {
+			args["bytes_scanned"] = s.BytesScanned
+		}
+		if sp := s.Spill; sp != nil {
+			args["spills"] = sp.Spills
+			args["spill_partitions"] = sp.Partitions
+			args["spill_bytes_written"] = sp.BytesWritten
+			args["spill_bytes_read"] = sp.BytesRead
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: fmt.Sprintf("#%d %s", s.ID, name), Cat: s.Kind,
+			Phase: "X",
+			TS:    float64(start) / 1e3,
+			Dur:   float64(end-start) / 1e3,
+			PID:   1, TID: s.ID,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// SaveTrace writes the Chrome trace to path (see WriteTrace).
+func (r *Result) SaveTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
