@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz check check-db crash clean bench-parallel bench-check bench-baseline bench-overhead trace-smoke
+.PHONY: all build vet test race fuzz check check-db crash crash-wal clean bench-parallel bench-check bench-baseline bench-overhead trace-smoke
 
 all: check
 
@@ -25,12 +25,21 @@ fuzz:
 	$(GO) test -fuzz=FuzzSalvageOpen -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -fuzz=FuzzSQLParse -fuzztime=$(FUZZTIME) ./internal/sqlparse/
 	$(GO) test -fuzz=FuzzSpillRead -fuzztime=$(FUZZTIME) ./internal/spill/
+	$(GO) test -fuzz=FuzzWALRead -fuzztime=$(FUZZTIME) ./internal/wal/
 
 # Crash-consistency sweep: kill a save at every injectable point and
 # require the on-disk file to be exactly the old or the new image.
 CRASHSEEDS ?= 64
 crash:
 	$(GO) test -race -run 'TestCrashConsistency|TestBitFlipAtRestDetected' ./internal/storage/ -crashseeds $(CRASHSEEDS)
+
+# Write-path crash sweep: kill transaction commits and delta merges at
+# every injectable I/O operation and require recovery to land exactly on
+# an "after j committed transactions" state (commits) or the pre-merge
+# state (merges).
+WALCRASHSEEDS ?= 128
+crash-wal:
+	$(GO) test -race -run 'TestWALCrashConsistency|TestMergeCrashConsistency' . -walcrashseeds $(WALCRASHSEEDS)
 
 # End-to-end integrity check of a real extract: generate a CSV with
 # tdegen, import it with tdeload, then verify every column record (and

@@ -7,12 +7,22 @@
 // and dropping the quarantined ones — an explicit, destructive decision,
 // which is why Open refuses to do it silently.
 //
+// A write-ahead log sidecar (extract.tde.wal), when present, is verified
+// too: every frame checksum is checked and the tail is classified. An
+// uncommitted tail or a stale log (bound to a different base image —
+// the benign leftover of a completed merge) are notes; a damaged tail is
+// corruption. Repair truncates a damaged or uncommitted tail to the last
+// committed transaction, removes a stale log, and sweeps orphaned
+// commit/merge temp files. -merge folds the log and delta into fresh
+// compressed extents and retires the log.
+//
 // Usage:
 //
 //	tdecheck extract.tde              verify; exit 0 clean, 1 corrupt
 //	tdecheck -deep extract.tde        also decode every value of every column
 //	tdecheck -repair extract.tde      rewrite in place, dropping damaged columns
 //	tdecheck -repair -out fixed.tde extract.tde
+//	tdecheck -merge extract.tde       re-encode logged writes into the base file
 //
 // Exit codes: 0 = clean (or repaired), 1 = corruption found (verify mode),
 // 2 = usage or I/O error.
@@ -23,24 +33,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"tde"
 	"tde/internal/iofault"
 	"tde/internal/spill"
 	"tde/internal/storage"
+	"tde/internal/wal"
 )
 
 func main() {
 	deep := flag.Bool("deep", false, "decode every value of every column (full scan)")
 	repair := flag.Bool("repair", false, "rewrite the file dropping quarantined columns")
+	merge := flag.Bool("merge", false, "re-encode logged writes into the base file and retire the log")
 	out := flag.String("out", "", "repair output path (default: in place)")
 	quiet := flag.Bool("q", false, "suppress the per-table summary, print only damage")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tdecheck [-deep] [-repair [-out fixed.tde]] [-q] extract.tde")
+		fmt.Fprintln(os.Stderr, "usage: tdecheck [-deep] [-repair [-out fixed.tde]] [-merge] [-q] extract.tde")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+
+	if *merge {
+		doMerge(path)
+		return
+	}
 
 	tables, rep, err := storage.ReadFileFS(iofault.OS, path, storage.ReadOptions{
 		Salvage:    true,
@@ -63,7 +82,12 @@ func main() {
 		}
 	}
 
+	walDamaged := checkWAL(path, *repair, *quiet)
+
 	if rep == nil || len(rep.Entries) == 0 {
+		if walDamaged {
+			os.Exit(1)
+		}
 		if !*quiet {
 			fmt.Println("ok: no corruption found")
 		}
@@ -76,9 +100,14 @@ func main() {
 		os.Exit(1)
 	}
 	// Repair mode also sweeps spill temp dirs orphaned by crashed queries
-	// (recognizable by the tde-spill- prefix); a no-op when none exist.
+	// (recognizable by the tde-spill- prefix), and the WAL/save temp files
+	// a crashed commit or merge left next to the database; no-ops when
+	// none exist.
 	if n, err := spill.Sweep(os.TempDir(), 0); err == nil && n > 0 {
 		fmt.Printf("removed %d orphaned spill dir(s)\n", n)
+	}
+	if n, err := wal.SweepTemps(filepath.Dir(path), 0); err == nil && n > 0 {
+		fmt.Printf("removed %d orphaned temp file(s)\n", n)
 	}
 	dst := *out
 	if dst == "" {
@@ -88,6 +117,115 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tdecheck: repair write failed: %v\n", err)
 		os.Exit(2)
 	}
+	// The rewritten base no longer matches the log's binding; a stale log
+	// would only confuse the next open, so an in-place repair retires it.
+	// (Unmerged committed transactions in it are part of what the damage
+	// cost — repair is explicitly destructive.)
+	if dst == path {
+		if err := os.Remove(wal.Path(path)); err == nil {
+			fmt.Println("removed write-ahead log invalidated by the repair")
+		}
+	}
 	fmt.Printf("repaired: wrote %s with %d table(s), dropping %d damaged region(s)\n",
 		dst, len(tables), len(rep.Entries))
+}
+
+// checkWAL verifies the log sidecar, if any: frame checksums, record
+// structure, tail classification and the binding to the base image. In
+// repair mode a damaged or uncommitted tail is truncated to the last
+// committed transaction and a stale log removed; otherwise damage is
+// reported and the caller exits 1.
+func checkWAL(path string, repair, quiet bool) (damaged bool) {
+	walPath := wal.Path(path)
+	rp, raw, err := wal.ReadFile(iofault.OS, walPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false
+		}
+		// Header-level damage: the log carries no recoverable prefix.
+		fmt.Fprintf(os.Stderr, "tdecheck: %v\n", err)
+		if repair {
+			if err := os.Remove(walPath); err == nil {
+				fmt.Println("removed unreadable write-ahead log")
+				return false
+			}
+		}
+		return true
+	}
+
+	base, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdecheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if rp.Binding != wal.Bind(base) {
+		if repair {
+			if err := os.Remove(walPath); err == nil {
+				fmt.Println("removed stale write-ahead log (bound to a different base image)")
+			}
+		} else if !quiet {
+			fmt.Printf("note: stale write-ahead log (bound to a different base image); ignored on open\n")
+		}
+		return false
+	}
+
+	if !quiet {
+		fmt.Printf("wal   %-16s %8d committed txn(s)  tail %s\n",
+			filepath.Base(walPath), len(rp.Txns), rp.Tail)
+	}
+	switch rp.Tail {
+	case wal.TailClean:
+		return false
+	case wal.TailUncommitted:
+		if repair {
+			if err := wal.RepairTail(iofault.OS, walPath, raw, rp.CleanLen); err != nil {
+				fmt.Fprintf(os.Stderr, "tdecheck: wal repair: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Printf("truncated uncommitted log tail at byte %d\n", rp.CleanLen)
+		} else if !quiet {
+			fmt.Printf("note: uncommitted log tail (crash artifact); ignored on open\n")
+		}
+		return false
+	default: // TailCorrupt
+		fmt.Fprintf(os.Stderr, "tdecheck: %v\n", rp.Err)
+		if repair {
+			if err := wal.RepairTail(iofault.OS, walPath, raw, rp.CleanLen); err != nil {
+				fmt.Fprintf(os.Stderr, "tdecheck: wal repair: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Printf("truncated damaged log tail at byte %d (%d committed txn(s) kept)\n",
+				rp.CleanLen, len(rp.Txns))
+			return false
+		}
+		return true
+	}
+}
+
+// doMerge opens the database (replaying its log) and compacts: the delta
+// overlay is re-encoded into fresh compressed extents, the base file
+// atomically replaced, and the log retired.
+func doMerge(path string) {
+	db, err := tde.Open(path)
+	if err != nil {
+		exitIfCorruptCheck(err)
+		fmt.Fprintln(os.Stderr, "tdecheck:", err)
+		os.Exit(2)
+	}
+	if err := db.Compact(); err != nil {
+		fmt.Fprintln(os.Stderr, "tdecheck: merge:", err)
+		os.Exit(2)
+	}
+	for _, t := range db.TableNames() {
+		fmt.Printf("table %-16s %8d rows\n", t, db.Rows(t))
+	}
+	fmt.Println("merged: logged writes re-encoded into the base file")
+}
+
+func exitIfCorruptCheck(err error) {
+	var rep *tde.CorruptionReport
+	if errors.As(err, &rep) {
+		fmt.Fprintf(os.Stderr, "tdecheck: database is corrupt; run tdecheck -repair first:\n%s\n", rep)
+		os.Exit(1)
+	}
 }

@@ -5,7 +5,8 @@
 //	tdequery -db extract.tde "SELECT status, COUNT(*) FROM orders GROUP BY status"
 //	tdequery -db extract.tde -explain "SELECT ... "
 //	tdequery -db extract.tde -csv "SELECT ... " > out.csv
-//	tdequery -db extract.tde -i        # interactive shell
+//	tdequery -db extract.tde "INSERT INTO orders VALUES ('open', 10, NULL)"
+//	tdequery -db extract.tde -i        # interactive shell (\compact merges logged writes)
 package main
 
 import (
@@ -30,6 +31,21 @@ func exitIfCorrupt(tool string, err error) {
 		fmt.Fprintf(os.Stderr, "%s: input database is corrupt (run tdecheck, or tdecheck -repair):\n%s\n", tool, rep)
 		os.Exit(3)
 	}
+}
+
+// isDML reports whether the statement is a mutation (INSERT, UPDATE or
+// DELETE), routed through the transactional write path rather than the
+// query engine.
+func isDML(sql string) bool {
+	f := strings.Fields(sql)
+	if len(f) == 0 {
+		return false
+	}
+	switch strings.ToUpper(f[0]) {
+	case "INSERT", "UPDATE", "DELETE":
+		return true
+	}
+	return false
 }
 
 // parseBytes parses a byte quantity like "64M", "1G" or "65536".
@@ -98,6 +114,15 @@ func main() {
 		return
 	}
 	sql := strings.Join(flag.Args(), " ")
+	if isDML(sql) {
+		n, err := db.Exec(sql)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tdequery:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%d rows affected)\n", n)
+		return
+	}
 	if *explain {
 		p, err := db.ExplainWithOptions(sql, qopt.Plan)
 		if err != nil {
@@ -146,6 +171,19 @@ func repl(db *tde.Database, csv bool, qopt tde.QueryOptions) {
 			}
 		case strings.HasPrefix(line, `\d `):
 			describe(db, strings.TrimSpace(line[3:]))
+		case line == `\compact`:
+			if err := db.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Println("compacted")
+			}
+		case isDML(line):
+			n, err := db.Exec(line)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				break
+			}
+			fmt.Printf("(%d rows affected)\n", n)
 		default:
 			res, err := db.QueryContext(context.Background(), line, qopt)
 			if err != nil {

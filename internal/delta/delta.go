@@ -1,0 +1,407 @@
+// Package delta is the uncompressed, row-oriented write overlay of the
+// engine (ROADMAP item 4, in the spirit of MorphStore's immutable base +
+// mutable delta split): the compressed columnar base tables stay
+// read-only, and every INSERT, UPDATE and DELETE lands here as inserted
+// rows plus a deleted-row log over the base.
+//
+// Visibility is snapshot-based. The store carries a monotonically
+// increasing commit epoch; every committed insertion records the epoch it
+// was born (and, when later deleted, the epoch it died), and every base
+// deletion records its epoch. A query pins the current epoch when it
+// builds its View — a frozen, immutable snapshot of one table's overlay —
+// so a commit that lands mid-query never changes what the query sees.
+//
+// The store is the in-memory half of the write path; durability is the
+// WAL's job (internal/wal), which replays committed transactions back
+// through Apply on open.
+package delta
+
+import (
+	"fmt"
+	"sync"
+
+	"tde/internal/storage"
+	"tde/internal/types"
+)
+
+// Value is one column value of a delta row, held fully resolved: scalars
+// carry full-width value bits exactly as the execution engine's widened
+// vectors do (NULL is the type's sentinel, types.NullBits), and strings
+// carry the Go string itself (NULL is Bits == types.NullToken). Keeping
+// delta rows resolved — not dictionary- or heap-encoded — is what lets a
+// scan splice them into block iteration without touching the base
+// column's compression state.
+type Value struct {
+	Bits uint64
+	Str  string
+}
+
+// Scalar returns a scalar value from full-width bits.
+func Scalar(bits uint64) Value { return Value{Bits: bits} }
+
+// String returns a non-NULL string value.
+func String(s string) Value { return Value{Str: s} }
+
+// NullOf returns the NULL value for a column of type t.
+func NullOf(t types.Type) Value {
+	if t == types.String {
+		return Value{Bits: types.NullToken}
+	}
+	return Value{Bits: types.NullBits(t)}
+}
+
+// IsNullString reports whether a string-column value is NULL.
+func (v Value) IsNullString() bool { return v.Bits == types.NullToken }
+
+// OpKind distinguishes the two physical row operations. UPDATE is logged
+// and applied physically as delete-old + insert-new.
+type OpKind uint8
+
+const (
+	OpInsert OpKind = iota + 1
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one physical row operation of a transaction, in the exact shape
+// the WAL logs and replays.
+type Op struct {
+	Table string
+	Kind  OpKind
+	// Row holds the inserted values, one per base-table column, for
+	// OpInsert.
+	Row []Value
+	// RowID is the target of an OpDelete. Row IDs are stable within one
+	// base generation: base rows occupy [0, baseRows), inserted delta rows
+	// take baseRows + their insertion index (dead insertions keep
+	// consuming IDs, so IDs never shift).
+	RowID uint64
+}
+
+// insRow is one committed inserted row: born/dead are commit epochs
+// (dead == 0 means alive).
+type insRow struct {
+	born, dead uint64
+	vals       []Value
+}
+
+// tableDelta is one table's overlay.
+type tableDelta struct {
+	baseRows int
+	ins      []insRow
+	// dels logs deletions of base rows ([0, baseRows)) with their commit
+	// epoch; deletions of delta rows are recorded in insRow.dead instead.
+	dels   []delRec
+	delSet map[uint64]bool
+}
+
+type delRec struct {
+	id    uint64
+	epoch uint64
+}
+
+// Store is a database's write overlay: one tableDelta per mutated table,
+// guarded by a single RWMutex (commits take the write lock; view
+// construction takes the read lock). A Store is bound to one generation
+// of base tables; Reset rebinds it after a merge rewrites the base.
+type Store struct {
+	mu     sync.RWMutex
+	epoch  uint64
+	tables map[string]*tableDelta
+	base   map[string]*storage.Table
+}
+
+// NewStore returns a store bound to the given base tables.
+func NewStore(tables []*storage.Table) *Store {
+	s := &Store{}
+	s.Reset(tables)
+	return s
+}
+
+// Reset drops every overlay and rebinds the store to a new base-table
+// generation (after db.Compact merged the deltas into the base). The
+// commit epoch keeps increasing across generations.
+func (s *Store) Reset(tables []*storage.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables = map[string]*tableDelta{}
+	s.base = map[string]*storage.Table{}
+	for _, t := range tables {
+		s.base[t.Name] = t
+	}
+}
+
+// Register binds one additional base table (a table imported after the
+// store was created). No-op if already bound.
+func (s *Store) Register(t *storage.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.base[t.Name]; !ok {
+		s.base[t.Name] = t
+	}
+}
+
+// Epoch returns the current commit epoch.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Dirty reports whether any table carries overlay rows or deletions.
+func (s *Store) Dirty() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, td := range s.tables {
+		if len(td.ins) > 0 || len(td.dels) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DirtyTables lists the tables with a non-empty overlay.
+func (s *Store) DirtyTables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for name, td := range s.tables {
+		if len(td.ins) > 0 || len(td.dels) > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// delta returns (creating on demand) the overlay for a bound table.
+// Caller holds the write lock.
+func (s *Store) delta(name string) (*tableDelta, error) {
+	td := s.tables[name]
+	if td != nil {
+		return td, nil
+	}
+	base := s.base[name]
+	if base == nil {
+		return nil, fmt.Errorf("delta: unknown table %q", name)
+	}
+	td = &tableDelta{baseRows: base.Rows(), delSet: map[uint64]bool{}}
+	s.tables[name] = td
+	return td, nil
+}
+
+// Apply commits one transaction's operations atomically under the next
+// epoch and returns that epoch. The caller (the transaction layer, or WAL
+// replay) has validated the operations against a snapshot; Apply
+// re-checks the structural invariants and fails — without applying
+// anything — if they do not hold, which on replay means a corrupt or
+// mismatched log.
+func (s *Store) Apply(ops []Op) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Validate the whole batch against current state plus the batch's own
+	// earlier effects before mutating anything.
+	pendIns := map[string]int{}
+	pendDel := map[string]map[uint64]bool{}
+	for _, op := range ops {
+		td, err := s.delta(op.Table)
+		if err != nil {
+			return 0, err
+		}
+		switch op.Kind {
+		case OpInsert:
+			if want := len(s.base[op.Table].Columns); len(op.Row) != want {
+				return 0, fmt.Errorf("delta: table %q insert has %d values, want %d",
+					op.Table, len(op.Row), want)
+			}
+			pendIns[op.Table]++
+		case OpDelete:
+			dels := pendDel[op.Table]
+			if dels == nil {
+				dels = map[uint64]bool{}
+				pendDel[op.Table] = dels
+			}
+			if dels[op.RowID] {
+				return 0, fmt.Errorf("delta: table %q row %d deleted twice in one transaction", op.Table, op.RowID)
+			}
+			if op.RowID < uint64(td.baseRows) {
+				if td.delSet[op.RowID] {
+					return 0, fmt.Errorf("delta: table %q base row %d already deleted", op.Table, op.RowID)
+				}
+			} else {
+				idx := op.RowID - uint64(td.baseRows)
+				if idx >= uint64(len(td.ins)+pendIns[op.Table]) {
+					return 0, fmt.Errorf("delta: table %q delete targets unknown row %d", op.Table, op.RowID)
+				}
+				if idx < uint64(len(td.ins)) && td.ins[idx].dead != 0 {
+					return 0, fmt.Errorf("delta: table %q delta row %d already deleted", op.Table, op.RowID)
+				}
+			}
+			dels[op.RowID] = true
+		default:
+			return 0, fmt.Errorf("delta: unknown op kind %d", op.Kind)
+		}
+	}
+	e := s.epoch + 1
+	for _, op := range ops {
+		td := s.tables[op.Table]
+		switch op.Kind {
+		case OpInsert:
+			td.ins = append(td.ins, insRow{born: e, vals: op.Row})
+		case OpDelete:
+			if op.RowID < uint64(td.baseRows) {
+				td.dels = append(td.dels, delRec{id: op.RowID, epoch: e})
+				td.delSet[op.RowID] = true
+			} else {
+				td.ins[op.RowID-uint64(td.baseRows)].dead = e
+			}
+		}
+	}
+	s.epoch = e
+	return e, nil
+}
+
+// InsRow is one visible inserted row of a View.
+type InsRow struct {
+	ID   uint64
+	Vals []Value
+}
+
+// View is a frozen snapshot of one table's overlay at a commit epoch:
+// which base rows are deleted and which inserted rows are visible. All
+// fields are immutable after construction, so a View is safe to share
+// across the query's operators and workers.
+type View struct {
+	Table *storage.Table
+	Epoch uint64
+	// deleted is a bitmap over base rows.
+	deleted     []uint64
+	DeletedRows int
+	Ins         []InsRow
+	baseRows    int
+}
+
+// View snapshots table t's overlay at the current epoch, or returns nil
+// when t carries no overlay at all — the planner's signal that the plain
+// compressed-scan (and its index/dictionary rewrites) remain valid.
+func (s *Store) View(t *storage.Table) *View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	td := s.tables[t.Name]
+	if td == nil || (len(td.ins) == 0 && len(td.dels) == 0) {
+		return nil
+	}
+	return s.viewLocked(t, td, nil)
+}
+
+// Views snapshots every given table's overlay under one read lock, so the
+// result is a consistent cross-table snapshot: a commit that touches two
+// tables is either visible in both views or in neither. Clean tables are
+// omitted from the map (same nil contract as View).
+func (s *Store) Views(tables []*storage.Table) map[string]*View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out map[string]*View
+	for _, t := range tables {
+		td := s.tables[t.Name]
+		if td == nil || (len(td.ins) == 0 && len(td.dels) == 0) {
+			continue
+		}
+		if out == nil {
+			out = map[string]*View{}
+		}
+		out[t.Name] = s.viewLocked(t, td, nil)
+	}
+	return out
+}
+
+// ViewWith snapshots table t's overlay at the current epoch and overlays
+// the given uncommitted operations on top — the transaction's private
+// read view, under which its own statements see its earlier writes. It
+// never returns nil (UPDATE/DELETE need a row-addressed view even over a
+// clean table). Returns an error if t is not bound to the store.
+func (s *Store) ViewWith(t *storage.Table, pending []Op) (*View, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.base[t.Name]; !ok {
+		return nil, fmt.Errorf("delta: unknown table %q", t.Name)
+	}
+	return s.viewLocked(t, s.tables[t.Name], pending), nil
+}
+
+// viewLocked builds the snapshot. td may be nil (clean table). Caller
+// holds at least the read lock.
+func (s *Store) viewLocked(t *storage.Table, td *tableDelta, pending []Op) *View {
+	baseRows := t.Rows()
+	if td != nil {
+		baseRows = td.baseRows
+	}
+	v := &View{Table: t, Epoch: s.epoch, baseRows: baseRows}
+	v.deleted = make([]uint64, (baseRows+63)/64)
+	committedIns := 0
+	if td != nil {
+		committedIns = len(td.ins)
+		for _, d := range td.dels {
+			v.deleted[d.id/64] |= 1 << (d.id % 64)
+			v.DeletedRows++
+		}
+		for i, r := range td.ins {
+			if r.dead != 0 {
+				continue
+			}
+			v.Ins = append(v.Ins, InsRow{ID: uint64(baseRows + i), Vals: r.vals})
+		}
+	}
+	// Overlay the transaction's own uncommitted operations. IDs continue
+	// where the committed overlay ends, matching what Apply will assign.
+	nextID := uint64(baseRows + committedIns)
+	for _, op := range pending {
+		if op.Table != t.Name {
+			continue
+		}
+		switch op.Kind {
+		case OpInsert:
+			v.Ins = append(v.Ins, InsRow{ID: nextID, Vals: op.Row})
+			nextID++
+		case OpDelete:
+			if op.RowID < uint64(baseRows) {
+				v.deleted[op.RowID/64] |= 1 << (op.RowID % 64)
+				v.DeletedRows++
+			} else {
+				for i := range v.Ins {
+					if v.Ins[i].ID == op.RowID {
+						v.Ins = append(v.Ins[:i], v.Ins[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+	return v
+}
+
+// BaseRows returns the number of base rows the view covers.
+func (v *View) BaseRows() int { return v.baseRows }
+
+// BaseDeleted reports whether base row i is deleted in this snapshot.
+func (v *View) BaseDeleted(i int) bool {
+	return v.deleted[uint64(i)/64]&(1<<(uint64(i)%64)) != 0
+}
+
+// VisibleRows returns the snapshot's logical row count.
+func (v *View) VisibleRows() int {
+	return v.baseRows - v.DeletedRows + len(v.Ins)
+}
+
+// Dirty reports whether the view differs from the plain base table.
+func (v *View) Dirty() bool {
+	return v.DeletedRows > 0 || len(v.Ins) > 0
+}

@@ -1,0 +1,264 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+
+	"tde/internal/enc"
+	"tde/internal/storage"
+	"tde/internal/types"
+)
+
+// intTable builds an n-row single-integer-column table named name.
+func intTable(name string, vals []int64) *storage.Table {
+	w := enc.NewWriter(enc.WriterConfig{Signed: true, ConvertOptimal: true,
+		Sentinel: types.NullBits(types.Integer), HasSentinel: true})
+	for _, v := range vals {
+		w.AppendOne(uint64(v))
+	}
+	col := &storage.Column{Name: "a", Type: types.Integer, Data: w.Finish(),
+		Meta: enc.MetadataFromStats(w.Stats(), true)}
+	return &storage.Table{Name: name, Columns: []*storage.Column{col}}
+}
+
+func row(v int64) []Value { return []Value{Scalar(uint64(v))} }
+
+func TestApplyAndView(t *testing.T) {
+	tab := intTable("t", []int64{10, 20, 30, 40, 50})
+	s := NewStore([]*storage.Table{tab})
+
+	if v := s.View(tab); v != nil {
+		t.Fatalf("clean table has non-nil view: %+v", v)
+	}
+	if s.Dirty() {
+		t.Fatal("fresh store reports dirty")
+	}
+
+	e, err := s.Apply([]Op{
+		{Table: "t", Kind: OpInsert, Row: row(60)},
+		{Table: "t", Kind: OpDelete, RowID: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 1 || s.Epoch() != 1 {
+		t.Fatalf("epoch = %d / %d", e, s.Epoch())
+	}
+	if !s.Dirty() {
+		t.Fatal("store not dirty after apply")
+	}
+	if dt := s.DirtyTables(); len(dt) != 1 || dt[0] != "t" {
+		t.Fatalf("dirty tables = %v", dt)
+	}
+
+	v := s.View(tab)
+	if v == nil {
+		t.Fatal("dirty table has nil view")
+	}
+	if v.BaseRows() != 5 || v.DeletedRows != 1 || len(v.Ins) != 1 {
+		t.Fatalf("view = base %d del %d ins %d", v.BaseRows(), v.DeletedRows, len(v.Ins))
+	}
+	if v.VisibleRows() != 5 {
+		t.Fatalf("visible = %d", v.VisibleRows())
+	}
+	if !v.BaseDeleted(1) || v.BaseDeleted(0) || v.BaseDeleted(4) {
+		t.Fatal("deletion bitmap wrong")
+	}
+	// Inserted rows take IDs just past the base row space.
+	if v.Ins[0].ID != 5 || v.Ins[0].Vals[0].Bits != 60 {
+		t.Fatalf("insert = %+v", v.Ins[0])
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	tab := intTable("t", []int64{1, 2, 3})
+	s := NewStore([]*storage.Table{tab})
+	if _, err := s.Apply([]Op{{Table: "t", Kind: OpInsert, Row: row(4)}}); err != nil {
+		t.Fatal(err)
+	}
+	v := s.View(tab)
+
+	// Later commits must not bleed into the frozen snapshot.
+	if _, err := s.Apply([]Op{
+		{Table: "t", Kind: OpDelete, RowID: 0},
+		{Table: "t", Kind: OpInsert, Row: row(5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch != 1 || v.DeletedRows != 0 || len(v.Ins) != 1 {
+		t.Fatalf("snapshot mutated: epoch %d del %d ins %d", v.Epoch, v.DeletedRows, len(v.Ins))
+	}
+	if v2 := s.View(tab); v2.DeletedRows != 1 || len(v2.Ins) != 2 || v2.Epoch != 2 {
+		t.Fatalf("new view = %+v", v2)
+	}
+}
+
+func TestApplyValidatesBeforeMutating(t *testing.T) {
+	tab := intTable("t", []int64{1, 2})
+	s := NewStore([]*storage.Table{tab})
+
+	// The batch's first op is fine; the second is invalid. Nothing may land.
+	_, err := s.Apply([]Op{
+		{Table: "t", Kind: OpInsert, Row: row(3)},
+		{Table: "t", Kind: OpDelete, RowID: 99},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown row") {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Epoch() != 0 || s.Dirty() || s.View(tab) != nil {
+		t.Fatal("failed apply left partial state behind")
+	}
+}
+
+func TestApplyRejectsBadBatches(t *testing.T) {
+	tab := intTable("t", []int64{1, 2, 3})
+	s := NewStore([]*storage.Table{tab})
+	cases := []struct {
+		name string
+		ops  []Op
+		want string
+	}{
+		{"unknown table", []Op{{Table: "nope", Kind: OpInsert, Row: row(1)}}, "unknown table"},
+		{"arity", []Op{{Table: "t", Kind: OpInsert, Row: []Value{Scalar(1), Scalar(2)}}}, "want 1"},
+		{"double delete", []Op{
+			{Table: "t", Kind: OpDelete, RowID: 0},
+			{Table: "t", Kind: OpDelete, RowID: 0},
+		}, "deleted twice"},
+		{"bad kind", []Op{{Table: "t", Kind: 0}}, "unknown op kind"},
+	}
+	for _, c := range cases {
+		if _, err := s.Apply(c.ops); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+		if s.Dirty() {
+			t.Fatalf("%s: store dirtied by rejected batch", c.name)
+		}
+	}
+
+	// Cross-transaction double delete is also rejected.
+	if _, err := s.Apply([]Op{{Table: "t", Kind: OpDelete, RowID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply([]Op{{Table: "t", Kind: OpDelete, RowID: 1}}); err == nil ||
+		!strings.Contains(err.Error(), "already deleted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeleteInsertedRowKeepsIDSpace(t *testing.T) {
+	tab := intTable("t", []int64{1, 2})
+	s := NewStore([]*storage.Table{tab})
+	if _, err := s.Apply([]Op{{Table: "t", Kind: OpInsert, Row: row(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the inserted row (ID 2), then insert another: the dead row
+	// keeps consuming its ID, so the new row gets ID 3 — row IDs are
+	// stable for the lifetime of the overlay.
+	if _, err := s.Apply([]Op{{Table: "t", Kind: OpDelete, RowID: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply([]Op{{Table: "t", Kind: OpInsert, Row: row(4)}}); err != nil {
+		t.Fatal(err)
+	}
+	v := s.View(tab)
+	if len(v.Ins) != 1 || v.Ins[0].ID != 3 || v.Ins[0].Vals[0].Bits != 4 {
+		t.Fatalf("ins = %+v", v.Ins)
+	}
+	if v.VisibleRows() != 3 {
+		t.Fatalf("visible = %d", v.VisibleRows())
+	}
+	// Deleting the dead row again is invalid.
+	if _, err := s.Apply([]Op{{Table: "t", Kind: OpDelete, RowID: 2}}); err == nil {
+		t.Fatal("re-delete of dead delta row accepted")
+	}
+}
+
+func TestViewWithPendingOps(t *testing.T) {
+	tab := intTable("t", []int64{1, 2, 3})
+	s := NewStore([]*storage.Table{tab})
+
+	// Never nil, even over a clean table: UPDATE/DELETE need row addressing.
+	v, err := s.ViewWith(tab, nil)
+	if err != nil || v == nil {
+		t.Fatalf("ViewWith clean: %v %v", v, err)
+	}
+	if v.Dirty() {
+		t.Fatal("clean ViewWith reports dirty")
+	}
+
+	pending := []Op{
+		{Table: "t", Kind: OpInsert, Row: row(10)},
+		{Table: "t", Kind: OpDelete, RowID: 0},
+	}
+	v, err = s.ViewWith(tab, pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.BaseDeleted(0) || len(v.Ins) != 1 || v.Ins[0].ID != 3 {
+		t.Fatalf("pending overlay wrong: del0=%v ins=%+v", v.BaseDeleted(0), v.Ins)
+	}
+
+	// A pending delete of a pending insert removes it from the view —
+	// exactly what an UPDATE of a row inserted earlier in the same
+	// transaction produces.
+	pending = append(pending, Op{Table: "t", Kind: OpDelete, RowID: 3})
+	v, err = s.ViewWith(tab, pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Ins) != 0 {
+		t.Fatalf("self-deleted pending insert still visible: %+v", v.Ins)
+	}
+
+	// Pending ops never leak into the committed store.
+	if s.Dirty() {
+		t.Fatal("pending ops dirtied the store")
+	}
+	if _, err := s.ViewWith(intTable("ghost", nil), nil); err == nil {
+		t.Fatal("unregistered table accepted")
+	}
+}
+
+func TestViewsCrossTableSnapshot(t *testing.T) {
+	ta := intTable("a", []int64{1})
+	tb := intTable("b", []int64{2})
+	s := NewStore([]*storage.Table{ta, tb})
+	if _, err := s.Apply([]Op{{Table: "a", Kind: OpInsert, Row: row(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	views := s.Views([]*storage.Table{ta, tb})
+	if len(views) != 1 || views["a"] == nil {
+		t.Fatalf("views = %v", views)
+	}
+	if _, ok := views["b"]; ok {
+		t.Fatal("clean table present in Views map")
+	}
+}
+
+func TestResetAndRegister(t *testing.T) {
+	tab := intTable("t", []int64{1})
+	s := NewStore([]*storage.Table{tab})
+	if _, err := s.Apply([]Op{{Table: "t", Kind: OpInsert, Row: row(2)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reset rebinds the store to a merged base: overlays are gone.
+	merged := intTable("t", []int64{1, 2})
+	s.Reset([]*storage.Table{merged})
+	if s.Dirty() || s.View(merged) != nil {
+		t.Fatal("reset store still dirty")
+	}
+	if _, err := s.Apply([]Op{{Table: "t", Kind: OpDelete, RowID: 1}}); err != nil {
+		t.Fatalf("delete of newly merged row: %v", err)
+	}
+
+	// Register binds one more table without disturbing the rest.
+	extra := intTable("u", []int64{7})
+	s.Register(extra)
+	if _, err := s.Apply([]Op{{Table: "u", Kind: OpInsert, Row: row(8)}}); err != nil {
+		t.Fatal(err)
+	}
+	if dt := s.DirtyTables(); len(dt) != 2 {
+		t.Fatalf("dirty tables = %v", dt)
+	}
+}

@@ -1,0 +1,277 @@
+package exec
+
+import (
+	"fmt"
+
+	"tde/internal/delta"
+	"tde/internal/enc"
+	"tde/internal/heap"
+	"tde/internal/storage"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// RowIDColumn is the name of the hidden row-address column DeltaScan can
+// emit; the write path targets UPDATE/DELETE through it. The '$' prefix
+// keeps it out of the SQL namespace.
+const RowIDColumn = "$rowid"
+
+// DeltaScan is the write-path table scan: it merges a table's compressed
+// base rows with its delta.View snapshot — skipping deleted base rows and
+// appending the visible inserted rows — so every downstream operator sees
+// one consistent uncompressed stream.
+//
+// Unlike Scan, DeltaScan resolves dictionary tokens to values for every
+// block and advertises Dict: nil. Aggregation and join hash raw block
+// values as keys; base blocks (tokens) and delta blocks (values) would
+// disagree on what a key means, so with a delta in play the whole stream
+// speaks values. String columns still emit heap tokens, but against two
+// heaps: base blocks carry the stored heap, delta blocks a per-open heap
+// holding the inserted strings (the engine's string operators already
+// handle mixed-heap streams by content).
+//
+// Derived metadata (min/max envelopes, sortedness) describes only the
+// base rows, so DeltaScan's schema carries neutral metadata: the tactical
+// upgrades that need those properties fall back to their general
+// routines.
+type DeltaScan struct {
+	OpInstr
+	view      *delta.View
+	table     *storage.Table
+	colIdxs   []int
+	schema    []ColInfo
+	withRowID bool
+
+	readers  []*enc.Reader
+	delHeaps []*heap.Heap // per selected column; nil for non-strings
+	delToks  [][]uint64   // per selected column; string token streams
+	baseAt   int
+	insAt    int
+	keep     []int
+	qc       *QueryCtx
+}
+
+// NewDeltaScan scans the named columns of the view's table merged with
+// its delta snapshot (all columns when names is nil). When withRowID is
+// set, a trailing $rowid integer column carries each row's stable row
+// address.
+func NewDeltaScan(v *delta.View, withRowID bool, names ...string) (*DeltaScan, error) {
+	t := v.Table
+	s := &DeltaScan{view: v, table: t, withRowID: withRowID}
+	if len(names) == 0 {
+		for i := range t.Columns {
+			s.colIdxs = append(s.colIdxs, i)
+		}
+	} else {
+		for _, n := range names {
+			idx := t.ColumnIndex(n)
+			if idx < 0 {
+				return nil, fmt.Errorf("exec: table %q has no column %q", t.Name, n)
+			}
+			s.colIdxs = append(s.colIdxs, idx)
+		}
+	}
+	meta := enc.Metadata{RowCount: v.VisibleRows()}
+	for _, idx := range s.colIdxs {
+		c := t.Columns[idx]
+		s.schema = append(s.schema, ColInfo{
+			Name: c.Name, Type: c.Type, Collation: c.Collation,
+			Heap: c.Heap, Meta: meta,
+		})
+	}
+	if withRowID {
+		s.schema = append(s.schema, ColInfo{Name: RowIDColumn, Type: types.Integer, Meta: meta})
+	}
+	return s, nil
+}
+
+// Schema implements Operator.
+func (s *DeltaScan) Schema() []ColInfo { return s.schema }
+
+// OpKind implements Instrumented.
+func (s *DeltaScan) OpKind() string { return "DeltaScan" }
+
+// OpLabel implements Instrumented.
+func (s *DeltaScan) OpLabel() string {
+	return fmt.Sprintf("%s +%d -%d", s.table.Name, len(s.view.Ins), s.view.DeletedRows)
+}
+
+// Open implements Operator.
+func (s *DeltaScan) Open(qc *QueryCtx) error {
+	start := s.beginOpen(qc, "DeltaScan")
+	defer s.endOpen(start)
+	s.qc = qc
+	s.baseAt, s.insAt = 0, 0
+	s.readers = make([]*enc.Reader, len(s.colIdxs))
+	for i, idx := range s.colIdxs {
+		s.readers[i] = enc.NewReader(s.table.Columns[idx].Data)
+	}
+	// Intern the visible inserted strings into per-open heaps, one per
+	// selected string column; delta blocks carry these heaps.
+	s.delHeaps = make([]*heap.Heap, len(s.colIdxs))
+	s.delToks = make([][]uint64, len(s.colIdxs))
+	for i, idx := range s.colIdxs {
+		c := s.table.Columns[idx]
+		if c.Type != types.String {
+			continue
+		}
+		h := heap.New(c.Collation)
+		toks := make([]uint64, len(s.view.Ins))
+		for r, ins := range s.view.Ins {
+			v := ins.Vals[idx]
+			if v.IsNullString() {
+				toks[r] = types.NullToken
+			} else {
+				toks[r] = h.Append(v.Str)
+			}
+		}
+		s.delHeaps[i] = h
+		s.delToks[i] = toks
+	}
+	s.st.SetRoutine(fmt.Sprintf("base+delta(ins=%d dels=%d)", len(s.view.Ins), s.view.DeletedRows))
+	return nil
+}
+
+// Next implements Operator.
+func (s *DeltaScan) Next(b *vec.Block) (bool, error) {
+	start := nowNanos()
+	ok, err := s.next(b)
+	s.endNext(start, b, ok && err == nil)
+	return ok, err
+}
+
+func (s *DeltaScan) next(b *vec.Block) (bool, error) {
+	for {
+		if err := s.qc.Err(); err != nil {
+			return false, err
+		}
+		if s.baseAt < s.view.BaseRows() {
+			ok, err := s.nextBase(b)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			continue // whole chunk deleted; advance to the next one
+		}
+		if s.insAt < len(s.view.Ins) {
+			s.nextDelta(b)
+			return true, nil
+		}
+		return false, nil
+	}
+}
+
+// nextBase emits one chunk of surviving base rows; false means the chunk
+// was entirely deleted (caller retries with the next chunk).
+func (s *DeltaScan) nextBase(b *vec.Block) (bool, error) {
+	n := s.view.BaseRows() - s.baseAt
+	if n > vec.BlockSize {
+		n = vec.BlockSize
+	}
+	s.keep = s.keep[:0]
+	for i := 0; i < n; i++ {
+		if !s.view.BaseDeleted(s.baseAt + i) {
+			s.keep = append(s.keep, i)
+		}
+	}
+	dead := n - len(s.keep)
+	if dead > 0 {
+		s.st.AddDeletedRows(int64(dead))
+	}
+	if len(s.keep) == 0 {
+		s.baseAt += n
+		return false, nil
+	}
+	ncols := len(s.colIdxs)
+	ensureVecs(b, len(s.schema))
+	for i, r := range s.readers {
+		col := s.table.Columns[s.colIdxs[i]]
+		info := s.schema[i]
+		v := &b.Vecs[i]
+		v.Type = info.Type
+		v.Heap = col.Heap
+		v.Dict = nil
+		got := r.Read(s.baseAt, n, v.Data)
+		if got != n {
+			return false, fmt.Errorf("exec: short column read: %d of %d", got, n)
+		}
+		w := col.Data.Width()
+		s.st.AddBytesScanned(int64(n * w))
+		if col.Dict != nil {
+			// Resolve dictionary tokens to values: the merged stream must
+			// speak values, because delta rows have no dictionary.
+			sentinel := types.NullToken & enc.WidthMask(w)
+			for j := 0; j < n; j++ {
+				if tok := v.Data[j]; tok == sentinel {
+					v.Data[j] = types.NullBits(col.Type)
+				} else {
+					v.Data[j] = col.Dict[tok]
+				}
+			}
+		} else {
+			widenInPlace(v.Data[:n], w, info)
+		}
+		if len(s.keep) != n {
+			for j, src := range s.keep {
+				v.Data[j] = v.Data[src]
+			}
+		}
+	}
+	if s.withRowID {
+		v := &b.Vecs[ncols]
+		v.Type = types.Integer
+		v.Heap, v.Dict = nil, nil
+		for j, src := range s.keep {
+			v.Data[j] = uint64(s.baseAt + src)
+		}
+	}
+	b.N = len(s.keep)
+	s.baseAt += n
+	return true, nil
+}
+
+// nextDelta emits one chunk of visible inserted rows.
+func (s *DeltaScan) nextDelta(b *vec.Block) {
+	n := len(s.view.Ins) - s.insAt
+	if n > vec.BlockSize {
+		n = vec.BlockSize
+	}
+	ncols := len(s.colIdxs)
+	ensureVecs(b, len(s.schema))
+	for i, idx := range s.colIdxs {
+		info := s.schema[i]
+		v := &b.Vecs[i]
+		v.Type = info.Type
+		v.Dict = nil
+		if toks := s.delToks[i]; toks != nil {
+			v.Heap = s.delHeaps[i]
+			copy(v.Data, toks[s.insAt:s.insAt+n])
+			continue
+		}
+		v.Heap = nil
+		for j := 0; j < n; j++ {
+			v.Data[j] = s.view.Ins[s.insAt+j].Vals[idx].Bits
+		}
+	}
+	if s.withRowID {
+		v := &b.Vecs[ncols]
+		v.Type = types.Integer
+		v.Heap, v.Dict = nil, nil
+		for j := 0; j < n; j++ {
+			v.Data[j] = s.view.Ins[s.insAt+j].ID
+		}
+	}
+	b.N = n
+	s.insAt += n
+	s.st.AddDeltaRows(int64(n))
+}
+
+// Close implements Operator.
+func (s *DeltaScan) Close() error {
+	s.readers = nil
+	s.delHeaps = nil
+	s.delToks = nil
+	return nil
+}

@@ -1,0 +1,160 @@
+package exec
+
+import (
+	"testing"
+
+	"tde/internal/delta"
+	"tde/internal/storage"
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+// deltaView commits ops against a one-table store and snapshots the view.
+func deltaView(t *testing.T, tab *storage.Table, ops []delta.Op) *delta.View {
+	t.Helper()
+	s := delta.NewStore([]*storage.Table{tab})
+	if len(ops) > 0 {
+		if _, err := s.Apply(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := s.ViewWith(tab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// collectStrings drains op, decoding column col through each block's heap.
+func collectStrings(t *testing.T, op Operator, col int) []string {
+	t.Helper()
+	if err := op.Open(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close()
+	b := vec.NewBlock(len(op.Schema()))
+	var out []string
+	for {
+		ok, err := op.Next(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		v := &b.Vecs[col]
+		for i := 0; i < b.N; i++ {
+			if v.Data[i] == types.NullToken {
+				out = append(out, "<null>")
+			} else {
+				out = append(out, v.Heap.Get(v.Data[i]))
+			}
+		}
+	}
+}
+
+func TestDeltaScanMergesBaseAndInserts(t *testing.T) {
+	tab := makeTable("t", makeIntColumn("a", types.Integer, []int64{10, 20, 30, 40}))
+	view := deltaView(t, tab, []delta.Op{
+		{Table: "t", Kind: delta.OpDelete, RowID: 1},
+		{Table: "t", Kind: delta.OpInsert, Row: []delta.Value{delta.Scalar(50)}},
+		{Table: "t", Kind: delta.OpInsert, Row: []delta.Value{delta.NullOf(types.Integer)}},
+	})
+
+	scan, err := NewDeltaScan(view, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := scan.Schema()
+	if len(schema) != 2 || schema[1].Name != RowIDColumn || schema[1].Type != types.Integer {
+		t.Fatalf("schema = %+v", schema)
+	}
+	if schema[0].Meta.RowCount != 5 {
+		t.Fatalf("advertised rows = %d", schema[0].Meta.RowCount)
+	}
+
+	rows, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleted base row 1 (value 20) is gone; inserts follow the base with
+	// row IDs continuing past the base row space.
+	wantVals := []uint64{10, 30, 40, 50, types.NullBits(types.Integer)}
+	wantIDs := []uint64{0, 2, 3, 4, 5}
+	if len(rows) != len(wantVals) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r[0] != wantVals[i] || r[1] != wantIDs[i] {
+			t.Fatalf("row %d = %v, want [%d %d]", i, r, wantVals[i], wantIDs[i])
+		}
+	}
+}
+
+func TestDeltaScanCleanViewEqualsScan(t *testing.T) {
+	vals := seqInts(3000) // several blocks
+	tab := makeTable("t", makeIntColumn("a", types.Integer, vals))
+	view := deltaView(t, tab, nil)
+	scan, err := NewDeltaScan(view, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(vals) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if int64(r[0]) != vals[i] {
+			t.Fatalf("row %d = %d", i, int64(r[0]))
+		}
+	}
+}
+
+func TestDeltaScanStringsAcrossHeaps(t *testing.T) {
+	tab := makeTable("t", makeStringColumn("s", []string{"ax", "bx", "cx"}))
+	view := deltaView(t, tab, []delta.Op{
+		{Table: "t", Kind: delta.OpDelete, RowID: 0},
+		{Table: "t", Kind: delta.OpInsert, Row: []delta.Value{delta.String("zz")}},
+		{Table: "t", Kind: delta.OpInsert, Row: []delta.Value{delta.NullOf(types.String)}},
+	})
+	scan, err := NewDeltaScan(view, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectStrings(t, scan, 0)
+	want := []string{"bx", "cx", "zz", "<null>"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestDeltaScanProjection(t *testing.T) {
+	tab := makeTable("t",
+		makeIntColumn("a", types.Integer, []int64{1, 2}),
+		makeIntColumn("b", types.Integer, []int64{3, 4}))
+	view := deltaView(t, tab, []delta.Op{
+		{Table: "t", Kind: delta.OpInsert, Row: []delta.Value{delta.Scalar(5), delta.Scalar(6)}},
+	})
+	scan, err := NewDeltaScan(view, false, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != 3 || rows[1][0] != 4 || rows[2][0] != 6 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if _, err := NewDeltaScan(view, false, "missing"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}

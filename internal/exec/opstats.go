@@ -136,6 +136,11 @@ type OpStats struct {
 	// bytesScanned counts encoded bytes decoded from storage (Scan,
 	// BuiltScan, IndexedScan); 0 elsewhere.
 	bytesScanned int64
+	// deltaRows / deletedRows count the write-overlay work of a DeltaScan:
+	// uncompressed delta rows spliced into the stream, and deleted base
+	// rows filtered out of it; 0 elsewhere.
+	deltaRows   int64
+	deletedRows int64
 	// firstNanos / lastNanos bracket the operator's activity on the
 	// profEpoch clock, for trace export.
 	firstNanos int64
@@ -173,6 +178,22 @@ func (s *OpStats) AddBytesScanned(n int64) {
 		return
 	}
 	atomic.AddInt64(&s.bytesScanned, n)
+}
+
+// AddDeltaRows counts n uncompressed delta-store rows emitted.
+func (s *OpStats) AddDeltaRows(n int64) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.deltaRows, n)
+}
+
+// AddDeletedRows counts n base rows skipped for delta-store deletions.
+func (s *OpStats) AddDeletedRows(n int64) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.deletedRows, n)
 }
 
 // RowsOut returns the rows produced so far.
@@ -262,6 +283,10 @@ type OpStatsSnapshot struct {
 	OpenNanos    int64 `json:"open_ns"`
 	NextNanos    int64 `json:"next_ns"`
 	BytesScanned int64 `json:"bytes_scanned,omitempty"`
+	// DeltaRows / DeletedRows are a DeltaScan's write-overlay counters:
+	// delta-store rows merged in, deleted base rows filtered out.
+	DeltaRows   int64 `json:"delta_rows,omitempty"`
+	DeletedRows int64 `json:"deleted_rows,omitempty"`
 	// StartNanos / EndNanos bracket the operator's activity on the
 	// process-monotonic clock shared by all operators of the query.
 	StartNanos int64 `json:"start_ns"`
@@ -294,6 +319,8 @@ func (s *OpStats) snapshot(node *PlanNode) OpStatsSnapshot {
 		OpenNanos:    atomic.LoadInt64(&s.nsOpen),
 		NextNanos:    atomic.LoadInt64(&s.nsNext),
 		BytesScanned: atomic.LoadInt64(&s.bytesScanned),
+		DeltaRows:    atomic.LoadInt64(&s.deltaRows),
+		DeletedRows:  atomic.LoadInt64(&s.deletedRows),
 		StartNanos:   atomic.LoadInt64(&s.firstNanos),
 		EndNanos:     atomic.LoadInt64(&s.lastNanos),
 	}

@@ -42,10 +42,11 @@ const (
 	OpMkdirTemp
 	OpOpen
 	OpRead
+	OpAppend
 	numOps
 )
 
-var opNames = [...]string{"create-temp", "write", "sync", "close", "rename", "remove", "read-file", "sync-dir", "mkdir-temp", "open", "read"}
+var opNames = [...]string{"create-temp", "write", "sync", "close", "rename", "remove", "read-file", "sync-dir", "mkdir-temp", "open", "read", "append"}
 
 func (o Op) String() string {
 	if o < 0 || int(o) >= len(opNames) {
@@ -80,6 +81,10 @@ type FS interface {
 	// Each ReadAt is an OpRead operation, so read errors and bit flips at
 	// chosen offsets are injectable mid-stream.
 	Open(name string) (RFile, error)
+	// OpenAppend opens the named file for appending writes, creating it if
+	// absent — the write-ahead log's handle. Fault flip offsets are
+	// relative to the handle's first write, not the file start.
+	OpenAppend(name string) (File, error)
 	// ReadFile reads the whole named file (see os.ReadFile).
 	ReadFile(name string) ([]byte, error)
 	// Rename atomically replaces newpath with oldpath (see os.Rename).
@@ -108,6 +113,10 @@ func (osFS) MkdirTemp(dir, pattern string) (string, error) { return os.MkdirTemp
 
 func (osFS) Open(name string) (RFile, error) { return os.Open(name) }
 
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
 func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error             { return os.Remove(name) }
@@ -135,6 +144,10 @@ type Fault struct {
 	// AtCount fires on the Nth operation of kind Op (1-based); 0 disables
 	// the selector.
 	AtCount int
+	// FromOp fires on every operation numbered >= FromOp (1-based);
+	// 0 disables the selector. Combined with Tear: 0 it models the I/O
+	// silence after a process death — see Injector.KillAtOp.
+	FromOp int
 	// Err is the error injected; nil means ErrInjected. Use syscall.ENOSPC
 	// and friends to simulate specific OS failures.
 	Err error
@@ -196,6 +209,17 @@ func (in *Injector) FailAtOp(n int, err error) {
 	in.Script(Fault{Op: -1, AtOp: n, Err: err})
 }
 
+// KillAtOp scripts a process death at the nth operation (1-based): that
+// operation fails after tearing tear bytes of its payload through (when
+// it is a write), and every subsequent operation fails without touching
+// the disk at all — a dead process performs no further I/O.
+func (in *Injector) KillAtOp(n, tear int) {
+	in.Script(
+		Fault{Op: -1, AtOp: n, Tear: tear, Once: true},
+		Fault{Op: -1, FromOp: n, Tear: -1},
+	)
+}
+
 // Ops returns how many operations the injector has observed — running a
 // save against a fresh injector with no faults yields the number of kill
 // points the crash harness must cover.
@@ -235,6 +259,9 @@ func (in *Injector) begin(op Op, detail string) *Fault {
 			continue
 		}
 		if f.AtOp != 0 && f.AtOp != in.nextOp {
+			continue
+		}
+		if f.FromOp != 0 && in.nextOp < f.FromOp {
 			continue
 		}
 		if f.AtCount != 0 && (f.Op < 0 || f.AtCount != in.perOp[op]) {
@@ -282,6 +309,17 @@ func (in *Injector) Open(name string) (RFile, error) {
 		return nil, err
 	}
 	return &injRFile{in: in, under: under, name: name}, nil
+}
+
+func (in *Injector) OpenAppend(name string) (File, error) {
+	if f := in.begin(OpAppend, name); f != nil && f.FlipBitMask == 0 {
+		return nil, faultErr(f)
+	}
+	under, err := in.under.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, under: under}, nil
 }
 
 func (in *Injector) ReadFile(name string) ([]byte, error) {

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 
+	"tde/internal/delta"
 	"tde/internal/exec"
 	"tde/internal/expr"
 	"tde/internal/storage"
@@ -11,6 +12,8 @@ import (
 // JoinSpec describes one many-to-one join step against a dimension table.
 type JoinSpec struct {
 	Table *storage.Table
+	// Delta is the dimension's write-overlay snapshot (nil = none).
+	Delta *delta.View
 	// Alias prefixes the joined table's column names ("alias.col"); empty
 	// keeps bare names.
 	Alias string
@@ -26,7 +29,9 @@ type JoinSpec struct {
 // NULL join semantics (a reason the TDE exists, Sect. 2.3): NULL keys
 // match NULL keys, because the sentinel value compares equal to itself.
 type JoinQuery struct {
-	Fact      *storage.Table
+	Fact *storage.Table
+	// FactDelta is the fact table's write-overlay snapshot (nil = none).
+	FactDelta *delta.View
 	FactAlias string
 	Joins     []JoinSpec
 
@@ -47,15 +52,14 @@ type JoinQuery struct {
 // the dimensions' FlowTable metadata.
 func BuildJoin(q JoinQuery, opt Options) (exec.Operator, *Explain, error) {
 	ex := &Explain{}
-	scan, err := exec.NewScan(q.Fact)
+	scan, err := newTableScan(q.Fact, q.FactDelta, ex)
 	if err != nil {
 		return nil, nil, err
 	}
-	ex.add("Scan(%s)", q.Fact.Name)
 	var op exec.Operator = aliasOp{Operator: scan, prefix: q.FactAlias}
 
 	for _, j := range q.Joins {
-		innerScan, err := exec.NewScan(j.Table)
+		innerScan, err := newTableScan(j.Table, j.Delta, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -82,7 +86,7 @@ func BuildJoin(q JoinQuery, opt Options) (exec.Operator, *Explain, error) {
 		if j.LeftOuter {
 			kind = "LeftJoin"
 		}
-		if workers, auto := resolveWorkers(opt, q.Fact.Rows()); workers > 1 {
+		if workers, auto := resolveWorkers(opt, tableRows(q.Fact, q.FactDelta)); workers > 1 {
 			join.Workers = workers
 			join.PreserveOrder = preserveOrderRouting(opt, op.Schema())
 			ex.add("%s(%s.%s = %s.%s)[%s]", kind, q.Fact.Name, j.OuterKey,
@@ -112,7 +116,7 @@ func BuildJoin(q JoinQuery, opt Options) (exec.Operator, *Explain, error) {
 		op = exec.NewSelect(op, pred)
 		ex.add("Filter[%s]", pred)
 	}
-	op, err = finishPlan(op, tail, opt, q.Fact.Rows(), ex)
+	op, err = finishPlan(op, tail, opt, tableRows(q.Fact, q.FactDelta), ex)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strings"
 
+	"tde/internal/delta"
 	"tde/internal/enc"
 	"tde/internal/exec"
 	"tde/internal/expr"
@@ -35,7 +36,13 @@ type OrderItem struct {
 // Query is a single-table aggregation query — the shape Tableau's visual
 // queries take against an extract.
 type Query struct {
-	Table   *storage.Table
+	Table *storage.Table
+	// Delta is the table's write-overlay snapshot (nil or clean = none).
+	// A dirty delta forces the plain scan plan with a DeltaScan source:
+	// the index and invisible-join rewrites reason from the base table's
+	// stored encodings and metadata, which no longer describe the visible
+	// rows.
+	Delta   *delta.View
 	Where   expr.Expr // over named ColRefs; nil = no filter
 	Compute []Computed
 	GroupBy []string
@@ -168,6 +175,8 @@ func Build(q Query, opt Options) (exec.Operator, *Explain, error) {
 	var op exec.Operator
 	var err error
 	switch {
+	case deltaDirty(q.Delta):
+		op, err = buildScanPlan(q, opt, ex)
 	case q.Where != nil && !opt.NoIndexPlan && indexPlanColumn(q) != nil:
 		op, err = buildIndexPlan(q, opt, ex)
 	case q.Where != nil && !opt.NoDictPlan && dictPlanColumn(q) != nil:
@@ -179,7 +188,7 @@ func Build(q Query, opt Options) (exec.Operator, *Explain, error) {
 		return nil, nil, err
 	}
 
-	op, err = finishPlan(op, q, opt, q.Table.Rows(), ex)
+	op, err = finishPlan(op, q, opt, tableRows(q.Table, q.Delta), ex)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -308,21 +317,54 @@ func dictPlanColumn(q Query) *storage.Column {
 	return c
 }
 
-// buildScanPlan is the control: Scan => Filter (Fig. 10 plan 1), with
-// optional exchange-parallelized filtering.
-func buildScanPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
-	scan, err := exec.NewScan(q.Table, neededColumns(q)...)
+// deltaDirty reports whether a view actually changes table contents.
+func deltaDirty(v *delta.View) bool { return v != nil && v.Dirty() }
+
+// tableRows estimates a table's visible row count under its overlay.
+func tableRows(t *storage.Table, v *delta.View) int {
+	if deltaDirty(v) {
+		return v.VisibleRows()
+	}
+	return t.Rows()
+}
+
+// newTableScan builds the scan source for a table: a plain compressed
+// Scan, or a DeltaScan when a write overlay is visible.
+func newTableScan(t *storage.Table, v *delta.View, ex *Explain, names ...string) (exec.Operator, error) {
+	if deltaDirty(v) {
+		scan, err := exec.NewDeltaScan(v, false, names...)
+		if err != nil {
+			return nil, err
+		}
+		if ex != nil {
+			ex.add("DeltaScan(%s +%d -%d)", t.Name, len(v.Ins), v.DeletedRows)
+		}
+		return scan, nil
+	}
+	scan, err := exec.NewScan(t, names...)
 	if err != nil {
 		return nil, err
 	}
-	ex.add("Scan(%s)", q.Table.Name)
+	if ex != nil {
+		ex.add("Scan(%s)", t.Name)
+	}
+	return scan, nil
+}
+
+// buildScanPlan is the control: Scan => Filter (Fig. 10 plan 1), with
+// optional exchange-parallelized filtering.
+func buildScanPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
+	scan, err := newTableScan(q.Table, q.Delta, ex, neededColumns(q)...)
+	if err != nil {
+		return nil, err
+	}
 	var op exec.Operator = scan
 	if q.Where != nil {
 		pred, err := Rebind(q.Where, op.Schema())
 		if err != nil {
 			return nil, err
 		}
-		workers, auto := resolveWorkers(opt, q.Table.Rows())
+		workers, auto := resolveWorkers(opt, tableRows(q.Table, q.Delta))
 		if workers > 1 {
 			preserve := preserveOrderRouting(opt, scan.Schema())
 			newChain := func() []exec.BlockTransform {

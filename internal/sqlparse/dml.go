@@ -1,0 +1,218 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"tde/internal/expr"
+)
+
+// This file parses the write-path statements — INSERT, UPDATE, DELETE —
+// into a DML description the transaction layer (package tde) executes
+// against the delta store. The SELECT half of the language stays in
+// parser.go; ParseAny dispatches between the two.
+
+// DMLKind distinguishes the three mutation statements.
+type DMLKind int
+
+const (
+	DMLInsert DMLKind = iota + 1
+	DMLUpdate
+	DMLDelete
+)
+
+func (k DMLKind) String() string {
+	switch k {
+	case DMLInsert:
+		return "INSERT"
+	case DMLUpdate:
+		return "UPDATE"
+	case DMLDelete:
+		return "DELETE"
+	}
+	return fmt.Sprintf("dml(%d)", int(k))
+}
+
+// SetClause is one column assignment of an UPDATE. Value is an arbitrary
+// expression over the table's columns (evaluated against the old row).
+type SetClause struct {
+	Column string
+	Value  expr.Expr
+}
+
+// DML is one parsed mutation statement.
+type DML struct {
+	Kind  DMLKind
+	Table string
+	// Columns is INSERT's explicit column list (nil = table column order).
+	Columns []string
+	// Rows are INSERT's value lists, constant expressions (literals and
+	// constant arithmetic), one slice per VALUES tuple.
+	Rows [][]expr.Expr
+	// Set lists UPDATE's assignments.
+	Set []SetClause
+	// Where filters the rows UPDATE/DELETE affect; nil = all rows.
+	Where expr.Expr
+}
+
+// ParseDML parses one INSERT, UPDATE or DELETE statement.
+func ParseDML(sql string) (*DML, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseDML()
+	if err != nil {
+		return nil, err
+	}
+	if !p.peekIs(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	return st, nil
+}
+
+// ParseAny parses a statement of either language half, returning a
+// *Statement (SELECT) or a *DML (INSERT/UPDATE/DELETE).
+func ParseAny(sql string) (any, error) {
+	if kw := firstKeyword(sql); kw == "INSERT" || kw == "UPDATE" || kw == "DELETE" {
+		return ParseDML(sql)
+	}
+	return Parse(sql)
+}
+
+// firstKeyword returns the statement's leading keyword, upper-cased.
+func firstKeyword(sql string) string {
+	toks, err := lex(sql)
+	if err != nil || len(toks) == 0 || toks[0].kind != tokIdent {
+		return ""
+	}
+	return strings.ToUpper(toks[0].text)
+}
+
+func (p *parser) parseDML() (*DML, error) {
+	switch {
+	case p.acceptKeyword("INSERT"):
+		return p.parseInsert()
+	case p.acceptKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.acceptKeyword("DELETE"):
+		return p.parseDelete()
+	}
+	return nil, fmt.Errorf("sql: expected INSERT, UPDATE or DELETE, got %q", p.cur().text)
+}
+
+// parseInsert: INSERT INTO table [(col, ...)] VALUES (expr, ...)[, ...]
+func (p *parser) parseInsert() (*DML, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	st := &DML{Kind: DMLInsert}
+	table, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = table
+	if p.acceptSymbol("(") {
+		for {
+			name, err := p.parseQualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, name)
+			if p.acceptSymbol(")") {
+				break
+			}
+			if err := p.expectSymbol(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []expr.Expr
+		for {
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptSymbol(")") {
+				break
+			}
+			if err := p.expectSymbol(","); err != nil {
+				return nil, err
+			}
+		}
+		if st.Columns != nil && len(row) != len(st.Columns) {
+			return nil, fmt.Errorf("sql: INSERT row has %d values for %d columns", len(row), len(st.Columns))
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+// parseUpdate: UPDATE table SET col = expr[, ...] [WHERE expr]
+func (p *parser) parseUpdate() (*DML, error) {
+	st := &DML{Kind: DMLUpdate}
+	table, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = table
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, SetClause{Column: name, Value: e})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return st, p.parseOptionalWhere(st)
+}
+
+// parseDelete: DELETE FROM table [WHERE expr]
+func (p *parser) parseDelete() (*DML, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	st := &DML{Kind: DMLDelete}
+	table, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = table
+	return st, p.parseOptionalWhere(st)
+}
+
+func (p *parser) parseOptionalWhere(st *DML) error {
+	if !p.acceptKeyword("WHERE") {
+		return nil
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return err
+	}
+	st.Where = e
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tde/internal/delta"
 	"tde/internal/exec"
 	"tde/internal/expr"
 	"tde/internal/plan"
@@ -659,6 +660,15 @@ func contains(ss []string, s string) bool {
 // Build plans the statement against the given tables, dispatching between
 // the single-table strategic planner and the star-join planner.
 func (st *Statement) Build(tables []*storage.Table, opt plan.Options) (exec.Operator, *plan.Explain, error) {
+	return st.BuildViews(tables, nil, opt)
+}
+
+// BuildViews is Build with per-table write-overlay snapshots (keyed by
+// stored table name): a table with a dirty view scans base + delta
+// instead of the compressed base alone. A nil or empty map plans against
+// the bases exactly like Build.
+func (st *Statement) BuildViews(tables []*storage.Table, views map[string]*delta.View,
+	opt plan.Options) (exec.Operator, *plan.Explain, error) {
 	lookup := func(name string) *storage.Table {
 		for _, t := range tables {
 			if strings.EqualFold(t.Name, name) {
@@ -675,11 +685,12 @@ func (st *Statement) Build(tables []*storage.Table, opt plan.Options) (exec.Oper
 	if err != nil {
 		return nil, nil, err
 	}
+	q.Delta = views[fact.Name]
 	if len(st.joins) == 0 {
 		return plan.Build(q, opt)
 	}
 	jq := plan.JoinQuery{
-		Fact: fact, FactAlias: st.TableAlias,
+		Fact: fact, FactDelta: q.Delta, FactAlias: st.TableAlias,
 		Where: q.Where, Compute: q.Compute, GroupBy: q.GroupBy,
 		Aggs: q.Aggs, Select: q.Select, OrderBy: q.OrderBy,
 		Having: q.Having, Limit: q.Limit,
@@ -707,7 +718,7 @@ func (st *Statement) Build(tables []*storage.Table, opt plan.Options) (exec.Oper
 			inner = inner[i+1:]
 		}
 		jq.Joins = append(jq.Joins, plan.JoinSpec{
-			Table: dim, Alias: jc.alias,
+			Table: dim, Delta: views[dim.Name], Alias: jc.alias,
 			OuterKey: leftKey, InnerKey: inner, LeftOuter: jc.leftOuter,
 		})
 	}

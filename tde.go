@@ -23,9 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime/debug"
+	"sync"
 	"time"
 
+	"tde/internal/delta"
 	"tde/internal/exec"
 	"tde/internal/iofault"
 	"tde/internal/plan"
@@ -34,6 +37,7 @@ import (
 	"tde/internal/storage"
 	"tde/internal/textscan"
 	"tde/internal/types"
+	"tde/internal/wal"
 )
 
 // ErrBudgetExceeded is returned (wrapped) when a query or import exceeds
@@ -98,18 +102,55 @@ func containPanic(qc *exec.QueryCtx, err *error) {
 	}
 }
 
-// Database is a set of named, read-only tables: an "extract" in Tableau
-// terms. It persists as a single file (Sect. 2.3.3).
+// Database is a set of named tables: an "extract" in Tableau terms. It
+// persists as a single file (Sect. 2.3.3). The compressed base tables are
+// immutable; INSERT, UPDATE and DELETE land in an uncompressed write
+// overlay (internal/delta), made durable by a write-ahead log sidecar
+// (internal/wal) and folded back into compressed extents by Compact.
 type Database struct {
+	// mu guards tables against the swap Compact performs and the append
+	// imports perform; queries snapshot the slice under it.
+	mu     sync.RWMutex
 	tables []*storage.Table
+
+	// path and fs bind a file-backed database to its on-disk image; path
+	// is "" for in-memory databases, which skip the WAL entirely.
+	path string
+	fs   iofault.FS
+
+	// dstore is the write overlay; binding identifies the exact base image
+	// the WAL sidecar belongs to (a sidecar bound to a different image is
+	// stale and ignored).
+	dstore  *delta.Store
+	binding wal.Binding
+
+	// Write-path state, guarded by writeMu: the engine is single-writer,
+	// and Begin holds writeMu until Commit or Rollback.
+	writeMu  sync.Mutex
+	wlog     *wal.Log
+	walState walState
+	walClean int64
+	nextTx   uint64
+	// writeErr poisons the write path after a failure whose durable
+	// outcome is unknown (e.g. a commit-record fsync error): reads keep
+	// working on the pre-failure snapshot, writes fail until a reopen
+	// re-derives the truth from disk.
+	writeErr error
+
+	// persisted marks the tables present in the on-disk base image. DML on
+	// a file-backed database is limited to these: WAL replay must be able
+	// to find the table on reopen.
+	persisted map[string]bool
 
 	// salvaged is the corruption report of a Salvage open that lost data;
 	// non-nil makes the database read-only (see ErrReadOnly).
 	salvaged *CorruptionReport
 }
 
-// New returns an empty database.
-func New() *Database { return &Database{} }
+// New returns an empty in-memory database.
+func New() *Database {
+	return &Database{fs: iofault.OS, dstore: delta.NewStore(nil), nextTx: 1}
+}
 
 // OpenOptions control how Open treats a damaged database file.
 type OpenOptions struct {
@@ -122,6 +163,10 @@ type OpenOptions struct {
 	// their checksums are quarantined (detailed in the returned
 	// CorruptionReport) and the intact remainder is opened read-only.
 	Salvage bool
+	// FS routes the database's file I/O — the base image read, the WAL
+	// sidecar, and every write Compact and committed transactions perform.
+	// nil means the real filesystem; tests inject disk faults here.
+	FS iofault.FS
 }
 
 // Open loads a single-file database written by Save. Corrupt or truncated
@@ -141,20 +186,47 @@ func Open(path string) (*Database, error) {
 // every intact table and column, is marked read-only, and err is nil.
 func OpenWithOptions(path string, opt OpenOptions) (db *Database, rep *CorruptionReport, err error) {
 	defer containPanic(nil, &err)
-	// Best-effort orphan sweep: spill temp dirs abandoned by a crashed
+	fs := opt.FS
+	if fs == nil {
+		fs = iofault.OS
+	}
+	// Best-effort orphan sweeps: spill temp dirs abandoned by a crashed
 	// process (recognizable by the tde-spill- prefix) are removed once
-	// they are old enough to be surely dead.
+	// they are old enough to be surely dead, and so are the WAL/save temp
+	// files a crashed commit or merge left next to the database.
 	_, _ = spill.Sweep(os.TempDir(), time.Hour)
-	tables, rep, err := storage.ReadFileFS(iofault.OS, path, storage.ReadOptions{
+	_, _ = wal.SweepTemps(filepath.Dir(path), time.Hour)
+	raw, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	tables, rep, err := storage.ReadWithOptions(raw, storage.ReadOptions{
 		Salvage:    opt.Salvage,
 		DeepVerify: opt.Verify,
 	})
 	if err != nil {
 		return nil, rep, err
 	}
-	db = &Database{tables: tables}
+	db = &Database{
+		tables:    tables,
+		path:      path,
+		fs:        fs,
+		dstore:    delta.NewStore(tables),
+		binding:   wal.Bind(raw),
+		nextTx:    1,
+		persisted: map[string]bool{},
+	}
+	for _, t := range tables {
+		db.persisted[t.Name] = true
+	}
 	if rep != nil && len(rep.Entries) > 0 {
 		db.salvaged = rep
+	}
+	// Crash recovery: replay the WAL sidecar's committed transactions into
+	// the write overlay, so the reopened database carries exactly the
+	// transactions whose commit records reached disk.
+	if err := db.attachWAL(); err != nil {
+		return nil, rep, err
 	}
 	return db, rep, nil
 }
@@ -169,21 +241,38 @@ func (db *Database) ReadOnly() bool { return db.salvaged != nil }
 
 // Save writes the database as one file, the only on-disk format
 // (Sect. 2.3.3: the user must be able to pick the database in a file
-// dialog). Column-level compression is what keeps this copy cheap.
+// dialog). Column-level compression is what keeps this copy cheap. Any
+// uncompacted write-overlay rows are merged into the written image, so a
+// saved file always round-trips the visible data.
 //
 // The write is crash-safe: data goes to a temporary file in the target
 // directory which is fsynced and atomically renamed over the destination,
-// so a crash mid-save never corrupts an existing extract.
+// so a crash mid-save never corrupts an existing extract. Saving a
+// file-backed database over its own path is a Compact.
 func (db *Database) Save(path string) (err error) {
 	if db.salvaged != nil {
 		return fmt.Errorf("%w: %d damaged regions", ErrReadOnly, len(db.salvaged.Entries))
 	}
 	defer containPanic(nil, &err)
-	return storage.WriteFile(path, db.tables)
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.writeErr != nil {
+		return fmt.Errorf("tde: write path disabled (reopen to recover): %w", db.writeErr)
+	}
+	merged, _, err := db.materializeLocked(context.Background(), QueryOptions{})
+	if err != nil {
+		return err
+	}
+	if path == db.path && db.path != "" {
+		return db.swapBaseLocked(merged)
+	}
+	return storage.WriteFile(path, merged)
 }
 
 // TableNames lists the tables.
 func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for _, t := range db.tables {
 		out = append(out, t.Name)
@@ -191,22 +280,38 @@ func (db *Database) TableNames() []string {
 	return out
 }
 
-// Rows returns a table's row count, or -1 if absent.
+// Rows returns a table's visible row count (base rows minus deletions
+// plus uncompacted insertions), or -1 if absent.
 func (db *Database) Rows(table string) int {
 	t := db.lookup(table)
 	if t == nil {
 		return -1
 	}
+	if v := db.dstore.View(t); v != nil {
+		return v.VisibleRows()
+	}
 	return t.Rows()
 }
 
 func (db *Database) lookup(name string) *storage.Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	for _, t := range db.tables {
 		if t.Name == name {
 			return t
 		}
 	}
 	return nil
+}
+
+// snapshot pins one consistent read snapshot: the table set and, for each
+// table with an overlay, a frozen delta view at the current commit epoch.
+// A commit landing mid-query never changes what the query sees.
+func (db *Database) snapshot() ([]*storage.Table, map[string]*delta.View) {
+	db.mu.RLock()
+	tables := db.tables
+	db.mu.RUnlock()
+	return tables, db.dstore.Views(tables)
 }
 
 // ImportOptions control the import pipeline; the fields mirror the
@@ -301,7 +406,11 @@ func (db *Database) ImportCSVContext(ctx context.Context, table string, data []b
 	if err != nil {
 		return err
 	}
-	db.tables = append(db.tables, bt.ToTable(table))
+	t := bt.ToTable(table)
+	db.mu.Lock()
+	db.tables = append(db.tables, t)
+	db.mu.Unlock()
+	db.dstore.Register(t)
 	return nil
 }
 
@@ -329,7 +438,14 @@ func parseSchema(entries []string) ([]textscan.ColumnSpec, error) {
 
 // AddTable registers a prebuilt internal table; used by generators and
 // tests inside this module.
-func (db *Database) AddTable(t *storage.Table) { db.tables = append(db.tables, t) }
+func (db *Database) AddTable(t *storage.Table) {
+	db.mu.Lock()
+	db.tables = append(db.tables, t)
+	db.mu.Unlock()
+	if t != nil {
+		db.dstore.Register(t)
+	}
+}
 
 // CompressColumn converts an encoded scalar column into a dictionary-
 // compressed one (Sect. 3.4.3), enabling invisible joins: filters and
@@ -472,7 +588,8 @@ func (db *Database) QueryContext(ctx context.Context, sql string, opt QueryOptio
 	if err != nil {
 		return nil, err
 	}
-	op, ex, err := st.Build(db.tables, opt.Plan)
+	tables, views := db.snapshot()
+	op, ex, err := st.BuildViews(tables, views, opt.Plan)
 	if err != nil {
 		return nil, err
 	}
@@ -516,7 +633,8 @@ func (db *Database) ExplainWithOptions(sql string, opt plan.Options) (string, er
 	if err != nil {
 		return "", err
 	}
-	_, ex, err := st.Build(db.tables, opt)
+	tables, views := db.snapshot()
+	_, ex, err := st.BuildViews(tables, views, opt)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,348 @@
+package tde
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tde/internal/iofault"
+	"tde/internal/wal"
+)
+
+// walCrashSeeds sets how many randomized workloads the write-path crash
+// harness replays; CI raises it (go test . -walcrashseeds 128 -race).
+var walCrashSeeds = flag.Int("walcrashseeds", 12, "randomized workloads for the write-path crash harness")
+
+// crashWorkload is one seed's deterministic script: a base database and a
+// sequence of transactions (each a list of DML statements).
+type crashWorkload struct {
+	path string
+	txns [][]string
+}
+
+// makeCrashWorkload builds a randomized base database file (via the real
+// filesystem) and a DML script over it.
+func makeCrashWorkload(t *testing.T, rng *rand.Rand, dir string) crashWorkload {
+	t.Helper()
+	var csv strings.Builder
+	csv.WriteString("status,amount,when\n")
+	statuses := []string{"open", "closed", "hold", "lost"}
+	for i := 0; i < 3+rng.Intn(30); i++ {
+		fmt.Fprintf(&csv, "%s,%d,2014-0%d-1%d\n",
+			statuses[rng.Intn(len(statuses))], rng.Intn(100), 1+rng.Intn(9), rng.Intn(9))
+	}
+	mem := New()
+	if err := mem.ImportCSV("orders", []byte(csv.String()), DefaultImportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.ImportCSV("tags", []byte("k,v\nred,1\nblue,2\ngreen,3\n"), DefaultImportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "db.tde")
+	if err := mem.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	stmt := func() string {
+		switch rng.Intn(5) {
+		case 0, 1:
+			return fmt.Sprintf("INSERT INTO orders VALUES ('%s', %d, DATE '2014-0%d-1%d')",
+				statuses[rng.Intn(len(statuses))], rng.Intn(200), 1+rng.Intn(9), rng.Intn(9))
+		case 2:
+			return fmt.Sprintf("UPDATE orders SET amount = amount + %d WHERE amount < %d",
+				1+rng.Intn(20), rng.Intn(150))
+		case 3:
+			return fmt.Sprintf("DELETE FROM orders WHERE amount > %d", 80+rng.Intn(150))
+		default:
+			return fmt.Sprintf("UPDATE tags SET v = v + 1 WHERE v < %d", 1+rng.Intn(9))
+		}
+	}
+	ntx := 2 + rng.Intn(2)
+	txns := make([][]string, ntx)
+	for i := range txns {
+		txns[i] = make([]string, 1+rng.Intn(3))
+		for j := range txns[i] {
+			txns[i][j] = stmt()
+		}
+	}
+	return crashWorkload{path: path, txns: txns}
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runTxns executes the script, committing each transaction; it returns
+// how many transactions reported a successful commit and stops at the
+// first error (after the injected kill everything fails anyway).
+func runTxns(db *Database, txns [][]string) int {
+	committed := 0
+	for _, stmts := range txns {
+		tx, err := db.Begin()
+		if err != nil {
+			return committed
+		}
+		ok := true
+		for _, s := range stmts {
+			if _, err := tx.Exec(s); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			_ = tx.Rollback()
+			return committed
+		}
+		if err := tx.Commit(); err != nil {
+			return committed
+		}
+		committed++
+	}
+	return committed
+}
+
+// oracleStates replays the script prefix by prefix on a pristine copy and
+// dumps the visible state after 0..n committed transactions. These are
+// the only states a crash may ever recover to.
+func oracleStates(t *testing.T, w crashWorkload, dir string) [][]string {
+	t.Helper()
+	path := filepath.Join(dir, "oracle.tde")
+	copyFile(t, w.path, path)
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := [][]string{sortedDump(t, db)}
+	for i, stmts := range w.txns {
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatalf("oracle txn %d: %v", i, err)
+		}
+		for _, s := range stmts {
+			if _, err := tx.Exec(s); err != nil {
+				t.Fatalf("oracle txn %d %q: %v", i, s, err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("oracle txn %d commit: %v", i, err)
+		}
+		states = append(states, sortedDump(t, db))
+	}
+	return states
+}
+
+// stateIndex returns the highest oracle state matching dump. Highest, not
+// first: a transaction whose statements all matched zero rows leaves the
+// state unchanged, so adjacent states can be identical and the later index
+// is the one that satisfies the durability bound.
+func stateIndex(states [][]string, dump []string) int {
+	for i := len(states) - 1; i >= 0; i-- {
+		if reflect.DeepEqual(states[i], dump) {
+			return i
+		}
+	}
+	return -1
+}
+
+// assertNoTempLitter sweeps with a zero cutoff and checks nothing with a
+// temp prefix survives in the database directory.
+func assertNoTempLitter(t *testing.T, dir string, context string) {
+	t.Helper()
+	if _, err := wal.SweepTemps(dir, 0); err != nil {
+		t.Fatalf("%s: sweep: %v", context, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tde-") {
+			t.Fatalf("%s: temp litter %q survived the sweep", context, e.Name())
+		}
+	}
+}
+
+// TestWALCrashConsistency is the write path's kill-point harness: a
+// transaction workload is replayed with the process killed at every
+// numbered I/O operation (torn final write, then total I/O silence), and
+// after each kill the database must reopen to exactly one of the states
+// "after j committed transactions" — with j at least the number of
+// commits that reported success before the kill. Transactions are
+// all-or-nothing: no partial statement effects can ever survive.
+func TestWALCrashConsistency(t *testing.T) {
+	for seed := 0; seed < *walCrashSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			dir := t.TempDir()
+			w := makeCrashWorkload(t, rng, dir)
+			states := oracleStates(t, w, t.TempDir())
+
+			// Probe run: count the workload's kill points fault-free.
+			probeDir := t.TempDir()
+			probePath := filepath.Join(probeDir, "db.tde")
+			copyFile(t, w.path, probePath)
+			probe := iofault.NewInjector(nil)
+			pdb, _, err := OpenWithOptions(probePath, OpenOptions{FS: probe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runTxns(pdb, w.txns); got != len(w.txns) {
+				t.Fatalf("fault-free run committed %d of %d", got, len(w.txns))
+			}
+			n := probe.Ops()
+			if n < 10 {
+				t.Fatalf("implausibly few kill points (%d): %v", n, probe.Log())
+			}
+
+			workDir := t.TempDir()
+			work := filepath.Join(workDir, "db.tde")
+			for k := 1; k <= n; k++ {
+				copyFile(t, w.path, work)
+				_ = os.Remove(wal.Path(work))
+				inj := iofault.NewInjector(nil)
+				inj.KillAtOp(k, rng.Intn(1<<12))
+
+				committed := 0
+				if db, _, err := OpenWithOptions(work, OpenOptions{FS: inj}); err == nil {
+					committed = runTxns(db, w.txns)
+				}
+
+				// Recovery: reopening through the real filesystem must
+				// always succeed and land exactly on an oracle state.
+				rdb, err := Open(work)
+				if err != nil {
+					t.Fatalf("kill at op %d: recovery open failed: %v\nops: %v", k, err, inj.Log())
+				}
+				dump := sortedDump(t, rdb)
+				j := stateIndex(states, dump)
+				if j < 0 {
+					t.Fatalf("kill at op %d: recovered state matches no transaction prefix\nops: %v\nstate: %v",
+						k, inj.Log(), dump)
+				}
+				if j < committed {
+					t.Fatalf("kill at op %d: %d commits reported durable but only %d recovered\nops: %v",
+						k, committed, j, inj.Log())
+				}
+				assertNoTempLitter(t, workDir, fmt.Sprintf("kill at op %d", k))
+			}
+		})
+	}
+}
+
+// TestMergeCrashConsistency kills Compact at every injectable operation:
+// whatever survives — old base + live WAL, new base + stale WAL, or any
+// torn intermediate — must reopen to exactly the pre-merge visible state.
+func TestMergeCrashConsistency(t *testing.T) {
+	seeds := *walCrashSeeds
+	if seeds > 32 {
+		seeds = 32 // merges are the expensive phase; cap the fan-out
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed) + 7777))
+			dir := t.TempDir()
+			w := makeCrashWorkload(t, rng, dir)
+
+			// Commit the whole workload cleanly; the resulting base+WAL
+			// pair is the precondition every kill run restarts from.
+			db, err := Open(w.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runTxns(db, w.txns); got != len(w.txns) {
+				t.Fatalf("setup committed %d of %d", got, len(w.txns))
+			}
+			final := sortedDump(t, db)
+			baseBytes, err := os.ReadFile(w.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			walBytes, err := os.ReadFile(wal.Path(w.path))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Probe: count open+compact kill points.
+			probeDir := t.TempDir()
+			probePath := filepath.Join(probeDir, "db.tde")
+			restore := func(t *testing.T, path string) {
+				t.Helper()
+				if err := os.WriteFile(path, baseBytes, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(wal.Path(path), walBytes, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			restore(t, probePath)
+			probe := iofault.NewInjector(nil)
+			pdb, _, err := OpenWithOptions(probePath, OpenOptions{FS: probe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pdb.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			n := probe.Ops()
+			if n < 8 {
+				t.Fatalf("implausibly few kill points (%d): %v", n, probe.Log())
+			}
+
+			workDir := t.TempDir()
+			work := filepath.Join(workDir, "db.tde")
+			for k := 1; k <= n; k++ {
+				restore(t, work)
+				inj := iofault.NewInjector(nil)
+				inj.KillAtOp(k, rng.Intn(1<<12))
+				if kdb, _, err := OpenWithOptions(work, OpenOptions{FS: inj}); err == nil {
+					_ = kdb.Compact() // may fail: the kill lands mid-merge
+				}
+				rdb, err := Open(work)
+				if err != nil {
+					t.Fatalf("kill at op %d: recovery open failed: %v\nops: %v", k, err, inj.Log())
+				}
+				if dump := sortedDump(t, rdb); !reflect.DeepEqual(dump, final) {
+					t.Fatalf("kill at op %d: merge changed visible state\nops: %v\ngot:  %v\nwant: %v",
+						k, inj.Log(), dump, final)
+				}
+				assertNoTempLitter(t, workDir, fmt.Sprintf("kill at op %d", k))
+			}
+
+			// Fault-free compact lands the merged state and retires the WAL.
+			restore(t, work)
+			cdb, err := Open(work)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cdb.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := os.Stat(wal.Path(work)); err == nil {
+				t.Fatal("compact left the WAL sidecar behind")
+			}
+			rdb, err := Open(work)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dump := sortedDump(t, rdb); !reflect.DeepEqual(dump, final) {
+				t.Fatalf("fault-free compact changed visible state\ngot:  %v\nwant: %v", dump, final)
+			}
+		})
+	}
+}

@@ -1,0 +1,423 @@
+package tde
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"tde/internal/wal"
+)
+
+// saveOrders writes the orders fixture to a file-backed database and
+// reopens it, returning the open database and its path.
+func saveOrdersFile(t *testing.T) (*Database, string) {
+	t.Helper()
+	mem := importOrders(t)
+	path := filepath.Join(t.TempDir(), "orders.tde")
+	if err := mem.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, path
+}
+
+func queryRows(t *testing.T, db *Database, sql string) [][]string {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res.Rows
+}
+
+func TestExecInsert(t *testing.T) {
+	db, _ := saveOrdersFile(t)
+	n, err := db.Exec("INSERT INTO orders VALUES ('open', 99, DATE '2014-04-01')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("affected %d", n)
+	}
+	if got := db.Rows("orders"); got != 6 {
+		t.Fatalf("rows %d", got)
+	}
+	rows := queryRows(t, db, "SELECT status, SUM(amount) FROM orders GROUP BY status ORDER BY status")
+	want := [][]string{{"closed", "65"}, {"open", "129"}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("got %v want %v", rows, want)
+	}
+}
+
+func TestExecInsertColumnListAndNull(t *testing.T) {
+	db := importOrders(t)
+	if _, err := db.Exec("INSERT INTO orders (amount, status) VALUES (7, 'open'), (NULL, 'ghost')"); err != nil {
+		t.Fatal(err)
+	}
+	rows := queryRows(t, db, "SELECT COUNT(*) FROM orders WHERE when IS NULL")
+	if rows[0][0] != "2" {
+		t.Fatalf("null dates %v", rows)
+	}
+	rows = queryRows(t, db, "SELECT COUNT(*) FROM orders WHERE amount IS NULL")
+	if rows[0][0] != "1" {
+		t.Fatalf("null amounts %v", rows)
+	}
+}
+
+func TestExecUpdateAndDelete(t *testing.T) {
+	db, _ := saveOrdersFile(t)
+	n, err := db.Exec("UPDATE orders SET amount = amount + 100 WHERE status = 'open'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("updated %d", n)
+	}
+	rows := queryRows(t, db, "SELECT SUM(amount) FROM orders")
+	if rows[0][0] != "395" {
+		t.Fatalf("sum after update %v", rows)
+	}
+	n, err = db.Exec("DELETE FROM orders WHERE amount > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("deleted %d", n)
+	}
+	if got := db.Rows("orders"); got != 2 {
+		t.Fatalf("rows %d", got)
+	}
+	rows = queryRows(t, db, "SELECT status, amount FROM orders ORDER BY amount")
+	want := [][]string{{"closed", "25"}, {"closed", "40"}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("got %v want %v", rows, want)
+	}
+}
+
+func TestUpdateStringAndStringFunc(t *testing.T) {
+	db := importOrders(t)
+	if _, err := db.Exec("UPDATE orders SET status = UPPER(status) WHERE amount >= 25"); err != nil {
+		t.Fatal(err)
+	}
+	rows := queryRows(t, db, "SELECT status, COUNT(*) FROM orders GROUP BY status ORDER BY status")
+	want := [][]string{{"CLOSED", "2"}, {"open", "3"}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("got %v want %v", rows, want)
+	}
+	if _, err := db.Exec("UPDATE orders SET status = 'won' WHERE status = 'CLOSED'"); err != nil {
+		t.Fatal(err)
+	}
+	rows = queryRows(t, db, "SELECT COUNT(*) FROM orders WHERE status = 'won'")
+	if rows[0][0] != "2" {
+		t.Fatalf("constant string update %v", rows)
+	}
+}
+
+func TestTransactionIsolationAndRollback(t *testing.T) {
+	db, _ := saveOrdersFile(t)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO orders VALUES ('open', 1, DATE '2014-05-01')"); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted writes are invisible to readers.
+	if rows := queryRows(t, db, "SELECT COUNT(*) FROM orders"); rows[0][0] != "5" {
+		t.Fatalf("reader sees uncommitted insert: %v", rows)
+	}
+	// ... but visible to the transaction's own later statements.
+	if n, err := tx.Exec("DELETE FROM orders WHERE amount = 1"); err != nil || n != 1 {
+		t.Fatalf("own-write visibility: n=%d err=%v", n, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if rows := queryRows(t, db, "SELECT COUNT(*) FROM orders"); rows[0][0] != "5" {
+		t.Fatalf("after commit: %v", rows)
+	}
+
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("DELETE FROM orders"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Rows("orders"); got != 5 {
+		t.Fatalf("rollback lost rows: %d", got)
+	}
+	// The writer slot is free again and the abandoned records do not
+	// poison the log.
+	if _, err := db.Exec("INSERT INTO orders VALUES ('open', 2, DATE '2014-05-02')"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Rows("orders"); got != 6 {
+		t.Fatalf("after rollback+insert: %d", got)
+	}
+}
+
+func TestRecoveryAcrossReopen(t *testing.T) {
+	db, path := saveOrdersFile(t)
+	if _, err := db.Exec("INSERT INTO orders VALUES ('open', 99, DATE '2014-04-01')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("UPDATE orders SET amount = 0 WHERE status = 'closed'"); err != nil {
+		t.Fatal(err)
+	}
+	want := queryRows(t, db, "SELECT status, amount FROM orders ORDER BY amount, status")
+
+	// Reopen from disk: the base image is untouched, the WAL replays.
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := queryRows(t, db2, "SELECT status, amount FROM orders ORDER BY amount, status")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %v want %v", got, want)
+	}
+
+	// Compact folds the overlay into the base and retires the WAL;
+	// another reopen sees identical data with no sidecar.
+	if err := db2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(wal.Path(path)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("wal sidecar survived compact: %v", err)
+	}
+	db3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = queryRows(t, db3, "SELECT status, amount FROM orders ORDER BY amount, status")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-compact %v want %v", got, want)
+	}
+}
+
+// TestCompactPreservesResults is the write-path difftest: a randomized
+// DML workload queried through base+delta must return exactly the same
+// results after Compact re-encodes the overlay into compressed extents,
+// and again after a reopen from the compacted file.
+func TestCompactPreservesResults(t *testing.T) {
+	queries := []string{
+		"SELECT status, SUM(amount), COUNT(*) FROM orders GROUP BY status ORDER BY status",
+		"SELECT status, amount FROM orders ORDER BY amount, status",
+		"SELECT COUNT(*) FROM orders WHERE amount > 20",
+		"SELECT MIN(amount), MAX(amount) FROM orders",
+		"SELECT COUNT(*) FROM orders WHERE when IS NULL",
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db, path := saveOrdersFile(t)
+		statuses := []string{"open", "closed", "hold", "lost"}
+		for i := 0; i < 30; i++ {
+			var err error
+			switch rng.Intn(4) {
+			case 0, 1:
+				_, err = db.Exec(fmt.Sprintf("INSERT INTO orders VALUES ('%s', %d, DATE '2014-0%d-1%d')",
+					statuses[rng.Intn(len(statuses))], rng.Intn(200), 1+rng.Intn(9), rng.Intn(9)))
+			case 2:
+				_, err = db.Exec(fmt.Sprintf("UPDATE orders SET amount = amount + %d WHERE amount < %d",
+					rng.Intn(20), rng.Intn(120)))
+			case 3:
+				_, err = db.Exec(fmt.Sprintf("DELETE FROM orders WHERE amount > %d", 60+rng.Intn(140)))
+			}
+			if err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, i, err)
+			}
+		}
+		before := make([][][]string, len(queries))
+		for qi, q := range queries {
+			before[qi] = queryRows(t, db, q)
+		}
+		if err := db.Compact(); err != nil {
+			t.Fatalf("seed %d compact: %v", seed, err)
+		}
+		for qi, q := range queries {
+			if got := queryRows(t, db, q); !reflect.DeepEqual(got, before[qi]) {
+				t.Fatalf("seed %d query %q changed across compact:\n  before %v\n  after  %v",
+					seed, q, before[qi], got)
+			}
+		}
+		db2, err := Open(path)
+		if err != nil {
+			t.Fatalf("seed %d reopen: %v", seed, err)
+		}
+		for qi, q := range queries {
+			if got := queryRows(t, db2, q); !reflect.DeepEqual(got, before[qi]) {
+				t.Fatalf("seed %d query %q changed across compact+reopen:\n  before %v\n  after  %v",
+					seed, q, before[qi], got)
+			}
+		}
+	}
+}
+
+func TestSalvagedDatabaseRefusesWrites(t *testing.T) {
+	db, path := saveOrdersFile(t)
+	if _, err := db.Exec("INSERT INTO orders VALUES ('open', 1, DATE '2014-04-01')"); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the base image's column payload region so a
+	// column checksum fails and salvage quarantines it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sdb, rep, err := OpenWithOptions(path, OpenOptions{Salvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || len(rep.Entries) == 0 {
+		t.Skip("corruption landed somewhere not quarantinable")
+	}
+	if !sdb.ReadOnly() {
+		t.Fatal("salvaged database is not read-only")
+	}
+	if _, err := sdb.Begin(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Begin: %v", err)
+	}
+	if _, err := sdb.Exec("DELETE FROM orders"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Exec: %v", err)
+	}
+	if err := sdb.Compact(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := sdb.Save(path); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Save: %v", err)
+	}
+}
+
+func TestUnpersistedTableRefusesDML(t *testing.T) {
+	db, path := saveOrdersFile(t)
+	if err := db.ImportCSV("extra", []byte("k,v\na,1\nb,2\n"), DefaultImportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("DELETE FROM extra"); err == nil {
+		t.Fatal("DML on unpersisted table succeeded; its WAL records could never replay")
+	}
+	// Saving over the database path persists the new table; DML works.
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("DELETE FROM extra WHERE k = 'a'"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Rows("extra"); got != 1 {
+		t.Fatalf("rows %d", got)
+	}
+}
+
+func TestOpenSweepsOrphanTemps(t *testing.T) {
+	db, path := saveOrdersFile(t)
+	_ = db
+	dir := filepath.Dir(path)
+	old := time.Now().Add(-2 * time.Hour)
+	for _, name := range []string{".tde-wal-123456", ".tde-save-654321"} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("orphan"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh temp file (a concurrent writer's live rename source) must
+	// survive the sweep.
+	fresh := filepath.Join(dir, ".tde-wal-fresh")
+	if err := os.WriteFile(fresh, []byte("live"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{".tde-wal-123456", ".tde-save-654321"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("orphan %s survived open: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp file swept: %v", err)
+	}
+}
+
+func TestSaveToOtherPathMergesOverlay(t *testing.T) {
+	db, _ := saveOrdersFile(t)
+	if _, err := db.Exec("INSERT INTO orders VALUES ('open', 7, DATE '2014-06-01')"); err != nil {
+		t.Fatal(err)
+	}
+	copyPath := filepath.Join(t.TempDir(), "copy.tde")
+	if err := db.Save(copyPath); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Open(copyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.Rows("orders"); got != 6 {
+		t.Fatalf("saved copy rows %d", got)
+	}
+	// The original keeps its overlay (Save elsewhere is a copy, not a
+	// compact): the sidecar still exists and still replays.
+	if got := db.Rows("orders"); got != 6 {
+		t.Fatalf("original rows %d", got)
+	}
+}
+
+func TestDeltaCountersInQueryStats(t *testing.T) {
+	db := importOrders(t)
+	if _, err := db.Exec("INSERT INTO orders VALUES ('open', 1, DATE '2014-04-01')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("DELETE FROM orders WHERE amount = 40"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltaRows, deletedRows int64
+	for _, op := range res.Stats().Operators {
+		deltaRows += op.DeltaRows
+		deletedRows += op.DeletedRows
+	}
+	if deltaRows != 1 || deletedRows != 1 {
+		t.Fatalf("delta counters: +%d -%d", deltaRows, deletedRows)
+	}
+}
+
+// sortedDump reads every row of every table in a deterministic order —
+// the oracle state the crash tests compare.
+func sortedDump(t *testing.T, db *Database) []string {
+	t.Helper()
+	var out []string
+	names := db.TableNames()
+	sort.Strings(names)
+	for _, name := range names {
+		rows := queryRows(t, db, "SELECT * FROM "+name)
+		lines := make([]string, 0, len(rows))
+		for _, r := range rows {
+			lines = append(lines, fmt.Sprint(r))
+		}
+		sort.Strings(lines)
+		out = append(out, name)
+		out = append(out, lines...)
+	}
+	return out
+}
