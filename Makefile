@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz check check-db crash crash-wal clean bench-parallel bench-check bench-baseline bench-overhead trace-smoke
+.PHONY: all build vet test race fuzz check check-db crash crash-wal clean bench-parallel bench-compressed bench-check bench-baseline bench-overhead trace-smoke
 
 all: check
 
@@ -57,14 +57,25 @@ check-db:
 # the owning machine with bench-baseline).
 BENCH_PARALLEL = -run '^$$' -bench 'BenchmarkParallel' -benchtime 2x -count 1 .
 
+# Compressed-execution benchmarks: each runs the same Flights-style
+# query with encoded execution forced on and off, and the encoded arms
+# are guarded against regression by BENCH_compressed.json (a slowdown
+# past 2x the baseline means a routine stopped engaging or got slow).
+BENCH_COMPRESSED = -run '^$$' -bench 'BenchmarkCompressed' -benchtime 3x -count 1 .
+
 bench-parallel:
 	$(GO) test $(BENCH_PARALLEL)
 
+bench-compressed:
+	$(GO) test $(BENCH_COMPRESSED)
+
 bench-check:
 	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json
+	$(GO) test $(BENCH_COMPRESSED) | $(GO) run ./scripts/benchcheck -baseline BENCH_compressed.json
 
 bench-baseline:
 	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json -update
+	$(GO) test $(BENCH_COMPRESSED) | $(GO) run ./scripts/benchcheck -baseline BENCH_compressed.json -update
 
 # Tighter guard for the per-operator instrumentation: with a baseline
 # regenerated on this machine immediately before an instrumentation

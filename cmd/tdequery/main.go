@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"tde"
+	"tde/internal/plan"
 )
 
 // exitIfCorrupt prints the structured corruption report and exits with a
@@ -80,6 +81,7 @@ func main() {
 	mem := flag.String("mem", "", "per-query memory budget (e.g. 64M, 1G; empty = unlimited)")
 	spillArg := flag.String("spill", "", "per-query spill-to-disk budget (e.g. 256M, 4G; empty = no spilling, budget errors fail fast)")
 	workers := flag.Int("workers", 0, "parallel workers per query stage (>0 force, 0 auto, <0 serial)")
+	encoded := flag.String("encoded", "auto", "compressed execution: auto/on (encoded routines), off (decode at scan — escape hatch)")
 	verify := flag.Bool("verify", false, "fully verify every column value at open (catches damage beyond checksums)")
 	salvage := flag.Bool("salvage", false, "open a damaged database read-only, quarantining damaged columns")
 	flag.Parse()
@@ -100,6 +102,17 @@ func main() {
 	}
 	qopt := tde.QueryOptions{Timeout: *timeout, MemoryBudget: budget, SpillBudget: spillBudget}
 	qopt.Plan.ParallelWorkers = *workers
+	switch *encoded {
+	case "auto":
+		qopt.Plan.EncodedExec = plan.EncodedAuto
+	case "on":
+		qopt.Plan.EncodedExec = plan.ForceEncodedExec
+	case "off":
+		qopt.Plan.EncodedExec = plan.EncodedOff
+	default:
+		fmt.Fprintln(os.Stderr, "tdequery: -encoded must be auto, on, or off")
+		os.Exit(2)
+	}
 	db, rep, err := tde.OpenWithOptions(*dbPath, tde.OpenOptions{Verify: *verify, Salvage: *salvage})
 	if err != nil {
 		exitIfCorrupt("tdequery", err)

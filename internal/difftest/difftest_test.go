@@ -98,3 +98,33 @@ func TestGeneratorShape(t *testing.T) {
 			sawJoin, sawGroup, sawTopN)
 	}
 }
+
+// TestDifferentialEncoded is the encoded-vs-decoded oracle sweep: every
+// randomized query runs with compressed execution forced off (the
+// decoded oracle) and forced on (across workers and with the plan
+// rewrites disabled), demanding row-set-identical results. The sweep
+// also demands that encoded routines actually fired — a sweep that never
+// touched dict-filter/rle-*/token-direct would prove nothing.
+func TestDifferentialEncoded(t *testing.T) {
+	sf, flightRows, queries := 0.003, 6000, 60
+	if *long {
+		sf, flightRows, queries = 0.01, 20000, 200
+	}
+	db, err := BuildEncodedDatabase(sf, flightRows, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(5, queries)
+	rep, err := RunEncoded(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("mismatch: %s", m)
+	}
+	if rep.EncodedHits == 0 {
+		t.Fatal("no variant query used an encoded routine; the sweep exercised nothing")
+	}
+	t.Logf("%d queries, %d comparisons, %d encoded-routine hits, %d mismatches",
+		rep.Queries, rep.Comparisons, rep.EncodedHits, len(rep.Mismatches))
+}

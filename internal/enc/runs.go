@@ -1,0 +1,182 @@
+package enc
+
+import "math"
+
+// This file is the compressed-execution kernel layer: the run and token
+// primitives that let operators work directly on encoded data instead of
+// decoding every block into plain vectors (the MorphStore-style
+// "process compressed representations" model; see DESIGN.md §12).
+//
+// The kernels are deliberately type-free — they see 64-bit patterns plus a
+// NULL sentinel — so the execution layer can apply them to plain scalars
+// (sentinel = the type's NULL bits) and to dictionary tokens (sentinel =
+// the token NULL) alike.
+
+// Run is one run of identical values: Count consecutive rows all holding
+// Value. A slice of runs is the encoded form of a run-length block; the
+// values are full-width bit patterns (already widened/sign-extended by the
+// reader's caller).
+type Run struct {
+	Value uint64
+	Count int
+}
+
+// RunsLen totals the row count covered by runs.
+func RunsLen(runs []Run) int {
+	n := 0
+	for _, r := range runs {
+		n += r.Count
+	}
+	return n
+}
+
+// ExpandRuns materializes runs into out row-by-row, returning the rows
+// written. out must have room for RunsLen(runs) values. This is the
+// late-decode boundary's fallback: any consumer that cannot handle runs
+// expands them and proceeds on plain data.
+func ExpandRuns(runs []Run, out []uint64) int {
+	pos := 0
+	for _, r := range runs {
+		for j := 0; j < r.Count; j++ {
+			out[pos+j] = r.Value
+		}
+		pos += r.Count
+	}
+	return pos
+}
+
+// ReadRuns is the run-granular sibling of Read for run-length streams: it
+// appends to out the runs covering logical rows [start, start+n), clipping
+// the first and last runs to the window, and returns the extended slice
+// plus the rows covered (short only at end of stream). It shares Read's
+// forward cursor, so sequential block-sized calls cost O(runs) total.
+// Calling it on a non-RLE stream returns (out, 0).
+func (r *Reader) ReadRuns(start, n int, out []Run) ([]Run, int) {
+	if r.s.Kind() != RunLength {
+		return out, 0
+	}
+	total := r.s.Len()
+	if start >= total {
+		return out, 0
+	}
+	if start+n > total {
+		n = total - start
+	}
+	if start < r.runPos {
+		// Backwards seek: restart the run scan (Sect. 4.3's expensive case).
+		r.runIdx, r.runPos = 0, 0
+	}
+	nr := r.s.NumRuns()
+	covered := 0
+	for covered < n && r.runIdx < nr {
+		count, value := r.s.Run(r.runIdx)
+		runEnd := r.runPos + int(count)
+		idx := start + covered
+		if idx >= runEnd {
+			r.runIdx++
+			r.runPos = runEnd
+			continue
+		}
+		k := runEnd - idx
+		if k > n-covered {
+			k = n - covered
+		}
+		out = append(out, Run{Value: value, Count: k})
+		covered += k
+	}
+	return out, covered
+}
+
+// CountRuns is COUNT(col) over runs: the total length of the runs whose
+// value is not the NULL sentinel, one addition per run.
+func CountRuns(runs []Run, null uint64) int64 {
+	var n int64
+	for _, r := range runs {
+		if r.Value == null {
+			continue
+		}
+		n += int64(r.Count)
+	}
+	return n
+}
+
+// SumRunsInt is SUM/AVG's integer fold over runs: each non-NULL run
+// contributes value*count with one multiply instead of count additions.
+// Returns the sum and the non-NULL row count.
+func SumRunsInt(runs []Run, null uint64) (sum, count int64) {
+	for _, r := range runs {
+		if r.Value == null {
+			continue
+		}
+		sum += int64(r.Value) * int64(r.Count)
+		count += int64(r.Count)
+	}
+	return sum, count
+}
+
+// SumRunsReal is SumRunsInt over IEEE-754 bit patterns.
+func SumRunsReal(runs []Run, null uint64) (sum float64, count int64) {
+	for _, r := range runs {
+		if r.Value == null {
+			continue
+		}
+		sum += math.Float64frombits(r.Value) * float64(r.Count)
+		count += int64(r.Count)
+	}
+	return sum, count
+}
+
+// MinMaxRuns scans each run's value once under cmp (a three-way compare
+// over bit patterns), skipping NULLs. ok is false when every run is NULL.
+func MinMaxRuns(runs []Run, null uint64, cmp func(a, b uint64) int) (minV, maxV uint64, ok bool) {
+	for _, r := range runs {
+		if r.Value == null {
+			continue
+		}
+		if !ok {
+			minV, maxV, ok = r.Value, r.Value, true
+			continue
+		}
+		if cmp(r.Value, minV) < 0 {
+			minV = r.Value
+		}
+		if cmp(r.Value, maxV) > 0 {
+			maxV = r.Value
+		}
+	}
+	return minV, maxV, ok
+}
+
+// FilterRuns appends to out the runs whose value satisfies keep — the
+// predicate is evaluated once per run, not once per row. NULL handling is
+// the caller's: keep sees the sentinel like any other value.
+func FilterRuns(runs []Run, keep func(uint64) bool, out []Run) []Run {
+	for _, r := range runs {
+		if keep(r.Value) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterTokens is the dictionary-predicate kernel: table[tok] holds the
+// predicate's truth for each dictionary token (computed once against the
+// dictionary), nullKeep its truth for the NULL token. It appends to sel
+// the indexes of the surviving rows of tokens[:n]; tokens outside the
+// table (possible only under corrupt metadata) are dropped, matching the
+// predicate-false row fate.
+func FilterTokens(tokens []uint64, n int, table []bool, null uint64, nullKeep bool, sel []int32) []int32 {
+	for i := 0; i < n; i++ {
+		tok := tokens[i]
+		if tok == null {
+			if nullKeep {
+				sel = append(sel, int32(i))
+			}
+			continue
+		}
+		if tok < uint64(len(table)) && table[tok] {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}

@@ -1,0 +1,307 @@
+package enc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the compressed-execution kernels: every kernel must
+// agree with decode-then-apply on random run/token data, including NULL
+// sentinels and out-of-dictionary probe values.
+
+// buildRLE force-encodes vals as a run-length stream.
+func buildRLE(t *testing.T, vals []uint64) *Stream {
+	t.Helper()
+	w := NewWriter(WriterConfig{Width: 8, BlockSize: 1024, KindMask: 1 << RunLength})
+	w.Append(vals)
+	s := w.Finish()
+	if s.Kind() != RunLength {
+		t.Fatalf("forced RLE stream came back %v", s.Kind())
+	}
+	return s
+}
+
+// runnyValues draws n values with long-ish runs from a small domain,
+// mixing in the sentinel as a value so runs of NULLs occur.
+func runnyValues(rng *rand.Rand, n int, domain int, sentinel uint64) []uint64 {
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		v := uint64(rng.Intn(domain))
+		if rng.Intn(8) == 0 {
+			v = sentinel
+		}
+		runLen := 1 + rng.Intn(200)
+		for j := 0; j < runLen && len(out) < n; j++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestReadRunsMatchesRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const sentinel = ^uint64(0)
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + rng.Intn(5000)
+		vals := runnyValues(rng, n, 12, sentinel)
+		s := buildRLE(t, vals)
+		r := NewReader(s)
+		ref := NewReader(s)
+		want := make([]uint64, 1024)
+		got := make([]uint64, 1024)
+		var runs []Run
+		// A sequential sweep (the scan's access pattern) plus random
+		// re-reads, which force the cursor restart path.
+		starts := []int{0}
+		for at := 1024; at < n; at += 1024 {
+			starts = append(starts, at)
+		}
+		for i := 0; i < 10; i++ {
+			starts = append(starts, rng.Intn(n))
+		}
+		for _, start := range starts {
+			blk := 1024
+			var covered int
+			runs, covered = r.ReadRuns(start, blk, runs[:0])
+			wantN := ref.Read(start, blk, want)
+			if covered != wantN {
+				t.Fatalf("start %d: ReadRuns covered %d, Read got %d", start, covered, wantN)
+			}
+			if RunsLen(runs) != covered {
+				t.Fatalf("start %d: RunsLen %d != covered %d", start, RunsLen(runs), covered)
+			}
+			if k := ExpandRuns(runs, got[:covered]); k != covered {
+				t.Fatalf("start %d: ExpandRuns wrote %d of %d", start, k, covered)
+			}
+			for i := 0; i < covered; i++ {
+				if got[i] != want[i] {
+					t.Fatalf("start %d row %d: runs gave %d, decode gave %d", start, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReadRunsNonRLE(t *testing.T) {
+	w := NewWriter(WriterConfig{Width: 8, BlockSize: 1024, DisableEncoding: true})
+	w.Append([]uint64{1, 2, 3})
+	r := NewReader(w.Finish())
+	if runs, covered := r.ReadRuns(0, 3, nil); covered != 0 || len(runs) != 0 {
+		t.Fatalf("ReadRuns on a raw stream returned %d runs covering %d", len(runs), covered)
+	}
+}
+
+// refFold is the decode-then-apply reference for the aggregate kernels.
+func refFold(rows []uint64, null uint64) (count int64, sumI int64, sumF float64, minV, maxV uint64, seen bool, cmp func(a, b uint64) int) {
+	cmp = func(a, b uint64) int {
+		ai, bi := int64(a), int64(b)
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
+	}
+	for _, v := range rows {
+		if v == null {
+			continue
+		}
+		count++
+		sumI += int64(v)
+		sumF += math.Float64frombits(v)
+		if !seen {
+			minV, maxV, seen = v, v, true
+			continue
+		}
+		if cmp(v, minV) < 0 {
+			minV = v
+		}
+		if cmp(v, maxV) > 0 {
+			maxV = v
+		}
+	}
+	return
+}
+
+func TestRunKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const null = ^uint64(0)
+	for trial := 0; trial < 200; trial++ {
+		var runs []Run
+		var rows []uint64
+		nRuns := rng.Intn(20)
+		for i := 0; i < nRuns; i++ {
+			v := uint64(rng.Int63n(1 << 40))
+			if rng.Intn(4) == 0 {
+				v = null
+			}
+			c := 1 + rng.Intn(100)
+			runs = append(runs, Run{Value: v, Count: c})
+			for j := 0; j < c; j++ {
+				rows = append(rows, v)
+			}
+		}
+		count, sumI, _, minV, maxV, seen, cmp := refFold(rows, null)
+		if got := CountRuns(runs, null); got != count {
+			t.Fatalf("CountRuns %d, want %d", got, count)
+		}
+		if gotSum, gotN := SumRunsInt(runs, null); gotSum != sumI || gotN != count {
+			t.Fatalf("SumRunsInt (%d,%d), want (%d,%d)", gotSum, gotN, sumI, count)
+		}
+		gotMin, gotMax, ok := MinMaxRuns(runs, null, cmp)
+		if ok != seen || (ok && (gotMin != minV || gotMax != maxV)) {
+			t.Fatalf("MinMaxRuns (%d,%d,%v), want (%d,%d,%v)", gotMin, gotMax, ok, minV, maxV, seen)
+		}
+	}
+}
+
+func TestSumRunsRealMatchesWeightedFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	const null = ^uint64(0) // not a valid float pattern the generator emits
+	for trial := 0; trial < 100; trial++ {
+		var runs []Run
+		wantSum := 0.0
+		var wantN int64
+		for i := 0; i < rng.Intn(15); i++ {
+			v := math.Float64bits(rng.NormFloat64() * 100)
+			if rng.Intn(4) == 0 {
+				v = null
+			}
+			c := 1 + rng.Intn(50)
+			runs = append(runs, Run{Value: v, Count: c})
+			if v != null {
+				wantSum += math.Float64frombits(v) * float64(c)
+				wantN += int64(c)
+			}
+		}
+		gotSum, gotN := SumRunsReal(runs, null)
+		if gotSum != wantSum || gotN != wantN {
+			t.Fatalf("SumRunsReal (%v,%d), want (%v,%d)", gotSum, gotN, wantSum, wantN)
+		}
+	}
+}
+
+func TestFilterRunsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 100; trial++ {
+		var runs []Run
+		for i := 0; i < rng.Intn(20); i++ {
+			runs = append(runs, Run{Value: uint64(rng.Intn(10)), Count: 1 + rng.Intn(30)})
+		}
+		keep := func(v uint64) bool { return v%3 == uint64(trial%3) }
+		got := FilterRuns(runs, keep, nil)
+		var want []Run
+		for _, r := range runs {
+			if keep(r.Value) {
+				want = append(want, r)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("FilterRuns kept %d runs, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("run %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// cmpOps enumerates the six comparison operators over int64 values.
+var cmpOps = []struct {
+	name string
+	f    func(a, b int64) bool
+}{
+	{"eq", func(a, b int64) bool { return a == b }},
+	{"ne", func(a, b int64) bool { return a != b }},
+	{"lt", func(a, b int64) bool { return a < b }},
+	{"le", func(a, b int64) bool { return a <= b }},
+	{"gt", func(a, b int64) bool { return a > b }},
+	{"ge", func(a, b int64) bool { return a >= b }},
+}
+
+// TestFilterTokensMatchesReference checks the dict-filter kernel against
+// decode-then-apply for every comparison operator, with NULL tokens in
+// the data and probe values both inside and outside the dictionary.
+func TestFilterTokensMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	const nullTok = ^uint64(0)
+	for trial := 0; trial < 50; trial++ {
+		// A dictionary of distinct values, and tokens over it with NULLs.
+		nDict := 1 + rng.Intn(64)
+		dict := make([]uint64, nDict)
+		seen := map[uint64]bool{}
+		for i := range dict {
+			for {
+				v := uint64(rng.Int63n(1000))
+				if !seen[v] {
+					seen[v] = true
+					dict[i] = v
+					break
+				}
+			}
+		}
+		n := 1 + rng.Intn(2000)
+		tokens := make([]uint64, n)
+		for i := range tokens {
+			if rng.Intn(10) == 0 {
+				tokens[i] = nullTok
+			} else {
+				tokens[i] = uint64(rng.Intn(nDict))
+			}
+		}
+		// Probe inside or outside the dictionary's domain.
+		probe := int64(rng.Int63n(1200)) - 100
+		for _, op := range cmpOps {
+			// The truth table: the comparison evaluated once per token.
+			// NULL compares to NULL (row dropped), matching SQL semantics.
+			table := make([]bool, nDict)
+			for tok, v := range dict {
+				table[tok] = op.f(int64(v), probe)
+			}
+			got := FilterTokens(tokens, n, table, nullTok, false, nil)
+			// Reference: decode every row, then apply.
+			var want []int32
+			for i, tok := range tokens {
+				if tok == nullTok {
+					continue
+				}
+				if op.f(int64(dict[tok]), probe) {
+					want = append(want, int32(i))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s probe=%d: kept %d rows, want %d", op.name, probe, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s probe=%d row %d: got idx %d, want %d", op.name, probe, i, got[i], want[i])
+				}
+			}
+		}
+		// Out-of-table tokens (corrupt metadata) must be dropped, and
+		// nullKeep must admit exactly the NULL rows.
+		tokens[0] = uint64(nDict) + 5 // out of table
+		table := make([]bool, nDict)
+		for i := range table {
+			table[i] = true
+		}
+		got := FilterTokens(tokens, n, table, nullTok, true, nil)
+		for _, idx := range got {
+			if idx == 0 {
+				t.Fatal("out-of-table token survived the filter")
+			}
+		}
+		kept := map[int32]bool{}
+		for _, idx := range got {
+			kept[idx] = true
+		}
+		for i := 1; i < n; i++ {
+			if !kept[int32(i)] {
+				t.Fatalf("row %d (token %d) dropped with an all-true table and nullKeep", i, tokens[i])
+			}
+		}
+	}
+}

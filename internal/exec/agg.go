@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"tde/internal/enc"
 	"tde/internal/heap"
@@ -58,15 +59,24 @@ const (
 	// time, flushed on key change — the ordered ("sandwiched")
 	// aggregation of Sect. 4.2.2.
 	AggOrdered
+	// AggTokenDirect indexes groups by dictionary token in a dense array
+	// sized to the dictionary plus one NULL slot — GROUP BY the compressed
+	// code with no hashing and no token decode, available when the key is
+	// dictionary-compressed with a domain ≤ tokenDirectLimit (compressed
+	// execution, DESIGN.md §12).
+	AggTokenDirect
 )
 
 func (m AggMode) String() string {
-	return [...]string{"auto", "hash", "direct", "ordered"}[m]
+	return [...]string{"auto", "hash", "direct", "ordered", "token-direct"}[m]
 }
 
 // directLimit caps the envelope size for AggDirect: the 64K-element direct
 // lookup table of Sect. 2.3.4.
 const directLimit = 1 << 16
+
+// tokenDirectLimit caps the dictionary size for AggTokenDirect.
+const tokenDirectLimit = 1 << 15
 
 type group struct {
 	keys []uint64
@@ -95,10 +105,16 @@ type aggCore struct {
 	chosen  AggMode
 	opName  string
 
-	groups []*group
-	lookup map[uint64][]int // hash -> candidate group indexes (AggHash)
-	direct []int            // envelope -> group index +1 (AggDirect)
-	dmin   int64
+	groups    []*group
+	lookup    map[uint64][]int // hash -> candidate group indexes (AggHash)
+	direct    []int            // envelope -> group index +1 (AggDirect / AggTokenDirect)
+	dmin      int64
+	tokenDict []uint64 // the key's dictionary (AggTokenDirect)
+
+	// runBlocks counts input blocks folded run-at-a-time instead of
+	// row-at-a-time — the rle-sum/rle-count routines of compressed
+	// execution. Reported through the operator's routine string.
+	runBlocks int
 
 	// ordered mode state
 	cur     *group
@@ -135,6 +151,15 @@ func newAggCore(in []ColInfo, keyCols []int, specs []AggSpec, chosen AggMode, op
 		c.charged += int(md.Max-md.Min+1) * 8
 		c.directCharge = c.charged
 		c.direct = make([]int, md.Max-md.Min+1)
+	case AggTokenDirect:
+		c.tokenDict = in[keyCols[0]].Dict
+		n := len(c.tokenDict) + 1 // the last slot is the NULL token's
+		if err := qc.Charge(opName, n*8); err != nil {
+			return nil, err
+		}
+		c.charged += n * 8
+		c.directCharge = c.charged
+		c.direct = make([]int, n)
 	case AggOrdered:
 		c.curKeys = make([]uint64, len(keyCols))
 	}
@@ -196,12 +221,19 @@ func (c *aggCore) consumeBlock(qc *QueryCtx, b *vec.Block) error {
 	if c.chosen == AggOrdered && c.curSet {
 		before++ // the running group not yet flushed
 	}
-	for i := 0; i < b.N; i++ {
-		g, err := c.findGroup(b, i)
-		if err != nil {
+	if c.runCapable(b) {
+		if err := c.consumeRuns(b); err != nil {
 			return err
 		}
-		c.update(g, b, i)
+	} else {
+		b.Materialize() // late-decode boundary for shapes the run path skips
+		for i := 0; i < b.N; i++ {
+			g, err := c.findGroup(b, i)
+			if err != nil {
+				return err
+			}
+			c.update(g, b, i)
+		}
 	}
 	after := len(c.groups)
 	if c.chosen == AggOrdered && c.curSet {
@@ -215,6 +247,105 @@ func (c *aggCore) consumeBlock(qc *QueryCtx, b *vec.Block) error {
 	}
 	c.charged += cost
 	return nil
+}
+
+// runCapable reports whether b can be folded run-at-a-time: a
+// single-column run-encoded block whose specs all read that column (or
+// COUNT(*)) with no MEDIAN — MEDIAN retains one value per input row, so
+// run weighting buys nothing.
+func (c *aggCore) runCapable(b *vec.Block) bool {
+	if len(b.Vecs) != 1 || b.Vecs[0].Runs == nil {
+		return false
+	}
+	for _, kc := range c.keyCols {
+		if kc != 0 {
+			return false
+		}
+	}
+	for _, s := range c.specs {
+		if s.Func == Median || s.Col > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// consumeRuns folds a run-encoded block without expanding it: one group
+// probe and one weighted accumulator update per run instead of per row.
+func (c *aggCore) consumeRuns(b *vec.Block) error {
+	v := &b.Vecs[0]
+	runs := v.Runs
+	c.runBlocks++
+	if len(c.keyCols) == 0 && v.Dict == nil && v.Heap == nil {
+		// Global aggregate over plain scalar runs: the pure kernel folds
+		// (SUM multiplies by run length, COUNT adds it).
+		g, err := c.findGroup(b, 0) // no keys: the single global group
+		if err != nil {
+			return err
+		}
+		c.foldRuns(g, runs, v.Type, b.N)
+		return nil
+	}
+	// Keyed (or dictionary-valued): stage each run's value in row 0 and
+	// reuse the row machinery with the run length as weight.
+	for ri := range runs {
+		v.Data[0] = runs[ri].Value
+		g, err := c.findGroup(b, 0)
+		if err != nil {
+			return err
+		}
+		c.updateW(g, b, 0, int64(runs[ri].Count))
+	}
+	return nil
+}
+
+// foldRuns applies the enc run kernels to a plain scalar column's runs.
+func (c *aggCore) foldRuns(g *group, runs []enc.Run, t types.Type, rows int) {
+	null := types.NullBits(t)
+	for j, s := range c.specs {
+		ac := &g.accs[j]
+		if s.Col < 0 { // COUNT(*) counts NULLs too
+			ac.count += int64(rows)
+			continue
+		}
+		switch s.Func {
+		case Count:
+			ac.count += enc.CountRuns(runs, null)
+		case CountD:
+			for _, r := range runs {
+				if r.Value != null {
+					ac.distinct[r.Value] = struct{}{}
+				}
+			}
+		case Sum, Avg:
+			if t == types.Real {
+				sum, n := enc.SumRunsReal(runs, null)
+				ac.sumF += sum
+				ac.count += n
+			} else {
+				sum, n := enc.SumRunsInt(runs, null)
+				ac.sumI += sum
+				ac.count += n
+			}
+		case Min, Max:
+			mn, mx, ok := enc.MinMaxRuns(runs, null, func(a, b uint64) int {
+				return types.Compare(t, a, b)
+			})
+			if !ok {
+				break
+			}
+			if !ac.seen {
+				ac.minB, ac.maxB, ac.seen = mn, mx, true
+				break
+			}
+			if types.Compare(t, mn, ac.minB) < 0 {
+				ac.minB = mn
+			}
+			if types.Compare(t, mx, ac.maxB) > 0 {
+				ac.maxB = mx
+			}
+		}
+	}
 }
 
 // finish flushes the ordered mode's running group.
@@ -233,6 +364,21 @@ func (c *aggCore) findGroup(b *vec.Block, i int) (*group, error) {
 			// Metadata promised this cannot happen; stored metadata can be
 			// stale or corrupt, so fail the query rather than the process.
 			return nil, fmt.Errorf("exec: direct aggregation key outside [min,max] envelope (corrupt column metadata?)")
+		}
+		if c.direct[k] == 0 {
+			g := c.newGroup(b, i)
+			c.groups = append(c.groups, g)
+			c.direct[k] = len(c.groups)
+		}
+		return c.groups[c.direct[k]-1], nil
+	case AggTokenDirect:
+		tok := b.Vecs[c.keyCols[0]].Data[i]
+		k := len(c.direct) - 1 // the NULL token's slot
+		if tok != types.NullToken {
+			if tok >= uint64(len(c.tokenDict)) {
+				return nil, fmt.Errorf("exec: dictionary token outside the dictionary (corrupt column metadata?)")
+			}
+			k = int(tok)
 		}
 		if c.direct[k] == 0 {
 			g := c.newGroup(b, i)
@@ -332,11 +478,15 @@ func (c *aggCore) findGroupKeys(keys []uint64) *group {
 	return g
 }
 
-func (c *aggCore) update(g *group, b *vec.Block, i int) {
+func (c *aggCore) update(g *group, b *vec.Block, i int) { c.updateW(g, b, i, 1) }
+
+// updateW folds row i into g's accumulators w times in O(1) — w is a run
+// length when the caller is consumeRuns, 1 on the row path.
+func (c *aggCore) updateW(g *group, b *vec.Block, i int, w int64) {
 	for j, s := range c.specs {
 		ac := &g.accs[j]
 		if s.Col < 0 { // COUNT(*)
-			ac.count++
+			ac.count += w
 			continue
 		}
 		v := &b.Vecs[s.Col]
@@ -347,15 +497,15 @@ func (c *aggCore) update(g *group, b *vec.Block, i int) {
 		}
 		switch s.Func {
 		case Count:
-			ac.count++
+			ac.count += w
 		case CountD:
 			ac.distinct[v.Data[i]] = struct{}{}
 		case Sum, Avg:
-			ac.count++
+			ac.count += w
 			if t == types.Real {
-				ac.sumF += types.ToReal(bits)
+				ac.sumF += types.ToReal(bits) * float64(w)
 			} else {
-				ac.sumI += int64(bits)
+				ac.sumI += int64(bits) * w
 			}
 		case Min, Max:
 			if !ac.seen {
@@ -378,8 +528,10 @@ func (c *aggCore) update(g *group, b *vec.Block, i int) {
 				}
 			}
 		case Median:
-			ac.count++
-			ac.all = append(ac.all, bits)
+			ac.count += w
+			for k := int64(0); k < w; k++ {
+				ac.all = append(ac.all, bits)
+			}
 		}
 	}
 }
@@ -542,8 +694,13 @@ type Aggregate struct {
 	chosen  AggMode
 	schema  []ColInfo
 
-	core   *aggCore
-	emitAt int
+	// EncodedOff, set by the planner when encoded execution is disabled,
+	// keeps the mode choice off the token-direct routine.
+	EncodedOff bool
+
+	core      *aggCore
+	emitAt    int
+	runBlocks int // blocks folded run-at-a-time (for the routine string)
 
 	// spill-to-disk degradation state
 	qc    *QueryCtx
@@ -603,6 +760,24 @@ func (a *Aggregate) Schema() []ColInfo { return a.schema }
 // Mode returns the algorithm actually chosen (valid after Open).
 func (a *Aggregate) Mode() AggMode { return a.chosen }
 
+// routine renders the chosen algorithm for OpStats, upgraded to the
+// rle-* encoded-routine names when any input block was folded
+// run-at-a-time (e.g. "rle-sum", or "rle-agg+token-direct" when grouped).
+func (a *Aggregate) routine() string {
+	name := a.chosen.String()
+	if a.runBlocks == 0 {
+		return name
+	}
+	r := "rle-agg"
+	if len(a.specs) == 1 {
+		r = "rle-" + strings.ToLower(a.specs[0].Func.String())
+	}
+	if len(a.keyCols) > 0 {
+		r += "+" + name
+	}
+	return r
+}
+
 // OpKind implements Instrumented.
 func (a *Aggregate) OpKind() string { return "Aggregate" }
 
@@ -621,6 +796,9 @@ func (a *Aggregate) chooseMode() AggMode {
 		if md.SortedKnown && md.SortedAsc {
 			return AggOrdered
 		}
+		if d := in[a.keyCols[0]].Dict; !a.EncodedOff && d != nil && len(d) <= tokenDirectLimit {
+			return AggTokenDirect
+		}
 		if md.HasRange && !md.HasNulls {
 			if span := md.Max - md.Min; span >= 0 && span < directLimit {
 				return AggDirect
@@ -637,11 +815,12 @@ func (a *Aggregate) chooseMode() AggMode {
 func (a *Aggregate) Open(qc *QueryCtx) (err error) {
 	start := a.beginOpen(qc, "Aggregate")
 	defer func() {
-		a.st.SetRoutine(a.chosen.String())
+		a.st.SetRoutine(a.routine())
 		a.endOpen(start)
 	}()
 	a.qc = qc
 	a.emitAt = 0
+	a.runBlocks = 0
 	defer func() {
 		if err != nil {
 			a.cleanup()
@@ -654,7 +833,7 @@ func (a *Aggregate) Open(qc *QueryCtx) (err error) {
 	a.chosen = a.chooseMode()
 	core, err := newAggCore(a.child.Schema(), a.keyCols, a.specs, a.chosen, "Aggregate", qc)
 	if err != nil {
-		if a.chosen != AggDirect || !spillableErr(qc, err) {
+		if (a.chosen != AggDirect && a.chosen != AggTokenDirect) || !spillableErr(qc, err) {
 			return err
 		}
 		// The direct table alone blows the budget: fall back to hash
@@ -697,6 +876,7 @@ func (a *Aggregate) Open(qc *QueryCtx) (err error) {
 		}
 	}
 	core.finish()
+	a.runBlocks = core.runBlocks
 	if a.sp != nil && a.sp.spilled {
 		work, err := a.sp.finishConsume(core)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"tde/internal/enc"
 	"tde/internal/vec"
 )
 
@@ -279,6 +280,11 @@ func copyBlock(src *vec.Block) *vec.Block {
 		v := &src.Vecs[i]
 		dst.Vecs[i] = vec.Vector{Type: v.Type, Heap: v.Heap, Dict: v.Dict,
 			Data: append([]uint64(nil), v.Data[:src.N]...)}
+		if v.Runs != nil {
+			// Preserve the encoding across the exchange so run-capable
+			// consumers (e.g. parallel aggregation workers) still see runs.
+			dst.Vecs[i].Runs = append([]enc.Run(nil), v.Runs...)
+		}
 	}
 	return dst
 }
@@ -291,6 +297,9 @@ func moveBlock(src, dst *vec.Block) {
 		dst.Vecs[i].Heap = v.Heap
 		dst.Vecs[i].Dict = v.Dict
 		copy(dst.Vecs[i].Data, v.Data[:src.N])
+		if v.Runs != nil { // ensureVecs cleared dst's Runs
+			dst.Vecs[i].Runs = append(dst.Vecs[i].Runs, v.Runs...)
+		}
 	}
 	dst.N = src.N
 }

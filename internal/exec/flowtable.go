@@ -200,6 +200,7 @@ func (f *FlowTable) BuildTable(qc *QueryCtx) (*Built, error) {
 		if !ok {
 			break
 		}
+		b.Materialize() // late-decode boundary: builders re-encode plain data
 		if workers > 1 && len(builders) > 1 {
 			var wg sync.WaitGroup
 			var panicErr error

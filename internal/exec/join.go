@@ -538,6 +538,7 @@ func (j *HashJoin) nextBlock(b *vec.Block) (bool, error) {
 }
 
 func (j *HashJoin) joinBlock(in, out *vec.Block) int {
+	in.Materialize() // late-decode boundary: the probe is row-at-a-time
 	nOuter := len(in.Vecs)
 	ensureVecs(out, len(j.schema))
 	keyVec := &in.Vecs[j.outerKey]

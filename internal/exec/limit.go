@@ -62,6 +62,7 @@ func (l *Limit) next(b *vec.Block) (bool, error) {
 	if err != nil || !ok {
 		return false, err
 	}
+	l.buf.Materialize() // late-decode boundary
 	take := l.buf.N
 	if l.seen+take > l.n {
 		take = l.n - l.seen
@@ -178,6 +179,7 @@ func (t *TopN) Open(qc *QueryCtx) (err error) {
 		if !ok {
 			break
 		}
+		b.Materialize() // late-decode boundary: the heap keeps plain rows
 		for i := 0; i < b.N; i++ {
 			row := make([]uint64, nc)
 			strs := make([]string, nc)

@@ -180,6 +180,7 @@ func Collect(op Operator) ([][]uint64, error) {
 		if !ok {
 			return rows, nil
 		}
+		b.Materialize()
 		for i := 0; i < b.N; i++ {
 			row := make([]uint64, len(b.Vecs))
 			for c := range b.Vecs {
@@ -214,6 +215,7 @@ func CollectStringsCtx(qc *QueryCtx, op Operator) ([][]string, error) {
 		if !ok {
 			return rows, nil
 		}
+		b.Materialize()
 		for i := 0; i < b.N; i++ {
 			row := make([]string, len(b.Vecs))
 			for c := range b.Vecs {

@@ -184,6 +184,15 @@ func (p *ParallelAggregate) Open(qc *QueryCtx) (err error) {
 		release()
 		return err
 	}
+	runBlocks := 0
+	for _, c := range cores {
+		runBlocks += c.runBlocks
+	}
+	if runBlocks > 0 {
+		// Run-encoded blocks survived the exchange into the workers: report
+		// the encoded routine like the serial Aggregate does.
+		p.st.SetRoutine(fmt.Sprintf("rle-agg+hash(workers=%d)", p.workers))
+	}
 
 	merged := cores[0]
 	for _, c := range cores[1:] {

@@ -5,6 +5,7 @@ import (
 
 	"tde/internal/enc"
 	"tde/internal/storage"
+	"tde/internal/types"
 	"tde/internal/vec"
 )
 
@@ -22,6 +23,14 @@ type Scan struct {
 	at      int
 	rows    int
 	qc      *QueryCtx
+	// EmitRuns, set by the planner when encoded execution is on, lets the
+	// scan emit run-length columns as run-encoded blocks (vec.Vector.Runs)
+	// instead of expanding them row-by-row. Only single-column scans of a
+	// scalar RLE column qualify: multi-column blocks would need run
+	// alignment across columns, and string columns resolve through heaps.
+	EmitRuns bool
+	runCol   int
+	runBuf   []enc.Run
 }
 
 // NewScan scans the named columns of t (all columns when names is nil).
@@ -71,7 +80,16 @@ func (s *Scan) Open(qc *QueryCtx) error {
 		s.readers[i] = enc.NewReader(s.table.Columns[idx].Data)
 		kinds = append(kinds, s.table.Columns[idx].Data.Kind())
 	}
-	s.st.SetRoutine(encRoutine(kinds))
+	s.runCol = -1
+	routine := encRoutine(kinds)
+	if s.EmitRuns && len(s.colIdxs) == 1 {
+		c := s.table.Columns[s.colIdxs[0]]
+		if c.Data.Kind() == enc.RunLength && c.Heap == nil && c.Type != types.String {
+			s.runCol = 0
+			routine += "(runs)"
+		}
+	}
+	s.st.SetRoutine(routine)
 	return nil
 }
 
@@ -101,11 +119,27 @@ func (s *Scan) next(b *vec.Block) (bool, error) {
 		v.Type = info.Type
 		v.Heap = info.Heap
 		v.Dict = info.Dict
+		w := s.table.Columns[s.colIdxs[i]].Data.Width()
+		if i == s.runCol {
+			// Compressed execution: hand the runs downstream instead of
+			// expanding them. Bytes scanned counts one value per run — the
+			// decode work actually done.
+			var covered int
+			s.runBuf, covered = r.ReadRuns(s.at, n, s.runBuf[:0])
+			if covered != n {
+				return false, fmt.Errorf("exec: short run read: %d of %d", covered, n)
+			}
+			for j := range s.runBuf {
+				s.runBuf[j].Value = resolveRaw(s.runBuf[j].Value, w, info)
+			}
+			v.Runs = s.runBuf
+			s.st.AddBytesScanned(int64(len(s.runBuf) * w))
+			continue
+		}
 		got := r.Read(s.at, n, v.Data)
 		if got != n {
 			return false, fmt.Errorf("exec: short column read: %d of %d", got, n)
 		}
-		w := s.table.Columns[s.colIdxs[i]].Data.Width()
 		widenInPlace(v.Data[:n], w, info)
 		s.st.AddBytesScanned(int64(n * w))
 	}
@@ -148,7 +182,9 @@ func widenInPlace(data []uint64, width int, info ColInfo) {
 	}
 }
 
-// ensureVecs sizes a block for n columns.
+// ensureVecs sizes a block for n columns. Vectors come back plain (Runs
+// cleared): producers that emit encoded blocks set Runs afterwards, so a
+// reused output block never leaks a previous block's encoding.
 func ensureVecs(b *vec.Block, n int) {
 	for len(b.Vecs) < n {
 		b.Vecs = append(b.Vecs, vec.Vector{Data: make([]uint64, vec.BlockSize)})
@@ -159,6 +195,7 @@ func ensureVecs(b *vec.Block, n int) {
 			b.Vecs[i].Data = make([]uint64, vec.BlockSize)
 		}
 		b.Vecs[i].Data = b.Vecs[i].Data[:vec.BlockSize]
+		b.Vecs[i].Runs = nil
 	}
 }
 

@@ -136,6 +136,7 @@ func (s *Sort) Open(qc *QueryCtx) (err error) {
 		if !ok {
 			break
 		}
+		b.Materialize() // late-decode boundary: sort buffers plain columns
 		for c := 0; c < nc; c++ {
 			v := &b.Vecs[c]
 			if s.heaps[c] != nil {

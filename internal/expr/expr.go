@@ -332,16 +332,15 @@ func (n *IsNull) Eval(b *vec.Block, out *vec.Vector) {
 	v := borrow(b.N)
 	defer release(v)
 	n.E.Eval(b, v)
-	t := n.E.Type()
 	out.Type = types.Boolean
 	out.Heap = nil
 	out.Dict = nil
 	for i := 0; i < b.N; i++ {
-		isNull := types.IsNull(t, v.Data[i])
-		if t == types.String {
-			isNull = v.Data[i] == types.NullToken
-		}
-		out.Data[i] = types.FromBool(isNull != n.Negate)
+		// Vector.IsNull knows the representation: the NULL token for
+		// dictionary/heap vectors, the type sentinel for plain scalars.
+		// Checking the type sentinel on raw token data would miss
+		// dictionary NULLs.
+		out.Data[i] = types.FromBool(v.IsNull(i) != n.Negate)
 	}
 }
 

@@ -86,7 +86,25 @@ type Options struct {
 	// choice from sortedness metadata, >0 = force order-preserving,
 	// <0 = force free routing.
 	Routing int
+	// EncodedExec controls compressed execution (DESIGN.md §12): whether
+	// scans emit run-encoded blocks and Select/Aggregate may pick the
+	// encoded routines (dict-filter, rle-filter, rle-sum, token-direct
+	// grouping). EncodedAuto (the zero value) leaves it on; the explicit
+	// levels exist for differential testing and as an escape hatch.
+	EncodedExec int
 }
+
+// EncodedExec levels.
+const (
+	// EncodedAuto enables encoded execution (the default).
+	EncodedAuto = 0
+	// ForceEncodedExec enables encoded execution explicitly — the
+	// differential sweep's "forced on" arm.
+	ForceEncodedExec = 1
+	// EncodedOff disables encoded execution: scans decode every block and
+	// operators use the row routines only.
+	EncodedOff = -1
+)
 
 // Auto-parallelism thresholds: below parallelMinRows the fan-out costs
 // more than it saves; past that, one worker per parallelRowsPerWorker
@@ -168,6 +186,9 @@ func (e *Explain) String() string { return strings.Join(e.Steps, " => ") }
 // operators, driven by the metadata FlowTable and the scans derive.
 func Build(q Query, opt Options) (exec.Operator, *Explain, error) {
 	ex := &Explain{}
+	if opt.EncodedExec < 0 {
+		ex.add("EncodedExec[off]")
+	}
 	if q.Where != nil {
 		q.Where = expr.Simplify(q.Where)
 	}
@@ -354,9 +375,21 @@ func newTableScan(t *storage.Table, v *delta.View, ex *Explain, names ...string)
 // buildScanPlan is the control: Scan => Filter (Fig. 10 plan 1), with
 // optional exchange-parallelized filtering.
 func buildScanPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
-	scan, err := newTableScan(q.Table, q.Delta, ex, neededColumns(q)...)
+	cols := neededColumns(q)
+	scan, err := newTableScan(q.Table, q.Delta, ex, cols...)
 	if err != nil {
 		return nil, err
+	}
+	// DeltaScan always emits decoded blocks (the overlay merge works on
+	// plain rows), so only the plain Scan gets the run-emission switch.
+	if s, ok := scan.(*exec.Scan); ok && opt.EncodedExec >= 0 {
+		s.EmitRuns = true
+		if len(cols) == 1 {
+			if c := q.Table.Column(cols[0]); c != nil &&
+				c.Data.Kind() == enc.RunLength && c.Heap == nil && c.Type != types.String {
+				ex.add("EncodedScan[%s runs]", c.Name)
+			}
+		}
 	}
 	var op exec.Operator = scan
 	if q.Where != nil {
@@ -368,7 +401,7 @@ func buildScanPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 		if workers > 1 {
 			preserve := preserveOrderRouting(opt, scan.Schema())
 			newChain := func() []exec.BlockTransform {
-				return []exec.BlockTransform{exec.NewSelect(nil, pred)}
+				return []exec.BlockTransform{newSelect(nil, pred, opt)}
 			}
 			op = exec.NewExchange(op, newChain, workers, preserve, scan.Schema())
 			routing := "free"
@@ -377,7 +410,7 @@ func buildScanPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 			}
 			ex.add("Exchange[%s, %s] Filter[%s]", workersLabel(workers, auto), routing, pred)
 		} else {
-			op = exec.NewSelect(op, pred)
+			op = newSelect(op, pred, opt)
 			ex.add("Filter[%s]", pred)
 		}
 	}
@@ -400,7 +433,7 @@ func buildIndexPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner = exec.NewSelect(inner, pred)
+	inner = newSelect(inner, pred, opt)
 	ex.add("Filter[%s]", pred)
 
 	// Strategic choice of ordered retrieval (Sect. 4.2.2): worth it only
@@ -439,7 +472,7 @@ func buildIndexPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		op = exec.NewSelect(op, rpred)
+		op = newSelect(op, rpred, opt)
 		ex.add("ResidualFilter[%s]", rpred)
 	}
 	return op, nil
@@ -464,7 +497,7 @@ func buildDictPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner = exec.NewSelect(inner, pred)
+	inner = newSelect(inner, pred, opt)
 	ex.add("Filter[%s] pushed to inner", pred)
 	// Keep only the token column on the inner side: the join is a
 	// semijoin that restricts the outer tokens.
@@ -485,6 +518,7 @@ func buildDictPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
+	scan.EmitRuns = opt.EncodedExec >= 0 // the join probe materializes if needed
 	ex.add("Scan(%s)", q.Table.Name)
 	outerKey := -1
 	for i, info := range scan.Schema() {
@@ -510,7 +544,7 @@ func buildDictPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		op = exec.NewSelect(op, rpred)
+		op = newSelect(op, rpred, opt)
 		ex.add("ResidualFilter[%s]", rpred)
 	}
 	return op, nil
@@ -575,7 +609,9 @@ func finishPlan(op exec.Operator, q Query, opt Options, rows int, ex *Explain) (
 			ex.add("ParallelAggregate[%s, %d keys, %d aggs]",
 				workersLabel(workers, auto), len(keyIdxs), len(specs))
 		} else {
-			op = exec.NewAggregate(op, keyIdxs, specs, exec.AggAuto)
+			agg := exec.NewAggregate(op, keyIdxs, specs, exec.AggAuto)
+			agg.EncodedOff = opt.EncodedExec < 0
+			op = agg
 			ex.add("Aggregate[%d keys, %d aggs]", len(keyIdxs), len(specs))
 		}
 		if q.Having != nil {
@@ -583,7 +619,7 @@ func finishPlan(op exec.Operator, q Query, opt Options, rows int, ex *Explain) (
 			if err != nil {
 				return nil, err
 			}
-			op = exec.NewSelect(op, pred)
+			op = newSelect(op, pred, opt)
 			ex.add("Having[%s]", pred)
 		}
 	} else if len(q.Select) > 0 {
@@ -627,6 +663,14 @@ func finishPlan(op exec.Operator, q Query, opt Options, rows int, ex *Explain) (
 		ex.add("Limit[%d]", q.Limit)
 	}
 	return op, nil
+}
+
+// newSelect builds a filter with the plan-level encoded-execution switch
+// threaded through, so every Select in a plan obeys Options.EncodedExec.
+func newSelect(child exec.Operator, pred expr.Expr, opt Options) *exec.Select {
+	s := exec.NewSelect(child, pred)
+	s.EncodedOff = opt.EncodedExec < 0
+	return s
 }
 
 func colIndex(schema []exec.ColInfo, name string) int {

@@ -6,6 +6,7 @@
 package vec
 
 import (
+	"tde/internal/enc"
 	"tde/internal/heap"
 	"tde/internal/types"
 )
@@ -27,6 +28,24 @@ type Vector struct {
 	// Dict, when non-nil, marks a dictionary-compressed scalar vector:
 	// Data holds tokens that index into Dict for the actual values.
 	Dict []uint64
+	// Runs, when non-nil, marks a run-encoded vector: the runs cover the
+	// block's N rows in order and Data[:N] is undefined until Materialize
+	// expands them. Run values are full-width patterns under the same
+	// contract as Data (dictionary tokens when Dict is set, resolved
+	// values otherwise). Producers that emit plain data must leave Runs
+	// nil; consumers that cannot handle runs call Materialize first — the
+	// late-decode boundary of compressed execution.
+	Runs []enc.Run
+}
+
+// Materialize expands a run-encoded vector into Data[:n] and clears Runs.
+// A no-op for plain vectors.
+func (v *Vector) Materialize(n int) {
+	if v.Runs == nil {
+		return
+	}
+	enc.ExpandRuns(v.Runs, v.Data[:n])
+	v.Runs = nil
 }
 
 // IsNull reports whether row i holds the type's NULL sentinel.
@@ -72,3 +91,22 @@ func NewBlock(n int) *Block {
 
 // Reset prepares the block for reuse.
 func (b *Block) Reset() { b.N = 0 }
+
+// Encoded reports whether any vector still carries an encoded (run)
+// representation.
+func (b *Block) Encoded() bool {
+	for i := range b.Vecs {
+		if b.Vecs[i].Runs != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Materialize decodes every encoded vector in place — the late-decode
+// boundary. Cheap (a nil check per column) when the block is plain.
+func (b *Block) Materialize() {
+	for i := range b.Vecs {
+		b.Vecs[i].Materialize(b.N)
+	}
+}

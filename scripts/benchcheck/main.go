@@ -62,7 +62,7 @@ func main() {
 
 	if *update {
 		b := baseline{
-			Note: "ns/op baselines for the morsel-parallelism benchmarks; " +
+			Note: "ns/op baselines for the guarded benchmarks; " +
 				"machine-relative, regenerate with `make bench-baseline`",
 			Threshold:  2.0,
 			Benchmarks: current,
