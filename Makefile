@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz check check-db crash crash-wal clean bench-parallel bench-compressed bench-check bench-baseline bench-overhead trace-smoke
+.PHONY: all build vet test race fuzz check check-db crash crash-wal crash-concurrent clean bench-parallel bench-compressed bench-write bench-check bench-baseline bench-overhead trace-smoke
 
 all: check
 
@@ -26,6 +26,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzSQLParse -fuzztime=$(FUZZTIME) ./internal/sqlparse/
 	$(GO) test -fuzz=FuzzSpillRead -fuzztime=$(FUZZTIME) ./internal/spill/
 	$(GO) test -fuzz=FuzzWALRead -fuzztime=$(FUZZTIME) ./internal/wal/
+	$(GO) test -fuzz=FuzzWALReadConcurrent -fuzztime=$(FUZZTIME) ./internal/wal/
 
 # Crash-consistency sweep: kill a save at every injectable point and
 # require the on-disk file to be exactly the old or the new image.
@@ -40,6 +41,16 @@ crash:
 WALCRASHSEEDS ?= 128
 crash-wal:
 	$(GO) test -race -run 'TestWALCrashConsistency|TestMergeCrashConsistency' . -walcrashseeds $(WALCRASHSEEDS)
+
+# Concurrent-writer crash torture: N goroutines of conflicting
+# transactions (hot-row updates + unique markers, commit races retried)
+# with the process killed at every injectable I/O operation, plus the
+# snapshot-isolation sweep (balance-preserving transfers under readers
+# and background auto-compaction). Recovery must keep every transaction
+# atomically old-or-new and never lose a commit that reported success.
+CONCCRASHSEEDS ?= 128
+crash-concurrent:
+	$(GO) test -race -run 'TestConcurrentCrashConsistency|TestConcurrentSnapshotInvariant' . -conccrashseeds $(CONCCRASHSEEDS)
 
 # End-to-end integrity check of a real extract: generate a CSV with
 # tdegen, import it with tdeload, then verify every column record (and
@@ -63,19 +74,31 @@ BENCH_PARALLEL = -run '^$$' -bench 'BenchmarkParallel' -benchtime 2x -count 1 .
 # past 2x the baseline means a routine stopped engaging or got slow).
 BENCH_COMPRESSED = -run '^$$' -bench 'BenchmarkCompressed' -benchtime 3x -count 1 .
 
+# Write-path benchmarks: non-conflicting update transactions, one writer
+# vs GOMAXPROCS concurrent writers over the group-committed WAL. On a
+# multi-core machine the concurrent arm must come in well under serial
+# (statement scans overlap; committers share fsyncs); on any machine the
+# guard catches a reintroduced global writer lock or commit-path blowup.
+BENCH_WRITE = -run '^$$' -bench 'BenchmarkWriteTxn' -benchtime 300x -count 1 .
+
 bench-parallel:
 	$(GO) test $(BENCH_PARALLEL)
 
 bench-compressed:
 	$(GO) test $(BENCH_COMPRESSED)
 
+bench-write:
+	$(GO) test $(BENCH_WRITE)
+
 bench-check:
 	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json
 	$(GO) test $(BENCH_COMPRESSED) | $(GO) run ./scripts/benchcheck -baseline BENCH_compressed.json
+	$(GO) test $(BENCH_WRITE) | $(GO) run ./scripts/benchcheck -baseline BENCH_write.json
 
 bench-baseline:
 	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json -update
 	$(GO) test $(BENCH_COMPRESSED) | $(GO) run ./scripts/benchcheck -baseline BENCH_compressed.json -update
+	$(GO) test $(BENCH_WRITE) | $(GO) run ./scripts/benchcheck -baseline BENCH_write.json -update
 
 # Tighter guard for the per-operator instrumentation: with a baseline
 # regenerated on this machine immediately before an instrumentation

@@ -1,0 +1,243 @@
+package tde
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// This file is the background auto-compaction runner: a goroutine that
+// watches the write overlay's size (delta row slots, approximate bytes,
+// dead rows pending GC) and folds it back into compressed base extents
+// off the writer path. Commits nudge it; a ticker catches workloads that
+// go idle between nudges. When writers outrun the merger the overlay is
+// still bounded: past a hard multiple of the trigger thresholds,
+// admission (BeginContext) blocks until a merge brings the overlay back
+// under — graceful degradation to the old single-writer behavior rather
+// than unbounded memory.
+
+// AutoCompactOptions tune EnableAutoCompact. Zero values take defaults;
+// a threshold set negative is disabled.
+type AutoCompactOptions struct {
+	// MaxDeltaRows triggers a merge when the overlay holds at least this
+	// many row slots (insertions + base deletions) across tables.
+	// Default 100_000.
+	MaxDeltaRows int
+	// MaxDeltaBytes triggers on the overlay's approximate heap footprint.
+	// Default 64 MiB.
+	MaxDeltaBytes int64
+	// MaxDeadRows triggers on dead delta rows whose values epoch GC has
+	// not reclaimed (merge debt that GC alone cannot free, because slots
+	// survive until compaction). Default 10_000.
+	MaxDeadRows int
+	// Interval is the idle re-check period (commits nudge the runner
+	// immediately; the ticker catches quiet databases). Default 1s.
+	Interval time.Duration
+	// HardFactor caps the overlay at HardFactor × the trigger thresholds:
+	// beyond it, BeginContext blocks until a merge completes. Default 4.
+	HardFactor int
+	// MergeTimeout bounds one merge attempt, including its writer drain —
+	// an open transaction that never finishes must not hold the runner
+	// (and admission) forever. Default 30s.
+	MergeTimeout time.Duration
+}
+
+func (o *AutoCompactOptions) fill() {
+	if o.MaxDeltaRows == 0 {
+		o.MaxDeltaRows = 100_000
+	}
+	if o.MaxDeltaBytes == 0 {
+		o.MaxDeltaBytes = 64 << 20
+	}
+	if o.MaxDeadRows == 0 {
+		o.MaxDeadRows = 10_000
+	}
+	if o.Interval == 0 {
+		o.Interval = time.Second
+	}
+	if o.HardFactor <= 0 {
+		o.HardFactor = 4
+	}
+	if o.MergeTimeout == 0 {
+		o.MergeTimeout = 30 * time.Second
+	}
+}
+
+// autoCompactor is the runner's state. The goroutine owns all merge
+// activity; the mutex only guards the externally read counters.
+type autoCompactor struct {
+	opt   AutoCompactOptions
+	nudge chan struct{}
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu        sync.Mutex
+	runs      int
+	gcRuns    int
+	reclaimed int
+	lastErr   error
+}
+
+// EnableAutoCompact starts background compaction with the given options.
+// It is a no-op if already enabled (options are not rebound); call
+// DisableAutoCompact first to re-tune. Close disables it.
+func (db *Database) EnableAutoCompact(opt AutoCompactOptions) error {
+	if db.salvaged != nil {
+		return ErrReadOnly
+	}
+	opt.fill()
+	ac := &autoCompactor{
+		opt:   opt,
+		nudge: make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	db.wmu.Lock()
+	if db.closed {
+		db.wmu.Unlock()
+		return ErrClosed
+	}
+	if db.compactor != nil {
+		db.wmu.Unlock()
+		return nil
+	}
+	db.compactor = ac
+	db.wmu.Unlock()
+	go db.compactLoop(ac)
+	return nil
+}
+
+// DisableAutoCompact stops the background runner and waits for any merge
+// in progress to finish. No-op when not enabled.
+func (db *Database) DisableAutoCompact() {
+	db.wmu.Lock()
+	ac := db.compactor
+	db.compactor = nil
+	db.wmu.Unlock()
+	if ac == nil {
+		return
+	}
+	close(ac.stop)
+	<-ac.done
+}
+
+// nudgeCompactor pokes the runner after a commit; non-blocking (a full
+// nudge channel means a wake-up is already pending).
+func (db *Database) nudgeCompactor() {
+	db.wmu.Lock()
+	ac := db.compactor
+	db.wmu.Unlock()
+	if ac == nil {
+		return
+	}
+	select {
+	case ac.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// overCapLocked is the admission backpressure check: true when the
+// overlay exceeds the hard cap and Begin must wait for the merger.
+// Caller holds wmu.
+func (db *Database) overCapLocked() bool {
+	ac := db.compactor
+	if ac == nil {
+		return false
+	}
+	rows, bytes := db.dstore.SizeHint()
+	f := ac.opt.HardFactor
+	return rows >= ac.opt.MaxDeltaRows*f || bytes >= ac.opt.MaxDeltaBytes*int64(f)
+}
+
+// overThreshold reports whether any merge trigger fires.
+func (ac *autoCompactor) overThreshold(db *Database) bool {
+	rows, bytes := db.dstore.SizeHint()
+	return rows >= ac.opt.MaxDeltaRows ||
+		bytes >= ac.opt.MaxDeltaBytes ||
+		db.dstore.DeadRows() >= ac.opt.MaxDeadRows
+}
+
+// compactLoop is the runner goroutine: GC every wake-up (cheap, frees
+// dead rows' values as pins retire), merge when a threshold trips.
+func (db *Database) compactLoop(ac *autoCompactor) {
+	defer close(ac.done)
+	ticker := time.NewTicker(ac.opt.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ac.stop:
+			return
+		case <-ac.nudge:
+		case <-ticker.C:
+		}
+		if n := db.dstore.GC(); n > 0 {
+			ac.mu.Lock()
+			ac.gcRuns++
+			ac.reclaimed += n
+			ac.mu.Unlock()
+		}
+		if !ac.overThreshold(db) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), ac.opt.MergeTimeout)
+		err := db.CompactContext(ctx, QueryOptions{})
+		cancel()
+		ac.mu.Lock()
+		ac.runs++
+		ac.lastErr = err
+		ac.mu.Unlock()
+		// Whatever happened, admission may have been waiting on the
+		// overlay shrinking (or on quiesce ending) — wake it.
+		db.wmu.Lock()
+		db.wakeAdmissionLocked()
+		db.wmu.Unlock()
+		if err != nil {
+			// A failed merge (timeout draining a long transaction, a
+			// poisoned writer) must not spin the runner hot; the ticker
+			// retries after a full interval.
+			select {
+			case <-ac.nudge:
+			default:
+			}
+		}
+	}
+}
+
+// AutoCompactStats reports the background runner's activity.
+type AutoCompactStats struct {
+	// Enabled reports whether a runner is active.
+	Enabled bool
+	// Runs counts merge attempts; GCRuns counts wake-ups that reclaimed
+	// dead rows, ReclaimedRows their total.
+	Runs, GCRuns, ReclaimedRows int
+	// LastErr is the most recent merge attempt's error ("" if it
+	// succeeded).
+	LastErr string
+}
+
+// AutoCompactStats returns the background compaction counters.
+func (db *Database) AutoCompactStats() AutoCompactStats {
+	db.wmu.Lock()
+	ac := db.compactor
+	db.wmu.Unlock()
+	if ac == nil {
+		return AutoCompactStats{}
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	st := AutoCompactStats{
+		Enabled:       true,
+		Runs:          ac.runs,
+		GCRuns:        ac.gcRuns,
+		ReclaimedRows: ac.reclaimed,
+	}
+	if ac.lastErr != nil {
+		st.LastErr = ac.lastErr.Error()
+	}
+	return st
+}
+
+// GC reclaims the values of dead delta rows no pinned snapshot can still
+// see, returning how many rows it freed. The background runner calls this
+// automatically; it is exposed for tools and tests.
+func (db *Database) GC() int { return db.dstore.GC() }

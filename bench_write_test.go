@@ -1,0 +1,83 @@
+package tde
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// The write benchmarks measure transaction throughput on the optimistic
+// write path. Each transaction updates one distinct row of a 20k-row
+// table — non-conflicting writers, the workload the MVCC redesign is for.
+// Serial is the old single-writer shape: one goroutine, statements and
+// commits strictly alternating. Concurrent runs GOMAXPROCS writers: the
+// expensive part of a transaction (the snapshot scan behind the UPDATE)
+// runs outside every lock, and commits serialize only through
+// first-committer validation plus the group-commit WAL append, whose
+// fsyncs concurrent committers share. ns/op in the concurrent arm must
+// stay well below serial — that ratio is what BENCH_write.json guards.
+
+const benchWriteRows = 20_000
+
+func benchWriteDB(b *testing.B) *Database {
+	b.Helper()
+	var csv strings.Builder
+	csv.WriteString("id,val\n")
+	for i := 0; i < benchWriteRows; i++ {
+		fmt.Fprintf(&csv, "%d,0\n", i)
+	}
+	mem := New()
+	if err := mem.ImportCSV("acct", []byte(csv.String()), DefaultImportOptions()); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.tde")
+	if err := mem.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	db, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// benchCommitUpdate runs one transaction bumping a single distinct row;
+// callers hand out ids so concurrent writers never collide.
+func benchCommitUpdate(db *Database, id int64) error {
+	tx, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	if _, err := tx.Exec(fmt.Sprintf("UPDATE acct SET val = val + 1 WHERE id = %d", id%benchWriteRows)); err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+func BenchmarkWriteTxnSerial(b *testing.B) {
+	db := benchWriteDB(b)
+	defer db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := benchCommitUpdate(db, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteTxnConcurrent(b *testing.B) {
+	db := benchWriteDB(b)
+	defer db.Close()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := benchCommitUpdate(db, next.Add(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,6 +1,8 @@
 // Command tdeinspect dumps the physical design of a TDE database: every
 // table's columns with their encodings, widths, dictionaries, heaps and
-// extracted metadata (Sect. 3.4.2).
+// extracted metadata (Sect. 3.4.2), plus the write overlay's merge debt
+// (delta rows, deletions, dead rows, epochs, WAL size) so an operator can
+// see when compaction is due.
 //
 // Usage:
 //
@@ -27,11 +29,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tdeinspect:", err)
 		os.Exit(1)
 	}
+	ws := db.WriteStats()
+	overlay := map[string]tde.TableWriteStats{}
+	for _, t := range ws.Tables {
+		overlay[t.Table] = t
+	}
 	for _, name := range db.TableNames() {
 		logical, physical, _ := db.Sizes(name)
 		fmt.Printf("table %s: %d rows, logical %dK, physical %dK (%.0f%% saved)\n",
 			name, db.Rows(name), logical/1024, physical/1024,
 			100*(1-float64(physical)/float64(logical+1)))
+		if t, ok := overlay[name]; ok {
+			fmt.Printf("  overlay: +%d rows -%d base rows, %d dead (GC-able), %d reclaimed, %dK heap\n",
+				t.LiveRows, t.DeletedBase, t.DeadRows, t.ReclaimedRows, t.Bytes/1024)
+		}
 		cols, err := db.Columns(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tdeinspect:", err)
@@ -68,5 +79,13 @@ func main() {
 				c.Name, c.Type, c.Encoding, c.WidthBytes,
 				c.PhysicalBytes/1024, strings.Join(extra, " "))
 		}
+	}
+	if len(ws.Tables) > 0 || ws.WALBytes > 0 || ws.PublishedEpoch > 0 {
+		fmt.Printf("write path: epoch %d (staged %d), %d live pinned epochs, gen %d, wal %dK",
+			ws.PublishedEpoch, ws.StagedEpoch, ws.LiveEpochs, ws.Generation, ws.WALBytes/1024)
+		if ws.Poisoned {
+			fmt.Print(", POISONED")
+		}
+		fmt.Println()
 	}
 }

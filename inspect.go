@@ -2,8 +2,10 @@ package tde
 
 import (
 	"fmt"
+	"os"
 
 	"tde/internal/types"
+	"tde/internal/wal"
 )
 
 // ColumnInfo is the public view of a stored column: its physical design
@@ -93,4 +95,83 @@ func (db *Database) Sizes(table string) (logical, physical int, err error) {
 		return 0, 0, fmt.Errorf("tde: unknown table %q", table)
 	}
 	return t.LogicalSize(), t.PhysicalSize(), nil
+}
+
+// TableWriteStats is one table's write-overlay accounting: the merge debt
+// an operator watches to size compaction.
+type TableWriteStats struct {
+	Table string
+	// BaseRows is the compressed base generation's row count; DeletedBase
+	// of those are deleted in the overlay.
+	BaseRows, DeletedBase int
+	// LiveRows are inserted overlay rows visible at the published epoch.
+	// DeadRows were inserted and then deleted/updated but their values are
+	// still held for pinned snapshots (GC debt); ReclaimedRows had their
+	// values freed by GC but still occupy row-ID slots until compaction.
+	LiveRows, DeadRows, ReclaimedRows int
+	// Bytes approximates the overlay's heap footprint for this table.
+	Bytes int64
+}
+
+// WriteStats is a point-in-time snapshot of the MVCC write path: epochs,
+// pinned snapshots, per-table overlay debt and the WAL sidecar's size.
+type WriteStats struct {
+	// PublishedEpoch is what readers see; StagedEpoch (>= published) is
+	// the highest commit staged — they differ only while commits are in
+	// flight or after a poisoned fsync left staged rows permanently
+	// unpublished.
+	PublishedEpoch, StagedEpoch uint64
+	// LiveEpochs is the number of distinct epochs pinned by in-flight
+	// queries and transactions; MinPinnedEpoch is the GC horizon.
+	LiveEpochs     int
+	MinPinnedEpoch uint64
+	// Generation counts base rebuilds (Compact/Save-in-place) since open.
+	Generation uint64
+	// ActiveTxns is the number of in-flight transactions.
+	ActiveTxns int
+	// WALBytes is the on-disk size of the WAL sidecar (0 for in-memory
+	// databases or when no sidecar exists yet).
+	WALBytes int64
+	// Poisoned reports a write path disabled by an unknown-outcome
+	// failure (see ErrWriterPoisoned).
+	Poisoned bool
+	// AutoCompact is the background runner's activity.
+	AutoCompact AutoCompactStats
+	// Tables lists every table with overlay state, sorted by name.
+	Tables []TableWriteStats
+}
+
+// WriteStats reports the write path's MVCC state: commit epochs, live
+// pinned snapshots, per-table overlay/merge debt, and WAL size.
+func (db *Database) WriteStats() WriteStats {
+	ds := db.dstore.Stats()
+	st := WriteStats{
+		PublishedEpoch: ds.Published,
+		StagedEpoch:    ds.Applied,
+		LiveEpochs:     ds.Pins,
+		MinPinnedEpoch: ds.MinPinned,
+		Generation:     ds.Gen,
+		AutoCompact:    db.AutoCompactStats(),
+	}
+	for _, t := range ds.Tables {
+		st.Tables = append(st.Tables, TableWriteStats{
+			Table:         t.Table,
+			BaseRows:      t.BaseRows,
+			DeletedBase:   t.DeletedBase,
+			LiveRows:      t.LiveRows,
+			DeadRows:      t.DeadRows,
+			ReclaimedRows: t.ReclaimedRows,
+			Bytes:         t.Bytes,
+		})
+	}
+	db.wmu.Lock()
+	st.ActiveTxns = db.activeTx
+	st.Poisoned = db.writeErr != nil
+	db.wmu.Unlock()
+	if db.path != "" {
+		if fi, err := os.Stat(wal.Path(db.path)); err == nil {
+			st.WALBytes = fi.Size()
+		}
+	}
+	return st
 }

@@ -128,7 +128,7 @@ func (s *DeltaScan) Open(qc *QueryCtx) error {
 		s.delHeaps[i] = h
 		s.delToks[i] = toks
 	}
-	s.st.SetRoutine(fmt.Sprintf("base+delta(ins=%d dels=%d)", len(s.view.Ins), s.view.DeletedRows))
+	s.st.SetRoutine(fmt.Sprintf("base+delta(ins=%d dels=%d epoch=%d)", len(s.view.Ins), s.view.DeletedRows, s.view.Epoch))
 	return nil
 }
 

@@ -17,12 +17,17 @@
 //	  delete: tableLen u16 | table | rowID u64
 //
 // Each record is appended with a single write call, so a torn write tears
-// exactly one frame; Commit is the only fsync point. Recovery (Parse)
-// replays committed transactions in commit order and classifies the tail:
-// clean, uncommitted (valid frames after the last commit — a crash mid-
-// transaction), or corrupt (a torn or bit-flipped frame). Either dirty
-// tail is logically truncated at the last committed byte; RepairTail makes
-// that truncation physical before the log is appended to again.
+// exactly one frame; Commit is the only fsync point. Records of different
+// transactions may interleave freely (keyed by txid) — the group-commit
+// writer appends each transaction's whole run contiguously, but recovery
+// does not rely on that. Parse replays committed transactions in commit
+// order and classifies the tail: clean, uncommitted (valid frames after
+// the last terminator — a crash mid-transaction), or corrupt (a torn or
+// bit-flipped frame). Either dirty tail is logically truncated at the
+// last terminator byte; truncating there can never lose a committed
+// transaction, because every record of a committed transaction precedes
+// its commit frame, which precedes (or is) the last terminator. RepairTail
+// makes that truncation physical before the log is appended to again.
 //
 // The base binding (length + CRC32 of the exact base file image) is what
 // keeps recovery single-sourced: after a merge rewrites the base, the old
@@ -38,6 +43,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"tde/internal/corrupt"
@@ -171,12 +177,12 @@ func Parse(path string, raw []byte) (*Replay, error) {
 		CleanLen: headerLen,
 		NextTx:   1,
 	}
-	// open accumulates each in-flight transaction's ops; records between a
-	// begin and its commit may not interleave with another transaction
-	// (the writer is single-threaded), which Parse enforces.
-	var openID uint64
-	var openOps []delta.Op
-	inTx := false
+	// open accumulates each in-flight transaction's ops, keyed by txid —
+	// concurrent committers may interleave their record runs arbitrarily.
+	// A transaction ID lives at most once in the log: re-beginning an open
+	// or already-terminated transaction is structural corruption.
+	open := map[uint64]*[]delta.Op{}
+	seen := map[uint64]bool{}
 	off := int64(headerLen)
 	fail := func(err *CorruptError) (*Replay, error) {
 		rp.Tail = TailCorrupt
@@ -208,49 +214,57 @@ func Parse(path string, raw []byte) (*Replay, error) {
 		}
 		switch kind {
 		case recBegin:
-			if inTx {
-				return fail(bad(off, "begin of tx %d inside open tx %d", txid, openID))
+			if seen[txid] {
+				return fail(bad(off, "re-begin of tx %d", txid))
 			}
 			if len(body) != 0 {
 				return fail(bad(off, "begin record carries a body"))
 			}
-			inTx, openID, openOps = true, txid, nil
+			seen[txid] = true
+			open[txid] = new([]delta.Op)
 		case recInsert, recDelete:
-			if !inTx || txid != openID {
-				return fail(bad(off, "row op of tx %d outside its transaction", txid))
+			ops := open[txid]
+			if ops == nil {
+				return fail(bad(off, "row op of tx %d outside an open transaction", txid))
 			}
 			op, err := decodeOp(kind, body)
 			if err != nil {
 				return fail(bad(off, "%v", err))
 			}
-			openOps = append(openOps, op)
+			*ops = append(*ops, op)
 		case recCommit:
-			if !inTx || txid != openID {
-				return fail(bad(off, "commit of tx %d outside its transaction", txid))
+			ops := open[txid]
+			if ops == nil {
+				return fail(bad(off, "commit of tx %d outside an open transaction", txid))
 			}
 			if len(body) != 0 {
 				return fail(bad(off, "commit record carries a body"))
 			}
-			rp.Txns = append(rp.Txns, Txn{ID: openID, Ops: openOps})
-			inTx, openOps = false, nil
+			rp.Txns = append(rp.Txns, Txn{ID: txid, Ops: *ops})
+			delete(open, txid)
 			rp.CleanLen = off + frameLen + int64(plen)
 		case recAbort:
 			// An explicit rollback: the transaction's records are dropped,
 			// and the log region ends cleanly (the tail after it is intact).
-			if !inTx || txid != openID {
-				return fail(bad(off, "abort of tx %d outside its transaction", txid))
+			if open[txid] == nil {
+				return fail(bad(off, "abort of tx %d outside an open transaction", txid))
 			}
 			if len(body) != 0 {
 				return fail(bad(off, "abort record carries a body"))
 			}
-			inTx, openOps = false, nil
+			delete(open, txid)
 			rp.CleanLen = off + frameLen + int64(plen)
 		default:
 			return fail(bad(off, "unknown record kind %d", kind))
 		}
 		off += frameLen + int64(plen)
 	}
-	if inTx {
+	if rp.CleanLen != int64(len(raw)) {
+		// Valid frames follow the last terminator: an unfinished
+		// transaction's partial run. (Transactions left open but fully
+		// before the last terminator are dead records, not a dirty tail —
+		// truncating at CleanLen is what repair does, and it already ends
+		// there.)
 		rp.Tail = TailUncommitted
 	}
 	return rp, nil
@@ -412,15 +426,26 @@ func writeAtomic(fs iofault.FS, path string, data []byte) error {
 	return fs.SyncDir(dir)
 }
 
-// Log is the append handle of a live database's write path. It is sticky
-// on error: after any failed append or sync every further call fails with
-// the same error, because a log whose tail state is unknown must not be
-// appended to again (the next open repairs it).
+// Log is the append handle of a live database's write path. It is safe
+// for concurrent use: appends serialize under an internal mutex, and
+// SyncTo implements group commit — concurrent committers waiting for
+// durability share one fsync issued by whichever of them gets there
+// first. It is sticky on error: after any failed append or sync every
+// further call fails with the same error, because a log whose tail state
+// is unknown must not be appended to again (the next open repairs it).
 type Log struct {
 	fs   iofault.FS
 	path string
-	f    iofault.File
-	err  error
+
+	mu      sync.Mutex
+	f       iofault.File
+	err     error
+	written int64 // bytes appended since open
+	synced  int64 // bytes known durable since open
+	syncing bool
+	// syncDone is closed (and replaced) when a sync round finishes, waking
+	// the committers that batched behind the leader.
+	syncDone chan struct{}
 }
 
 // OpenWriter opens the log for appending. The caller has already created
@@ -430,14 +455,20 @@ func OpenWriter(fs iofault.FS, path string) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Log{fs: fs, path: path, f: f}, nil
+	return &Log{fs: fs, path: path, f: f, syncDone: make(chan struct{})}, nil
 }
 
 // Err returns the sticky error, if any.
-func (l *Log) Err() error { return l.err }
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
 
 // Close closes the append handle. The log stays valid on disk.
 func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
 	}
@@ -449,20 +480,104 @@ func (l *Log) Close() error {
 	return err
 }
 
-// append frames and writes one record in a single write call.
+// append frames and writes one record in a single write call. Caller
+// holds l.mu.
 func (l *Log) append(payload []byte) error {
 	if l.err != nil {
 		return l.err
 	}
-	rec := make([]byte, frameLen+len(payload))
-	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
-	copy(rec[frameLen:], payload)
+	rec := appendFrame(make([]byte, 0, frameLen+len(payload)), payload)
+	return l.writeLocked(rec)
+}
+
+// writeLocked appends pre-framed bytes. Caller holds l.mu.
+func (l *Log) writeLocked(rec []byte) error {
+	if l.err != nil {
+		return l.err
+	}
 	if _, err := l.f.Write(rec); err != nil {
 		l.err = fmt.Errorf("wal: append failed, log requires reopen: %w", err)
 		return l.err
 	}
+	l.written += int64(len(rec))
 	return nil
+}
+
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// AppendTxn appends one committed transaction's entire record run —
+// begin, every operation, commit — as a single write call, and returns
+// the log offset (relative to OpenWriter) the caller must pass to SyncTo
+// to make the transaction durable. Writing the run contiguously means a
+// torn write can only tear the run's own tail, never split another
+// transaction's records. stringCols maps a table name to its
+// string-column mask (as Log.Insert's stringCol parameter).
+func (l *Log) AppendTxn(txid uint64, ops []delta.Op, stringCols func(table string) []bool) (int64, error) {
+	var buf []byte
+	buf = appendFrame(buf, payloadHeader(recBegin, txid, 0))
+	for _, op := range ops {
+		switch op.Kind {
+		case delta.OpInsert:
+			buf = appendFrame(buf, insertPayload(txid, op.Table, op.Row, stringCols(op.Table)))
+		case delta.OpDelete:
+			buf = appendFrame(buf, deletePayload(txid, op.Table, op.RowID))
+		default:
+			return 0, fmt.Errorf("wal: unknown op kind %d", op.Kind)
+		}
+	}
+	buf = appendFrame(buf, payloadHeader(recCommit, txid, 0))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.writeLocked(buf); err != nil {
+		return 0, err
+	}
+	return l.written, nil
+}
+
+// SyncTo blocks until every byte up to offset off (as returned by
+// AppendTxn) is durable, sharing fsyncs between concurrent committers:
+// if a sync is already in flight the caller waits for it and re-checks,
+// and otherwise it becomes the leader and syncs on behalf of everyone
+// appended so far. A sync failure poisons the log for all waiters —
+// their transactions' durability is unknown.
+func (l *Log) SyncTo(off int64) error {
+	l.mu.Lock()
+	for {
+		if l.err != nil {
+			err := l.err
+			l.mu.Unlock()
+			return err
+		}
+		if l.synced >= off {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.syncing {
+			ch := l.syncDone
+			l.mu.Unlock()
+			<-ch
+			l.mu.Lock()
+			continue
+		}
+		l.syncing = true
+		target := l.written
+		f := l.f
+		l.mu.Unlock()
+		serr := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if serr != nil {
+			l.err = fmt.Errorf("wal: commit sync failed, log requires reopen: %w", serr)
+		} else if target > l.synced {
+			l.synced = target
+		}
+		close(l.syncDone)
+		l.syncDone = make(chan struct{})
+	}
 }
 
 func payloadHeader(kind byte, txid uint64, bodyCap int) []byte {
@@ -472,13 +587,7 @@ func payloadHeader(kind byte, txid uint64, bodyCap int) []byte {
 	return p
 }
 
-// Begin appends a begin record.
-func (l *Log) Begin(txid uint64) error {
-	return l.append(payloadHeader(recBegin, txid, 0))
-}
-
-// Insert appends an insert record.
-func (l *Log) Insert(txid uint64, table string, row []delta.Value, stringCol []bool) error {
+func insertPayload(txid uint64, table string, row []delta.Value, stringCol []bool) []byte {
 	p := payloadHeader(recInsert, txid, 2+len(table)+2+len(row)*9)
 	p = appendString16(p, table)
 	p = binary.LittleEndian.AppendUint16(p, uint16(len(row)))
@@ -495,15 +604,35 @@ func (l *Log) Insert(txid uint64, table string, row []delta.Value, stringCol []b
 			p = binary.LittleEndian.AppendUint64(p, v.Bits)
 		}
 	}
-	return l.append(p)
+	return p
+}
+
+func deletePayload(txid uint64, table string, rowID uint64) []byte {
+	p := payloadHeader(recDelete, txid, 2+len(table)+8)
+	p = appendString16(p, table)
+	p = binary.LittleEndian.AppendUint64(p, rowID)
+	return p
+}
+
+// Begin appends a begin record.
+func (l *Log) Begin(txid uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.append(payloadHeader(recBegin, txid, 0))
+}
+
+// Insert appends an insert record.
+func (l *Log) Insert(txid uint64, table string, row []delta.Value, stringCol []bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.append(insertPayload(txid, table, row, stringCol))
 }
 
 // Delete appends a delete record.
 func (l *Log) Delete(txid uint64, table string, rowID uint64) error {
-	p := payloadHeader(recDelete, txid, 2+len(table)+8)
-	p = appendString16(p, table)
-	p = binary.LittleEndian.AppendUint64(p, rowID)
-	return l.append(p)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.append(deletePayload(txid, table, rowID))
 }
 
 // Abort appends an abort record, explicitly terminating a transaction's
@@ -511,20 +640,23 @@ func (l *Log) Delete(txid uint64, table string, rowID uint64) error {
 // reach disk is indistinguishable from a crash mid-transaction, and both
 // recover to the same (rolled back) state.
 func (l *Log) Abort(txid uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.append(payloadHeader(recAbort, txid, 0))
 }
 
 // Commit appends the commit record and fsyncs — the transaction's
-// durability point.
+// durability point. (The single-writer path; concurrent committers use
+// AppendTxn + SyncTo instead.)
 func (l *Log) Commit(txid uint64) error {
+	l.mu.Lock()
 	if err := l.append(payloadHeader(recCommit, txid, 0)); err != nil {
+		l.mu.Unlock()
 		return err
 	}
-	if err := l.f.Sync(); err != nil {
-		l.err = fmt.Errorf("wal: commit sync failed, log requires reopen: %w", err)
-		return l.err
-	}
-	return nil
+	off := l.written
+	l.mu.Unlock()
+	return l.SyncTo(off)
 }
 
 func appendString16(p []byte, s string) []byte {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -275,17 +277,158 @@ func TestHeaderDamageFailsParse(t *testing.T) {
 	}
 }
 
-func TestInterleavedTransactionsRejected(t *testing.T) {
+// TestInterleavedTransactionsReplay: concurrent committers may interleave
+// their record runs; replay keys records by transaction ID and recovers
+// commits in commit order, not begin order.
+func TestInterleavedTransactionsReplay(t *testing.T) {
 	l, path := newLog(t, nil)
-	if err := l.Begin(1); err != nil {
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(l.Begin(1))
+	must(l.Begin(2))
+	must(l.Insert(1, "t", []delta.Value{delta.Scalar(10)}, []bool{false}))
+	must(l.Insert(2, "t", []delta.Value{delta.Scalar(20)}, []bool{false}))
+	must(l.Commit(2)) // tx 2 commits first despite beginning second
+	must(l.Delete(1, "t", 0))
+	must(l.Commit(1))
+	rp := parseFile(t, path)
+	if rp.Tail != TailClean {
+		t.Fatalf("tail = %v, want clean", rp.Tail)
+	}
+	if len(rp.Txns) != 2 || rp.Txns[0].ID != 2 || rp.Txns[1].ID != 1 {
+		t.Fatalf("txns = %+v, want commit order [2 1]", rp.Txns)
+	}
+	if len(rp.Txns[0].Ops) != 1 || rp.Txns[0].Ops[0].Row[0].Bits != 20 {
+		t.Fatalf("tx 2 ops = %+v", rp.Txns[0].Ops)
+	}
+	if len(rp.Txns[1].Ops) != 2 || rp.Txns[1].Ops[1].Kind != delta.OpDelete {
+		t.Fatalf("tx 1 ops = %+v", rp.Txns[1].Ops)
+	}
+}
+
+// A transaction ID must occur at most once: re-beginning an open or
+// already-terminated transaction is structural corruption.
+func TestReBeginRejected(t *testing.T) {
+	for name, script := range map[string]func(l *Log){
+		"open":      func(l *Log) { _ = l.Begin(1); _ = l.Begin(1) },
+		"committed": func(l *Log) { _ = l.Begin(1); _ = l.Commit(1); _ = l.Begin(1) },
+		"aborted":   func(l *Log) { _ = l.Begin(1); _ = l.Abort(1); _ = l.Begin(1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			l, path := newLog(t, nil)
+			script(l)
+			rp := parseFile(t, path)
+			if rp.Tail != TailCorrupt {
+				t.Fatalf("tail = %v, want corrupt (re-begin of tx 1)", rp.Tail)
+			}
+		})
+	}
+}
+
+// TestAppendTxnGroupCommit drives the concurrent commit path: many
+// goroutines append whole transaction runs and wait for durability via
+// SyncTo; replay must see every transaction intact, and the group-commit
+// batching must have issued fewer fsyncs than transactions (on any
+// machine where the goroutines actually overlap) — but at least one.
+func TestAppendTxnGroupCommit(t *testing.T) {
+	fs := iofault.NewInjector(nil)
+	path := filepath.Join(t.TempDir(), "g.wal")
+	if err := Create(fs, path, Binding{BaseLen: 1, BaseCRC: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Begin(2); err != nil { // writer misuse: tx 1 still open
+	l, err := OpenWriter(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const txns = 32
+	strCols := func(string) []bool { return []bool{false, true} }
+	var wg sync.WaitGroup
+	errs := make([]error, txns)
+	for i := 0; i < txns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ops := []delta.Op{{
+				Table: "t", Kind: delta.OpInsert,
+				Row: []delta.Value{delta.Scalar(uint64(i)), delta.String("v")},
+			}}
+			off, err := l.AppendTxn(uint64(i+1), ops, strCols)
+			if err == nil {
+				err = l.SyncTo(off)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i+1, err)
+		}
+	}
+	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
 	rp := parseFile(t, path)
-	if rp.Tail != TailCorrupt {
-		t.Fatalf("tail = %v, want corrupt (interleaved begins)", rp.Tail)
+	if rp.Tail != TailClean || len(rp.Txns) != txns {
+		t.Fatalf("tail=%v txns=%d, want clean/%d", rp.Tail, len(rp.Txns), txns)
+	}
+	seen := map[uint64]bool{}
+	for _, txn := range rp.Txns {
+		if seen[txn.ID] || len(txn.Ops) != 1 || txn.Ops[0].Row[0].Bits != txn.ID-1 {
+			t.Fatalf("txn %d damaged or duplicated: %+v", txn.ID, txn.Ops)
+		}
+		seen[txn.ID] = true
+	}
+	syncs := 0
+	for _, op := range fs.Log() {
+		if strings.Contains(op, " sync ") {
+			syncs++
+		}
+	}
+	if syncs < 1 || syncs > txns {
+		t.Fatalf("fsync count %d outside [1,%d]", syncs, txns)
+	}
+}
+
+// A sync failure must poison every waiter of the round, not only the
+// leader that issued the fsync.
+func TestSyncFailurePoisonsAllWaiters(t *testing.T) {
+	fs := iofault.NewInjector(nil)
+	fs.Script(iofault.Fault{Op: iofault.OpSync})
+	p := filepath.Join(t.TempDir(), "p.wal")
+	if err := Create(iofault.OS, p, Binding{}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenWriter(fs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			off, err := l.AppendTxn(uint64(i+1), nil, nil)
+			if err == nil {
+				err = l.SyncTo(off)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("waiter %d: sync failure not surfaced", i)
+		}
+	}
+	if l.Err() == nil {
+		t.Fatal("log not poisoned after sync failure")
 	}
 }
 
@@ -415,6 +558,112 @@ func FuzzWALRead(f *testing.F) {
 		if len(rp2.Txns) != len(rp.Txns) || rp2.CleanLen != rp.CleanLen {
 			t.Fatalf("truncation changed replay: %d txns clean=%d, want %d txns clean=%d",
 				len(rp2.Txns), rp2.CleanLen, len(rp.Txns), rp.CleanLen)
+		}
+	})
+}
+
+// FuzzWALReadConcurrent seeds the parser with interleaved multi-
+// transaction record runs — the group-commit writer's output shape and
+// hand-interleaved variants recovery must also survive — and checks the
+// same recovery invariants as FuzzWALRead plus commit-order and
+// txn-uniqueness guarantees.
+func FuzzWALReadConcurrent(f *testing.F) {
+	seed := func(build func(l *Log)) []byte {
+		path := filepath.Join(f.TempDir(), "s.wal")
+		if err := Create(iofault.OS, path, Binding{BaseLen: 9, BaseCRC: 9}); err != nil {
+			f.Fatal(err)
+		}
+		l, err := OpenWriter(iofault.OS, path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		build(l)
+		if err := l.Close(); err != nil {
+			f.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return raw
+	}
+	strCols := func(string) []bool { return []bool{false, true} }
+	row := func(n uint64, s string) []delta.Value {
+		return []delta.Value{delta.Scalar(n), delta.String(s)}
+	}
+	// Two whole AppendTxn runs back to back (the writer's real output).
+	f.Add(seed(func(l *Log) {
+		_, _ = l.AppendTxn(1, []delta.Op{
+			{Table: "a", Kind: delta.OpInsert, Row: row(1, "x")},
+			{Table: "a", Kind: delta.OpDelete, RowID: 3},
+		}, strCols)
+		_, _ = l.AppendTxn(2, []delta.Op{
+			{Table: "b", Kind: delta.OpInsert, Row: row(2, "y")},
+		}, strCols)
+	}))
+	// Fully interleaved runs committing in reverse begin order.
+	f.Add(seed(func(l *Log) {
+		_ = l.Begin(1)
+		_ = l.Begin(2)
+		_ = l.Insert(1, "a", row(1, "x"), strCols("a"))
+		_ = l.Insert(2, "a", row(2, "y"), strCols("a"))
+		_ = l.Commit(2)
+		_ = l.Delete(1, "a", 0)
+		_ = l.Commit(1)
+	}))
+	// A committed txn interleaved with one left open (crash shape), and
+	// an aborted one.
+	f.Add(seed(func(l *Log) {
+		_ = l.Begin(3)
+		_ = l.Begin(4)
+		_ = l.Abort(4)
+		_ = l.Insert(3, "a", row(3, "z"), strCols("a"))
+		_ = l.Commit(3)
+		_ = l.Begin(5)
+		_ = l.Insert(5, "a", row(5, "w"), strCols("a"))
+	}))
+	// Structural damage: a re-begun transaction ID.
+	f.Add(seed(func(l *Log) {
+		_ = l.Begin(1)
+		_ = l.Commit(1)
+		_ = l.Begin(1)
+	}))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		rp, err := Parse("fuzz.wal", raw)
+		if err != nil {
+			if !errors.Is(err, corrupt.Err) {
+				t.Fatalf("non-corrupt parse error: %v", err)
+			}
+			return
+		}
+		if rp.CleanLen < headerLen || rp.CleanLen > int64(len(raw)) {
+			t.Fatalf("CleanLen %d out of range [%d,%d]", rp.CleanLen, headerLen, len(raw))
+		}
+		seen := map[uint64]bool{}
+		for _, txn := range rp.Txns {
+			if seen[txn.ID] {
+				t.Fatalf("tx %d committed twice", txn.ID)
+			}
+			seen[txn.ID] = true
+			if txn.ID >= rp.NextTx {
+				t.Fatalf("NextTx %d not past committed tx %d", rp.NextTx, txn.ID)
+			}
+		}
+		rp2, err := Parse("fuzz.wal", raw[:rp.CleanLen])
+		if err != nil {
+			t.Fatalf("truncated prefix does not parse: %v", err)
+		}
+		if rp2.Tail != TailClean {
+			t.Fatalf("truncated prefix tail = %v, want clean", rp2.Tail)
+		}
+		if len(rp2.Txns) != len(rp.Txns) {
+			t.Fatalf("truncation changed replay: %d txns, want %d", len(rp2.Txns), len(rp.Txns))
+		}
+		for i := range rp2.Txns {
+			if rp2.Txns[i].ID != rp.Txns[i].ID || len(rp2.Txns[i].Ops) != len(rp.Txns[i].Ops) {
+				t.Fatalf("truncation changed txn %d", i)
+			}
 		}
 	})
 }

@@ -61,6 +61,25 @@ var ErrCorrupt = storage.ErrCorrupt
 // tdecheck -repair, or storage-level APIs) rather than a silent Save.
 var ErrReadOnly = errors.New("tde: database was salvaged read-only; damaged columns are quarantined")
 
+// ErrConflict is returned (wrapped) by Tx.Commit when the transaction
+// lost a first-committer-wins race: a concurrent transaction that
+// committed after this one's snapshot deleted or updated a row this one
+// also deletes or updates. The transaction has been rolled back; retry it
+// against a fresh snapshot (db.ExecRetry does this with jittered
+// backoff). Match with errors.Is.
+var ErrConflict = delta.ErrConflict
+
+// ErrWriterPoisoned is matched (errors.Is) by every write-path error
+// after a failure whose durable outcome is unknown — typically a commit
+// fsync that failed with the commit record possibly on disk. Reads keep
+// serving the last published snapshot; Begin, Exec, Commit, Compact and
+// Save all fail with this error until the database is reopened, which
+// re-derives the truth from the log.
+var ErrWriterPoisoned = errors.New("tde: write path poisoned, reopen to recover")
+
+// ErrClosed is returned by operations on a database whose Close has run.
+var ErrClosed = errors.New("tde: database closed")
+
 // CorruptionReport localizes damage found while opening a database:
 // one entry per damaged table/column with byte offsets. It is both the
 // error strict opens return and the report salvage opens produce.
@@ -124,18 +143,35 @@ type Database struct {
 	dstore  *delta.Store
 	binding wal.Binding
 
-	// Write-path state, guarded by writeMu: the engine is single-writer,
-	// and Begin holds writeMu until Commit or Rollback.
-	writeMu  sync.Mutex
+	// wmu guards the writer bookkeeping below and the commit critical
+	// section (conflict validation + WAL append — both memory-speed; the
+	// commit fsync happens outside it, shared via group commit). Writers
+	// are otherwise concurrent: transactions buffer operations privately
+	// against pinned epoch snapshots. Readers never take wmu.
+	wmu      sync.Mutex
 	wlog     *wal.Log
 	walState walState
 	walClean int64
 	nextTx   uint64
 	// writeErr poisons the write path after a failure whose durable
 	// outcome is unknown (e.g. a commit-record fsync error): reads keep
-	// working on the pre-failure snapshot, writes fail until a reopen
-	// re-derives the truth from disk.
+	// working on the pre-failure snapshot, writes fail with
+	// ErrWriterPoisoned until a reopen re-derives the truth from disk.
 	writeErr error
+	// txs registers in-flight transactions so Close can abort them;
+	// activeTx counts them for quiesce (Compact/Save drain writers).
+	txs      map[*Tx]bool
+	activeTx int
+	// admitWake is closed and cleared whenever admission state changes
+	// (a transaction finished, quiesce ended, backpressure lifted); nil
+	// when nobody waits. quiescing closes admission while a merge drains
+	// and swaps; closed ends the write path permanently.
+	admitWake chan struct{}
+	quiescing bool
+	closed    bool
+	// compactor is the background auto-compaction runner, nil unless
+	// EnableAutoCompact armed it.
+	compactor *autoCompactor
 
 	// persisted marks the tables present in the on-disk base image. DML on
 	// a file-backed database is limited to these: WAL replay must be able
@@ -254,10 +290,16 @@ func (db *Database) Save(path string) (err error) {
 		return fmt.Errorf("%w: %d damaged regions", ErrReadOnly, len(db.salvaged.Entries))
 	}
 	defer containPanic(nil, &err)
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
+	// Drain in-flight writers: the merged image must be a committed-only
+	// snapshot, and saving over our own path swaps the base under the
+	// overlay.
+	release, err := db.quiesce(context.Background())
+	if err != nil {
+		return err
+	}
+	defer release()
 	if db.writeErr != nil {
-		return fmt.Errorf("tde: write path disabled (reopen to recover): %w", db.writeErr)
+		return db.poisonedLocked()
 	}
 	merged, _, err := db.materializeLocked(context.Background(), QueryOptions{})
 	if err != nil {
@@ -267,6 +309,40 @@ func (db *Database) Save(path string) (err error) {
 		return db.swapBaseLocked(merged)
 	}
 	return storage.WriteFile(path, merged)
+}
+
+// Close shuts the write path down: background auto-compaction stops,
+// in-flight transactions are aborted (their epochs released, their later
+// Exec/Commit calls failing), waiting BeginContext calls return ErrClosed,
+// and the WAL append handle is closed. Reads keep working — a Database
+// holds no read-side resources beyond memory — and everything committed
+// before Close is durable and replayed on the next Open. Close is
+// idempotent.
+func (db *Database) Close() error {
+	db.DisableAutoCompact()
+	db.wmu.Lock()
+	if db.closed {
+		db.wmu.Unlock()
+		return nil
+	}
+	db.closed = true
+	txs := make([]*Tx, 0, len(db.txs))
+	for tx := range db.txs {
+		txs = append(txs, tx)
+	}
+	db.wakeAdmissionLocked()
+	db.wmu.Unlock()
+	for _, tx := range txs {
+		tx.forceAbort()
+	}
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.wlog != nil {
+		err := db.wlog.Close()
+		db.wlog = nil
+		return err
+	}
+	return nil
 }
 
 // TableNames lists the tables.
@@ -304,14 +380,38 @@ func (db *Database) lookup(name string) *storage.Table {
 	return nil
 }
 
-// snapshot pins one consistent read snapshot: the table set and, for each
-// table with an overlay, a frozen delta view at the current commit epoch.
-// A commit landing mid-query never changes what the query sees.
+// snapshot cuts one consistent read snapshot: the table set and, for each
+// table with an overlay, a frozen delta view at the current published
+// epoch. A commit landing mid-query never changes what the query sees.
+// db.mu is held across both reads so a base swap (Compact) can never
+// interleave between the table set and the overlay views — the swap takes
+// db.mu exclusively around both.
 func (db *Database) snapshot() ([]*storage.Table, map[string]*delta.View) {
 	db.mu.RLock()
-	tables := db.tables
-	db.mu.RUnlock()
-	return tables, db.dstore.Views(tables)
+	defer db.mu.RUnlock()
+	return db.tables, db.dstore.Views(db.tables)
+}
+
+// pinnedSnapshot is snapshot plus an epoch reference: the returned views
+// are cut exactly at the pinned epoch, and until release is called the
+// epoch stays live — garbage collection will not reclaim rows it can see,
+// and WriteStats reports it pinned. Queries hold the pin for their whole
+// execution, so "multiple live read epochs" is literal: each in-flight
+// query (and transaction) holds its own.
+func (db *Database) pinnedSnapshot() (tables []*storage.Table, views map[string]*delta.View, release func()) {
+	for {
+		epoch, _ := db.dstore.Pin()
+		db.mu.RLock()
+		tables = db.tables
+		v, err := db.dstore.ViewsAt(tables, epoch)
+		db.mu.RUnlock()
+		if err == nil {
+			return tables, v, func() { db.dstore.Unpin(epoch) }
+		}
+		// A compaction swapped the base between Pin and ViewsAt, making the
+		// pinned epoch unservable; re-pin against the new generation.
+		db.dstore.Unpin(epoch)
+	}
 }
 
 // ImportOptions control the import pipeline; the fields mirror the
@@ -588,7 +688,8 @@ func (db *Database) QueryContext(ctx context.Context, sql string, opt QueryOptio
 	if err != nil {
 		return nil, err
 	}
-	tables, views := db.snapshot()
+	tables, views, release := db.pinnedSnapshot()
+	defer release()
 	op, ex, err := st.BuildViews(tables, views, opt.Plan)
 	if err != nil {
 		return nil, err

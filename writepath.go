@@ -5,8 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"tde/internal/delta"
 	"tde/internal/exec"
@@ -23,10 +26,20 @@ import (
 // of the delta store (in-memory visibility) and the WAL (durability), and
 // Compact, which folds the overlay back into compressed base extents.
 //
-// The engine is single-writer: Begin takes db.writeMu and holds it until
-// Commit or Rollback, so statements never race and the WAL's record runs
-// never interleave. Readers are never blocked — queries pin an epoch
-// snapshot and proceed against immutable state.
+// Writers are optimistically concurrent. BeginContext pins an epoch
+// snapshot and admits the transaction (admission blocks only while a
+// merge quiesces writers or auto-compaction backpressure engages);
+// statements buffer physical operations privately, reading through a view
+// of the pinned snapshot plus the transaction's own earlier writes.
+// Commit serializes only its memory-speed steps under db.wmu — conflict
+// validation (first-committer-wins: ErrConflict on losing a row race) and
+// the WAL append of the whole record run — then leaves the mutex and
+// makes the run durable via the log's group commit, sharing one fsync
+// with every concurrently committing transaction. Only after the fsync
+// does the transaction's epoch publish, so readers never observe a
+// transaction that could still fail its durability point. Readers are
+// never blocked — queries pin an epoch snapshot and proceed against
+// immutable state.
 
 // walState tracks what Begin must do to the WAL sidecar before its first
 // append.
@@ -103,7 +116,7 @@ func (db *Database) attachWAL() error {
 }
 
 // ensureWALLocked makes the sidecar appendable and opens the writer.
-// Caller holds writeMu.
+// Caller holds wmu.
 func (db *Database) ensureWALLocked() error {
 	if db.path == "" {
 		return nil // in-memory database: no durability, no WAL
@@ -163,51 +176,182 @@ func (db *Database) ensureWALLocked() error {
 }
 
 // Tx is one write transaction. Its statements see the database as of
-// Begin plus the transaction's own earlier writes; nothing is visible to
-// readers (or durable) until Commit. A Tx must finish with exactly one
-// Commit or Rollback — it holds the database's writer slot until then.
+// Begin (a pinned epoch snapshot) plus the transaction's own earlier
+// writes; nothing is visible to readers (or durable) until Commit, and
+// Commit fails with ErrConflict if a concurrent transaction won a row
+// race. A Tx must finish with exactly one Commit or Rollback; a Tx's own
+// methods are not safe for concurrent use, but any number of transactions
+// may run concurrently.
 type Tx struct {
-	db   *Database
-	id   uint64
-	ops  []delta.Op
-	done bool
+	db *Database
+	// ctx, from BeginContext, bounds the whole transaction: statements and
+	// Commit fail once it is cancelled or past its deadline.
+	ctx context.Context
+	id  uint64
+	// snapEpoch/snapGen identify the pinned snapshot every statement reads
+	// through and Commit validates against.
+	snapEpoch uint64
+	snapGen   uint64
+	ops       []delta.Op
+
+	// mu guards done/aborted against db.Close force-aborting the
+	// transaction while its owner uses it.
+	mu      sync.Mutex
+	done    bool
+	aborted bool
 }
 
 var errTxDone = errors.New("tde: transaction already finished")
+var errTxAborted = fmt.Errorf("%w: transaction aborted by database close", ErrClosed)
 
-// Begin starts a write transaction. The engine is single-writer: Begin
-// blocks until any previous transaction commits or rolls back.
+// poisonedLocked wraps db.writeErr as an ErrWriterPoisoned error. Caller
+// holds wmu and has checked writeErr != nil.
+func (db *Database) poisonedLocked() error {
+	return fmt.Errorf("%w: %v", ErrWriterPoisoned, db.writeErr)
+}
+
+// poisoned returns the ErrWriterPoisoned error, or nil.
+func (db *Database) poisoned() error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.writeErr != nil {
+		return db.poisonedLocked()
+	}
+	return nil
+}
+
+// admitWakeLocked returns the channel the next admission change closes.
+// Caller holds wmu.
+func (db *Database) admitWakeLocked() chan struct{} {
+	if db.admitWake == nil {
+		db.admitWake = make(chan struct{})
+	}
+	return db.admitWake
+}
+
+// wakeAdmissionLocked wakes every waiter blocked on admission (Begin
+// backpressure/quiesce waits, quiesce's own drain wait). Caller holds
+// wmu.
+func (db *Database) wakeAdmissionLocked() {
+	if db.admitWake != nil {
+		close(db.admitWake)
+		db.admitWake = nil
+	}
+}
+
+// Begin starts a write transaction against the current snapshot.
+// Transactions are concurrent; Begin blocks only while a merge drains
+// writers or auto-compaction backpressure holds admission.
 func (db *Database) Begin() (*Tx, error) {
+	return db.BeginContext(context.Background())
+}
+
+// BeginContext is Begin with the context bounding both the admission wait
+// and the transaction's later statements and commit: cancellation or a
+// deadline makes them fail, after which only Rollback remains.
+func (db *Database) BeginContext(ctx context.Context) (*Tx, error) {
 	if db.salvaged != nil {
 		return nil, fmt.Errorf("%w: %d damaged regions", ErrReadOnly, len(db.salvaged.Entries))
 	}
-	db.writeMu.Lock()
-	if db.writeErr != nil {
-		err := fmt.Errorf("tde: write path disabled (reopen to recover): %w", db.writeErr)
-		db.writeMu.Unlock()
-		return nil, err
-	}
-	if err := db.ensureWALLocked(); err != nil {
-		db.writeMu.Unlock()
-		return nil, err
-	}
-	tx := &Tx{db: db, id: db.nextTx}
-	db.nextTx++
-	if db.wlog != nil {
-		if err := db.wlog.Begin(tx.id); err != nil {
-			db.writeMu.Unlock()
+	db.wmu.Lock()
+	for {
+		if db.closed {
+			db.wmu.Unlock()
+			return nil, ErrClosed
+		}
+		if db.writeErr != nil {
+			err := db.poisonedLocked()
+			db.wmu.Unlock()
 			return nil, err
 		}
+		if err := ctx.Err(); err != nil {
+			db.wmu.Unlock()
+			return nil, err
+		}
+		if !db.quiescing && !db.overCapLocked() {
+			break
+		}
+		ch := db.admitWakeLocked()
+		db.wmu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		db.wmu.Lock()
 	}
+	if err := db.ensureWALLocked(); err != nil {
+		db.wmu.Unlock()
+		return nil, err
+	}
+	tx := &Tx{db: db, ctx: ctx, id: db.nextTx}
+	db.nextTx++
+	tx.snapEpoch, tx.snapGen = db.dstore.Pin()
+	if db.txs == nil {
+		db.txs = map[*Tx]bool{}
+	}
+	db.txs[tx] = true
+	db.activeTx++
+	db.wmu.Unlock()
 	return tx, nil
+}
+
+// finishTx releases a finished transaction's snapshot pin and writer
+// registration, and wakes admission (quiesce may be waiting for the drain,
+// Begin for a slot). Called exactly once per transaction.
+func (db *Database) finishTx(tx *Tx) {
+	db.dstore.Unpin(tx.snapEpoch)
+	db.wmu.Lock()
+	delete(db.txs, tx)
+	db.activeTx--
+	db.wakeAdmissionLocked()
+	db.wmu.Unlock()
+}
+
+// forceAbort abandons the transaction from db.Close: the owner's later
+// calls fail with an error matching ErrClosed. No-op if already finished.
+func (tx *Tx) forceAbort() {
+	tx.mu.Lock()
+	if tx.done {
+		tx.mu.Unlock()
+		return
+	}
+	tx.done = true
+	tx.aborted = true
+	tx.mu.Unlock()
+	tx.db.finishTx(tx)
+}
+
+// start marks a Tx method in progress, failing if the transaction is
+// finished. Callers pair it with tx.mu held through the method so Close's
+// forceAbort serializes against statement execution.
+func (tx *Tx) startLocked() error {
+	if tx.aborted {
+		return errTxAborted
+	}
+	if tx.done {
+		return errTxDone
+	}
+	return nil
 }
 
 // Exec runs one INSERT, UPDATE or DELETE inside the transaction and
 // returns the number of rows affected. A failed statement leaves the
-// transaction usable: its effects are all-or-nothing per statement.
+// transaction usable: its effects are all-or-nothing per statement. The
+// statement reads the transaction's pinned snapshot plus its own earlier
+// writes, never concurrent committers' effects.
 func (tx *Tx) Exec(sql string) (n int, err error) {
-	if tx.done {
-		return 0, errTxDone
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if err := tx.startLocked(); err != nil {
+		return 0, err
+	}
+	if err := tx.ctx.Err(); err != nil {
+		return 0, err
+	}
+	db := tx.db
+	if err := db.poisoned(); err != nil {
+		return 0, err
 	}
 	st, err := sqlparse.ParseAny(sql)
 	if err != nil {
@@ -217,7 +361,6 @@ func (tx *Tx) Exec(sql string) (n int, err error) {
 	if !ok {
 		return 0, fmt.Errorf("tde: Exec wants INSERT, UPDATE or DELETE; use Query for SELECT")
 	}
-	db := tx.db
 	t := db.findTable(dml.Table)
 	if t == nil {
 		return 0, fmt.Errorf("tde: unknown table %q", dml.Table)
@@ -225,7 +368,7 @@ func (tx *Tx) Exec(sql string) (n int, err error) {
 	if db.path != "" && !db.persisted[t.Name] {
 		return 0, fmt.Errorf("tde: table %q is not in the saved base image; Save or Compact before writing to it", t.Name)
 	}
-	qc := exec.NewQueryCtx(context.Background(), 0)
+	qc := exec.NewQueryCtx(tx.ctx, 0)
 	defer containPanic(qc, &err)
 	var ops []delta.Op
 	if dml.Kind == sqlparse.DMLInsert {
@@ -236,97 +379,138 @@ func (tx *Tx) Exec(sql string) (n int, err error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := tx.log(t, ops); err != nil {
-		return 0, err
-	}
+	tx.ops = append(tx.ops, ops...)
 	return n, nil
 }
 
-// log appends a statement's operations to the WAL and then adopts them
-// into the transaction. On a WAL error the operations are dropped: the
-// sticky writer error guarantees no commit record can follow the
-// statement's partial record run, so the run is dead weight the next
-// repair truncates.
-func (tx *Tx) log(t *storage.Table, ops []delta.Op) error {
-	if tx.db.wlog != nil {
-		strCol := stringCols(t)
-		for _, op := range ops {
-			var err error
-			switch op.Kind {
-			case delta.OpInsert:
-				err = tx.db.wlog.Insert(tx.id, op.Table, op.Row, strCol)
-			case delta.OpDelete:
-				err = tx.db.wlog.Delete(tx.id, op.Table, op.RowID)
-			}
-			if err != nil {
-				return err
-			}
-		}
-	}
-	tx.ops = append(tx.ops, ops...)
-	return nil
-}
-
-// Commit makes the transaction durable (WAL commit record + fsync) and
-// visible (delta-store apply under the next epoch), in that order: a
-// crash between the two recovers the transaction from the log.
+// Commit validates, logs and publishes the transaction:
+//
+//  1. Under db.wmu (memory-speed only): first-committer-wins validation
+//     against everything committed since the snapshot — a lost row race
+//     fails with ErrConflict and the transaction rolls back; provisional
+//     row IDs remap to final slots; the rows stage under the next epoch,
+//     still invisible; the whole record run (begin+ops+commit, final IDs)
+//     appends to the WAL in one buffered write.
+//  2. Outside wmu: the log syncs to the run's end offset — group commit,
+//     one fsync shared by every transaction that appended before the
+//     leader's sync. A sync failure poisons the writer (outcome unknown,
+//     ErrWriterPoisoned); the staged epoch then never publishes, matching
+//     "not durable".
+//  3. The epoch publishes: readers see the transaction, wholly, from the
+//     next snapshot on.
 func (tx *Tx) Commit() error {
-	if tx.done {
-		return errTxDone
-	}
-	tx.done = true
-	db := tx.db
-	defer db.writeMu.Unlock()
-	if len(tx.ops) == 0 {
-		// Nothing to make durable; terminate the record run without the
-		// fsync a real commit pays.
-		if db.wlog != nil {
-			_ = db.wlog.Abort(tx.id)
-		}
-		return nil
-	}
-	if db.wlog != nil {
-		if err := db.wlog.Commit(tx.id); err != nil {
-			// The commit record may or may not have reached disk; whether
-			// the transaction is durable is unknowable without re-reading
-			// the log. Memory stays on the pre-transaction snapshot
-			// (consistent with "not durable"), and the write path shuts
-			// down so later writes cannot diverge from a log that might
-			// say "durable". A reopen re-derives the truth.
-			db.writeErr = fmt.Errorf("commit %d outcome unknown: %w", tx.id, err)
-			return fmt.Errorf("tde: %w", db.writeErr)
-		}
-	}
-	if _, err := db.dstore.Apply(tx.ops); err != nil {
-		// The WAL says committed but the overlay refused the operations —
-		// an engine invariant broke. Poison writes; a reopen replays the
-		// log against fresh state.
-		db.writeErr = err
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if err := tx.startLocked(); err != nil {
 		return err
 	}
+	tx.done = true
+	db := tx.db
+	defer db.finishTx(tx)
+	if len(tx.ops) == 0 {
+		return nil // nothing buffered: no WAL records at all
+	}
+	if err := tx.ctx.Err(); err != nil {
+		return err
+	}
+	db.wmu.Lock()
+	if db.closed {
+		db.wmu.Unlock()
+		return ErrClosed
+	}
+	if db.writeErr != nil {
+		err := db.poisonedLocked()
+		db.wmu.Unlock()
+		return err
+	}
+	if err := db.ensureWALLocked(); err != nil {
+		db.wmu.Unlock()
+		return err
+	}
+	ops, epoch, err := db.dstore.CommitStage(tx.ops, tx.snapEpoch, tx.snapGen)
+	if err != nil {
+		db.wmu.Unlock()
+		return err // ErrConflict, or a structural error; nothing staged
+	}
+	wlog := db.wlog
+	var walEnd int64
+	if wlog != nil {
+		walEnd, err = wlog.AppendTxn(tx.id, ops, db.stringColsByName())
+		if err != nil {
+			// The run may be partially on disk but its commit record cannot
+			// be durable (nothing synced it); still, the staged epoch must
+			// never publish, and with the append handle poisoned no later
+			// commit can sync it either. Poison the writer; reopen replays
+			// the log's committed prefix.
+			db.writeErr = fmt.Errorf("commit %d append failed: %w", tx.id, err)
+			err = db.poisonedLocked()
+			db.wmu.Unlock()
+			return err
+		}
+	}
+	db.wmu.Unlock()
+	if wlog != nil {
+		if err := wlog.SyncTo(walEnd); err != nil {
+			// The commit record may or may not have reached disk; whether
+			// the transaction is durable is unknowable without re-reading
+			// the log. The staged epoch stays unpublished (consistent with
+			// "not durable") and the write path shuts down so later writes
+			// cannot diverge from a log that might say "durable". A reopen
+			// re-derives the truth.
+			db.wmu.Lock()
+			if db.writeErr == nil {
+				db.writeErr = fmt.Errorf("commit %d outcome unknown: %w", tx.id, err)
+			}
+			perr := db.poisonedLocked()
+			db.wmu.Unlock()
+			return perr
+		}
+	}
+	db.dstore.Publish(epoch)
+	db.nudgeCompactor()
 	return nil
 }
 
-// Rollback abandons the transaction. Its WAL records are terminated with
-// an abort record (best-effort; an unterminated run recovers identically)
-// and never applied.
+// Rollback abandons the transaction. Nothing was logged or staged for it,
+// so there is nothing to undo beyond releasing its snapshot.
 func (tx *Tx) Rollback() error {
-	if tx.done {
-		return errTxDone
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if err := tx.startLocked(); err != nil {
+		return err
 	}
 	tx.done = true
-	db := tx.db
-	if db.wlog != nil {
-		_ = db.wlog.Abort(tx.id)
-	}
-	db.writeMu.Unlock()
+	tx.db.finishTx(tx)
 	return nil
+}
+
+// stringColsByName returns the WAL encoder's table-name → string-column
+// mask lookup, caching per call site.
+func (db *Database) stringColsByName() func(string) []bool {
+	cache := map[string][]bool{}
+	return func(name string) []bool {
+		if m, ok := cache[name]; ok {
+			return m
+		}
+		t := db.findTable(name)
+		if t == nil {
+			return nil
+		}
+		m := stringCols(t)
+		cache[name] = m
+		return m
+	}
 }
 
 // Exec runs one INSERT, UPDATE or DELETE as its own transaction and
 // returns the number of rows affected.
 func (db *Database) Exec(sql string) (int, error) {
-	tx, err := db.Begin()
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec bounded by ctx.
+func (db *Database) ExecContext(ctx context.Context, sql string) (int, error) {
+	tx, err := db.BeginContext(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -339,6 +523,33 @@ func (db *Database) Exec(sql string) (int, error) {
 		return 0, err
 	}
 	return n, nil
+}
+
+// ExecRetry is ExecContext with the optimistic-concurrency retry idiom
+// built in: on ErrConflict the statement re-runs against a fresh snapshot
+// after an exponentially growing, jittered backoff, until it commits, a
+// different error occurs, or ctx ends. Use it for single-statement writes
+// contending on hot rows.
+func (db *Database) ExecRetry(ctx context.Context, sql string) (int, error) {
+	backoff := time.Millisecond
+	const maxBackoff = 50 * time.Millisecond
+	for {
+		n, err := db.ExecContext(ctx, sql)
+		if err == nil || !errors.Is(err, ErrConflict) {
+			return n, err
+		}
+		// Full jitter: sleep a uniformly random slice of the current
+		// backoff so colliding retriers decorrelate.
+		d := time.Duration(rand.Int64N(int64(backoff))) + backoff/2
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 }
 
 // findTable resolves a statement's table name case-insensitively, like
@@ -450,7 +661,7 @@ type setEval struct {
 // physical operations: DELETE per affected row, UPDATE as delete-old +
 // insert-new.
 func (tx *Tx) buildMutate(qc *exec.QueryCtx, dml *sqlparse.DML, t *storage.Table) ([]delta.Op, int, error) {
-	view, err := tx.db.dstore.ViewWith(t, tx.ops)
+	view, err := tx.db.dstore.ViewWithAt(t, tx.snapEpoch, tx.ops)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -573,27 +784,85 @@ func vecValue(v *vec.Vector, i int, colType, et types.Type) delta.Value {
 	return delta.Scalar(bits)
 }
 
+// quiesce closes admission and drains in-flight writers, returning with
+// db.wmu held; release reopens admission and drops the mutex. It is the
+// merge path's exclusion protocol: with activeTx zero and admission
+// closed, no commit can stage rows or touch the WAL handle while the base
+// is rebuilt and swapped. Readers are unaffected throughout — they never
+// take wmu. ctx bounds the drain wait (an open transaction whose owner
+// never finishes would otherwise hold the merge forever); on ctx
+// expiry admission reopens and quiesce fails with the context error.
+func (db *Database) quiesce(ctx context.Context) (release func(), err error) {
+	db.wmu.Lock()
+	// Wait for any quiesce already holding the floor.
+	for db.quiescing {
+		if db.closed {
+			db.wmu.Unlock()
+			return nil, ErrClosed
+		}
+		ch := db.admitWakeLocked()
+		db.wmu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		db.wmu.Lock()
+	}
+	if db.closed {
+		db.wmu.Unlock()
+		return nil, ErrClosed
+	}
+	// Close admission so new Begins cannot starve the drain, then wait for
+	// the active transactions to finish (wmu released while blocked, so
+	// their commits and finishes can proceed).
+	db.quiescing = true
+	for db.activeTx > 0 {
+		ch := db.admitWakeLocked()
+		db.wmu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			db.wmu.Lock()
+			db.quiescing = false
+			db.wakeAdmissionLocked()
+			db.wmu.Unlock()
+			return nil, ctx.Err()
+		}
+		db.wmu.Lock()
+	}
+	return func() {
+		db.quiescing = false
+		db.wakeAdmissionLocked()
+		db.wmu.Unlock()
+	}, nil
+}
+
 // Compact folds the write overlay back into compressed base extents: each
 // dirty table is re-encoded through the import pipeline (dynamic
 // encoding, heap sorting, type narrowing, fresh metadata), and on a
 // file-backed database the merged image atomically replaces the base file
-// and the WAL sidecar is retired. Readers keep their snapshots; the
-// overlay resets empty.
+// and the WAL sidecar is retired. In-flight writers are drained first
+// (admission pauses for the drain and swap); readers keep their snapshots
+// throughout; the overlay resets empty.
 func (db *Database) Compact() error {
 	return db.CompactContext(context.Background(), QueryOptions{})
 }
 
 // CompactContext is Compact under a cancellable context and resource
-// limits for the re-encode.
+// limits for the re-encode. ctx also bounds the writer drain.
 func (db *Database) CompactContext(ctx context.Context, qopt QueryOptions) (err error) {
 	if db.salvaged != nil {
 		return fmt.Errorf("%w: %d damaged regions", ErrReadOnly, len(db.salvaged.Entries))
 	}
 	defer containPanic(nil, &err)
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
+	release, err := db.quiesce(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
 	if db.writeErr != nil {
-		return fmt.Errorf("tde: write path disabled (reopen to recover): %w", db.writeErr)
+		return db.poisonedLocked()
 	}
 	merged, dirty, err := db.materializeLocked(ctx, qopt)
 	if err != nil {
@@ -605,8 +874,8 @@ func (db *Database) CompactContext(ctx context.Context, qopt QueryOptions) (err 
 	if db.path == "" {
 		db.mu.Lock()
 		db.tables = merged
-		db.mu.Unlock()
 		db.dstore.Reset(merged)
+		db.mu.Unlock()
 		return nil
 	}
 	return db.swapBaseLocked(merged)
@@ -614,13 +883,13 @@ func (db *Database) CompactContext(ctx context.Context, qopt QueryOptions) (err 
 
 // materializeLocked builds the merged table set: tables without overlay
 // rows pass through untouched; dirty tables are re-encoded from a
-// DeltaScan of their snapshot. Caller holds writeMu (so no commit can
-// land mid-merge).
+// DeltaScan of their snapshot. Caller holds wmu with writers drained (so
+// no commit can land mid-merge).
 func (db *Database) materializeLocked(ctx context.Context, qopt QueryOptions) (merged []*storage.Table, dirty bool, err error) {
 	db.mu.RLock()
 	tables := db.tables
-	db.mu.RUnlock()
 	views := db.dstore.Views(tables)
+	db.mu.RUnlock()
 	if len(views) == 0 {
 		return tables, false, nil
 	}
@@ -684,10 +953,14 @@ func (db *Database) swapBaseLocked(merged []*storage.Table) error {
 	db.binding = wal.Bind(buf.Bytes())
 	_ = db.fs.Remove(wal.Path(db.path))
 	db.walState = walNone
+	// Table set and overlay reset swap under one exclusive db.mu hold, so
+	// a reader's snapshot (which reads both under db.mu.RLock) sees either
+	// old tables + old overlay or new tables + empty overlay — never the
+	// torn combination that would drop uncompacted rows.
 	db.mu.Lock()
 	db.tables = merged
-	db.mu.Unlock()
 	db.dstore.Reset(merged)
+	db.mu.Unlock()
 	if db.persisted == nil {
 		db.persisted = map[string]bool{}
 	}
