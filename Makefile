@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz check check-db crash crash-wal crash-concurrent clean bench-parallel bench-compressed bench-write bench-check bench-baseline bench-overhead trace-smoke
+.PHONY: all build vet test race fuzz check check-db crash crash-wal crash-concurrent clean bench-parallel bench-compressed bench-write bench-serve bench-check bench-baseline bench-overhead trace-smoke serve-torture serve-smoke
 
 all: check
 
@@ -81,6 +81,12 @@ BENCH_COMPRESSED = -run '^$$' -bench 'BenchmarkCompressed' -benchtime 3x -count 
 # guard catches a reintroduced global writer lock or commit-path blowup.
 BENCH_WRITE = -run '^$$' -bench 'BenchmarkWriteTxn' -benchtime 300x -count 1 .
 
+# Serving-layer benchmark: 64 concurrent HTTP sessions over one shared
+# database (admission control, pooled accounting, shared decode cache)
+# on TPC-H lineitem. ns/op is guarded by BENCH_serve.json; qps and
+# p50/p99 latency ride along as informational metrics.
+BENCH_SERVE = -run '^$$' -bench 'BenchmarkServe64Sessions' -benchtime 192x -count 1 ./internal/serve
+
 bench-parallel:
 	$(GO) test $(BENCH_PARALLEL)
 
@@ -90,15 +96,34 @@ bench-compressed:
 bench-write:
 	$(GO) test $(BENCH_WRITE)
 
+bench-serve:
+	$(GO) test $(BENCH_SERVE)
+
 bench-check:
 	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json
 	$(GO) test $(BENCH_COMPRESSED) | $(GO) run ./scripts/benchcheck -baseline BENCH_compressed.json
 	$(GO) test $(BENCH_WRITE) | $(GO) run ./scripts/benchcheck -baseline BENCH_write.json
+	$(GO) test $(BENCH_SERVE) | $(GO) run ./scripts/benchcheck -baseline BENCH_serve.json
 
 bench-baseline:
 	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json -update
 	$(GO) test $(BENCH_COMPRESSED) | $(GO) run ./scripts/benchcheck -baseline BENCH_compressed.json -update
 	$(GO) test $(BENCH_WRITE) | $(GO) run ./scripts/benchcheck -baseline BENCH_write.json -update
+	$(GO) test $(BENCH_SERVE) | $(GO) run ./scripts/benchcheck -baseline BENCH_serve.json -update
+
+# Multi-session server torture: 64 concurrent sessions with client-side
+# faults (slow readers, mid-flight disconnects, overload) under -race,
+# plus the admission/fairness/drain suite and the Open/Query/Close race
+# regression tests. Leak-free is the pass criterion: zero goroutines,
+# pool bytes, or epoch pins left after drain.
+serve-torture:
+	$(GO) test -race -count=1 -run 'TestServe|TestAdmission' ./internal/serve
+	$(GO) test -race -count=1 -run 'TestQueryAfterClose|TestCloseCancelsRegistered|TestCloseRacesInFlight|TestRetryBackoff|TestExecRetryResolves' .
+
+# Process-level smoke: build tdeserve, serve a generated extract, run 3
+# concurrent clients, SIGTERM, and require a clean drain + exit 0.
+serve-smoke:
+	$(GO) run ./scripts/servesmoke
 
 # Tighter guard for the per-operator instrumentation: with a baseline
 # regenerated on this machine immediately before an instrumentation

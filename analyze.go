@@ -83,6 +83,9 @@ func renderOpLine(n *exec.PlanNode, s OperatorStats) string {
 	if s.BytesScanned > 0 {
 		fmt.Fprintf(&b, " bytes=%s", fmtTraceBytes(s.BytesScanned))
 	}
+	if s.CacheHits > 0 || s.CacheMisses > 0 {
+		fmt.Fprintf(&b, " cache=%d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
+	}
 	if sp := s.Spill; sp != nil {
 		fmt.Fprintf(&b, " spill(spills=%d parts=%d depth=%d wrote=%s read=%s)",
 			sp.Spills, sp.Partitions, sp.MaxDepth,

@@ -1,0 +1,154 @@
+package tde
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueryAfterCloseErrClosed: once Close has run, new queries fail
+// with a typed ErrClosed instead of panicking or reading torn state.
+func TestQueryAfterCloseErrClosed(t *testing.T) {
+	db, _ := saveOrdersFile(t)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT COUNT(*) FROM orders"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Query after Close: %v, want ErrClosed", err)
+	}
+	if _, err := db.QueryContext(context.Background(), "SELECT COUNT(*) FROM orders", QueryOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("QueryContext after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseCancelsRegisteredQuery pins the mechanism: a query admitted
+// before Close gets its derived context cancelled with a cause matching
+// ErrClosed, and deregistration after Close stays safe.
+func TestCloseCancelsRegisteredQuery(t *testing.T) {
+	db, _ := saveOrdersFile(t)
+	qctx, done, err := db.beginQuery(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- db.Close() }()
+	select {
+	case <-qctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not cancel the in-flight query context")
+	}
+	if cause := context.Cause(qctx); !errors.Is(cause, ErrClosed) {
+		t.Fatalf("cancellation cause %v, want ErrClosed", cause)
+	}
+	done() // deregistering after Close must not deadlock or panic
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+	if got := db.dstore.Pins(); got != 0 {
+		t.Fatalf("close leaked %d pinned epochs", got)
+	}
+}
+
+// TestCloseRacesInFlightQueries hammers Open / concurrent QueryContext /
+// Close under the race detector: every query must end with nil or an
+// error matching ErrClosed (never a panic or a foreign error), and no
+// epoch pin may survive the churn.
+func TestCloseRacesInFlightQueries(t *testing.T) {
+	seed, path := saveOrdersFile(t)
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 15
+	const workers = 8
+	for round := 0; round < rounds; round++ {
+		db, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					_, err := db.QueryContext(context.Background(),
+						"SELECT status, SUM(amount) FROM orders GROUP BY status", QueryOptions{})
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("query during close: %v, want nil or ErrClosed", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		close(start)
+		time.Sleep(time.Duration(round%4) * time.Millisecond)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if got := db.dstore.Pins(); got != 0 {
+			t.Fatalf("round %d leaked %d pinned epochs", round, got)
+		}
+	}
+}
+
+// TestRetryBackoffHonorsCancel: a context cancelled mid-backoff unblocks
+// the retry sleep promptly with the context's error, so ExecRetry can
+// never outlive its caller's deadline waiting out a conflict storm.
+func TestRetryBackoffHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	backoff := 30 * time.Second // sleep would be >= 15s without the cancel
+	done := make(chan error, 1)
+	go func() {
+		b := backoff
+		done <- retryBackoff(ctx, &b)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("retryBackoff returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("retryBackoff ignored context cancellation")
+	}
+}
+
+// TestExecRetryResolvesRealConflicts: two writers hammering the same
+// rows with ExecRetry must all eventually commit — first-committer-wins
+// aborts are absorbed by the backoff loop, and a bounded attempt count
+// surfaces ErrConflict instead of spinning forever.
+func TestExecRetryResolvesRealConflicts(t *testing.T) {
+	db, _ := saveOrdersFile(t)
+	defer db.Close()
+	const writers = 4
+	const updates = 6
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < updates; i++ {
+				if _, err := db.ExecRetry(context.Background(),
+					"UPDATE orders SET amount = amount + 1 WHERE status = 'open'"); err != nil {
+					t.Errorf("ExecRetry: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Three open rows sum to 30; each update adds 1 to all three.
+	rows := queryRows(t, db, "SELECT SUM(amount) FROM orders WHERE status = 'open'")
+	want := "102" // 30 + 3*writers*updates
+	if rows[0][0] != want {
+		t.Fatalf("post-retry sum %v, want %s", rows[0][0], want)
+	}
+}

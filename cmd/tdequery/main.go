@@ -78,6 +78,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	interactive := flag.Bool("i", false, "interactive shell (reads statements from stdin)")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit (e.g. 30s; 0 = none)")
+	retry := flag.Int("retry", 0, "retry DML up to N times on write-write conflict, with jittered backoff (0 = fail fast)")
 	mem := flag.String("mem", "", "per-query memory budget (e.g. 64M, 1G; empty = unlimited)")
 	spillArg := flag.String("spill", "", "per-query spill-to-disk budget (e.g. 256M, 4G; empty = no spilling, budget errors fail fast)")
 	workers := flag.Int("workers", 0, "parallel workers per query stage (>0 force, 0 auto, <0 serial)")
@@ -123,12 +124,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tdequery: warning: opened read-only with quarantined data:\n%s\n", rep)
 	}
 	if *interactive {
-		repl(db, *csv, qopt)
+		repl(db, *csv, qopt, *retry)
 		return
 	}
 	sql := strings.Join(flag.Args(), " ")
 	if isDML(sql) {
-		n, err := db.Exec(sql)
+		n, err := execDML(db, sql, *retry)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tdequery:", err)
 			os.Exit(1)
@@ -166,9 +167,19 @@ func main() {
 	}
 }
 
+// execDML runs a mutation; with retry > 0 a first-committer-wins
+// conflict is retried up to retry additional attempts with jittered
+// backoff (db.ExecRetryAttempts) instead of failing fast.
+func execDML(db *tde.Database, sql string, retry int) (int, error) {
+	if retry <= 0 {
+		return db.Exec(sql)
+	}
+	return db.ExecRetryAttempts(context.Background(), sql, retry+1)
+}
+
 // repl reads statements (one per line; "\t" lists tables, "\d table"
 // describes one, "\q" quits) and prints results.
-func repl(db *tde.Database, csv bool, qopt tde.QueryOptions) {
+func repl(db *tde.Database, csv bool, qopt tde.QueryOptions, retry int) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprint(os.Stderr, "tde> ")
@@ -191,7 +202,7 @@ func repl(db *tde.Database, csv bool, qopt tde.QueryOptions) {
 				fmt.Println("compacted")
 			}
 		case isDML(line):
-			n, err := db.Exec(line)
+			n, err := execDML(db, line, retry)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				break

@@ -1,0 +1,144 @@
+// Command tdeserve serves a single-file TDE database to many concurrent
+// sessions over HTTP+JSON. One shared database backs every session; a
+// FIFO admission controller bounds concurrent query executions, a
+// process-wide governor pools memory/spill accounting and a shared
+// decode cache across queries, and overload is shed with 503 +
+// Retry-After instead of exhausting memory. SIGTERM/SIGINT drains
+// gracefully: admission stops, in-flight queries finish (bounded by
+// -drain-timeout), stragglers are cancelled, and the process exits
+// cleanly.
+//
+// Usage:
+//
+//	tdeserve -db extract.tde -addr :8080 -mem 1G -cache 128M
+//	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM orders"}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"tde"
+	"tde/internal/serve"
+)
+
+// parseBytes parses a byte quantity like "64M", "1G" or "65536".
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch u := s[len(s)-1]; u {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSuffix(s, "B"), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte quantity %q", s)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	dbPath := flag.String("db", "", "database file")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConc := flag.Int("max-concurrent", 8, "queries executing at once; excess requests queue FIFO")
+	maxQueue := flag.Int("queue", 64, "admission queue depth; beyond it requests are shed with 503")
+	queueWait := flag.Duration("queue-wait", 5*time.Second, "longest a request may wait queued before being shed")
+	queryTimeout := flag.Duration("query-timeout", 60*time.Second, "per-query wall-clock limit")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound: in-flight queries beyond it are cancelled")
+	memArg := flag.String("mem", "", "pooled memory cap shared by all queries + decode cache (e.g. 1G; empty = unlimited)")
+	spillArg := flag.String("spill", "", "pooled spill-disk cap shared by all queries (empty = unlimited)")
+	cacheArg := flag.String("cache", "", "shared decode-cache size (e.g. 128M; empty = cache off)")
+	qmemArg := flag.String("query-mem", "", "per-query memory budget (empty = pool-bounded only)")
+	qspillArg := flag.String("query-spill", "", "per-query spill budget (empty = spilling off)")
+	spillDir := flag.String("spill-dir", "", "base directory for spill files (default: system temp)")
+	flag.Parse()
+
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tdeserve -db file.tde [-addr :8080] [-mem 1G] [-cache 128M]")
+		os.Exit(2)
+	}
+	bytesOf := func(name, s string) int64 {
+		n, err := parseBytes(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdeserve: -%s: %v\n", name, err)
+			os.Exit(2)
+		}
+		return n
+	}
+	cfg := serve.Config{
+		MaxConcurrent: *maxConc,
+		MaxQueue:      *maxQueue,
+		QueueWait:     *queueWait,
+		QueryTimeout:  *queryTimeout,
+		DrainTimeout:  *drainTimeout,
+		Governor: tde.GovernorConfig{
+			MemoryBytes: bytesOf("mem", *memArg),
+			SpillBytes:  bytesOf("spill", *spillArg),
+			CacheBytes:  bytesOf("cache", *cacheArg),
+		},
+		QueryMemoryBytes: bytesOf("query-mem", *qmemArg),
+		QuerySpillBytes:  bytesOf("query-spill", *qspillArg),
+		SpillDir:         *spillDir,
+	}
+
+	db, err := tde.Open(*dbPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdeserve:", err)
+		os.Exit(1)
+	}
+	srv := serve.New(db, cfg)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "tdeserve: serving %s on %s (max-concurrent=%d queue=%d)\n",
+		*dbPath, *addr, cfg.MaxConcurrent, cfg.MaxQueue)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "tdeserve:", err)
+		db.Close()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "tdeserve: draining...")
+	// Order matters: stop admitting and retire executions first (Drain),
+	// then close idle/finished HTTP connections, then the database.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	_ = srv.Drain(dctx)
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "tdeserve: shutdown:", err)
+	}
+	<-errc // ListenAndServe has returned ErrServerClosed
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tdeserve: close:", err)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "tdeserve: drained (completed=%d shed=%d aborted=%d)\n",
+		st.Completed, st.Shed, st.Aborted)
+}

@@ -1,0 +1,111 @@
+package tde
+
+import (
+	"fmt"
+
+	"tde/internal/exec"
+)
+
+// ErrPoolExhausted is matched (errors.Is) by query errors caused by the
+// shared resource pool — not the query's own budget — running out: the
+// process-wide Governor cap was hit, possibly by other queries' usage.
+// It also matches ErrBudgetExceeded. A serving layer treats it as an
+// overload signal (shed and retry later) rather than a query bug.
+var ErrPoolExhausted = exec.ErrPoolExhausted
+
+// Governor is the process-wide resource governor a multi-session server
+// shares across every query it runs: one pooled memory/spill accountant
+// (the per-query accountant lifted to a global pool) plus one shared
+// block/dictionary decode cache, so concurrent queries on the same
+// extract reuse decoded columns instead of re-decoding per session.
+//
+// Attach it to queries via QueryOptions.Governor. A nil *Governor is
+// valid and means per-query accounting only, exactly as before.
+type Governor struct {
+	pool  *exec.Pool
+	cache *exec.DecodeCache
+}
+
+// GovernorConfig sizes a Governor's pools.
+type GovernorConfig struct {
+	// MemoryBytes caps the summed materialized memory of all attached
+	// in-flight queries plus the decode cache (0 = unlimited).
+	MemoryBytes int64
+	// SpillBytes caps the summed on-disk spill bytes of all attached
+	// queries (0 = unlimited).
+	SpillBytes int64
+	// CacheBytes bounds the shared decode cache (0 disables it). Cached
+	// bytes are charged against MemoryBytes too, so cache and queries
+	// compete inside one accounted budget.
+	CacheBytes int64
+}
+
+// NewGovernor builds a shared pool + decode cache under cfg.
+func NewGovernor(cfg GovernorConfig) *Governor {
+	pool := exec.NewPool(cfg.MemoryBytes, cfg.SpillBytes)
+	g := &Governor{pool: pool}
+	if cfg.CacheBytes > 0 {
+		g.cache = exec.NewDecodeCache(cfg.CacheBytes, pool)
+	}
+	return g
+}
+
+// attach joins one query's lifecycle handle to the governor.
+func (g *Governor) attach(qc *exec.QueryCtx) {
+	if g == nil {
+		return
+	}
+	qc.AttachPool(g.pool)
+	qc.AttachCache(g.cache)
+}
+
+// Saturated reports whether the pooled memory is within headroom bytes
+// of its cap — the admission controller's shed signal.
+func (g *Governor) Saturated(headroom int64) bool {
+	if g == nil {
+		return false
+	}
+	return g.pool.Saturated(headroom)
+}
+
+// ClearCache drops every cached decoded block (e.g. after a Compact
+// replaced the base streams), returning the bytes to the pool.
+func (g *Governor) ClearCache() {
+	if g == nil {
+		return
+	}
+	g.cache.Clear()
+}
+
+// GovernorStats is a point-in-time snapshot of the shared pools.
+type GovernorStats struct {
+	// MemUsed/MemPeak/MemCap account the pooled query + cache memory.
+	MemUsed, MemPeak, MemCap int64 `json:",omitempty"`
+	// SpillUsed/SpillPeak/SpillCap account the pooled spill disk bytes.
+	SpillUsed, SpillPeak, SpillCap int64 `json:",omitempty"`
+	// Rejected counts charges the pool refused (queries that hit the
+	// global cap).
+	Rejected int64
+	// Cache is the decode cache's activity; zero value when disabled.
+	Cache exec.DecodeCacheStats
+}
+
+// Stats snapshots the governor's counters.
+func (g *Governor) Stats() GovernorStats {
+	if g == nil {
+		return GovernorStats{}
+	}
+	return GovernorStats{
+		MemUsed:   g.pool.MemUsed(),
+		MemPeak:   g.pool.MemPeak(),
+		MemCap:    g.pool.MemCap(),
+		SpillUsed: g.pool.DiskUsed(),
+		SpillPeak: g.pool.DiskPeak(),
+		Rejected:  g.pool.Rejected(),
+		Cache:     g.cache.Stats(),
+	}
+}
+
+// errQueryAborted is the cancellation cause Close injects into in-flight
+// queries; it matches ErrClosed via fmt's %w wrapping.
+var errQueryAborted = fmt.Errorf("%w: query aborted by database close", ErrClosed)

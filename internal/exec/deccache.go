@@ -1,0 +1,179 @@
+package exec
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"tde/internal/enc"
+)
+
+// DecodeCache is the shared block-decode cache of a serving process:
+// decoded decompression blocks keyed by (stream identity, block index),
+// bounded by a byte cap with LRU eviction. Base-table streams are
+// immutable, so a decoded block is valid for the stream's whole lifetime
+// and every concurrent query on the same extract can reuse it instead of
+// re-decoding — the multi-session win the paper's dashboard workload is
+// about (many sessions, same extract, same hot columns).
+//
+// Cached bytes are charged against the shared Pool when one is attached,
+// so cache memory and query memory compete in one accounted budget; when
+// the pool is too hot to admit a block the cache serves the decode
+// uncached rather than failing the query. Readers receive the cached
+// slice read-only and must copy out of it.
+//
+// After a Compact swaps a table's streams, old entries can no longer be
+// hit (keys are pointer identities) and age out through LRU eviction; a
+// server that compacts aggressively can call Clear to drop them eagerly.
+type DecodeCache struct {
+	max  int64
+	pool *Pool
+
+	mu      sync.Mutex
+	used    int64
+	lru     list.List // of *cacheEntry, front = most recent
+	entries map[cacheKey]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	skipped   atomic.Int64 // inserts refused by the pool
+}
+
+type cacheKey struct {
+	s     *enc.Stream
+	block int
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	data  []uint64
+	bytes int64
+}
+
+// NewDecodeCache builds a cache bounded to maxBytes (<=0 disables
+// caching entirely: ReadBlock always decodes). pool may be nil.
+func NewDecodeCache(maxBytes int64, pool *Pool) *DecodeCache {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &DecodeCache{max: maxBytes, pool: pool, entries: map[cacheKey]*list.Element{}}
+}
+
+// ReadBlock returns block b of s decoded, and whether it was a cache hit.
+// The returned slice is shared and read-only — copy out of it. Run-length
+// streams have no block structure and must not be passed here (same
+// contract as Stream.DecodeBlock).
+func (c *DecodeCache) ReadBlock(s *enc.Stream, b int) (data []uint64, hit bool) {
+	if c == nil || c.max <= 0 {
+		buf := make([]uint64, s.BlockSize())
+		n := s.DecodeBlock(b, buf)
+		return buf[:n], false
+	}
+	key := cacheKey{s: s, block: b}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		data = el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return data, true
+	}
+	c.mu.Unlock()
+	// Decode outside the lock: a miss must not serialize every other
+	// session's hits behind this block's decode. Two sessions missing the
+	// same block decode it twice and the second insert wins — wasted work
+	// bounded by one block, no wrong answers (the decodes are identical).
+	buf := make([]uint64, s.BlockSize())
+	n := s.DecodeBlock(b, buf)
+	data = buf[:n]
+	c.misses.Add(1)
+	c.insert(key, data)
+	return data, false
+}
+
+// insert adds a decoded block, evicting LRU entries to stay under the
+// byte cap and the shared pool's admission.
+func (c *DecodeCache) insert(key cacheKey, data []uint64) {
+	bytes := int64(len(data) * 8)
+	if bytes > c.max {
+		return // never cache a block bigger than the whole cache
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return // another session inserted it while we decoded
+	}
+	for c.used+bytes > c.max {
+		if !c.evictOldestLocked() {
+			return
+		}
+	}
+	// Charge the pool for the cached bytes; if the pool is too hot even
+	// after eviction freed our own cap headroom, serve uncached — the
+	// cache degrades before it competes queries out of memory.
+	if err := c.pool.Charge("decode-cache", int(bytes)); err != nil {
+		c.skipped.Add(1)
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, data: data, bytes: bytes})
+	c.entries[key] = el
+	c.used += bytes
+}
+
+// evictOldestLocked drops the LRU entry; false when the cache is empty.
+func (c *DecodeCache) evictOldestLocked() bool {
+	el := c.lru.Back()
+	if el == nil {
+		return false
+	}
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.used -= e.bytes
+	c.pool.Release(int(e.bytes))
+	c.evictions.Add(1)
+	return true
+}
+
+// Clear drops every entry, returning their bytes to the pool.
+func (c *DecodeCache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.evictOldestLocked() {
+	}
+}
+
+// DecodeCacheStats is a point-in-time snapshot of the cache's counters.
+type DecodeCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Skipped counts inserts refused because the shared pool was too hot.
+	Skipped int64 `json:"skipped,omitempty"`
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	MaxB    int64 `json:"max_bytes"`
+}
+
+// Stats snapshots the cache counters.
+func (c *DecodeCache) Stats() DecodeCacheStats {
+	if c == nil {
+		return DecodeCacheStats{}
+	}
+	c.mu.Lock()
+	entries, bytes := len(c.entries), c.used
+	c.mu.Unlock()
+	return DecodeCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Skipped:   c.skipped.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+		MaxB:      c.max,
+	}
+}

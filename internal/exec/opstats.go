@@ -136,6 +136,11 @@ type OpStats struct {
 	// bytesScanned counts encoded bytes decoded from storage (Scan,
 	// BuiltScan, IndexedScan); 0 elsewhere.
 	bytesScanned int64
+	// cacheHits / cacheMisses count shared decode-cache lookups by a Scan
+	// served from (or inserted into) the process-wide DecodeCache; both 0
+	// when no cache is attached.
+	cacheHits   int64
+	cacheMisses int64
 	// deltaRows / deletedRows count the write-overlay work of a DeltaScan:
 	// uncompressed delta rows spliced into the stream, and deleted base
 	// rows filtered out of it; 0 elsewhere.
@@ -178,6 +183,22 @@ func (s *OpStats) AddBytesScanned(n int64) {
 		return
 	}
 	atomic.AddInt64(&s.bytesScanned, n)
+}
+
+// AddCacheHits counts n blocks served from the shared decode cache.
+func (s *OpStats) AddCacheHits(n int64) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.cacheHits, n)
+}
+
+// AddCacheMisses counts n blocks decoded and offered to the cache.
+func (s *OpStats) AddCacheMisses(n int64) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.cacheMisses, n)
 }
 
 // AddDeltaRows counts n uncompressed delta-store rows emitted.
@@ -283,6 +304,11 @@ type OpStatsSnapshot struct {
 	OpenNanos    int64 `json:"open_ns"`
 	NextNanos    int64 `json:"next_ns"`
 	BytesScanned int64 `json:"bytes_scanned,omitempty"`
+	// CacheHits / CacheMisses are a Scan's shared decode-cache counters:
+	// blocks reused from the process-wide cache vs decoded fresh. Both 0
+	// when the query ran without a cache.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
 	// DeltaRows / DeletedRows are a DeltaScan's write-overlay counters:
 	// delta-store rows merged in, deleted base rows filtered out.
 	DeltaRows   int64 `json:"delta_rows,omitempty"`
@@ -319,6 +345,8 @@ func (s *OpStats) snapshot(node *PlanNode) OpStatsSnapshot {
 		OpenNanos:    atomic.LoadInt64(&s.nsOpen),
 		NextNanos:    atomic.LoadInt64(&s.nsNext),
 		BytesScanned: atomic.LoadInt64(&s.bytesScanned),
+		CacheHits:    atomic.LoadInt64(&s.cacheHits),
+		CacheMisses:  atomic.LoadInt64(&s.cacheMisses),
 		DeltaRows:    atomic.LoadInt64(&s.deltaRows),
 		DeletedRows:  atomic.LoadInt64(&s.deletedRows),
 		StartNanos:   atomic.LoadInt64(&s.firstNanos),

@@ -1,0 +1,198 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Pool is a process-wide resource accountant shared by every in-flight
+// query of a serving process: the per-query accountant (QueryCtx) lifted
+// to a pool. Each query still tracks its own usage for Stats(), but every
+// Charge and ChargeSpill also lands here, so the sum of all concurrent
+// queries' materialized memory (and spill disk) is bounded by one global
+// cap rather than N per-query caps whose sum can exceed the machine.
+//
+// A charge rejected by the pool returns a *PoolError, which matches both
+// ErrPoolExhausted and ErrBudgetExceeded under errors.Is — existing
+// budget-handling paths (spill degradation, typed query failure) treat it
+// exactly like a local budget miss, and a serving layer can match
+// ErrPoolExhausted specifically to translate it into an overload
+// response. A nil *Pool is valid everywhere and means "no pooling".
+type Pool struct {
+	memCap  int64 // bytes; 0 = unlimited
+	diskCap int64 // spill bytes; 0 = unlimited
+
+	memUsed  atomic.Int64
+	memPeak  atomic.Int64
+	diskUsed atomic.Int64
+	diskPeak atomic.Int64
+	// rejected counts charges the pool refused — the signal admission
+	// control watches to decide the pool is hot.
+	rejected atomic.Int64
+}
+
+// NewPool builds a shared accountant with the given caps (0 = unlimited).
+func NewPool(memBytes, diskBytes int64) *Pool {
+	if memBytes < 0 {
+		memBytes = 0
+	}
+	if diskBytes < 0 {
+		diskBytes = 0
+	}
+	return &Pool{memCap: memBytes, diskCap: diskBytes}
+}
+
+// Charge accounts n bytes of materialized memory against the pool,
+// rolling back on rejection like QueryCtx.Charge.
+func (p *Pool) Charge(op string, n int) error {
+	if p == nil || n <= 0 {
+		return nil
+	}
+	used := p.memUsed.Add(int64(n))
+	if p.memCap > 0 && used > p.memCap {
+		p.memUsed.Add(-int64(n))
+		p.rejected.Add(1)
+		return &PoolError{Op: op, Cap: p.memCap, Used: used}
+	}
+	raisePeak(&p.memPeak, used)
+	return nil
+}
+
+// Release returns n memory bytes to the pool.
+func (p *Pool) Release(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.memUsed.Add(-int64(n))
+}
+
+// ChargeSpill accounts n spill bytes on disk against the pool.
+func (p *Pool) ChargeSpill(op string, n int) error {
+	if p == nil || n <= 0 {
+		return nil
+	}
+	used := p.diskUsed.Add(int64(n))
+	if p.diskCap > 0 && used > p.diskCap {
+		p.diskUsed.Add(-int64(n))
+		p.rejected.Add(1)
+		return &PoolError{Op: op, Cap: p.diskCap, Used: used, Disk: true}
+	}
+	raisePeak(&p.diskPeak, used)
+	return nil
+}
+
+// ReleaseSpill returns n spill bytes to the pool.
+func (p *Pool) ReleaseSpill(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.diskUsed.Add(-int64(n))
+}
+
+// MemUsed returns the bytes currently charged by all attached queries.
+func (p *Pool) MemUsed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.memUsed.Load()
+}
+
+// MemPeak returns the pool's memory high-water mark.
+func (p *Pool) MemPeak() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.memPeak.Load()
+}
+
+// MemCap returns the configured memory cap (0 = unlimited).
+func (p *Pool) MemCap() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.memCap
+}
+
+// DiskUsed returns the spill bytes currently charged.
+func (p *Pool) DiskUsed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.diskUsed.Load()
+}
+
+// DiskPeak returns the pool's spill high-water mark.
+func (p *Pool) DiskPeak() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.diskPeak.Load()
+}
+
+// Rejected returns how many charges the pool has refused so far.
+func (p *Pool) Rejected() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.rejected.Load()
+}
+
+// Saturated reports whether the pool is near its memory cap: used plus
+// headroom would exceed the cap. Admission control consults it to shed
+// load before queries start failing mid-flight.
+func (p *Pool) Saturated(headroom int64) bool {
+	if p == nil || p.memCap == 0 {
+		return false
+	}
+	return p.memUsed.Load()+headroom > p.memCap
+}
+
+func raisePeak(peak *atomic.Int64, used int64) {
+	for {
+		cur := peak.Load()
+		if used <= cur || peak.CompareAndSwap(cur, used) {
+			return
+		}
+	}
+}
+
+// ErrPoolExhausted is the sentinel matched by errors.Is when the shared
+// pool (not the query's own budget) rejected a charge. It also matches
+// ErrBudgetExceeded, so every existing budget-failure path handles it.
+var ErrPoolExhausted = errors.New("exec: shared resource pool exhausted")
+
+// PoolError reports a pooled-accountant rejection: the process-wide cap
+// was hit, possibly by other queries' usage.
+type PoolError struct {
+	// Op is the operator whose materialization hit the pool cap.
+	Op string
+	// Cap is the pool's configured limit in bytes.
+	Cap int64
+	// Used is the pool-wide running total the rejected charge would have
+	// produced.
+	Used int64
+	// Disk marks a spill (disk) pool rejection.
+	Disk bool
+}
+
+func (e *PoolError) Error() string {
+	kind := "memory"
+	if e.Disk {
+		kind = "spill"
+	}
+	return fmt.Sprintf("exec: %s: shared %s pool exhausted (cap %d bytes, needed %d)",
+		e.Op, kind, e.Cap, e.Used)
+}
+
+// Is makes errors.Is match ErrPoolExhausted, ErrBudgetExceeded and (for
+// disk rejections) ErrSpillBudgetExceeded.
+func (e *PoolError) Is(target error) bool {
+	if target == ErrPoolExhausted {
+		return true
+	}
+	if target == ErrSpillBudgetExceeded {
+		return e.Disk
+	}
+	return target == ErrBudgetExceeded
+}

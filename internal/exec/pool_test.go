@@ -1,0 +1,222 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"tde/internal/types"
+	"tde/internal/vec"
+)
+
+func TestPoolChargeReleasePeak(t *testing.T) {
+	p := NewPool(1000, 0)
+	if err := p.Charge("a", 600); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Charge("b", 600); err == nil {
+		t.Fatal("second charge should exceed the cap")
+	} else {
+		if !errors.Is(err, ErrPoolExhausted) {
+			t.Fatalf("error %v does not match ErrPoolExhausted", err)
+		}
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("error %v does not match ErrBudgetExceeded", err)
+		}
+	}
+	if got := p.MemUsed(); got != 600 {
+		t.Fatalf("rejected charge left used=%d, want 600", got)
+	}
+	p.Release(600)
+	if got, peak := p.MemUsed(), p.MemPeak(); got != 0 || peak != 600 {
+		t.Fatalf("used=%d peak=%d, want 0/600", got, peak)
+	}
+	if p.Rejected() != 1 {
+		t.Fatalf("rejected=%d, want 1", p.Rejected())
+	}
+}
+
+func TestPoolSpillError(t *testing.T) {
+	p := NewPool(0, 100)
+	if err := p.ChargeSpill("s", 200); err == nil {
+		t.Fatal("spill charge should exceed the disk cap")
+	} else {
+		if !errors.Is(err, ErrPoolExhausted) || !errors.Is(err, ErrSpillBudgetExceeded) {
+			t.Fatalf("spill pool error %v should match ErrPoolExhausted and ErrSpillBudgetExceeded", err)
+		}
+	}
+	if p.DiskUsed() != 0 {
+		t.Fatalf("rejected spill charge leaked %d bytes", p.DiskUsed())
+	}
+}
+
+// TestQueryCtxSharesPool is the lifted-accountant contract: two queries
+// attached to one pool are bounded together, and DetachPool refunds
+// whatever a dying query never released.
+func TestQueryCtxSharesPool(t *testing.T) {
+	p := NewPool(1000, 0)
+	q1 := NewQueryCtx(nil, 0)
+	q2 := NewQueryCtx(nil, 0)
+	q1.AttachPool(p)
+	q2.AttachPool(p)
+	if err := q1.Charge("q1", 700); err != nil {
+		t.Fatal(err)
+	}
+	err := q2.Charge("q2", 700)
+	if err == nil {
+		t.Fatal("q2 should be rejected by the shared pool")
+	}
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("q2 error %v does not match ErrPoolExhausted", err)
+	}
+	if got := q2.Used(); got != 0 {
+		t.Fatalf("rejected pooled charge left local used=%d", got)
+	}
+	// A query that dies without releasing (contained panic) must refund
+	// on detach.
+	q1.DetachPool()
+	if got := p.MemUsed(); got != 0 {
+		t.Fatalf("DetachPool left pool used=%d, want 0", got)
+	}
+	q1.DetachPool() // idempotent
+	if err := q2.Charge("q2", 700); err != nil {
+		t.Fatalf("pool capacity not returned: %v", err)
+	}
+	// Local release after detach must not double-refund the pool.
+	q2.Release(700)
+	if got := p.MemUsed(); got != 0 {
+		t.Fatalf("release after refund left pool used=%d", got)
+	}
+}
+
+func TestDecodeCacheHitMissEviction(t *testing.T) {
+	col := makeIntColumn("a", types.Integer, seqInts(3000))
+	s := col.Data
+	bs := s.BlockSize()
+	blockBytes := int64(bs * 8)
+
+	c := NewDecodeCache(blockBytes*2, nil)
+	d0, hit := c.ReadBlock(s, 0)
+	if hit {
+		t.Fatal("first read cannot hit")
+	}
+	if len(d0) != bs {
+		t.Fatalf("block 0 decoded %d values, want %d", len(d0), bs)
+	}
+	if _, hit = c.ReadBlock(s, 0); !hit {
+		t.Fatal("second read of block 0 should hit")
+	}
+	c.ReadBlock(s, 1)
+	c.ReadBlock(s, 2) // evicts block 0 (LRU; block 1 was touched after 0... block 0 most recent hit)
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("third block should have evicted one: %+v", st)
+	}
+	if st.Bytes > blockBytes*2 {
+		t.Fatalf("cache over its byte cap: %+v", st)
+	}
+	c.Clear()
+	if st = c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("Clear left %+v", st)
+	}
+}
+
+// TestDecodeCachePoolDegrades: a pool too hot to admit cache inserts must
+// degrade to uncached decodes, never fail the read.
+func TestDecodeCachePoolDegrades(t *testing.T) {
+	col := makeIntColumn("a", types.Integer, seqInts(3000))
+	p := NewPool(8, 0) // nothing fits
+	c := NewDecodeCache(1<<20, p)
+	if _, hit := c.ReadBlock(col.Data, 0); hit {
+		t.Fatal("unexpected hit")
+	}
+	if _, hit := c.ReadBlock(col.Data, 0); hit {
+		t.Fatal("insert should have been refused by the pool, so no hit")
+	}
+	st := c.Stats()
+	if st.Skipped == 0 || st.Entries != 0 {
+		t.Fatalf("expected pool-refused inserts: %+v", st)
+	}
+	if p.MemUsed() != 0 {
+		t.Fatalf("refused inserts leaked %d pool bytes", p.MemUsed())
+	}
+}
+
+// TestScanReadsThroughCache runs the same scan twice sharing one cache
+// and requires identical output, warm hits the second time, and cache
+// bytes returned to the pool on Clear.
+func TestScanReadsThroughCache(t *testing.T) {
+	n := 5000
+	tab := makeTable("t",
+		makeIntColumn("a", types.Integer, seqInts(n)),
+		makeStringColumn("s", func() []string {
+			out := make([]string, n)
+			for i := range out {
+				out[i] = []string{"x", "y", "z"}[i%3]
+			}
+			return out
+		}()))
+	pool := NewPool(1<<20, 0)
+	cache := NewDecodeCache(1<<20, pool)
+
+	run := func(withCache bool) ([][]uint64, int64, int64) {
+		scan, err := NewScan(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qc := NewQueryCtx(nil, 0)
+		if withCache {
+			qc.AttachCache(cache)
+		}
+		st := qc.OpStat(0, "Scan")
+		_ = st
+		if err := scan.Open(qc); err != nil {
+			t.Fatal(err)
+		}
+		var rows [][]uint64
+		b := vec.NewBlock(2)
+		for {
+			ok, err := scan.Next(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			for i := 0; i < b.N; i++ {
+				rows = append(rows, []uint64{b.Vecs[0].Data[i], b.Vecs[1].Data[i]})
+			}
+		}
+		if err := scan.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sn := scan.opStats().snapshot(&PlanNode{ID: scan.OpID(), Kind: "Scan"})
+		return rows, sn.CacheHits, sn.CacheMisses
+	}
+
+	plain, h0, m0 := run(false)
+	if h0 != 0 || m0 != 0 {
+		t.Fatalf("uncached scan recorded cache traffic %d/%d", h0, m0)
+	}
+	first, _, m1 := run(true)
+	if m1 == 0 {
+		t.Fatal("cold cached scan recorded no misses")
+	}
+	second, h2, _ := run(true)
+	if h2 == 0 {
+		t.Fatal("warm cached scan recorded no hits")
+	}
+	for i := range plain {
+		for j := range plain[i] {
+			if plain[i][j] != first[i][j] || plain[i][j] != second[i][j] {
+				t.Fatalf("row %d col %d differs across cache modes", i, j)
+			}
+		}
+	}
+	if st := cache.Stats(); st.Bytes == 0 || pool.MemUsed() != st.Bytes {
+		t.Fatalf("cache bytes not charged to pool: cache=%+v pool=%d", st, pool.MemUsed())
+	}
+	cache.Clear()
+	if pool.MemUsed() != 0 {
+		t.Fatalf("Clear left %d pool bytes charged", pool.MemUsed())
+	}
+}

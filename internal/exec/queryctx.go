@@ -27,6 +27,16 @@ type QueryCtx struct {
 	ctx    context.Context
 	budget int64 // bytes; 0 = unlimited
 
+	// pool, when non-nil, is the process-wide accountant every charge
+	// also lands in: the per-query accountant lifted to a shared pool so
+	// N concurrent queries are bounded together (see Pool). detached
+	// flips once when the query finishes and refunds any residual.
+	pool     *Pool
+	detached atomic.Bool
+	// cache, when non-nil, is the shared decode cache scans consult so
+	// concurrent queries on the same extract reuse decoded blocks.
+	cache *DecodeCache
+
 	used atomic.Int64
 	peak atomic.Int64
 	// op names the most recently opened operator, so the engine's panic
@@ -126,6 +136,58 @@ func NewQueryCtxSpill(ctx context.Context, budgetBytes int64, sc SpillConfig) *Q
 	return &QueryCtx{ctx: ctx, budget: budgetBytes, spillCfg: sc}
 }
 
+// AttachPool joins the query to a shared resource pool: every memory and
+// spill charge is accounted both locally (for the query's own budget and
+// stats) and pool-wide. Call DetachPool when the query finishes so any
+// residual bytes (e.g. after a contained panic) return to the pool.
+func (q *QueryCtx) AttachPool(p *Pool) {
+	if q == nil {
+		return
+	}
+	q.pool = p
+}
+
+// AttachCache gives the query a shared decode cache to serve scans from.
+func (q *QueryCtx) AttachCache(c *DecodeCache) {
+	if q == nil {
+		return
+	}
+	q.cache = c
+}
+
+// Cache returns the attached shared decode cache (nil when none).
+func (q *QueryCtx) Cache() *DecodeCache {
+	if q == nil {
+		return nil
+	}
+	return q.cache
+}
+
+// DetachPool refunds the query's outstanding charges to the shared pool
+// and detaches from it. Operators release symmetrically on every normal
+// path, so the refund is usually zero; after a contained panic it is
+// whatever the dead operators never released — without the refund one
+// crashed query would leak pool capacity forever. Idempotent.
+func (q *QueryCtx) DetachPool() {
+	if q == nil || q.pool == nil {
+		return
+	}
+	if !q.detached.CompareAndSwap(false, true) {
+		return
+	}
+	q.pool.Release(int(q.used.Load()))
+	q.pool.ReleaseSpill(int(q.spillUsed.Load()))
+}
+
+// livePool returns the pool while the query is attached, nil after
+// DetachPool — late stragglers must not touch a pool already refunded.
+func (q *QueryCtx) livePool() *Pool {
+	if q.pool == nil || q.detached.Load() {
+		return nil
+	}
+	return q.pool
+}
+
 // SpillEnabled reports whether the query may degrade to disk.
 func (q *QueryCtx) SpillEnabled() bool {
 	return q != nil && q.spillCfg.Budget > 0
@@ -170,6 +232,10 @@ func (q *QueryCtx) ChargeSpill(op string, n int) error {
 		q.spillUsed.Add(-int64(n))
 		return &BudgetError{Op: op, Budget: q.spillCfg.Budget, Used: used, Disk: true}
 	}
+	if err := q.livePool().ChargeSpill(op, n); err != nil {
+		q.spillUsed.Add(-int64(n))
+		return err
+	}
 	for {
 		p := q.spillPeak.Load()
 		if used <= p || q.spillPeak.CompareAndSwap(p, used) {
@@ -186,6 +252,7 @@ func (q *QueryCtx) ReleaseSpill(n int) {
 		return
 	}
 	q.spillUsed.Add(-int64(n))
+	q.livePool().ReleaseSpill(n)
 }
 
 // SpillUsed returns the spill bytes currently on disk.
@@ -300,6 +367,10 @@ func (q *QueryCtx) Charge(op string, n int) error {
 		q.used.Add(-int64(n))
 		return &BudgetError{Op: op, Budget: q.budget, Used: used}
 	}
+	if err := q.livePool().Charge(op, n); err != nil {
+		q.used.Add(-int64(n))
+		return err
+	}
 	for {
 		p := q.peak.Load()
 		if used <= p || q.peak.CompareAndSwap(p, used) {
@@ -316,6 +387,7 @@ func (q *QueryCtx) Release(n int) {
 		return
 	}
 	q.used.Add(-int64(n))
+	q.livePool().Release(n)
 }
 
 // Used returns the bytes currently charged.

@@ -31,6 +31,11 @@ type Scan struct {
 	EmitRuns bool
 	runCol   int
 	runBuf   []enc.Run
+	// cache is the shared decode cache (nil outside a serving process);
+	// cacheCols marks which columns it can serve (everything but
+	// run-length streams, which have no block structure).
+	cache     *DecodeCache
+	cacheCols []bool
 }
 
 // NewScan scans the named columns of t (all columns when names is nil).
@@ -79,6 +84,12 @@ func (s *Scan) Open(qc *QueryCtx) error {
 	for i, idx := range s.colIdxs {
 		s.readers[i] = enc.NewReader(s.table.Columns[idx].Data)
 		kinds = append(kinds, s.table.Columns[idx].Data.Kind())
+	}
+	s.cache = qc.Cache()
+	s.cacheCols = s.cacheCols[:0]
+	for _, idx := range s.colIdxs {
+		s.cacheCols = append(s.cacheCols,
+			s.cache != nil && s.table.Columns[idx].Data.Kind() != enc.RunLength)
 	}
 	s.runCol = -1
 	routine := encRoutine(kinds)
@@ -136,7 +147,15 @@ func (s *Scan) next(b *vec.Block) (bool, error) {
 			s.st.AddBytesScanned(int64(len(s.runBuf) * w))
 			continue
 		}
-		got := r.Read(s.at, n, v.Data)
+		var got int
+		if s.cacheCols[i] {
+			var hits, misses int64
+			got, hits, misses = cacheRead(s.cache, s.table.Columns[s.colIdxs[i]].Data, s.at, n, v.Data)
+			s.st.AddCacheHits(hits)
+			s.st.AddCacheMisses(misses)
+		} else {
+			got = r.Read(s.at, n, v.Data)
+		}
 		if got != n {
 			return false, fmt.Errorf("exec: short column read: %d of %d", got, n)
 		}
@@ -152,6 +171,35 @@ func (s *Scan) next(b *vec.Block) (bool, error) {
 func (s *Scan) Close() error {
 	s.readers = nil
 	return nil
+}
+
+// cacheRead copies n values starting at logical index start of stream st
+// into out through the shared decode cache, one block lookup at a time,
+// returning values copied and blocks hit/missed.
+func cacheRead(c *DecodeCache, st *enc.Stream, start, n int, out []uint64) (copied int, hits, misses int64) {
+	total := st.Len()
+	if start >= total {
+		return 0, 0, 0
+	}
+	if start+n > total {
+		n = total - start
+	}
+	bs := st.BlockSize()
+	for copied < n {
+		idx := start + copied
+		data, hit := c.ReadBlock(st, idx/bs)
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+		k := copy(out[copied:n], data[idx%bs:])
+		if k == 0 {
+			break
+		}
+		copied += k
+	}
+	return copied, hits, misses
 }
 
 // encRoutine renders the deduplicated encoding kinds of a scan's columns

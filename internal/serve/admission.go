@@ -1,0 +1,238 @@
+// Package serve is the multi-session serving layer: it multiplexes many
+// HTTP sessions over one shared tde.Database, bounding concurrency with
+// a FIFO admission controller, sharing one resource Governor (pooled
+// memory/spill accounting plus a decode cache) across every in-flight
+// query, shedding load with typed overload errors when saturated, and
+// draining gracefully on shutdown.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded matches (errors.Is) every load-shed error the server
+// returns: admission queue full, queue wait exceeded, shared pool
+// saturated, or draining. Clients should back off and retry.
+var ErrOverloaded = errors.New("serve: server overloaded")
+
+// ErrDraining matches shed errors caused specifically by a graceful
+// drain in progress; it also matches ErrOverloaded.
+var ErrDraining = fmt.Errorf("%w: draining", ErrOverloaded)
+
+// OverloadError is the typed shed error: why the request was refused and
+// how long the client should wait before retrying.
+type OverloadError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// Is makes every OverloadError match ErrOverloaded.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// admission is the FIFO admission controller: at most limit queries
+// execute concurrently; excess requests wait in arrival order up to
+// maxQueue deep and maxWait long, beyond which they are shed.
+type admission struct {
+	limit    int
+	maxQueue int
+	maxWait  time.Duration
+
+	mu       sync.Mutex
+	running  int
+	queue    []*waiter // arrival order; only undecided waiters
+	draining bool
+	drained  chan struct{} // closed once draining and running == 0
+	shed     int64         // requests refused (queue full / wait / drain)
+	waited   int64         // requests that went through the queue
+}
+
+// waiter is one queued request. done is closed exactly once when the
+// waiter is decided; granted tells which way (writes ordered before the
+// close, so reading after <-done is safe).
+type waiter struct {
+	done    chan struct{}
+	granted bool
+	decided bool
+}
+
+func newAdmission(limit, maxQueue int, maxWait time.Duration) *admission {
+	return &admission{
+		limit:    limit,
+		maxQueue: maxQueue,
+		maxWait:  maxWait,
+		drained:  make(chan struct{}),
+	}
+}
+
+// acquire claims an execution slot, waiting FIFO behind earlier
+// arrivals. It returns a release func (idempotent) on success; a shed
+// request gets an error matching ErrOverloaded; a caller whose ctx dies
+// while queued gets the ctx error. acquire never blocks past maxWait.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	a.mu.Lock()
+	if a.draining {
+		a.shed++
+		a.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if a.running < a.limit && len(a.queue) == 0 {
+		a.running++
+		a.mu.Unlock()
+		return a.releaseOnce(), nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.shed++
+		retry := a.retryAfterLocked()
+		a.mu.Unlock()
+		return nil, &OverloadError{Reason: "admission queue full", RetryAfter: retry}
+	}
+	w := &waiter{done: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.waited++
+	a.mu.Unlock()
+
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case <-w.done:
+		if w.granted {
+			return a.releaseOnce(), nil
+		}
+		return nil, ErrDraining // shed by drain
+	case <-ctx.Done():
+		if a.abandon(w) {
+			return nil, ctx.Err()
+		}
+		// The grant raced our cancellation: we own a slot; give it back.
+		<-w.done
+		if w.granted {
+			a.release()
+		}
+		return nil, ctx.Err()
+	case <-timer.C:
+		if a.abandon(w) {
+			a.mu.Lock()
+			a.shed++
+			retry := a.retryAfterLocked()
+			a.mu.Unlock()
+			return nil, &OverloadError{Reason: "queue wait exceeded", RetryAfter: retry}
+		}
+		<-w.done
+		if w.granted {
+			a.release()
+		}
+		a.mu.Lock()
+		a.shed++
+		retry := a.retryAfterLocked()
+		a.mu.Unlock()
+		return nil, &OverloadError{Reason: "queue wait exceeded", RetryAfter: retry}
+	}
+}
+
+// abandon removes an undecided waiter from the queue; it reports false
+// if the waiter was already decided (the caller must then consume the
+// decision from w.done).
+func (a *admission) abandon(w *waiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.decided {
+		return false
+	}
+	w.decided = true
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// releaseOnce wraps release so double-calls on tangled error paths are
+// harmless.
+func (a *admission) releaseOnce() func() {
+	var once sync.Once
+	return func() { once.Do(a.release) }
+}
+
+func (a *admission) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.running--
+	if a.draining {
+		if a.running == 0 {
+			a.closeDrainedLocked()
+		}
+		return
+	}
+	a.grantLocked()
+}
+
+// grantLocked hands freed slots to the queue head(s), in arrival order.
+func (a *admission) grantLocked() {
+	for a.running < a.limit && len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		w.decided = true
+		w.granted = true
+		a.running++
+		close(w.done)
+	}
+}
+
+// drain stops admission permanently and sheds every queued waiter; the
+// returned count is how many were shed. After drain, a.drained closes as
+// soon as the last running query releases.
+func (a *admission) drain() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return 0
+	}
+	a.draining = true
+	n := len(a.queue)
+	for _, w := range a.queue {
+		w.decided = true
+		close(w.done)
+	}
+	a.queue = nil
+	a.shed += int64(n)
+	if a.running == 0 {
+		a.closeDrainedLocked()
+	}
+	return n
+}
+
+func (a *admission) closeDrainedLocked() {
+	select {
+	case <-a.drained:
+	default:
+		close(a.drained)
+	}
+}
+
+// retryAfterLocked estimates how long until the backlog clears: one
+// queue-depth's worth of slots, floored at a second so the Retry-After
+// header is meaningful.
+func (a *admission) retryAfterLocked() time.Duration {
+	d := time.Duration(1+len(a.queue)/max(1, a.limit)) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// snapshot returns (running, queued, shed, waited, draining).
+func (a *admission) snapshot() (int, int, int64, int64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, len(a.queue), a.shed, a.waited, a.draining
+}

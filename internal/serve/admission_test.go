@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitQueued polls until the admission queue holds n waiters.
+func waitQueued(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, waiting, _, _, _ := a.snapshot()
+		if waiting == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d waiters (at %d)", n, waiting)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionFIFOOrder: waiters are granted strictly in arrival order.
+func TestAdmissionFIFOOrder(t *testing.T) {
+	a := newAdmission(1, 16, time.Minute)
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release, err := a.acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			release()
+		}(i)
+		waitQueued(t, a, i+1) // pin this waiter's queue position before launching the next
+	}
+	hold()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("grant order broke FIFO: got %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != n {
+		t.Fatalf("only %d of %d waiters were granted", want, n)
+	}
+}
+
+// TestAdmissionQueueFullSheds: a request arriving past the queue bound
+// is refused immediately with a typed OverloadError, not enqueued.
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	a := newAdmission(1, 2, time.Minute)
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		go func() {
+			if release, err := a.acquire(context.Background()); err == nil {
+				release()
+			}
+			done <- struct{}{}
+		}()
+	}
+	waitQueued(t, a, 2)
+	_, err = a.acquire(context.Background())
+	var ov *OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("overflow acquire returned %v, want *OverloadError", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("%v does not match ErrOverloaded", err)
+	}
+	if ov.RetryAfter <= 0 {
+		t.Fatalf("no RetryAfter hint: %+v", ov)
+	}
+	hold()
+	<-done
+	<-done
+}
+
+// TestAdmissionQueueWaitSheds: a waiter stuck past maxWait is shed with
+// an OverloadError instead of hanging forever.
+func TestAdmissionQueueWaitSheds(t *testing.T) {
+	a := newAdmission(1, 4, 20*time.Millisecond)
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	start := time.Now()
+	_, err = a.acquire(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("timed-out waiter got %v, want ErrOverloaded", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("waiter hung %s before shedding", waited)
+	}
+	if _, waiting, _, _, _ := a.snapshot(); waiting != 0 {
+		t.Fatalf("shed waiter still queued (%d)", waiting)
+	}
+}
+
+// TestAdmissionCtxCancelDequeues: a caller that gives up while queued is
+// removed from the queue, and its position is not leaked.
+func TestAdmissionCtxCancelDequeues(t *testing.T) {
+	a := newAdmission(1, 4, time.Minute)
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		got <- err
+	}()
+	waitQueued(t, a, 1)
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+	if _, waiting, _, _, _ := a.snapshot(); waiting != 0 {
+		t.Fatalf("abandoned waiter still queued (%d)", waiting)
+	}
+	// The freed position must be reusable.
+	hold()
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}
+
+// TestAdmissionDrainShedsQueued: drain refuses new arrivals, sheds every
+// queued waiter with ErrDraining, and closes drained once the running
+// queries release.
+func TestAdmissionDrainShedsQueued(t *testing.T) {
+	a := newAdmission(1, 4, time.Minute)
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := a.acquire(context.Background())
+			got <- err
+		}()
+	}
+	waitQueued(t, a, 2)
+	if n := a.drain(); n != 2 {
+		t.Fatalf("drain shed %d, want 2", n)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-got; !errors.Is(err, ErrDraining) || !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("drained waiter got %v, want ErrDraining", err)
+		}
+	}
+	if _, err := a.acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain acquire got %v, want ErrDraining", err)
+	}
+	select {
+	case <-a.drained:
+		t.Fatal("drained closed while a query still ran")
+	default:
+	}
+	hold()
+	select {
+	case <-a.drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drained never closed after last release")
+	}
+	if a.drain() != 0 {
+		t.Fatal("second drain is not idempotent")
+	}
+}

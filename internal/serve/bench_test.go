@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tde"
+	"tde/internal/tpch"
+)
+
+var (
+	tpchOnce sync.Once
+	tpchDB   *tde.Database
+	tpchErr  error
+)
+
+// tpchBenchDB imports TPC-H lineitem at SF 0.05 once per process.
+func tpchBenchDB(b *testing.B) *tde.Database {
+	b.Helper()
+	tpchOnce.Do(func() {
+		g := tpch.New(0.05, 42)
+		var li bytes.Buffer
+		if tpchErr = g.WriteLineitem(&li); tpchErr != nil {
+			return
+		}
+		kinds := []string{"int", "int", "int", "int", "int", "real", "real", "real",
+			"str", "str", "date", "date", "date", "str", "str", "str"}
+		schema := make([]string, len(tpch.LineitemSchema))
+		for i, n := range tpch.LineitemSchema {
+			schema[i] = n + ":" + kinds[i]
+		}
+		db := tde.New()
+		opt := tde.DefaultImportOptions()
+		opt.Schema = schema
+		opt.HeaderSet, opt.HasHeader = true, false
+		if tpchErr = db.ImportCSV("lineitem", li.Bytes(), opt); tpchErr != nil {
+			return
+		}
+		tpchDB = db
+	})
+	if tpchErr != nil {
+		b.Fatal(tpchErr)
+	}
+	return tpchDB
+}
+
+// BenchmarkServe64Sessions drives 64 concurrent HTTP sessions through
+// one server over TPC-H lineitem: admission-bounded execution, shared
+// pool, shared decode cache. Besides ns/op (guarded by bench-check) it
+// reports sustained qps and server-side p50/p99 latency.
+func BenchmarkServe64Sessions(b *testing.B) {
+	db := tpchBenchDB(b)
+	srv := New(db, Config{
+		MaxConcurrent: runtime.GOMAXPROCS(0),
+		MaxQueue:      256,
+		QueueWait:     time.Minute,
+		Governor: tde.GovernorConfig{
+			MemoryBytes: 1 << 30,
+			CacheBytes:  128 << 20,
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	queries := []string{
+		"SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), COUNT(*) FROM lineitem GROUP BY l_returnflag, l_linestatus",
+		"SELECT l_shipmode, COUNT(*), SUM(l_discount) FROM lineitem GROUP BY l_shipmode",
+		"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10",
+		"SELECT l_returnflag, MIN(l_shipdate), MAX(l_shipdate) FROM lineitem GROUP BY l_returnflag",
+	}
+	// Warm the decode cache so steady-state throughput is measured.
+	for _, q := range queries {
+		if code := postQuery(b, ts.URL, q, nil); code != 200 {
+			b.Fatalf("warmup status %d for %q", code, q)
+		}
+	}
+
+	const sessions = 64
+	jobs := make(chan string)
+	var wg sync.WaitGroup
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sql := range jobs {
+				if code := postQuery(b, ts.URL, sql, nil); code != 200 {
+					b.Errorf("status %d for %q", code, sql)
+					return
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		jobs <- queries[i%len(queries)]
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+	p := srv.lat.percentiles(0.50, 0.99)
+	b.ReportMetric(p[0], "p50_ms")
+	b.ReportMetric(p[1], "p99_ms")
+	st := srv.Stats()
+	if st.Governor.Cache.Hits == 0 {
+		b.Fatal("benchmark ran with a cold decode cache")
+	}
+}

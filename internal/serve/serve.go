@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"tde"
+)
+
+// Config sizes the server. Zero fields take the listed defaults.
+type Config struct {
+	// MaxConcurrent bounds queries executing at once (default 8).
+	MaxConcurrent int
+	// MaxQueue bounds the FIFO admission queue (default 64).
+	MaxQueue int
+	// QueueWait is the longest a request may sit queued before being
+	// shed with an OverloadError (default 5s).
+	QueueWait time.Duration
+	// QueryTimeout cancels any single query after this long (default
+	// 60s; <0 disables).
+	QueryTimeout time.Duration
+	// DrainTimeout is how long Drain lets in-flight queries finish
+	// before cancelling stragglers (default 10s).
+	DrainTimeout time.Duration
+	// Governor sizes the shared pool + decode cache. The zero value
+	// means unlimited pool, no cache.
+	Governor tde.GovernorConfig
+	// SaturationHeadroom sheds new queries while the shared pool is
+	// within this many bytes of its cap (default: MemoryBytes/16; only
+	// active when the pool is capped).
+	SaturationHeadroom int64
+	// QueryMemoryBytes/QuerySpillBytes are per-query budgets passed to
+	// every query (0 = unlimited memory / spilling disabled).
+	QueryMemoryBytes int64
+	QuerySpillBytes  int64
+	// SpillDir is the base directory for per-query spill files.
+	SpillDir string
+	// MaxBodyBytes bounds a request body (default 1MB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 5 * time.Second
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 60 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.SaturationHeadroom <= 0 && c.Governor.MemoryBytes > 0 {
+		c.SaturationHeadroom = c.Governor.MemoryBytes / 16
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server multiplexes HTTP query sessions over one shared tde.Database:
+// admission control bounds concurrency, every query attaches to one
+// shared Governor, overload sheds with typed errors, and Drain retires
+// the server without leaking a query, pin, or pool byte.
+type Server struct {
+	db  *tde.Database
+	gov *tde.Governor
+	adm *admission
+	cfg Config
+	lat latencyRing
+
+	accepted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	satShed   atomic.Int64
+	aborted   atomic.Int64
+
+	// queryCtx is cancelled (cause errDrainCancelled) when Drain gives
+	// up on stragglers; every query's context derives from it.
+	queryCtx  context.Context
+	cancelAll context.CancelCauseFunc
+	draining  atomic.Bool
+
+	// testExecHook, when set, runs while the admission slot is held,
+	// between admission and execution, under the query's context; tests
+	// use it to pin a slot deterministically.
+	testExecHook func(ctx context.Context, sql string)
+}
+
+// errDrainCancelled is the cancellation cause for queries a drain gave
+// up waiting on; it matches ErrDraining and ErrOverloaded.
+var errDrainCancelled = fmt.Errorf("%w: query cancelled by drain timeout", ErrDraining)
+
+// New builds a Server over db. The database stays owned by the caller
+// (Drain does not close it).
+func New(db *tde.Database, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	return &Server{
+		db:        db,
+		gov:       tde.NewGovernor(cfg.Governor),
+		adm:       newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
+		cfg:       cfg,
+		queryCtx:  ctx,
+		cancelAll: cancel,
+	}
+}
+
+// Governor exposes the shared governor (tests and stats).
+func (s *Server) Governor() *tde.Governor { return s.gov }
+
+// Handler returns the HTTP mux: POST /query, GET /stats, GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// Analyze additionally returns the executed plan annotated with
+	// per-operator actuals (EXPLAIN ANALYZE).
+	Analyze bool `json:"analyze,omitempty"`
+}
+
+// QueryResponse is the POST /query success body.
+type QueryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Plan    string     `json:"plan,omitempty"`
+	Analyze string     `json:"analyze,omitempty"`
+	// Stats are the query's resource counters (memory peak, per-operator
+	// rows/bytes/cache hits, spill activity).
+	Stats *tde.QueryStats `json:"stats,omitempty"`
+	// ElapsedMillis is server-side wall time, admission wait included.
+	ElapsedMillis float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure: overloaded | draining | closed |
+	// aborted | bad_request | query_error.
+	Kind string `json:"kind"`
+	// RetryAfterSeconds mirrors the Retry-After header on 503s.
+	RetryAfterSeconds int `json:"retry_after_s,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "POST required", 0)
+		return
+	}
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error(), 0)
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing sql", 0)
+		return
+	}
+
+	start := time.Now()
+	// Shed before queueing while the shared pool is nearly full: queries
+	// admitted now would be rejected by the pool anyway.
+	if s.gov.Saturated(s.cfg.SaturationHeadroom) {
+		s.satShed.Add(1)
+		writeOverload(w, &OverloadError{Reason: "memory pool saturated", RetryAfter: time.Second})
+		return
+	}
+	// r.Context() dies when the client disconnects, so a caller that
+	// gave up while queued is removed from the queue instead of wasting
+	// the slot it was waiting for.
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		var ov *OverloadError
+		switch {
+		case errors.As(err, &ov):
+			writeOverload(w, ov)
+		case errors.Is(err, ErrOverloaded):
+			writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), 1)
+		default: // client ctx died while queued
+			s.aborted.Add(1)
+			writeError(w, statusClientClosedRequest, "aborted", err.Error(), 0)
+		}
+		return
+	}
+	s.accepted.Add(1)
+
+	// Execution context: client disconnect (r.Context()) or a drain
+	// giving up on stragglers (s.queryCtx) both cancel the query at its
+	// next block boundary, releasing pins and pool bytes on the way out.
+	qctx, cancel := context.WithCancelCause(r.Context())
+	stop := context.AfterFunc(s.queryCtx, func() {
+		cancel(context.Cause(s.queryCtx))
+	})
+	if s.testExecHook != nil {
+		s.testExecHook(qctx, req.SQL)
+	}
+	res, err := s.db.QueryContext(qctx, req.SQL, tde.QueryOptions{
+		Timeout:      s.cfg.QueryTimeout,
+		MemoryBudget: s.cfg.QueryMemoryBytes,
+		SpillBudget:  s.cfg.QuerySpillBytes,
+		SpillDir:     s.cfg.SpillDir,
+		Governor:     s.gov,
+	})
+	stop()
+	cancel(nil)
+	// Give the slot back before serializing the response: a slow-reading
+	// client must never hold an execution slot.
+	release()
+
+	elapsed := time.Since(start)
+	if err != nil {
+		s.finishError(w, r, err)
+		return
+	}
+	s.completed.Add(1)
+	s.lat.record(elapsed)
+	resp := QueryResponse{
+		Columns:       res.Columns,
+		Rows:          res.Rows,
+		Plan:          res.Plan,
+		ElapsedMillis: float64(elapsed) / float64(time.Millisecond),
+	}
+	st := res.Stats()
+	resp.Stats = &st
+	if req.Analyze {
+		resp.Analyze = res.ExplainAnalyze()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// statusClientClosedRequest is nginx's 499: the client went away; the
+// status is for logs only, the client will never read it.
+const statusClientClosedRequest = 499
+
+// finishError maps a query error onto status, kind, and counters.
+func (s *Server) finishError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrDraining):
+		s.aborted.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), 1)
+	case errors.Is(err, tde.ErrPoolExhausted):
+		// The shared pool (not the query's own budget) ran out: that is
+		// an overload, not a query bug.
+		s.satShed.Add(1)
+		writeOverload(w, &OverloadError{Reason: "memory pool exhausted", RetryAfter: time.Second})
+	case errors.Is(err, tde.ErrClosed):
+		s.failed.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "closed", err.Error(), 0)
+	case errors.Is(err, context.Canceled), errors.Is(err, r.Context().Err()):
+		s.aborted.Add(1)
+		writeError(w, statusClientClosedRequest, "aborted", err.Error(), 0)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.failed.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "query_error", err.Error(), 0)
+	default:
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "query_error", err.Error(), 0)
+	}
+}
+
+func writeOverload(w http.ResponseWriter, ov *OverloadError) {
+	secs := int((ov.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, http.StatusServiceUnavailable, "overloaded", ov.Error(), secs)
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string, retrySecs int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg, Kind: kind, RetryAfterSeconds: retrySecs})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	running, waiting, shed, queued, draining := s.adm.snapshot()
+	p := s.lat.percentiles(0.50, 0.99)
+	return Stats{
+		Accepted:  s.accepted.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Shed:      shed + s.satShed.Load(),
+		Aborted:   s.aborted.Load(),
+		Queued:    queued,
+		Running:   running,
+		Waiting:   waiting,
+		Draining:  draining,
+		P50Millis: p[0],
+		P99Millis: p[1],
+		Governor:  s.gov.Stats(),
+	}
+}
+
+// Drain retires the server gracefully: admission stops (new requests
+// shed with ErrDraining), queued waiters are shed immediately, in-flight
+// queries get DrainTimeout to finish, stragglers are then cancelled via
+// their query contexts, and Drain returns once the last execution slot
+// is released. Idempotent; never closes the database.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.adm.drain()
+	timer := time.NewTimer(s.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-s.adm.drained:
+		return nil
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+	// Stragglers: cancel every in-flight query and wait for the slots.
+	// Queries observe cancellation at block granularity, so this
+	// converges quickly even mid-spill.
+	s.cancelAll(errDrainCancelled)
+	<-s.adm.drained
+	return nil
+}

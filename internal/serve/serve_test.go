@@ -1,0 +1,510 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tde"
+)
+
+// testDB builds a fresh database with a small orders table and a fact
+// table sized so grouped queries blow small memory budgets (spill).
+func testDB(t testing.TB) *tde.Database {
+	t.Helper()
+	db := tde.New()
+	orders := "status,amount,when\nopen,10,2014-01-05\nclosed,25,2014-01-20\nopen,5,2014-02-11\nclosed,40,2014-02-28\nopen,15,2014-03-03\n"
+	if err := db.ImportCSV("orders", []byte(orders), tde.DefaultImportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	var fact strings.Builder
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintf(&fact, "%d,%d.%02d,name-%d\n", i%6000, i%97, i%100, i%400)
+	}
+	opt := tde.DefaultImportOptions()
+	opt.Schema = []string{"k:int", "v:real", "s:str"}
+	opt.HeaderSet, opt.HasHeader = true, false
+	if err := db.ImportCSV("t", []byte(fact.String()), opt); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(testDB(t), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// postQuery POSTs sql and decodes the response into out (a pointer),
+// returning the HTTP status.
+func postQuery(t testing.TB, url, sql string, out any) int {
+	t.Helper()
+	body, _ := json.Marshal(QueryRequest{SQL: sql})
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response (status %d): %v", resp.StatusCode, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+func serverStats(t testing.TB, url string) Stats {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServeQueryEndToEnd: a query round-trips over HTTP with rows, per
+// operator stats, and a warm decode-cache hit visible in server stats.
+func TestServeQueryEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Governor: tde.GovernorConfig{MemoryBytes: 64 << 20, CacheBytes: 8 << 20},
+	})
+	const q = "SELECT status, SUM(amount) FROM orders GROUP BY status ORDER BY status"
+	var res QueryResponse
+	if code := postQuery(t, ts.URL, q, &res); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "closed" || res.Rows[0][1] != "65" {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	if res.Stats == nil || len(res.Stats.Operators) == 0 {
+		t.Fatal("no query stats in response")
+	}
+	// Second run of the same query reads decoded blocks from the shared
+	// cache.
+	if code := postQuery(t, ts.URL, q, &res); code != http.StatusOK {
+		t.Fatalf("warm status %d", code)
+	}
+	st := serverStats(t, ts.URL)
+	if st.Governor.Cache.Hits == 0 {
+		t.Fatalf("no decode-cache hits in server stats: %+v", st.Governor.Cache)
+	}
+	if st.Completed != 2 || st.Accepted != 2 {
+		t.Fatalf("counters %+v", st)
+	}
+	if st.P50Millis <= 0 {
+		t.Fatalf("no latency percentiles: %+v", st)
+	}
+}
+
+// TestServeAnalyzeShowsCache: EXPLAIN ANALYZE over HTTP annotates warm
+// scans with cache hit counters.
+func TestServeAnalyzeShowsCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Governor: tde.GovernorConfig{MemoryBytes: 64 << 20, CacheBytes: 8 << 20},
+	})
+	const q = "SELECT k, COUNT(*) FROM t GROUP BY k"
+	if code := postQuery(t, ts.URL, q, nil); code != http.StatusOK {
+		t.Fatalf("cold status %d", code)
+	}
+	body, _ := json.Marshal(QueryRequest{SQL: q, Analyze: true})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Analyze, "cache=") {
+		t.Fatalf("warm EXPLAIN ANALYZE shows no cache counters:\n%s", res.Analyze)
+	}
+}
+
+func TestServeBadSQL(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var e ErrorResponse
+	if code := postQuery(t, ts.URL, "SELEKT 1 FROMM nowhere", &e); code != http.StatusBadRequest {
+		t.Fatalf("status %d", code)
+	}
+	if e.Kind != "query_error" || e.Error == "" {
+		t.Fatalf("error body %+v", e)
+	}
+}
+
+// TestServeFairnessBehindSpillingQuery is the admission fairness story:
+// one long query that spills holds the single execution slot; a burst
+// of short queries queues behind it and completes in FIFO arrival
+// order, while requests past the queue bound get typed 503s with a
+// Retry-After hint instead of hanging.
+func TestServeFairnessBehindSpillingQuery(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		MaxConcurrent:    1,
+		MaxQueue:         4,
+		QueueWait:        30 * time.Second,
+		QueryMemoryBytes: 128 << 10,
+		QuerySpillBytes:  1 << 30,
+		SpillDir:         t.TempDir(),
+	})
+	// The long query holds its slot for at least holdFor even if the
+	// spilling aggregation finishes quickly. Short queries record the
+	// order in which they won the slot — the hook runs while the slot is
+	// held, so this is the true admission grant order (completion order
+	// can legitimately reorder: the slot is released before the response
+	// is serialized).
+	const holdFor = 400 * time.Millisecond
+	var mu sync.Mutex
+	var grantOrder []string
+	srv.testExecHook = func(ctx context.Context, sql string) {
+		if strings.Contains(sql, "MIN(s)") {
+			select {
+			case <-ctx.Done():
+			case <-time.After(holdFor):
+			}
+			return
+		}
+		mu.Lock()
+		grantOrder = append(grantOrder, sql)
+		mu.Unlock()
+	}
+
+	longDone := make(chan QueryResponse, 1)
+	go func() {
+		var res QueryResponse
+		if code := postQuery(t, ts.URL, "SELECT k, COUNT(*), SUM(v), MIN(s) FROM t GROUP BY k", &res); code != http.StatusOK {
+			t.Errorf("long query status %d", code)
+		}
+		longDone <- res
+	}()
+	// Wait until the long query owns the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for serverStats(t, ts.URL).Running != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("long query never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Burst of short queries, arrival order pinned by watching the queue
+	// depth grow. Each carries a distinct amount constant so the hook can
+	// tell them apart.
+	const burst = 4
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sql := fmt.Sprintf("SELECT COUNT(*) FROM orders WHERE amount < %d", 1000+i)
+			if code := postQuery(t, ts.URL, sql, nil); code != http.StatusOK {
+				t.Errorf("short query %d: status %d", i, code)
+			}
+		}(i)
+		for serverStats(t, ts.URL).Waiting != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("short query %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Queue is full: the next request must shed, typed, immediately.
+	var e ErrorResponse
+	start := time.Now()
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT COUNT(*) FROM orders"})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e.Kind != "overloaded" || e.RetryAfterSeconds < 1 {
+		t.Fatalf("shed body %+v", e)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("shed request hung for %s", waited)
+	}
+
+	long := <-longDone
+	if long.Stats == nil || long.Stats.SpillPeak == 0 {
+		t.Fatal("long query did not spill; the fairness scenario is vacuous")
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(grantOrder) != burst {
+		t.Fatalf("granted %d short queries, want %d: %q", len(grantOrder), burst, grantOrder)
+	}
+	for i, sql := range grantOrder {
+		if want := fmt.Sprintf("amount < %d", 1000+i); !strings.Contains(sql, want) {
+			t.Fatalf("grant order broke FIFO at %d: got %q, want %q\nfull order: %q", i, sql, want, grantOrder)
+		}
+	}
+}
+
+// TestServeClientDisconnectAbortsQuery: a client that goes away mid
+// execution aborts its query, frees the slot, and counts as aborted.
+func TestServeClientDisconnectAbortsQuery(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	started := make(chan struct{}, 1)
+	srv.testExecHook = func(ctx context.Context, sql string) {
+		if !strings.Contains(sql, "'hang'") {
+			return
+		}
+		started <- struct{}{}
+		<-ctx.Done() // released only by client disconnect / drain
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT COUNT(*) FROM orders WHERE status = 'hang'"})
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client saw %v, want context.Canceled", err)
+	}
+	// The slot must come back and the abort must be counted.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := serverStats(t, ts.URL)
+		if st.Running == 0 && st.Aborted >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot not reclaimed after disconnect: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := postQuery(t, ts.URL, "SELECT COUNT(*) FROM orders", nil); code != http.StatusOK {
+		t.Fatalf("query after disconnect: status %d", code)
+	}
+}
+
+// TestServeDrain: drain stops admission (503 draining), sheds queued
+// requests, cancels stragglers past DrainTimeout, and leaves no pool
+// bytes or epoch pins behind.
+func TestServeDrain(t *testing.T) {
+	db := testDB(t)
+	srv := New(db, Config{
+		MaxConcurrent: 1,
+		DrainTimeout:  50 * time.Millisecond,
+		Governor:      tde.GovernorConfig{MemoryBytes: 64 << 20, CacheBytes: 4 << 20},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	started := make(chan struct{}, 1)
+	srv.testExecHook = func(ctx context.Context, sql string) {
+		if !strings.Contains(sql, "'hang'") {
+			return
+		}
+		started <- struct{}{}
+		<-ctx.Done() // straggler: only the drain cancel releases it
+	}
+	stragglerDone := make(chan int, 1)
+	go func() {
+		var e ErrorResponse
+		stragglerDone <- postQuery(t, ts.URL, "SELECT COUNT(*) FROM orders WHERE status = 'hang'", &e)
+	}()
+	<-started
+
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code := <-stragglerDone; code != http.StatusServiceUnavailable && code != statusClientClosedRequest {
+		t.Fatalf("straggler status %d", code)
+	}
+	// Admission is closed for good.
+	var e ErrorResponse
+	if code := postQuery(t, ts.URL, "SELECT COUNT(*) FROM orders", &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status %d", code)
+	}
+	if e.Kind != "draining" && e.Kind != "overloaded" {
+		t.Fatalf("post-drain kind %q", e.Kind)
+	}
+	// Health flips, stats report draining, and nothing leaked: the pool
+	// holds only cache bytes, and no epoch pin survived.
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("healthz status %d while draining", resp.StatusCode)
+		}
+	}
+	st := srv.Stats()
+	if !st.Draining {
+		t.Fatalf("stats not draining: %+v", st)
+	}
+	if st.Governor.MemUsed != st.Governor.Cache.Bytes {
+		t.Fatalf("drained pool holds %d bytes beyond the cache's %d",
+			st.Governor.MemUsed, st.Governor.Cache.Bytes)
+	}
+	if pins := db.WriteStats().LiveEpochs; pins != 0 {
+		t.Fatalf("drain leaked %d epoch pins", pins)
+	}
+	// Drain is idempotent.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeTorture64Sessions is the sustained-load soak: 64 concurrent
+// sessions hammer one server with good queries, bad SQL, spilling
+// queries, slow readers, and mid-flight disconnects over a tiny pool.
+// Afterwards a drain must leave zero goroutine, pool-byte, or epoch-pin
+// leaks, and the decode cache must have a nonzero hit rate.
+func TestServeTorture64Sessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	baseline := runtime.NumGoroutine()
+	db := testDB(t)
+	srv := New(db, Config{
+		MaxConcurrent:    4,
+		MaxQueue:         16,
+		QueueWait:        2 * time.Second,
+		DrainTimeout:     2 * time.Second,
+		QueryMemoryBytes: 256 << 10,
+		QuerySpillBytes:  1 << 30,
+		SpillDir:         t.TempDir(),
+		Governor: tde.GovernorConfig{
+			MemoryBytes: 8 << 20, // small enough for real pool pressure
+			SpillBytes:  1 << 30,
+			CacheBytes:  1 << 20,
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	queries := []string{
+		"SELECT status, SUM(amount) FROM orders GROUP BY status",
+		"SELECT COUNT(*) FROM orders WHERE status = 'open'",
+		"SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k",
+		"SELECT s, COUNT(*) FROM t GROUP BY s ORDER BY s",
+		"SELEKT broken",
+	}
+	const sessions = 64
+	const perSession = 12
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			client := &http.Client{}
+			for i := 0; i < perSession; i++ {
+				sql := queries[rng.Intn(len(queries))]
+				body, _ := json.Marshal(QueryRequest{SQL: sql})
+				ctx, cancel := context.WithCancel(context.Background())
+				req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+				mode := rng.Intn(10)
+				if mode == 0 {
+					// Disconnect while queued or mid-execution.
+					delay := time.Duration(rng.Intn(3)) * time.Millisecond
+					go func() {
+						time.Sleep(delay)
+						cancel()
+					}()
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					cancel()
+					continue // client-side abort
+				}
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusBadRequest, http.StatusServiceUnavailable,
+					statusClientClosedRequest, http.StatusGatewayTimeout:
+				default:
+					t.Errorf("unexpected status %d for %q", resp.StatusCode, sql)
+				}
+				if mode == 1 {
+					// Slow reader: drip the body, then abandon it.
+					buf := make([]byte, 64)
+					resp.Body.Read(buf)
+					time.Sleep(time.Duration(rng.Intn(2)) * time.Millisecond)
+				} else {
+					io.Copy(io.Discard, resp.Body)
+				}
+				resp.Body.Close()
+				cancel()
+			}
+		}(int64(s) * 7919)
+	}
+	wg.Wait()
+
+	st := serverStats(t, ts.URL)
+	if st.Completed == 0 {
+		t.Fatalf("torture completed nothing: %+v", st)
+	}
+	if st.Governor.Cache.Hits == 0 {
+		t.Fatalf("no decode-cache hits under sustained load: %+v", st.Governor)
+	}
+
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	// No accountant leak: the pool holds exactly the cache's bytes, and
+	// clearing the cache returns it to zero.
+	gst := srv.Governor().Stats()
+	if gst.MemUsed != gst.Cache.Bytes {
+		t.Fatalf("pool holds %d bytes beyond cache's %d after drain", gst.MemUsed, gst.Cache.Bytes)
+	}
+	srv.Governor().ClearCache()
+	if gst = srv.Governor().Stats(); gst.MemUsed != 0 {
+		t.Fatalf("pool holds %d bytes after cache clear", gst.MemUsed)
+	}
+	if gst.SpillUsed != 0 {
+		t.Fatalf("spill pool holds %d bytes after drain", gst.SpillUsed)
+	}
+	// No epoch-pin leak.
+	if pins := db.WriteStats().LiveEpochs; pins != 0 {
+		t.Fatalf("%d epoch pins leaked", pins)
+	}
+	// No goroutine leak: allow the runtime a moment to retire handlers.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tde"
+)
+
+// latencyRing keeps the last ringSize query latencies for percentile
+// estimation; recording is O(1), snapshots copy and sort.
+type latencyRing struct {
+	mu     sync.Mutex
+	buf    [ringSize]float64 // milliseconds
+	next   int
+	filled int
+}
+
+const ringSize = 4096
+
+func (r *latencyRing) record(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % ringSize
+	if r.filled < ringSize {
+		r.filled++
+	}
+	r.mu.Unlock()
+}
+
+// percentiles returns the given quantiles (0..1) over the retained
+// window, zeros when nothing was recorded yet.
+func (r *latencyRing) percentiles(qs ...float64) []float64 {
+	r.mu.Lock()
+	window := make([]float64, r.filled)
+	copy(window, r.buf[:r.filled])
+	r.mu.Unlock()
+	out := make([]float64, len(qs))
+	if len(window) == 0 {
+		return out
+	}
+	sort.Float64s(window)
+	for i, q := range qs {
+		idx := int(q * float64(len(window)-1))
+		out[i] = window[idx]
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of the server: admission state,
+// query outcomes, latency percentiles over the recent window, and the
+// shared governor's pool/cache counters.
+type Stats struct {
+	// Accepted counts queries that won an execution slot.
+	Accepted int64 `json:"accepted"`
+	// Completed counts queries that finished successfully.
+	Completed int64 `json:"completed"`
+	// Failed counts queries that returned an error (bad SQL, budget).
+	Failed int64 `json:"failed"`
+	// Shed counts requests refused by admission control (queue full,
+	// wait exceeded, draining) or pool saturation.
+	Shed int64 `json:"shed"`
+	// Aborted counts queries cancelled mid-flight (client disconnected
+	// or drain cancelled stragglers).
+	Aborted int64 `json:"aborted"`
+	// Queued counts requests that had to wait in the admission queue.
+	Queued int64 `json:"queued"`
+	// Running and Waiting are the instantaneous admission gauges.
+	Running int `json:"running"`
+	Waiting int `json:"waiting"`
+	// Draining reports whether graceful shutdown has begun.
+	Draining bool `json:"draining"`
+	// P50Millis/P99Millis are latency percentiles over the last ringSize
+	// completed queries.
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	// Governor snapshots the shared pool and decode cache.
+	Governor tde.GovernorStats `json:"governor"`
+}

@@ -26,9 +26,43 @@ type baseline struct {
 	Note       string             `json:"note"`
 	Threshold  float64            `json:"threshold"`
 	Benchmarks map[string]float64 `json:"benchmarks"` // name -> ns/op
+	// Metrics records custom b.ReportMetric values per benchmark (e.g.
+	// qps, p50_ms, p99_ms from the serving benchmark). Informational
+	// only: printed alongside the run for trend-watching, never a
+	// pass/fail criterion — only ns/op is guarded.
+	Metrics map[string]map[string]float64 `json:"metrics,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// metricPair matches trailing custom metrics like "812.4 qps".
+var metricPair = regexp.MustCompile(`([0-9.]+) ([A-Za-z_][\w/]*)`)
+
+// parseMetrics extracts custom b.ReportMetric pairs from the part of a
+// bench line after "ns/op".
+func parseMetrics(line string) map[string]float64 {
+	i := len(line)
+	if j := indexNsOp(line); j >= 0 {
+		i = j
+	}
+	out := map[string]float64{}
+	for _, m := range metricPair.FindAllStringSubmatch(line[i:], -1) {
+		if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+			out[m[2]] = v
+		}
+	}
+	return out
+}
+
+func indexNsOp(line string) int {
+	const tag = " ns/op"
+	for i := 0; i+len(tag) <= len(line); i++ {
+		if line[i:i+len(tag)] == tag {
+			return i + len(tag)
+		}
+	}
+	return -1
+}
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_parallel.json", "baseline file")
@@ -37,6 +71,7 @@ func main() {
 	flag.Parse()
 
 	current := map[string]float64{}
+	currentMetrics := map[string]map[string]float64{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -52,6 +87,9 @@ func main() {
 			continue
 		}
 		current[name] = ns
+		if mx := parseMetrics(line); len(mx) > 0 {
+			currentMetrics[name] = mx
+		}
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("reading bench output: %v", err)
@@ -66,6 +104,9 @@ func main() {
 				"machine-relative, regenerate with `make bench-baseline`",
 			Threshold:  2.0,
 			Benchmarks: current,
+		}
+		if len(currentMetrics) > 0 {
+			b.Metrics = currentMetrics
 		}
 		buf, err := json.MarshalIndent(&b, "", "  ")
 		if err != nil {
@@ -115,6 +156,29 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchcheck: %-40s %12.0f ns/op  baseline %12.0f  ratio %.2fx  %s\n",
 			name, got, want, ratio, status)
+	}
+	// Custom metrics (qps, p50_ms, ...) are reported for trend-watching
+	// but never gate the check: they are machine- and load-relative.
+	var mnames []string
+	for n := range currentMetrics {
+		mnames = append(mnames, n)
+	}
+	sort.Strings(mnames)
+	for _, name := range mnames {
+		var units []string
+		for u := range currentMetrics[name] {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			got := currentMetrics[name][u]
+			if want, ok := base.Metrics[name][u]; ok {
+				fmt.Fprintf(os.Stderr, "benchcheck: %-40s %12.2f %-8s baseline %12.2f  (info only)\n",
+					name, got, u, want)
+			} else {
+				fmt.Fprintf(os.Stderr, "benchcheck: %-40s %12.2f %-8s (info only)\n", name, got, u)
+			}
+		}
 	}
 	if failed > 0 {
 		fatalf("%d benchmark(s) regressed past %.1fx or went missing", failed, base.Threshold)

@@ -1,0 +1,165 @@
+// servesmoke is the process-level smoke test for tdeserve: it builds the
+// server binary, serves a small generated extract, runs 3 concurrent
+// query clients against it, then sends SIGTERM and requires a graceful
+// drain and a clean (code 0) exit.
+//
+//	go run ./scripts/servesmoke
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"tde"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: PASS")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// A small extract to serve.
+	db := tde.New()
+	var csv strings.Builder
+	csv.WriteString("status,amount,when\n")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&csv, "s%d,%d,2014-0%d-0%d\n", i%7, i%101, 1+i%9, 1+i%9)
+	}
+	if err := db.ImportCSV("orders", []byte(csv.String()), tde.DefaultImportOptions()); err != nil {
+		return err
+	}
+	dbPath := filepath.Join(dir, "smoke.tde")
+	if err := db.Save(dbPath); err != nil {
+		return err
+	}
+	db.Close()
+
+	bin := filepath.Join(dir, "tdeserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/tdeserve").CombinedOutput(); err != nil {
+		return fmt.Errorf("building tdeserve: %v\n%s", err, out)
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	var stderr bytes.Buffer
+	srv := exec.Command(bin, "-db", dbPath, "-addr", addr,
+		"-max-concurrent", "2", "-cache", "16M", "-mem", "256M",
+		"-drain-timeout", "5s")
+	srv.Stderr = &stderr
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Process.Kill()
+
+	base := "http://" + addr
+	if err := waitHealthy(base, 15*time.Second); err != nil {
+		return fmt.Errorf("%v\nserver stderr:\n%s", err, stderr.String())
+	}
+
+	// 3 concurrent clients, ~1.5s of sustained queries.
+	var ok, bad atomic.Int64
+	stop := time.Now().Add(1500 * time.Millisecond)
+	var wg sync.WaitGroup
+	queries := []string{
+		`{"sql":"SELECT status, SUM(amount) FROM orders GROUP BY status"}`,
+		`{"sql":"SELECT COUNT(*) FROM orders WHERE amount < 50"}`,
+		`{"sql":"SELECT status, COUNT(*) FROM orders GROUP BY status ORDER BY status"}`,
+	}
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				resp, err := http.Post(base+"/query", "application/json",
+					strings.NewReader(queries[(c+i)%len(queries)]))
+				if err != nil {
+					bad.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					ok.Add(1)
+				} else {
+					bad.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if ok.Load() == 0 {
+		return fmt.Errorf("no query succeeded (%d failures)\nserver stderr:\n%s", bad.Load(), stderr.String())
+	}
+	if bad.Load() > 0 {
+		return fmt.Errorf("%d queries failed against an idle-enough server\nserver stderr:\n%s", bad.Load(), stderr.String())
+	}
+
+	// Graceful drain on SIGTERM: clean exit, drained marker in stderr.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exited uncleanly: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("server did not exit within 30s of SIGTERM\nstderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		return fmt.Errorf("no drain marker in server output:\n%s", stderr.String())
+	}
+	fmt.Printf("servesmoke: %d queries ok across 3 clients; graceful drain confirmed\n", ok.Load())
+	return nil
+}
+
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server never became healthy at %s", base)
+}

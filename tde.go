@@ -169,6 +169,10 @@ type Database struct {
 	admitWake chan struct{}
 	quiescing bool
 	closed    bool
+	// queries registers in-flight reads' cancel funcs so Close can abort
+	// them with a typed ErrClosed cause instead of leaving them running
+	// against a closed database (guarded by wmu like txs).
+	queries map[*queryReg]bool
 	// compactor is the background auto-compaction runner, nil unless
 	// EnableAutoCompact armed it.
 	compactor *autoCompactor
@@ -311,13 +315,14 @@ func (db *Database) Save(path string) (err error) {
 	return storage.WriteFile(path, merged)
 }
 
-// Close shuts the write path down: background auto-compaction stops,
+// Close shuts the database down: background auto-compaction stops,
 // in-flight transactions are aborted (their epochs released, their later
 // Exec/Commit calls failing), waiting BeginContext calls return ErrClosed,
-// and the WAL append handle is closed. Reads keep working — a Database
-// holds no read-side resources beyond memory — and everything committed
-// before Close is durable and replayed on the next Open. Close is
-// idempotent.
+// in-flight queries are cancelled with an error matching ErrClosed (their
+// epoch pins released on the way out — never leaked), new QueryContext
+// calls fail with ErrClosed, and the WAL append handle is closed.
+// Everything committed before Close is durable and replayed on the next
+// Open. Close is idempotent.
 func (db *Database) Close() error {
 	db.DisableAutoCompact()
 	db.wmu.Lock()
@@ -330,10 +335,17 @@ func (db *Database) Close() error {
 	for tx := range db.txs {
 		txs = append(txs, tx)
 	}
+	reads := make([]*queryReg, 0, len(db.queries))
+	for q := range db.queries {
+		reads = append(reads, q)
+	}
 	db.wakeAdmissionLocked()
 	db.wmu.Unlock()
 	for _, tx := range txs {
 		tx.forceAbort()
+	}
+	for _, q := range reads {
+		q.cancel(errQueryAborted)
 	}
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
@@ -378,6 +390,42 @@ func (db *Database) lookup(name string) *storage.Table {
 		}
 	}
 	return nil
+}
+
+// queryReg is one in-flight query's registration: the cancel func Close
+// uses to abort it with a typed cause.
+type queryReg struct {
+	cancel context.CancelCauseFunc
+}
+
+// beginQuery admits one query against the close lifecycle: it fails with
+// ErrClosed once Close has run, and otherwise returns a derived context
+// Close can cancel (with a cause matching ErrClosed) plus the matching
+// deregistration func. The registration uses wmu — the same lock that
+// guards closed — so a query can never slip past a concurrent Close
+// unobserved.
+func (db *Database) beginQuery(ctx context.Context) (context.Context, func(), error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.closed {
+		return nil, nil, ErrClosed
+	}
+	qctx, cancel := context.WithCancelCause(ctx)
+	reg := &queryReg{cancel: cancel}
+	if db.queries == nil {
+		db.queries = map[*queryReg]bool{}
+	}
+	db.queries[reg] = true
+	done := func() {
+		db.wmu.Lock()
+		delete(db.queries, reg)
+		db.wmu.Unlock()
+		cancel(nil) // release the derived context's resources
+	}
+	return qctx, done, nil
 }
 
 // snapshot cuts one consistent read snapshot: the table set and, for each
@@ -500,6 +548,7 @@ func (db *Database) ImportCSVContext(ctx context.Context, table string, data []b
 	})
 	qc, cancel := qopt.newQueryCtx(ctx)
 	defer cancel()
+	defer qc.DetachPool()
 	defer qc.CleanupSpill()
 	defer containPanic(qc, &err)
 	bt, err := ft.BuildTable(qc)
@@ -636,6 +685,12 @@ type QueryOptions struct {
 	// SpillFS routes spill file I/O; nil means the real filesystem. Tests
 	// inject disk faults here.
 	SpillFS iofault.FS
+	// Governor, when non-nil, joins the query to a process-wide resource
+	// governor: memory and spill charges land in its shared pool as well
+	// as the per-query accountant, and scans read through its shared
+	// decode cache. Multi-session servers set it on every query; nil
+	// keeps per-query accounting only.
+	Governor *Governor
 }
 
 // newQueryCtx builds the lifecycle handle for one query under o.
@@ -647,11 +702,13 @@ func (o QueryOptions) newQueryCtx(ctx context.Context) (*exec.QueryCtx, context.
 	if o.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 	}
-	return exec.NewQueryCtxSpill(ctx, o.MemoryBudget, exec.SpillConfig{
+	qc := exec.NewQueryCtxSpill(ctx, o.MemoryBudget, exec.SpillConfig{
 		Budget: o.SpillBudget,
 		Dir:    o.SpillDir,
 		FS:     o.SpillFS,
-	}), cancel
+	})
+	o.Governor.attach(qc)
+	return qc, cancel
 }
 
 // Query parses and runs a SQL statement. The supported subset is
@@ -676,10 +733,20 @@ func (db *Database) QueryWithOptions(sql string, opt plan.Options) (*Result, err
 // internal panic is contained as *InternalError naming the failing
 // operator.
 func (db *Database) QueryContext(ctx context.Context, sql string, opt QueryOptions) (res *Result, err error) {
+	// Register against the close lifecycle first: a closed database fails
+	// with ErrClosed, and a Close racing this query can cancel it.
+	qctx, done, err := db.beginQuery(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
 	// The panic boundary wraps planning as well as execution: a malformed
 	// catalog (e.g. a nil table) must surface as *InternalError, not crash.
-	qc, cancel := opt.newQueryCtx(ctx)
+	qc, cancel := opt.newQueryCtx(qctx)
 	defer cancel()
+	// Any residual pooled charges (possible only after a contained panic)
+	// must return to the shared governor when the query dies.
+	defer qc.DetachPool()
 	// Spill files must not outlive the query on any exit path — success,
 	// error, cancellation or contained panic.
 	defer qc.CleanupSpill()
@@ -701,9 +768,15 @@ func (db *Database) QueryContext(ctx context.Context, sql string, opt QueryOptio
 	rows, err := exec.CollectStringsCtx(qc, op)
 	if err != nil {
 		// Prefer the root cancellation cause over operator wrapping so
-		// callers can match context.Canceled / DeadlineExceeded directly.
-		if ctxErr := qc.Err(); ctxErr != nil && !errors.Is(err, ctxErr) {
-			return nil, fmt.Errorf("%w (%v)", ctxErr, err)
+		// callers can match context.Canceled / DeadlineExceeded — or, for
+		// a query aborted by Close, ErrClosed — directly.
+		if ctxErr := qc.Err(); ctxErr != nil {
+			if cause := context.Cause(qc.Context()); cause != nil {
+				ctxErr = cause
+			}
+			if !errors.Is(err, ctxErr) {
+				return nil, fmt.Errorf("%w (%v)", ctxErr, err)
+			}
 		}
 		return nil, err
 	}

@@ -531,25 +531,49 @@ func (db *Database) ExecContext(ctx context.Context, sql string) (int, error) {
 // different error occurs, or ctx ends. Use it for single-statement writes
 // contending on hot rows.
 func (db *Database) ExecRetry(ctx context.Context, sql string) (int, error) {
+	return db.ExecRetryAttempts(ctx, sql, 0)
+}
+
+// ExecRetryAttempts is ExecRetry with a bound: at most attempts
+// executions (so attempts-1 retries) before the last ErrConflict is
+// returned as-is. attempts <= 0 means unbounded, i.e. ExecRetry. The
+// backoff between attempts always honors ctx cancellation: a cancelled
+// or expired context interrupts the sleep and returns the context's
+// error immediately.
+func (db *Database) ExecRetryAttempts(ctx context.Context, sql string, attempts int) (int, error) {
 	backoff := time.Millisecond
-	const maxBackoff = 50 * time.Millisecond
-	for {
+	for attempt := 1; ; attempt++ {
 		n, err := db.ExecContext(ctx, sql)
 		if err == nil || !errors.Is(err, ErrConflict) {
 			return n, err
 		}
-		// Full jitter: sleep a uniformly random slice of the current
-		// backoff so colliding retriers decorrelate.
-		d := time.Duration(rand.Int64N(int64(backoff))) + backoff/2
-		select {
-		case <-time.After(d):
-		case <-ctx.Done():
-			return 0, ctx.Err()
+		if attempts > 0 && attempt >= attempts {
+			return 0, err
 		}
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
+		if err := retryBackoff(ctx, &backoff); err != nil {
+			return 0, err
 		}
 	}
+}
+
+// retryBackoff sleeps one jittered backoff step, doubling the step up to
+// a cap, and returns early with the context's error if ctx ends first.
+func retryBackoff(ctx context.Context, backoff *time.Duration) error {
+	const maxBackoff = 50 * time.Millisecond
+	// Full jitter: sleep a uniformly random slice of the current backoff
+	// so colliding retriers decorrelate.
+	d := time.Duration(rand.Int64N(int64(*backoff))) + *backoff/2
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if *backoff *= 2; *backoff > maxBackoff {
+		*backoff = maxBackoff
+	}
+	return nil
 }
 
 // findTable resolves a statement's table name case-insensitively, like
@@ -895,6 +919,7 @@ func (db *Database) materializeLocked(ctx context.Context, qopt QueryOptions) (m
 	}
 	qc, cancel := qopt.newQueryCtx(ctx)
 	defer cancel()
+	defer qc.DetachPool()
 	defer qc.CleanupSpill()
 	defer containPanic(qc, &err)
 	merged = make([]*storage.Table, len(tables))
