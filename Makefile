@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz check check-db crash crash-wal crash-concurrent clean bench-parallel bench-compressed bench-write bench-serve bench-check bench-baseline bench-overhead trace-smoke serve-torture serve-smoke
+.PHONY: all build vet test race fuzz check check-db crash crash-wal crash-concurrent clean bench-parallel bench-compressed bench-write bench-serve bench-skip bench-check bench-baseline bench-overhead trace-smoke serve-torture serve-smoke
 
 all: check
 
@@ -81,6 +81,13 @@ BENCH_COMPRESSED = -run '^$$' -bench 'BenchmarkCompressed' -benchtime 3x -count 
 # guard catches a reintroduced global writer lock or commit-path blowup.
 BENCH_WRITE = -run '^$$' -bench 'BenchmarkWriteTxn' -benchtime 300x -count 1 .
 
+# Zone-skipping benchmarks: a selective date-range scan over TPC-H
+# lineitem sorted by l_shipdate, run with block pruning forced on and
+# off. BENCH_skip.json guards the pair: the skipping arm regressing past
+# 2x its baseline means pruning stopped engaging (the benchmark itself
+# also fails hard if zero blocks are skipped).
+BENCH_SKIP = -run '^$$' -bench 'BenchmarkSkip' -benchtime 3x -count 1 .
+
 # Serving-layer benchmark: 64 concurrent HTTP sessions over one shared
 # database (admission control, pooled accounting, shared decode cache)
 # on TPC-H lineitem. ns/op is guarded by BENCH_serve.json; qps and
@@ -99,16 +106,21 @@ bench-write:
 bench-serve:
 	$(GO) test $(BENCH_SERVE)
 
+bench-skip:
+	$(GO) test $(BENCH_SKIP)
+
 bench-check:
 	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json
 	$(GO) test $(BENCH_COMPRESSED) | $(GO) run ./scripts/benchcheck -baseline BENCH_compressed.json
 	$(GO) test $(BENCH_WRITE) | $(GO) run ./scripts/benchcheck -baseline BENCH_write.json
+	$(GO) test $(BENCH_SKIP) | $(GO) run ./scripts/benchcheck -baseline BENCH_skip.json
 	$(GO) test $(BENCH_SERVE) | $(GO) run ./scripts/benchcheck -baseline BENCH_serve.json
 
 bench-baseline:
 	$(GO) test $(BENCH_PARALLEL) | $(GO) run ./scripts/benchcheck -baseline BENCH_parallel.json -update
 	$(GO) test $(BENCH_COMPRESSED) | $(GO) run ./scripts/benchcheck -baseline BENCH_compressed.json -update
 	$(GO) test $(BENCH_WRITE) | $(GO) run ./scripts/benchcheck -baseline BENCH_write.json -update
+	$(GO) test $(BENCH_SKIP) | $(GO) run ./scripts/benchcheck -baseline BENCH_skip.json -update
 	$(GO) test $(BENCH_SERVE) | $(GO) run ./scripts/benchcheck -baseline BENCH_serve.json -update
 
 # Multi-session server torture: 64 concurrent sessions with client-side

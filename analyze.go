@@ -86,6 +86,9 @@ func renderOpLine(n *exec.PlanNode, s OperatorStats) string {
 	if s.CacheHits > 0 || s.CacheMisses > 0 {
 		fmt.Fprintf(&b, " cache=%d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
 	}
+	if s.BlocksSkipped > 0 {
+		fmt.Fprintf(&b, " skipped=%d", s.BlocksSkipped)
+	}
 	if sp := s.Spill; sp != nil {
 		fmt.Fprintf(&b, " spill(spills=%d parts=%d depth=%d wrote=%s read=%s)",
 			sp.Spills, sp.Partitions, sp.MaxDepth,

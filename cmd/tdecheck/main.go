@@ -43,7 +43,7 @@ import (
 )
 
 func main() {
-	deep := flag.Bool("deep", false, "decode every value of every column (full scan)")
+	deep := flag.Bool("deep", false, "decode every value of every column (full scan) and cross-check zone maps against the decoded blocks")
 	repair := flag.Bool("repair", false, "rewrite the file dropping quarantined columns")
 	merge := flag.Bool("merge", false, "re-encode logged writes into the base file and retire the log")
 	out := flag.String("out", "", "repair output path (default: in place)")

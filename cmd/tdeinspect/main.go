@@ -75,6 +75,21 @@ func main() {
 			if c.HasRange && c.MinDisplay != "" {
 				extra = append(extra, fmt.Sprintf("range=[%s,%s]", c.MinDisplay, c.MaxDisplay))
 			}
+			if c.ZoneBlocks > 0 {
+				s := fmt.Sprintf("zones=%d", c.ZoneBlocks)
+				if c.ZoneHasRange {
+					if c.ZoneMinDisplay != "" {
+						s += fmt.Sprintf("[%s,%s]", c.ZoneMinDisplay, c.ZoneMaxDisplay)
+					} else {
+						// Token-domain bounds (dictionary/heap columns).
+						s += fmt.Sprintf("[tok %d,%d]", c.ZoneMin, c.ZoneMax)
+					}
+				}
+				if c.ZoneNullsKnown {
+					s += " nulls-exact"
+				}
+				extra = append(extra, s)
+			}
 			fmt.Printf("  %-20s %-9s %-7s w%d %8dK  %s\n",
 				c.Name, c.Type, c.Encoding, c.WidthBytes,
 				c.PhysicalBytes/1024, strings.Join(extra, " "))

@@ -83,6 +83,7 @@ func main() {
 	spillArg := flag.String("spill", "", "per-query spill-to-disk budget (e.g. 256M, 4G; empty = no spilling, budget errors fail fast)")
 	workers := flag.Int("workers", 0, "parallel workers per query stage (>0 force, 0 auto, <0 serial)")
 	encoded := flag.String("encoded", "auto", "compressed execution: auto/on (encoded routines), off (decode at scan — escape hatch)")
+	skip := flag.String("skip", "auto", "zone-map block skipping: auto/on (prune blocks a sargable predicate refutes), off (scan every block — escape hatch)")
 	verify := flag.Bool("verify", false, "fully verify every column value at open (catches damage beyond checksums)")
 	salvage := flag.Bool("salvage", false, "open a damaged database read-only, quarantining damaged columns")
 	flag.Parse()
@@ -112,6 +113,17 @@ func main() {
 		qopt.Plan.EncodedExec = plan.EncodedOff
 	default:
 		fmt.Fprintln(os.Stderr, "tdequery: -encoded must be auto, on, or off")
+		os.Exit(2)
+	}
+	switch *skip {
+	case "auto":
+		qopt.Plan.ZoneSkip = plan.ZoneSkipAuto
+	case "on":
+		qopt.Plan.ZoneSkip = plan.ForceZoneSkip
+	case "off":
+		qopt.Plan.ZoneSkip = plan.ZoneSkipOff
+	default:
+		fmt.Fprintln(os.Stderr, "tdequery: -skip must be auto, on, or off")
 		os.Exit(2)
 	}
 	db, rep, err := tde.OpenWithOptions(*dbPath, tde.OpenOptions{Verify: *verify, Salvage: *salvage})

@@ -43,6 +43,18 @@ type ColumnInfo struct {
 	SortedKnown            bool
 	Dense                  bool
 	Unique                 bool
+
+	// Zone map (DESIGN.md §15): per-block statistics scans prune with.
+	// ZoneBlocks is the entry count (0 = no zone map); ZoneHasRange and
+	// the Zone range aggregate the entries that carry bounds. For
+	// dictionary-compressed columns the range is in the token domain and
+	// the displays stay empty.
+	ZoneBlocks       int
+	ZoneNullsKnown   bool
+	ZoneHasRange     bool
+	ZoneMin, ZoneMax int64
+	ZoneMinDisplay   string
+	ZoneMaxDisplay   string
 }
 
 // Columns describes every column of a table.
@@ -82,6 +94,31 @@ func (db *Database) Columns(table string) ([]ColumnInfo, error) {
 		ci.HasNulls, ci.NullsKnown = md.HasNulls, md.NullsKnown
 		ci.Sorted, ci.SortedKnown = md.SortedAsc, md.SortedKnown
 		ci.Dense, ci.Unique = md.Dense, md.Unique
+		if z := c.Zones; z != nil {
+			ci.ZoneBlocks = len(z.Entries)
+			ci.ZoneNullsKnown = z.NullsKnown
+			for i := range z.Entries {
+				e := &z.Entries[i]
+				if !e.HasRange {
+					continue
+				}
+				if !ci.ZoneHasRange {
+					ci.ZoneHasRange = true
+					ci.ZoneMin, ci.ZoneMax = e.Min, e.Max
+					continue
+				}
+				if e.Min < ci.ZoneMin {
+					ci.ZoneMin = e.Min
+				}
+				if e.Max > ci.ZoneMax {
+					ci.ZoneMax = e.Max
+				}
+			}
+			if ci.ZoneHasRange && c.Dict == nil && c.Type != types.String {
+				ci.ZoneMinDisplay = types.Format(c.Type, uint64(ci.ZoneMin))
+				ci.ZoneMaxDisplay = types.Format(c.Type, uint64(ci.ZoneMax))
+			}
+		}
 		out = append(out, ci)
 	}
 	return out, nil

@@ -99,6 +99,37 @@ func TestGeneratorShape(t *testing.T) {
 	}
 }
 
+// TestDifferentialSkipping is the zone-pruning oracle sweep: every query
+// runs with block skipping forced off (the oracle decodes everything)
+// and forced on across the worker matrix, over tables with dirty write
+// overlays and NULL-heavy/all-NULL columns — the configurations where a
+// stale or over-eager zone map silently drops rows. The sweep demands
+// that pruning actually fired; a run with zero skipped blocks proves
+// nothing.
+func TestDifferentialSkipping(t *testing.T) {
+	sf, flightRows, sensorRows, queries := 0.003, 6000, 40000, 60
+	if *long {
+		sf, flightRows, sensorRows, queries = 0.01, 20000, 120000, 200
+	}
+	db, err := BuildSkippingDatabase(sf, flightRows, sensorRows, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(13, queries)
+	rep, err := RunSkipping(db, cfg, sensorRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("mismatch: %s", m)
+	}
+	if rep.SkipHits == 0 {
+		t.Fatal("no variant query skipped a block; the sweep exercised nothing")
+	}
+	t.Logf("%d queries, %d comparisons, %d skip hits, %d mismatches",
+		rep.Queries, rep.Comparisons, rep.SkipHits, len(rep.Mismatches))
+}
+
 // TestDifferentialEncoded is the encoded-vs-decoded oracle sweep: every
 // randomized query runs with compressed execution forced off (the
 // decoded oracle) and forced on (across workers and with the plan

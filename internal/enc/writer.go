@@ -70,6 +70,7 @@ func (cfg *WriterConfig) normalize() {
 type Writer struct {
 	cfg         WriterConfig
 	stats       *Stats
+	zones       zoneTracker
 	app         appender
 	appended    int // values committed to app
 	pending     []uint64
@@ -82,8 +83,10 @@ type Writer struct {
 func NewWriter(cfg WriterConfig) *Writer {
 	cfg.normalize()
 	return &Writer{
-		cfg:     cfg,
-		stats:   NewStats(cfg.Signed, cfg.Sentinel, cfg.HasSentinel),
+		cfg:   cfg,
+		stats: NewStats(cfg.Signed, cfg.Sentinel, cfg.HasSentinel),
+		zones: zoneTracker{width: cfg.Width, signed: cfg.Signed,
+			sentinel: cfg.Sentinel, hasSentinel: cfg.HasSentinel},
 		pending: make([]uint64, 0, cfg.BlockSize),
 	}
 }
@@ -95,6 +98,12 @@ func (w *Writer) Stats() *Stats { return w.stats }
 // Reencodings returns how many times the column has been re-encoded; the
 // paper reports two changes for TPC-H lineitem at SF-1 (Sect. 3.2).
 func (w *Writer) Reencodings() int { return w.reencodings }
+
+// Zones returns the per-block zone map accumulated while flushing blocks
+// (DESIGN.md §15), or nil for an empty column. Entries track logical
+// values, so they survive re-encodings and later width narrowing; call
+// after Finish so the final partial block is included.
+func (w *Writer) Zones() *ZoneMap { return w.zones.zones(w.cfg.BlockSize) }
 
 // Kind returns the current encoding choice.
 func (w *Writer) Kind() Kind {
@@ -138,6 +147,7 @@ func (w *Writer) flushBlock(vals []uint64) {
 	// statistics before inserting the data block into the column's
 	// encoding stream."
 	w.stats.Update(vals)
+	w.zones.update(vals)
 	if w.app == nil {
 		w.app = w.newAppender(w.chooseKind())
 	}

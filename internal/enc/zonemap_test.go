@@ -1,0 +1,407 @@
+package enc
+
+import (
+	"strings"
+	"testing"
+)
+
+const zoneTestSentinel = ^uint64(0) // NullToken-style all-ones sentinel
+
+// zoneWriter runs the dynamic encoder over vals and returns its zone map.
+func zoneWriter(t *testing.T, cfg WriterConfig, vals []uint64) (*Stream, *ZoneMap) {
+	t.Helper()
+	w := NewWriter(cfg)
+	w.Append(vals)
+	s := w.Finish()
+	return s, w.Zones()
+}
+
+func TestZoneTrackerBasic(t *testing.T) {
+	const bs = 1024
+	vals := make([]uint64, 2*bs+100) // three blocks, partial tail
+	for i := range vals {
+		vals[i] = uint64(i * 3)
+	}
+	s, z := zoneWriter(t, WriterConfig{BlockSize: bs, Sentinel: zoneTestSentinel, HasSentinel: true}, vals)
+	if z == nil {
+		t.Fatal("no zone map")
+	}
+	if err := z.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(z.Entries))
+	}
+	if !z.NullsKnown {
+		t.Error("sentinel configured but NullsKnown false")
+	}
+	for b, e := range z.Entries {
+		wantRows := bs
+		if b == 2 {
+			wantRows = 100
+		}
+		if e.Rows != wantRows {
+			t.Errorf("block %d rows = %d, want %d", b, e.Rows, wantRows)
+		}
+		if !e.HasRange {
+			t.Fatalf("block %d has no range", b)
+		}
+		lo := int64(b * bs * 3)
+		hi := int64((b*bs + wantRows - 1) * 3)
+		if e.Min != lo || e.Max != hi {
+			t.Errorf("block %d range [%d,%d], want [%d,%d]", b, e.Min, e.Max, lo, hi)
+		}
+		if e.Nulls != 0 {
+			t.Errorf("block %d counted %d nulls", b, e.Nulls)
+		}
+	}
+}
+
+// TestZoneTrackerAllNullBlock pins the stale-stats hazard fix: a block of
+// nothing but NULL sentinels must produce an entry with HasRange=false
+// and Nulls == Rows — not a bogus [0,0] range a pruner would skip on.
+func TestZoneTrackerAllNullBlock(t *testing.T) {
+	const bs = 1024
+	vals := make([]uint64, 2*bs)
+	for i := 0; i < bs; i++ {
+		vals[i] = zoneTestSentinel // block 0: all NULL
+	}
+	for i := bs; i < 2*bs; i++ {
+		vals[i] = uint64(i)
+	}
+	_, z := zoneWriter(t, WriterConfig{BlockSize: bs, Sentinel: zoneTestSentinel, HasSentinel: true}, vals)
+	if z == nil {
+		t.Fatal("no zone map")
+	}
+	e0 := &z.Entries[0]
+	if e0.HasRange {
+		t.Errorf("all-NULL block claims range [%d,%d]", e0.Min, e0.Max)
+	}
+	if e0.Nulls != bs || e0.Rows != bs {
+		t.Errorf("all-NULL block rows=%d nulls=%d, want %d/%d", e0.Rows, e0.Nulls, bs, bs)
+	}
+	if !z.AllNull(e0) {
+		t.Error("AllNull(all-NULL block) = false")
+	}
+	e1 := &z.Entries[1]
+	if !e1.HasRange || z.AllNull(e1) {
+		t.Errorf("data block misclassified: HasRange=%v AllNull=%v", e1.HasRange, z.AllNull(e1))
+	}
+}
+
+func TestZoneTrackerEmptyColumn(t *testing.T) {
+	w := NewWriter(WriterConfig{})
+	w.Finish()
+	if z := w.Zones(); z != nil {
+		t.Fatalf("empty column produced a zone map with %d entries", len(z.Entries))
+	}
+}
+
+func TestZoneMapRoundTrip(t *testing.T) {
+	z := &ZoneMap{BlockSize: 1024, NullsKnown: true, Entries: []ZoneEntry{
+		{Rows: 1024, Nulls: 3, HasRange: true, Min: -7, Max: 1 << 40},
+		{Rows: 1024, Nulls: 1024},                  // all NULL, no range
+		{Rows: 17, HasRange: true, Min: 0, Max: 0}, // partial tail
+	}}
+	got, err := ZoneMapFromBytes(z.MarshalBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BlockSize != z.BlockSize || got.NullsKnown != z.NullsKnown || len(got.Entries) != len(z.Entries) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range z.Entries {
+		if got.Entries[i] != z.Entries[i] {
+			t.Errorf("entry %d: %+v != %+v", i, got.Entries[i], z.Entries[i])
+		}
+	}
+}
+
+// TestZoneMapFromBytesRejects feeds the parser the corruption shapes the
+// v3 decoder must survive: truncation, padding, impossible counts,
+// inverted ranges, unknown flags.
+func TestZoneMapFromBytesRejects(t *testing.T) {
+	base := &ZoneMap{BlockSize: 1024, Entries: []ZoneEntry{
+		{Rows: 1024, HasRange: true, Min: 1, Max: 2},
+	}}
+	ok := base.MarshalBinary()
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want string
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:zoneHeaderSize-1] }, "truncated"},
+		{"truncated entry", func(b []byte) []byte { return b[:len(b)-1] }, "entries"},
+		{"padded", func(b []byte) []byte { return append(b, 0) }, "entries"},
+		{"zero block size", func(b []byte) []byte { b[0], b[1], b[2], b[3] = 0, 0, 0, 0; return b }, "block size"},
+		{"unknown map flag", func(b []byte) []byte { b[4] |= 0x80; return b }, "flag"},
+		{"unknown entry flag", func(b []byte) []byte { b[zoneHeaderSize+8] |= 0x40; return b }, "flag"},
+		{"zero rows", func(b []byte) []byte {
+			b[zoneHeaderSize], b[zoneHeaderSize+1] = 0, 0
+			b[zoneHeaderSize+2], b[zoneHeaderSize+3] = 0, 0
+			return b
+		}, "rows"},
+		{"nulls exceed rows", func(b []byte) []byte { b[zoneHeaderSize+4] = 0xff; b[zoneHeaderSize+5] = 0xff; return b }, "nulls"},
+		{"min above max", func(b []byte) []byte { b[zoneHeaderSize+9] = 0xff; return b }, "min"},
+		{"range without flag", func(b []byte) []byte { b[zoneHeaderSize+8] = 0; return b }, "HasRange"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.mut(append([]byte(nil), ok...))
+			_, err := ZoneMapFromBytes(buf)
+			if err == nil {
+				t.Fatal("corrupt zone map accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestZoneMapValidateAgainstStream(t *testing.T) {
+	vals := make([]uint64, 1500)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	s := encodeAll(t, WriterConfig{BlockSize: 1024}, vals)
+	good := &ZoneMap{BlockSize: 1024, Entries: []ZoneEntry{
+		{Rows: 1024, HasRange: true, Min: 0, Max: 1023},
+		{Rows: 476, HasRange: true, Min: 1024, Max: 1499},
+	}}
+	if err := good.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*ZoneMap{
+		{BlockSize: 512, Entries: good.Entries},                            // block size mismatch
+		{BlockSize: 1024, Entries: good.Entries[:1]},                       // too few entries
+		{BlockSize: 1024, Entries: []ZoneEntry{{Rows: 1024}, {Rows: 477}}}, // rows overrun
+		{BlockSize: 1024, Entries: []ZoneEntry{{Rows: 1000}, {Rows: 500}}}, // misaligned tiling
+	}
+	for i, z := range bad {
+		if err := z.Validate(s); err == nil {
+			t.Errorf("case %d: invalid zone map validated", i)
+		}
+	}
+	if err := good.Validate(nil); err == nil {
+		t.Error("nil stream validated")
+	}
+}
+
+func TestDeriveZoneMapAffine(t *testing.T) {
+	vals := make([]uint64, 3000)
+	for i := range vals {
+		vals[i] = uint64(100 + 2*i)
+	}
+	s := encodeAll(t, WriterConfig{ConvertOptimal: true}, vals)
+	if s.Kind() != Affine {
+		t.Skipf("encoder chose %v", s.Kind())
+	}
+	z := DeriveZoneMap(s, false, zoneTestSentinel, true)
+	if z == nil {
+		t.Fatal("no derived map for affine stream")
+	}
+	if err := z.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if !z.NullsKnown {
+		t.Error("affine derivation should know nulls exactly")
+	}
+	for b, e := range z.Entries {
+		lo := int64(100 + 2*b*z.BlockSize)
+		hi := int64(100 + 2*(b*z.BlockSize+e.Rows-1))
+		if !e.HasRange || e.Min != lo || e.Max != hi {
+			t.Errorf("block %d: [%d,%d] HasRange=%v, want [%d,%d]", b, e.Min, e.Max, e.HasRange, lo, hi)
+		}
+		if e.Nulls != 0 {
+			t.Errorf("block %d: %d nulls", b, e.Nulls)
+		}
+	}
+}
+
+func TestDeriveZoneMapConstantAllNull(t *testing.T) {
+	vals := make([]uint64, 2000)
+	for i := range vals {
+		vals[i] = zoneTestSentinel
+	}
+	s := encodeAll(t, WriterConfig{ConvertOptimal: true}, vals)
+	z := DeriveZoneMap(s, false, zoneTestSentinel, true)
+	if z == nil {
+		t.Skipf("no derivation for %v", s.Kind())
+	}
+	if err := z.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	for b := range z.Entries {
+		e := &z.Entries[b]
+		if e.HasRange {
+			t.Errorf("all-NULL block %d claims range [%d,%d]", b, e.Min, e.Max)
+		}
+		if !z.AllNull(e) {
+			t.Errorf("block %d not recognized as all NULL", b)
+		}
+	}
+}
+
+func TestDeriveZoneMapSortedDelta(t *testing.T) {
+	vals := make([]uint64, 4096)
+	v := uint64(0)
+	for i := range vals {
+		vals[i] = v
+		v += uint64(i % 3) // sorted, non-affine
+	}
+	s := encodeAll(t, WriterConfig{ConvertOptimal: true}, vals)
+	if s.Kind() != Delta {
+		t.Skipf("encoder chose %v", s.Kind())
+	}
+	z := DeriveZoneMap(s, false, zoneTestSentinel, true)
+	if z == nil {
+		t.Fatal("no derived map for sorted delta stream")
+	}
+	if err := z.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if !z.NullsKnown {
+		t.Error("sentinel above the data range: nulls should be known absent")
+	}
+	for b, e := range z.Entries {
+		if !e.HasRange {
+			t.Fatalf("block %d has no range", b)
+		}
+		lo, hi := e.Min, e.Max
+		for i := b * z.BlockSize; i < b*z.BlockSize+e.Rows; i++ {
+			x := int64(vals[i])
+			if x < lo || x > hi {
+				t.Fatalf("block %d: value %d outside envelope [%d,%d]", b, x, lo, hi)
+			}
+		}
+	}
+}
+
+// TestDeriveZoneMapDeltaWraparound: a raw-sorted stream whose int64 image
+// wraps (all-ones sentinel at width 8 maps to -1, below the data) must
+// not produce block bounds that fail to envelope.
+func TestDeriveZoneMapDeltaWraparound(t *testing.T) {
+	vals := make([]uint64, 3000)
+	v := uint64(0)
+	for i := range vals {
+		vals[i] = v
+		v += uint64(i % 3)
+	}
+	vals[len(vals)-1] = zoneTestSentinel // raw-sorted: sentinel is the max
+	s := encodeAll(t, WriterConfig{ConvertOptimal: true}, vals)
+	if s.Kind() != Delta {
+		t.Skipf("encoder chose %v", s.Kind())
+	}
+	z := DeriveZoneMap(s, false, zoneTestSentinel, true)
+	if z == nil {
+		return // declining to derive is the safe answer
+	}
+	for b, e := range z.Entries {
+		if !e.HasRange {
+			continue
+		}
+		for i := b * z.BlockSize; i < b*z.BlockSize+e.Rows; i++ {
+			if vals[i] == zoneTestSentinel {
+				continue
+			}
+			if x := int64(vals[i]); x < e.Min || x > e.Max {
+				t.Fatalf("block %d: value %d outside [%d,%d]", b, x, e.Min, e.Max)
+			}
+		}
+	}
+}
+
+func TestDeriveZoneMapRunLength(t *testing.T) {
+	var vals []uint64
+	for run := 0; run < 40; run++ {
+		val := uint64(run * 5)
+		if run%7 == 3 {
+			val = zoneTestSentinel
+		}
+		for i := 0; i < 100; i++ {
+			vals = append(vals, val)
+		}
+	}
+	s := encodeAll(t, WriterConfig{ConvertOptimal: true, Sentinel: zoneTestSentinel, HasSentinel: true}, vals)
+	if s.Kind() != RunLength {
+		t.Skipf("encoder chose %v", s.Kind())
+	}
+	z := DeriveZoneMap(s, false, zoneTestSentinel, true)
+	if z == nil {
+		t.Fatal("no derived map for RLE stream")
+	}
+	if err := z.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if !z.NullsKnown {
+		t.Error("RLE walk counts nulls exactly")
+	}
+	for b, e := range z.Entries {
+		nulls := 0
+		for i := b * z.BlockSize; i < b*z.BlockSize+e.Rows; i++ {
+			if vals[i] == zoneTestSentinel {
+				nulls++
+				continue
+			}
+			if !e.HasRange {
+				t.Fatalf("block %d: non-NULL value but no range", b)
+			}
+			if x := int64(vals[i]); x < e.Min || x > e.Max {
+				t.Fatalf("block %d: value %d outside [%d,%d]", b, x, e.Min, e.Max)
+			}
+		}
+		if e.Nulls != nulls {
+			t.Errorf("block %d: %d nulls recorded, %d actual", b, e.Nulls, nulls)
+		}
+	}
+}
+
+func TestDeriveZoneMapRawReturnsNil(t *testing.T) {
+	vals := make([]uint64, 2000)
+	seed := uint64(1)
+	for i := range vals {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		vals[i] = seed
+	}
+	s := encodeAll(t, WriterConfig{DisableEncoding: true}, vals)
+	if z := DeriveZoneMap(s, false, zoneTestSentinel, true); z != nil {
+		t.Fatalf("raw stream derived a zone map (%v)", s.Kind())
+	}
+}
+
+// TestMetadataFromStatsAllNull pins the bugfix this PR rides on: a column
+// of nothing but NULL sentinels must report HasRange=false, not a stale
+// zero range a pruner or join planner could act on.
+func TestMetadataFromStatsAllNull(t *testing.T) {
+	st := NewStats(true, zoneTestSentinel, true)
+	vals := make([]uint64, 100)
+	for i := range vals {
+		vals[i] = zoneTestSentinel
+	}
+	st.Update(vals)
+	md := MetadataFromStats(st, true)
+	if md.HasRange {
+		t.Fatalf("all-NULL column claims range [%d,%d]", md.Min, md.Max)
+	}
+	if md.Min != 0 || md.Max != 0 {
+		t.Errorf("rangeless metadata carries nonzero bounds [%d,%d]", md.Min, md.Max)
+	}
+	if !md.NullsKnown || !md.HasNulls {
+		t.Errorf("nullability lost: known=%v has=%v", md.NullsKnown, md.HasNulls)
+	}
+	if md.RowCount != 100 {
+		t.Errorf("row count %d", md.RowCount)
+	}
+}
+
+func TestMetadataFromStatsEmpty(t *testing.T) {
+	st := NewStats(true, zoneTestSentinel, true)
+	md := MetadataFromStats(st, true)
+	if md.HasRange {
+		t.Error("empty column claims a range")
+	}
+	if md.RowCount != 0 {
+		t.Errorf("row count %d", md.RowCount)
+	}
+}

@@ -49,6 +49,12 @@ type DeltaScan struct {
 	insAt    int
 	keep     []int
 	qc       *QueryCtx
+	// Prune holds the planner's sargable zone filters (DESIGN.md §15).
+	// Zone maps describe only the compressed base rows, so pruning applies
+	// only to base chunks; overlay insertions are emitted after the base
+	// stream regardless, so a pruned base block can never hide them.
+	Prune  []ZoneFilter
+	pruner zonePruner
 }
 
 // NewDeltaScan scans the named columns of the view's table merged with
@@ -128,7 +134,12 @@ func (s *DeltaScan) Open(qc *QueryCtx) error {
 		s.delHeaps[i] = h
 		s.delToks[i] = toks
 	}
-	s.st.SetRoutine(fmt.Sprintf("base+delta(ins=%d dels=%d epoch=%d)", len(s.view.Ins), s.view.DeletedRows, s.view.Epoch))
+	s.pruner = newZonePruner(s.table, s.Prune)
+	routine := fmt.Sprintf("base+delta(ins=%d dels=%d epoch=%d)", len(s.view.Ins), s.view.DeletedRows, s.view.Epoch)
+	if s.pruner.active() {
+		routine += "+zoneskip"
+	}
+	s.st.SetRoutine(routine)
 	return nil
 }
 
@@ -146,6 +157,18 @@ func (s *DeltaScan) next(b *vec.Block) (bool, error) {
 			return false, err
 		}
 		if s.baseAt < s.view.BaseRows() {
+			// Zone pruning on base chunks only: a skipped block's deleted
+			// rows are gone anyway and its survivors provably fail the
+			// filters; insertions are emitted after the base stream.
+			if s.pruner.active() && s.pruner.skip(s.baseAt/vec.BlockSize) {
+				step := s.view.BaseRows() - s.baseAt
+				if step > vec.BlockSize {
+					step = vec.BlockSize
+				}
+				s.baseAt += step
+				s.st.AddBlocksSkipped(1)
+				continue
+			}
 			ok, err := s.nextBase(b)
 			if err != nil {
 				return false, err

@@ -303,6 +303,7 @@ func (cb *columnBuilder) finish(cfg *FlowTableConfig) BuiltColumn {
 	st := cb.writer.Stats()
 	signed := signedType(cb.info.Type) && cb.info.Dict == nil && cb.info.Type != types.String
 	md := enc.MetadataFromStats(st, signed)
+	zones := cb.writer.Zones()
 
 	info := cb.info
 	if info.Type == types.String && !cb.preserveTokens {
@@ -327,6 +328,7 @@ func (cb *columnBuilder) finish(cfg *FlowTableConfig) BuiltColumn {
 				md.SortedKnown = false
 				md.IsAffine = false
 				md.Dense = false
+				zones = nil
 			}
 		} else if cb.distinct() && cb.outHeap.IsSortedOrder() {
 			// Fortuitously sorted insertion order (Sect. 6.4).
@@ -345,7 +347,7 @@ func (cb *columnBuilder) finish(cfg *FlowTableConfig) BuiltColumn {
 	}
 
 	return BuiltColumn{Info: withMeta(info, md), Data: stream,
-		Reencodings: cb.writer.Reencodings()}
+		Reencodings: cb.writer.Reencodings(), Zones: zones}
 }
 
 func (cb *columnBuilder) distinct() bool {

@@ -73,6 +73,10 @@ type BuiltColumn struct {
 	// Reencodings counts the dynamic encoder's format rewrites while this
 	// column loaded (Sect. 3.2 reports two for lineitem at SF-1).
 	Reencodings int
+	// Zones carries the per-block statistics gathered while the column
+	// loaded (DESIGN.md §15); nil when none are valid (empty column, or
+	// token values rewritten after the blocks were flushed).
+	Zones *enc.ZoneMap
 }
 
 // Schema returns the built table's column descriptions.

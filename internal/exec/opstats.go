@@ -146,6 +146,9 @@ type OpStats struct {
 	// rows filtered out of it; 0 elsewhere.
 	deltaRows   int64
 	deletedRows int64
+	// blocksSkipped counts storage blocks a scan proved empty against its
+	// zone map and never decoded (DESIGN.md §15); 0 elsewhere.
+	blocksSkipped int64
 	// firstNanos / lastNanos bracket the operator's activity on the
 	// profEpoch clock, for trace export.
 	firstNanos int64
@@ -215,6 +218,14 @@ func (s *OpStats) AddDeletedRows(n int64) {
 		return
 	}
 	atomic.AddInt64(&s.deletedRows, n)
+}
+
+// AddBlocksSkipped counts n storage blocks pruned by zone maps.
+func (s *OpStats) AddBlocksSkipped(n int64) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.blocksSkipped, n)
 }
 
 // RowsOut returns the rows produced so far.
@@ -313,6 +324,9 @@ type OpStatsSnapshot struct {
 	// delta-store rows merged in, deleted base rows filtered out.
 	DeltaRows   int64 `json:"delta_rows,omitempty"`
 	DeletedRows int64 `json:"deleted_rows,omitempty"`
+	// BlocksSkipped counts storage blocks a scan pruned with zone maps
+	// instead of decoding (DESIGN.md §15).
+	BlocksSkipped int64 `json:"blocks_skipped,omitempty"`
 	// StartNanos / EndNanos bracket the operator's activity on the
 	// process-monotonic clock shared by all operators of the query.
 	StartNanos int64 `json:"start_ns"`
@@ -336,21 +350,22 @@ type OpSpillSnapshot struct {
 // snapshot reads one operator's counters (atomically, field by field).
 func (s *OpStats) snapshot(node *PlanNode) OpStatsSnapshot {
 	out := OpStatsSnapshot{
-		ID:           node.ID,
-		Kind:         node.Kind,
-		Label:        node.Label,
-		Routine:      s.Routine(),
-		RowsOut:      atomic.LoadInt64(&s.nRowsOut),
-		BlocksOut:    atomic.LoadInt64(&s.nBlocksOut),
-		OpenNanos:    atomic.LoadInt64(&s.nsOpen),
-		NextNanos:    atomic.LoadInt64(&s.nsNext),
-		BytesScanned: atomic.LoadInt64(&s.bytesScanned),
-		CacheHits:    atomic.LoadInt64(&s.cacheHits),
-		CacheMisses:  atomic.LoadInt64(&s.cacheMisses),
-		DeltaRows:    atomic.LoadInt64(&s.deltaRows),
-		DeletedRows:  atomic.LoadInt64(&s.deletedRows),
-		StartNanos:   atomic.LoadInt64(&s.firstNanos),
-		EndNanos:     atomic.LoadInt64(&s.lastNanos),
+		ID:            node.ID,
+		Kind:          node.Kind,
+		Label:         node.Label,
+		Routine:       s.Routine(),
+		RowsOut:       atomic.LoadInt64(&s.nRowsOut),
+		BlocksOut:     atomic.LoadInt64(&s.nBlocksOut),
+		OpenNanos:     atomic.LoadInt64(&s.nsOpen),
+		NextNanos:     atomic.LoadInt64(&s.nsNext),
+		BytesScanned:  atomic.LoadInt64(&s.bytesScanned),
+		CacheHits:     atomic.LoadInt64(&s.cacheHits),
+		CacheMisses:   atomic.LoadInt64(&s.cacheMisses),
+		DeltaRows:     atomic.LoadInt64(&s.deltaRows),
+		DeletedRows:   atomic.LoadInt64(&s.deletedRows),
+		BlocksSkipped: atomic.LoadInt64(&s.blocksSkipped),
+		StartNanos:    atomic.LoadInt64(&s.firstNanos),
+		EndNanos:      atomic.LoadInt64(&s.lastNanos),
 	}
 	if sp := s.Spill.snapshot(); sp.Spills > 0 {
 		out.Spill = &sp

@@ -36,6 +36,10 @@ type Scan struct {
 	// run-length streams, which have no block structure).
 	cache     *DecodeCache
 	cacheCols []bool
+	// Prune holds the planner's sargable zone filters (DESIGN.md §15);
+	// blocks they prove empty are skipped without decoding.
+	Prune  []ZoneFilter
+	pruner zonePruner
 }
 
 // NewScan scans the named columns of t (all columns when names is nil).
@@ -92,7 +96,11 @@ func (s *Scan) Open(qc *QueryCtx) error {
 			s.cache != nil && s.table.Columns[idx].Data.Kind() != enc.RunLength)
 	}
 	s.runCol = -1
+	s.pruner = newZonePruner(s.table, s.Prune)
 	routine := encRoutine(kinds)
+	if s.pruner.active() {
+		routine += "+zoneskip"
+	}
 	if s.EmitRuns && len(s.colIdxs) == 1 {
 		c := s.table.Columns[s.colIdxs[0]]
 		if c.Data.Kind() == enc.RunLength && c.Heap == nil && c.Type != types.String {
@@ -115,6 +123,17 @@ func (s *Scan) Next(b *vec.Block) (bool, error) {
 func (s *Scan) next(b *vec.Block) (bool, error) {
 	if err := s.qc.Err(); err != nil {
 		return false, err
+	}
+	// Zone pruning: the cursor is always vec.BlockSize-aligned, so blocks
+	// a filter proves empty advance it without decoding anything — no
+	// reader call, no decode-cache charge.
+	for s.at < s.rows && s.pruner.active() && s.pruner.skip(s.at/vec.BlockSize) {
+		step := s.rows - s.at
+		if step > vec.BlockSize {
+			step = vec.BlockSize
+		}
+		s.at += step
+		s.st.AddBlocksSkipped(1)
 	}
 	if s.at >= s.rows {
 		return false, nil

@@ -9,12 +9,13 @@ func (bt *Built) ToTable(name string) *storage.Table {
 	for i := range bt.Cols {
 		c := &bt.Cols[i]
 		col := &storage.Column{
-			Name: c.Info.Name,
-			Type: c.Info.Type,
-			Data: c.Data,
-			Dict: c.Info.Dict,
-			Heap: c.Info.Heap,
-			Meta: c.Info.Meta,
+			Name:  c.Info.Name,
+			Type:  c.Info.Type,
+			Data:  c.Data,
+			Dict:  c.Info.Dict,
+			Heap:  c.Info.Heap,
+			Meta:  c.Info.Meta,
+			Zones: c.Zones,
 		}
 		if c.Info.Heap != nil {
 			col.Collation = c.Info.Heap.Collation()
@@ -29,8 +30,9 @@ func FromTable(t *storage.Table) *Built {
 	bt := &Built{Rows: t.Rows()}
 	for _, c := range t.Columns {
 		bt.Cols = append(bt.Cols, BuiltColumn{
-			Info: ColInfo{Name: c.Name, Type: c.Type, Heap: c.Heap, Dict: c.Dict, Meta: c.Meta},
-			Data: c.Data,
+			Info:  ColInfo{Name: c.Name, Type: c.Type, Heap: c.Heap, Dict: c.Dict, Meta: c.Meta},
+			Data:  c.Data,
+			Zones: c.Zones,
 		})
 	}
 	return bt

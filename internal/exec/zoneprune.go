@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"tde/internal/enc"
+	"tde/internal/storage"
+	"tde/internal/vec"
+)
+
+// Zone-map pruning (DESIGN.md §15): the planner extracts sargable
+// predicates into ZoneFilters — constraints on a stored column expressed
+// in that column's zone domain (sign-extended values for scalars, raw
+// tokens for dictionary columns) — and hands them to the scans. Before
+// decoding a block, a scan tests each filter against the block's zone
+// entry; a block no filter can match is skipped without touching the
+// decode cache or charging the memory pool.
+//
+// Correctness leans on the zone-map contract: entries are conservative
+// envelopes, so a block is skipped only when it provably holds no
+// qualifying row. A missing map, a foreign block size, or a rangeless
+// entry all mean "cannot skip" — pruning is an optimization that must
+// never change results.
+
+// ZoneFilterKind says what a ZoneFilter constrains.
+type ZoneFilterKind int
+
+const (
+	// ZFRange keeps rows with Lo <= value <= Hi (zone domain). NULL rows
+	// never satisfy a comparison, so provably-all-NULL blocks skip too.
+	ZFRange ZoneFilterKind = iota
+	// ZFIsNull keeps only NULL rows.
+	ZFIsNull
+	// ZFNotNull keeps only non-NULL rows.
+	ZFNotNull
+)
+
+// ZoneFilter is one sargable constraint on one stored column.
+type ZoneFilter struct {
+	// Col indexes the table's stored columns (storage order, not scan
+	// output order).
+	Col  int
+	Kind ZoneFilterKind
+	// Lo, Hi bound a ZFRange in the column's zone domain.
+	Lo, Hi int64
+	// Empty marks a provably unsatisfiable filter (an equality constant
+	// outside the dictionary's domain): every block skips.
+	Empty bool
+	// Name is the column name, for EXPLAIN only.
+	Name string
+}
+
+// String renders the filter for EXPLAIN.
+func (f ZoneFilter) String() string {
+	if f.Empty {
+		return f.Name + " ∅"
+	}
+	switch f.Kind {
+	case ZFIsNull:
+		return f.Name + " IS NULL"
+	case ZFNotNull:
+		return f.Name + " IS NOT NULL"
+	}
+	return fmt.Sprintf("%s in [%d, %d]", f.Name, f.Lo, f.Hi)
+}
+
+// ZoneFilterList renders filters for EXPLAIN.
+func ZoneFilterList(filters []ZoneFilter) string {
+	parts := make([]string, len(filters))
+	for i, f := range filters {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// zonePruner is a scan's compiled pruning state: the subset of the
+// planner's filters that are actually decidable against this table's
+// zone maps, bound to their maps.
+type zonePruner struct {
+	filters []ZoneFilter
+	zones   []*enc.ZoneMap // parallel to filters; nil only for Empty
+}
+
+// newZonePruner binds filters to t's zone maps, dropping the undecidable
+// ones. Only maps aligned to the engine block size participate: the scan
+// cursor advances in vec.BlockSize steps, so a map at any other
+// granularity cannot be consulted per cursor block.
+func newZonePruner(t *storage.Table, filters []ZoneFilter) zonePruner {
+	var p zonePruner
+	for _, f := range filters {
+		if f.Empty {
+			p.filters = append(p.filters, f)
+			p.zones = append(p.zones, nil)
+			continue
+		}
+		if f.Col < 0 || f.Col >= len(t.Columns) {
+			continue
+		}
+		z := t.Columns[f.Col].Zones
+		if z == nil || z.BlockSize != vec.BlockSize || len(z.Entries) == 0 {
+			continue
+		}
+		p.filters = append(p.filters, f)
+		p.zones = append(p.zones, z)
+	}
+	return p
+}
+
+// active reports whether any filter survived binding.
+func (p *zonePruner) active() bool { return len(p.filters) > 0 }
+
+// skip reports whether cursor block b (rows [b*vec.BlockSize, ...))
+// provably contains no row satisfying every filter.
+func (p *zonePruner) skip(b int) bool {
+	for i := range p.filters {
+		f := &p.filters[i]
+		if f.Empty {
+			return true
+		}
+		z := p.zones[i]
+		if b >= len(z.Entries) {
+			continue
+		}
+		e := &z.Entries[b]
+		switch f.Kind {
+		case ZFRange:
+			// NULL rows fail every comparison, so an all-NULL block has
+			// no qualifying row either.
+			if z.AllNull(e) {
+				return true
+			}
+			if e.HasRange && (e.Max < f.Lo || e.Min > f.Hi) {
+				return true
+			}
+		case ZFIsNull:
+			if z.NullsKnown && e.Nulls == 0 {
+				return true
+			}
+		case ZFNotNull:
+			if z.AllNull(e) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -92,6 +92,12 @@ type Options struct {
 	// grouping). EncodedAuto (the zero value) leaves it on; the explicit
 	// levels exist for differential testing and as an escape hatch.
 	EncodedExec int
+	// ZoneSkip controls zone-map block pruning (DESIGN.md §15): whether
+	// sargable WHERE conjuncts are extracted into scan-level zone filters
+	// that skip blocks without decoding them. ZoneSkipAuto (the zero
+	// value) leaves it on; ZoneSkipOff is the differential sweep's oracle
+	// arm and the escape hatch.
+	ZoneSkip int
 }
 
 // EncodedExec levels.
@@ -104,6 +110,17 @@ const (
 	// EncodedOff disables encoded execution: scans decode every block and
 	// operators use the row routines only.
 	EncodedOff = -1
+)
+
+// ZoneSkip levels.
+const (
+	// ZoneSkipAuto enables zone-map pruning (the default).
+	ZoneSkipAuto = 0
+	// ForceZoneSkip enables pruning explicitly — the differential sweep's
+	// "forced on" arm.
+	ForceZoneSkip = 1
+	// ZoneSkipOff disables pruning: scans decode every block.
+	ZoneSkipOff = -1
 )
 
 // Auto-parallelism thresholds: below parallelMinRows the fan-out costs
@@ -380,6 +397,7 @@ func buildScanPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
+	attachZoneFilters(scan, q, opt, ex)
 	// DeltaScan always emits decoded blocks (the overlay merge works on
 	// plain rows), so only the plain Scan gets the run-emission switch.
 	if s, ok := scan.(*exec.Scan); ok && opt.EncodedExec >= 0 {
@@ -519,6 +537,7 @@ func buildDictPlan(q Query, opt Options, ex *Explain) (exec.Operator, error) {
 		return nil, err
 	}
 	scan.EmitRuns = opt.EncodedExec >= 0 // the join probe materializes if needed
+	attachZoneFilters(scan, q, opt, ex)
 	ex.add("Scan(%s)", q.Table.Name)
 	outerKey := -1
 	for i, info := range scan.Schema() {

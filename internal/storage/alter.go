@@ -70,8 +70,12 @@ func ConvertToDictCompression(col *Column) error {
 		return fmt.Errorf("storage: cannot cheaply dictionary-compress a %v column", col.Data.Kind())
 	}
 	// The column's values are now tokens: refresh metadata accordingly.
+	// Zone maps describe the old value domain, so they are rebuilt in the
+	// token domain (or dropped when the rewritten stream supports none) —
+	// stale zones on a rewritten stream would prune wrongly.
 	col.Meta = enc.MetadataFromStream(col.Data, false, types.NullToken, true)
 	col.Meta.RowCount = col.Data.Len()
+	col.Zones = enc.DeriveZoneMap(col.Data, false, types.NullToken, true)
 	return nil
 }
 

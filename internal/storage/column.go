@@ -36,6 +36,10 @@ type Column struct {
 
 	// Meta carries the properties extracted during load (Sect. 3.4.2).
 	Meta enc.Metadata
+
+	// Zones holds the per-block zone map (DESIGN.md §15); nil when the
+	// column has none, which consumers must treat as "cannot skip".
+	Zones *enc.ZoneMap
 }
 
 // Rows returns the column's logical row count.

@@ -27,7 +27,10 @@ import (
 //
 //	magic "TDE\x01" | format version u32 | table count u32
 //	per table:  name | row count u64 | column count u32
-//	per column (v2): record length u64 | record crc32 u32 | record
+//	per column (v2+): record length u64 | record crc32 u32 | record
+//	per column (v3):  ... followed by the sibling zone frame:
+//	                  zone length u64 | zone crc32 u32 | zone record
+//	                  (length 0 = column has no zone map)
 //	column record:   name | type u8 | collation u8 | flags u8 |
 //	                 metadata block | data stream | [heap] | [scalar dict]
 //	trailer: crc32 of everything after the magic
@@ -39,11 +42,19 @@ import (
 // column record the unit of integrity: a flipped bit damages exactly one
 // column, and because the record length precedes the record, a reader can
 // skip a damaged column and salvage every other one (ReadOptions.Salvage)
-// instead of refusing the whole file on the trailer checksum.
+// instead of refusing the whole file on the trailer checksum. Version 3
+// appends an independently-checksummed per-block zone map frame after
+// each column record (DESIGN.md §15); v1/v2 files still load, deriving
+// zone maps from the stream headers where provably safe. The zone frame
+// is parsed as a unit with its column: quarantining the column drops its
+// zone frame and vice versa (a salvaged table must never prune using
+// stats for data it no longer serves), and a damaged zone frame alone
+// degrades that column to "no skipping", never a wrong answer.
 
 const (
 	fileMagic     = "TDE\x01"
-	fileVersion   = 2
+	fileVersion   = 3
+	fileVersionV2 = 2
 	fileVersionV1 = 1
 
 	flagHasHeap    = 1 << 0
@@ -114,14 +125,14 @@ func writeFileAtomic(fs iofault.FS, path string, write func(io.Writer) error) (e
 	return nil
 }
 
-// Write serializes tables to w in the current (version 2) format.
+// Write serializes tables to w in the current (version 3) format.
 func Write(w io.Writer, tables []*Table) error {
 	return writeImage(w, tables, fileVersion)
 }
 
-// writeImage serializes tables at the requested format version. Version 1
-// is kept writable so compatibility tests and fuzz corpora can produce
-// genuine old-format files.
+// writeImage serializes tables at the requested format version. Old
+// versions are kept writable so compatibility tests and fuzz corpora can
+// produce genuine old-format files.
 func writeImage(w io.Writer, tables []*Table, version uint32) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(fileMagic); err != nil {
@@ -145,7 +156,7 @@ func writeImage(w io.Writer, tables []*Table, version uint32) error {
 				writeColumnRecord(ew, c)
 				continue
 			}
-			// v2: frame the record with its length and checksum so the
+			// v2+: frame the record with its length and checksum so the
 			// reader can verify — and on mismatch skip — exactly this
 			// column.
 			scratch.Reset()
@@ -158,6 +169,19 @@ func writeImage(w io.Writer, tables []*Table, version uint32) error {
 			ew.u64(uint64(len(rec)))
 			ew.u32(crc32.ChecksumIEEE(rec))
 			ew.write(rec)
+			if version >= fileVersion {
+				// v3: the sibling zone frame, independently checksummed
+				// so a flipped zone bit costs skipping, not the column.
+				if c.Zones != nil {
+					zb := c.Zones.MarshalBinary()
+					ew.u64(uint64(len(zb)))
+					ew.u32(crc32.ChecksumIEEE(zb))
+					ew.write(zb)
+				} else {
+					ew.u64(0)
+					ew.u32(0)
+				}
+			}
 		}
 	}
 	if ew.err != nil {
@@ -299,7 +323,7 @@ func ReadWithOptions(buf []byte, opt ReadOptions) ([]*Table, *CorruptionReport, 
 			}
 		}
 		tables = readTables(r, rep, opt, version)
-	case fileVersion:
+	case fileVersionV2, fileVersion:
 		tables = readTables(r, rep, opt, version)
 		if !crcOK && len(rep.Entries) == 0 {
 			// Every column record checks out, so the flipped bytes are in
@@ -347,8 +371,11 @@ func readTables(r *reader, rep *CorruptionReport, opt ReadOptions, version uint3
 			return tables
 		}
 		perCol := colRecordMin
-		if version == fileVersion {
+		if version >= fileVersionV2 {
 			perCol += colRecordOverhead
+		}
+		if version >= fileVersion {
+			perCol += colRecordOverhead // the zone frame header
 		}
 		if nc < 0 || nc > (len(r.buf)-r.at)/perCol {
 			rep.add(CorruptionEntry{Table: t.Name, Offset: tblOff,
@@ -413,6 +440,32 @@ scan:
 				break scan
 			}
 			rec := r.take(int(recLen))
+			// v3 frames a sibling zone record right after the column
+			// record. Consume it before judging the column so the file
+			// position stays known, and so quarantining either half of
+			// the pair drops the other with it.
+			var zrec []byte
+			var zcrc uint32
+			if version >= fileVersion {
+				zOff := fileOff(r)
+				zlen := r.u64()
+				zcrc = r.u32()
+				if r.err != nil {
+					rep.add(CorruptionEntry{Table: t.Name, Column: recordName(rec, j), Offset: zOff,
+						Reason: "zone map header truncated"})
+					damaged += nc - j
+					stop = true
+					break scan
+				}
+				if zlen > uint64(len(r.buf)-r.at) {
+					rep.add(CorruptionEntry{Table: t.Name, Column: recordName(rec, j), Offset: zOff,
+						Reason: fmt.Sprintf("zone map length %d overruns file", zlen)})
+					damaged += nc - j
+					stop = true
+					break scan
+				}
+				zrec = r.take(int(zlen))
+			}
 			if crc32.ChecksumIEEE(rec) != recCRC {
 				rep.add(CorruptionEntry{Table: t.Name, Column: recordName(rec, j), Offset: recOff,
 					Length: int64(recLen) + colRecordOverhead,
@@ -428,6 +481,18 @@ scan:
 					Reason: err.Error()})
 				damaged++
 				continue
+			}
+			if len(zrec) > 0 {
+				// A zone map is untrusted input about block contents; any
+				// damage degrades this column to "no skipping" (the header-
+				// derived map from parseColumn is discarded too, keeping
+				// the failure mode uniform) rather than risking a wrong
+				// answer. The report entry fails a strict open.
+				if reason := attachZones(c, zrec, zcrc); reason != "" {
+					rep.add(CorruptionEntry{Table: t.Name, Column: c.Name, Offset: recOff,
+						Reason: reason + " (column kept, skipping disabled)"})
+					c.Zones = nil
+				}
 			}
 		}
 		if opt.DeepVerify {
@@ -548,7 +613,43 @@ func parseColumn(r *reader, exact bool) (*Column, error) {
 	if err := validateDictTokens(c); err != nil {
 		return c, fmt.Errorf("column %q: %w", c.Name, err)
 	}
+	// Zone maps are not part of the v1/v2 record; derive what the encoded
+	// stream's own headers prove (DESIGN.md §15) so old extracts can still
+	// skip blocks where it is provably safe. A v3 persisted map, when
+	// present and valid, replaces this.
+	if c.Data.Len() > 0 {
+		c.Zones = enc.DeriveZoneMap(c.Data, c.Signed(), zoneSentinel(c), true)
+	}
 	return c, nil
+}
+
+// zoneSentinel returns the NULL pattern a column's raw stream stores:
+// the token sentinel for token-valued columns, the type sentinel for
+// plain scalars.
+func zoneSentinel(c *Column) uint64 {
+	if c.Dict != nil || c.Type == types.String {
+		return types.NullToken
+	}
+	return types.NullBits(c.Type)
+}
+
+// attachZones validates an untrusted persisted zone record against its
+// column and attaches it; a non-empty return describes why it was
+// rejected. Validation failure must never panic or mis-skip, only cost
+// the pruning opportunity.
+func attachZones(c *Column, zrec []byte, zcrc uint32) string {
+	if crc32.ChecksumIEEE(zrec) != zcrc {
+		return "zone map checksum mismatch"
+	}
+	zm, err := enc.ZoneMapFromBytes(zrec)
+	if err != nil {
+		return err.Error()
+	}
+	if err := zm.Validate(c.Data); err != nil {
+		return err.Error()
+	}
+	c.Zones = zm
+	return ""
 }
 
 // validateDictTokens checks that every stored token of a dictionary-
@@ -607,7 +708,10 @@ func validateDictTokens(c *Column) error {
 
 // deepVerifyColumn decodes every value of c, converting any residual
 // fault (including a panic in the decode path on a hostile image) into a
-// corruption error.
+// corruption error. When the column carries a zone map it is cross-
+// checked against the decoded blocks: every non-NULL value must lie in
+// its block's claimed range, and exact-null maps must count NULLs
+// correctly — the check behind `tdecheck -deep`.
 func deepVerifyColumn(c *Column) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -622,6 +726,58 @@ func deepVerifyColumn(c *Column) (err error) {
 			_ = c.StringAt(i)
 		} else {
 			_ = c.Value(i)
+		}
+	}
+	return verifyZones(c)
+}
+
+// verifyZones cross-checks c's zone map (if any) against the decoded
+// blocks. Entries are conservative envelopes, so the check is
+// containment, not equality: a value outside its block's range (or a
+// wrong exact NULL count) means a scan consulting this map could skip a
+// block that matches — silent wrong answers, the worst corruption class.
+func verifyZones(c *Column) error {
+	z := c.Zones
+	if z == nil {
+		return nil
+	}
+	if err := z.Validate(c.Data); err != nil {
+		return fmt.Errorf("deep verify: %w", err)
+	}
+	w := c.Data.Width()
+	sraw := zoneSentinel(c) & enc.WidthMask(w)
+	signed := c.Signed()
+	for i, rows := 0, c.Rows(); i < rows; i++ {
+		e := &z.Entries[i/z.BlockSize]
+		raw := c.Data.Get(i)
+		if raw == sraw {
+			continue
+		}
+		var x int64
+		if signed {
+			x = enc.SignExtend(raw, w)
+		} else {
+			x = int64(raw & enc.WidthMask(w))
+		}
+		if !e.HasRange {
+			return fmt.Errorf("deep verify: zone entry %d claims no range but block has value %d", i/z.BlockSize, x)
+		}
+		if x < e.Min || x > e.Max {
+			return fmt.Errorf("deep verify: value %d at row %d outside zone range [%d, %d]", x, i, e.Min, e.Max)
+		}
+	}
+	if z.NullsKnown {
+		for b := range z.Entries {
+			e := &z.Entries[b]
+			nulls := 0
+			for i := b * z.BlockSize; i < b*z.BlockSize+e.Rows; i++ {
+				if c.Data.Get(i) == sraw {
+					nulls++
+				}
+			}
+			if nulls != e.Nulls {
+				return fmt.Errorf("deep verify: zone entry %d claims %d nulls, block has %d", b, e.Nulls, nulls)
+			}
 		}
 	}
 	return nil

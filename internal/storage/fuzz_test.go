@@ -54,11 +54,13 @@ func walkTables(got []*Table) {
 
 // FuzzStorageRead checks that parsing an arbitrary database image never
 // panics: it must return tables or an error, even when the image is a
-// mutation of a genuine v1 or v2 file with a corrected checksum, and in
-// both strict and salvage modes.
+// mutation of a genuine v1, v2 or v3 file with a corrected checksum, and
+// in both strict and salvage modes. The v3 seed puts the zone-map frames
+// (DESIGN.md §15) in the mutation path: hostile zone records must degrade
+// to no-skipping or a typed error, never a panic.
 func FuzzStorageRead(f *testing.F) {
 	tables := fuzzSeedTables(f)
-	for _, version := range []uint32{fileVersionV1, fileVersion} {
+	for _, version := range []uint32{fileVersionV1, fileVersionV2, fileVersion} {
 		var buf bytes.Buffer
 		if err := writeImage(&buf, tables, version); err != nil {
 			f.Fatal(err)
@@ -137,9 +139,9 @@ func FuzzSalvageOpen(f *testing.F) {
 }
 
 // TestGenerateFuzzCorpus regenerates the committed corpus seeds (genuine
-// v1 and v2 images) under testdata/fuzz when REGEN_CORPUS=1 is set; these
-// lock the on-disk formats into the coverage corpus so format drift is
-// caught even without -fuzz.
+// v1, v2 and v3 images) under testdata/fuzz when REGEN_CORPUS=1 is set;
+// these lock the on-disk formats into the coverage corpus so format drift
+// is caught even without -fuzz.
 func TestGenerateFuzzCorpus(t *testing.T) {
 	if os.Getenv("REGEN_CORPUS") == "" {
 		t.Skip("set REGEN_CORPUS=1 to regenerate committed corpus files")
@@ -148,7 +150,7 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 	for _, v := range []struct {
 		version uint32
 		name    string
-	}{{fileVersionV1, "seed-v1-image"}, {fileVersion, "seed-v2-image"}} {
+	}{{fileVersionV1, "seed-v1-image"}, {fileVersionV2, "seed-v2-image"}, {fileVersion, "seed-v3-image"}} {
 		var buf bytes.Buffer
 		if err := writeImage(&buf, tables, v.version); err != nil {
 			t.Fatal(err)

@@ -42,16 +42,19 @@ type recordSpan struct {
 	start, length int // absolute file offsets; length includes the frame
 }
 
-// v2Spans walks a well-formed v2 image and returns every column record's
-// span, using only the format layout (not the reader under test).
+// v2Spans walks a well-formed v2/v3 image and returns every column
+// record's span, using only the format layout (not the reader under
+// test). In a v3 image the sibling zone frame is skipped, so a span
+// always addresses the column record itself.
 func v2Spans(t testing.TB, img []byte) []recordSpan {
 	t.Helper()
 	at := len(fileMagic)
 	u32 := func() uint32 { v := binary.LittleEndian.Uint32(img[at:]); at += 4; return v }
 	u64 := func() uint64 { v := binary.LittleEndian.Uint64(img[at:]); at += 8; return v }
 	str := func() string { n := int(u32()); s := string(img[at : at+n]); at += n; return s }
-	if v := u32(); v != fileVersion {
-		t.Fatalf("not a v2 image (version %d)", v)
+	version := u32()
+	if version < fileVersionV2 || version > fileVersion {
+		t.Fatalf("not a framed-record image (version %d)", version)
 	}
 	var spans []recordSpan
 	nt := int(u32())
@@ -68,6 +71,11 @@ func v2Spans(t testing.TB, img []byte) []recordSpan {
 				cname = string(img[at+4 : at+4+n])
 			}
 			at += recLen
+			if version >= fileVersion {
+				zlen := int(u64())
+				u32() // zone crc
+				at += zlen
+			}
 			spans = append(spans, recordSpan{table: tname, column: cname,
 				start: start, length: recLen + colRecordOverhead})
 		}

@@ -21,7 +21,7 @@ func buildIntColumn(t testing.TB, name string, vals []int64) *Column {
 	}
 	s := w.Finish()
 	return &Column{Name: name, Type: types.Integer, Data: s,
-		Meta: enc.MetadataFromStats(w.Stats(), true)}
+		Meta: enc.MetadataFromStats(w.Stats(), true), Zones: w.Zones()}
 }
 
 func buildStringColumn(t testing.TB, name string, vals []string) *Column {
@@ -35,7 +35,7 @@ func buildStringColumn(t testing.TB, name string, vals []string) *Column {
 	}
 	s := w.Finish()
 	return &Column{Name: name, Type: types.String, Collation: types.CollateBinary,
-		Data: s, Heap: h, Meta: enc.MetadataFromStats(w.Stats(), false)}
+		Data: s, Heap: h, Meta: enc.MetadataFromStats(w.Stats(), false), Zones: w.Zones()}
 }
 
 func TestColumnValueAccess(t *testing.T) {

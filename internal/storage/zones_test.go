@@ -1,0 +1,341 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tde/internal/iofault"
+)
+
+// zoneSpan is the byte range one column's zone frame occupies in a v3
+// image, starting at the zone-length field.
+type zoneSpan struct {
+	table, column string
+	start         int // absolute offset of the zone frame (length field)
+	zlen          int // zone record length (0 = column has no zone map)
+}
+
+// zoneSpans walks a well-formed v3 image and locates every column's zone
+// frame, using only the format layout.
+func zoneSpans(t testing.TB, img []byte) []zoneSpan {
+	t.Helper()
+	at := len(fileMagic)
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(img[at:]); at += 4; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(img[at:]); at += 8; return v }
+	str := func() string { n := int(u32()); s := string(img[at : at+n]); at += n; return s }
+	if v := u32(); v != fileVersion {
+		t.Fatalf("not a v3 image (version %d)", v)
+	}
+	var spans []zoneSpan
+	nt := int(u32())
+	for i := 0; i < nt; i++ {
+		tname := str()
+		u64() // rows
+		nc := int(u32())
+		for j := 0; j < nc; j++ {
+			recLen := int(u64())
+			u32() // record crc
+			cname := tname + "?"
+			if n := int(binary.LittleEndian.Uint32(img[at:])); n >= 0 && at+4+n <= len(img) {
+				cname = string(img[at+4 : at+4+n])
+			}
+			at += recLen
+			start := at
+			zlen := int(u64())
+			u32() // zone crc
+			at += zlen
+			spans = append(spans, zoneSpan{table: tname, column: cname, start: start, zlen: zlen})
+		}
+	}
+	return spans
+}
+
+// TestZoneMapsPersistAcrossSave: a v3 round trip must return every
+// column's zone map byte-for-byte, not a header-derived approximation.
+func TestZoneMapsPersistAcrossSave(t *testing.T) {
+	tables := testTables(t)
+	img := writeTestImage(t, tables, fileVersion)
+	got, err := Read(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoned := 0
+	for ti, want := range tables {
+		for _, wc := range want.Columns {
+			gc := got[ti].Column(wc.Name)
+			if gc == nil {
+				t.Fatalf("column %s.%s lost", want.Name, wc.Name)
+			}
+			if wc.Zones == nil {
+				continue
+			}
+			zoned++
+			if gc.Zones == nil {
+				t.Fatalf("%s.%s: zone map not persisted", want.Name, wc.Name)
+			}
+			if !bytes.Equal(gc.Zones.MarshalBinary(), wc.Zones.MarshalBinary()) {
+				t.Errorf("%s.%s: zone map changed across save:\n%+v\n%+v",
+					want.Name, wc.Name, gc.Zones, wc.Zones)
+			}
+		}
+	}
+	if zoned == 0 {
+		t.Fatal("test tables carry no zone maps; the round trip proved nothing")
+	}
+}
+
+// TestV2ImagesDeriveZones: a pre-zone-map extract still loads, and
+// columns whose stream headers prove per-block bounds (affine here) get
+// a derived map so old files can still skip.
+func TestV2ImagesDeriveZones(t *testing.T) {
+	tables := testTables(t)
+	img := writeTestImage(t, tables, fileVersionV2)
+	got, err := Read(img)
+	if err != nil {
+		t.Fatalf("v2 image rejected: %v", err)
+	}
+	var id *Column
+	for _, tab := range got {
+		if tab.Name == "orders" {
+			id = tab.Column("id")
+		}
+	}
+	if id == nil {
+		t.Fatal("orders.id missing")
+	}
+	if id.Zones == nil {
+		t.Fatalf("sequential id column (%v) derived no zone map from a v2 image", id.Data.Kind())
+	}
+	if err := id.Zones.Validate(id.Data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptZoneFrameDegradesNotWrong pins the v3 decoder's contract for
+// hostile zone records: a flipped zone byte costs that column its
+// skipping (salvage) or fails the open with a typed corruption error
+// (strict) — the column's data is never dropped and never mis-pruned.
+func TestCorruptZoneFrameDegradesNotWrong(t *testing.T) {
+	tables := testTables(t)
+	img := writeTestImage(t, tables, fileVersion)
+	for _, zs := range zoneSpans(t, img) {
+		if zs.zlen == 0 {
+			continue
+		}
+		mut := append([]byte(nil), img...)
+		mut[zs.start+colRecordOverhead+zs.zlen/2] ^= 0x20
+		mut = fixupCRC(mut)
+
+		// Strict open refuses, with the damage localized and typed.
+		_, _, err := ReadWithOptions(mut, ReadOptions{})
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s.%s: strict open of damaged zone frame: %v", zs.table, zs.column, err)
+		}
+		var rep *CorruptionReport
+		if !errors.As(err, &rep) || len(rep.Entries) != 1 || rep.Entries[0].Column != zs.column {
+			t.Fatalf("%s.%s: report does not localize the zone frame: %v", zs.table, zs.column, err)
+		}
+
+		// Salvage keeps the column, drops only the skipping.
+		got, rep2, err := ReadWithOptions(mut, ReadOptions{Salvage: true})
+		if err != nil {
+			t.Fatalf("%s.%s: salvage failed: %v", zs.table, zs.column, err)
+		}
+		if rep2 == nil || len(rep2.Entries) != 1 ||
+			!strings.Contains(rep2.Entries[0].Reason, "skipping disabled") {
+			t.Fatalf("%s.%s: salvage report %v", zs.table, zs.column, rep2)
+		}
+		var want, gotc *Column
+		for ti, wt := range tables {
+			if wt.Name == zs.table {
+				want = wt.Column(zs.column)
+				gotc = got[ti].Column(zs.column)
+			}
+		}
+		if gotc == nil {
+			t.Fatalf("%s.%s: column dropped over zone-frame damage", zs.table, zs.column)
+		}
+		if gotc.Zones != nil {
+			t.Fatalf("%s.%s: damaged zone frame left a zone map attached", zs.table, zs.column)
+		}
+		for i := 0; i < want.Rows(); i++ {
+			if gotc.Format(i) != want.Format(i) {
+				t.Fatalf("%s.%s row %d: %q != %q", zs.table, zs.column, i, gotc.Format(i), want.Format(i))
+			}
+		}
+	}
+}
+
+// TestZoneFrameLengthOverrunReported: a zone length pointing past the end
+// of the file loses the position; the reader must report, not panic or
+// misparse what follows.
+func TestZoneFrameLengthOverrunReported(t *testing.T) {
+	img := writeTestImage(t, testTables(t), fileVersion)
+	zs := zoneSpans(t, img)[0]
+	mut := append([]byte(nil), img...)
+	binary.LittleEndian.PutUint64(mut[zs.start:], 1<<40)
+	mut = fixupCRC(mut)
+	_, rep, err := ReadWithOptions(mut, ReadOptions{Salvage: true})
+	if err != nil {
+		t.Fatalf("salvage: %v", err)
+	}
+	found := false
+	for _, e := range rep.Entries {
+		if strings.Contains(e.Reason, "zone map length") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("overrunning zone length not reported: %v", rep)
+	}
+}
+
+// TestQuarantineDropsZonePairAtomically: damaging a column record must
+// drop its sibling zone frame with it, while the next column — and its
+// zone map — survive intact. A salvaged table pruning with stats for data
+// it no longer serves is exactly the hazard this PR fixes.
+func TestQuarantineDropsZonePairAtomically(t *testing.T) {
+	tables := testTables(t)
+	img := writeTestImage(t, tables, fileVersion)
+	spans := v2Spans(t, img)
+	// Damage orders.id (first column); orders.status and orders.amount
+	// follow it in the same table.
+	sp := spans[0]
+	if sp.column != "id" {
+		t.Fatalf("layout changed: first span is %s.%s", sp.table, sp.column)
+	}
+	mut := append([]byte(nil), img...)
+	mut[sp.start+colRecordOverhead+sp.length/2] ^= 0x04
+	mut = fixupCRC(mut)
+
+	got, rep, err := ReadWithOptions(mut, ReadOptions{Salvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || len(rep.Entries) != 1 || rep.Entries[0].Column != "id" {
+		t.Fatalf("report %v", rep)
+	}
+	var orders *Table
+	for _, tab := range got {
+		if tab.Name == "orders" {
+			orders = tab
+		}
+	}
+	if orders == nil {
+		t.Fatal("orders quarantined entirely")
+	}
+	if orders.Column("id") != nil {
+		t.Fatal("damaged column survived")
+	}
+	amount := orders.Column("amount")
+	if amount == nil {
+		t.Fatal("column after the damaged pair lost (file position not kept)")
+	}
+	want := tables[0].Column("amount")
+	if want.Zones == nil || amount.Zones == nil {
+		t.Fatalf("sibling column's zone map lost: want %v, got %v", want.Zones, amount.Zones)
+	}
+	if !bytes.Equal(amount.Zones.MarshalBinary(), want.Zones.MarshalBinary()) {
+		t.Fatal("sibling column's zone map differs after salvage")
+	}
+}
+
+// TestDeepVerifyCatchesLyingZoneMap: a structurally valid zone record
+// whose bounds exclude real values passes a normal open (checksums are
+// recomputable by an attacker) but must fail -deep's cross-check.
+func TestDeepVerifyCatchesLyingZoneMap(t *testing.T) {
+	tables := testTables(t)
+	img := writeTestImage(t, tables, fileVersion)
+	var amount zoneSpan
+	for _, zs := range zoneSpans(t, img) {
+		if zs.table == "orders" && zs.column == "amount" {
+			amount = zs
+		}
+	}
+	if amount.zlen == 0 {
+		t.Fatal("orders.amount carries no zone map")
+	}
+	mut := append([]byte(nil), img...)
+	// Entry layout: rows u32 | nulls u32 | flags u8 | min i64 | max i64.
+	// Clamp the entry's claimed max to its min: amounts above it are now
+	// outside the claimed range. Recompute the zone CRC and trailer so
+	// every structural check passes.
+	const zoneHdr = 4 + 1 + 4 // block size u32 | flags u8 | entry count u32
+	zrec := mut[amount.start+colRecordOverhead : amount.start+colRecordOverhead+amount.zlen]
+	entry := zrec[zoneHdr:]
+	min := binary.LittleEndian.Uint64(entry[9:])
+	binary.LittleEndian.PutUint64(entry[17:], min)
+	binary.LittleEndian.PutUint32(mut[amount.start+8:], crc32.ChecksumIEEE(zrec))
+	mut = fixupCRC(mut)
+
+	if _, err := Read(mut); err != nil {
+		t.Fatalf("structural open should accept the forged map: %v", err)
+	}
+	_, rep, err := ReadWithOptions(mut, ReadOptions{Salvage: true, DeepVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	if rep != nil {
+		for _, e := range rep.Entries {
+			if e.Column == "amount" && strings.Contains(e.Reason, "zone") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("deep verify missed the lying zone map: %v", rep)
+	}
+}
+
+// TestZoneDamageViaIofault exercises the same degradation through the
+// file layer: a read-time bit flip inside a zone frame (disk rot, torn
+// read) must leave a salvage open with the column intact and skipping
+// disabled.
+func TestZoneDamageViaIofault(t *testing.T) {
+	tables := testTables(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "z.tde")
+	if err := WriteFile(path, tables); err != nil {
+		t.Fatal(err)
+	}
+	img := writeTestImage(t, tables, fileVersion)
+	var target zoneSpan
+	for _, zs := range zoneSpans(t, img) {
+		if zs.zlen > 0 {
+			target = zs
+			break
+		}
+	}
+	if target.zlen == 0 {
+		t.Fatal("no zoned column")
+	}
+	inj := iofault.NewInjector(nil)
+	inj.Script(iofault.Fault{Op: iofault.OpReadFile,
+		FlipByteOffset: int64(target.start + colRecordOverhead), FlipBitMask: 0x10})
+	got, rep, err := ReadFileFS(inj, path, ReadOptions{Salvage: true})
+	if err != nil {
+		t.Fatalf("salvage under fault: %v", err)
+	}
+	if rep == nil || len(rep.Entries) == 0 ||
+		!strings.Contains(rep.Entries[0].Reason, "skipping disabled") {
+		t.Fatalf("fault not reported as zone damage: %v", rep)
+	}
+	for _, tab := range got {
+		if tab.Name != target.table {
+			continue
+		}
+		c := tab.Column(target.column)
+		if c == nil {
+			t.Fatal("column dropped over zone damage")
+		}
+		if c.Zones != nil {
+			t.Fatal("zone map survived its own damage")
+		}
+	}
+}
